@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation A1: cache associativity. The paper deliberately simulates
+ * direct-mapped caches ("set associative or unified caches, while
+ * giving better performance, would add too many variables") and notes
+ * that page-table hotspotting "is easily solved with set
+ * associativity". This ablation quantifies both claims: MCPI and
+ * VMCPI at 1/2/4-way L1 and L2 for each system.
+ *
+ * Usage: bench_ablation_assoc [--csv] [--instructions=N]
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vmsim;
+    using namespace vmsim::bench;
+
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    Counter instrs = opts.instructions;
+    Counter warmup = opts.warmup;
+
+    banner("Ablation: cache associativity (paper simulates "
+           "direct-mapped only)");
+    std::cout << "caches: 64KB/1MB, 64/128B lines, LRU replacement for "
+                 "associative configs\n\n";
+
+    for (const auto &workload : {std::string("gcc"),
+                                 std::string("vortex")}) {
+        TextTable table;
+        table.setHeader({"system", "MCPI@1way", "MCPI@2way", "MCPI@4way",
+                         "VMCPI@1way", "VMCPI@2way", "VMCPI@4way"});
+        for (SystemKind kind : paperVmSystems()) {
+            std::vector<std::string> row = {kindName(kind)};
+            std::vector<std::string> vm_cells;
+            for (unsigned assoc : {1u, 2u, 4u}) {
+                SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB,
+                                            128, opts);
+                cfg.l1.assoc = assoc;
+                cfg.l2.assoc = assoc;
+                cfg.l1.repl = CacheRepl::LRU;
+                cfg.l2.repl = CacheRepl::LRU;
+                Results r = runOnce(cfg, workload, instrs, warmup);
+                row.push_back(TextTable::fmt(r.mcpi(), 4));
+                vm_cells.push_back(TextTable::fmt(r.vmcpi(), 5));
+            }
+            row.insert(row.end(), vm_cells.begin(), vm_cells.end());
+            table.addRow(row);
+        }
+        std::cout << workload << " (" << instrs << " instructions)\n";
+        emit(table, opts);
+    }
+
+    std::cout << "Expected shape: associativity lowers VMCPI across "
+                 "the board (page-table\nhotspots vanish, as the paper "
+                 "predicts) and lowers MCPI for conflict-bound\n"
+                 "workloads like gcc. Caveat: for cyclic access "
+                 "patterns larger than the\ncache (vortex's cold "
+                 "chase), LRU replacement thrashes where direct-mapped\n"
+                 "placement retains a working fraction - MCPI can "
+                 "rise with associativity.\n";
+    return 0;
+}

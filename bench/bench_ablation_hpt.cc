@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation A2: PA-RISC hashed-table load factor. The paper chooses a
+ * 2:1 entries-to-frames ratio "which should result in an average
+ * collision-chain length of 1.25 entries" (and measured ~1.3 for
+ * gcc). This ablation sweeps the ratio over {1, 2, 4} and reports the
+ * observed chain statistics and their effect on VMCPI.
+ *
+ * Usage: bench_ablation_hpt [--csv] [--instructions=N]
+ */
+
+#include <set>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vmsim;
+    using namespace vmsim::bench;
+
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    Counter instrs = opts.instructions;
+    Counter warmup = opts.warmup;
+
+    banner("Ablation: PA-RISC hashed-page-table load factor");
+    std::cout << "8MB physical memory = 2048 frames; table entries = "
+                 "ratio x frames\n\n";
+
+    // Full-occupancy chain statistics, directly comparable to the
+    // paper's expectation (1:1 ratio -> ~1.5 average chain, 2:1 ->
+    // ~1.25): insert a full physical memory's worth of pages (2048)
+    // drawn from across the user space, as the paper's 200M-
+    // instruction runs would.
+    {
+        TextTable table;
+        table.setHeader({"ratio", "paper avg chain", "measured avg",
+                         "avg search depth", "CRT entries"});
+        const char *paper_chain[] = {"~1.5", "~1.25", "~1.125"};
+        unsigned idx = 0;
+        for (unsigned ratio : {1u, 2u, 4u}) {
+            PhysMem pm(8_MiB, 12);
+            HashedPageTable pt(pm, ratio);
+            Random rng(opts.seed);
+            std::vector<Addr> buf;
+            std::set<Vpn> touched;
+            while (touched.size() < 2048) {
+                Vpn v = rng.uniform(kUserSpan >> 12);
+                if (!touched.insert(v).second)
+                    continue;
+                buf.clear();
+                pt.walk(v, buf);
+            }
+            table.addRow({std::to_string(ratio) + ":1",
+                          paper_chain[idx++],
+                          TextTable::fmt(pt.avgChainLength(), 3),
+                          TextTable::fmt(pt.searchDepth().mean(), 3),
+                          std::to_string(pt.crtEntries())});
+        }
+        std::cout << "Full occupancy (2048 pages resident, the paper's "
+                     "sizing assumption):\n";
+        emit(table, opts);
+    }
+
+    std::cout << "In-vivo (workload-driven) statistics - our synthetic "
+                 "workloads touch fewer\npages than a full physical "
+                 "memory, so chains are shorter than the paper's:\n\n";
+
+    for (const auto &workload : workloadNames()) {
+        TextTable table;
+        table.setHeader({"ratio", "buckets", "avg chain", "avg search",
+                         "CRT entries", "pte loads/walk", "VMCPI"});
+        for (unsigned ratio : {1u, 2u, 4u}) {
+            SimConfig cfg = paperConfig(SystemKind::Parisc, 64_KiB, 64,
+                                        1_MiB, 128, opts);
+            cfg.hptRatio = ratio;
+            auto trace = makeWorkload(workload, cfg.seed);
+            System sys(cfg);
+            Results r = sys.run(*trace, instrs, workload, warmup);
+            const auto &pt =
+                static_cast<PariscVm &>(sys.vm()).pageTable();
+            double loads_per_walk =
+                r.vmStats().uhandlerCalls
+                    ? static_cast<double>(r.vmStats().pteLoads) /
+                          static_cast<double>(r.vmStats().uhandlerCalls)
+                    : 0.0;
+            table.addRow({std::to_string(ratio) + ":1",
+                          std::to_string(pt.numBuckets()),
+                          TextTable::fmt(pt.avgChainLength(), 3),
+                          TextTable::fmt(pt.searchDepth().mean(), 3),
+                          std::to_string(pt.crtEntries()),
+                          TextTable::fmt(loads_per_walk, 3),
+                          TextTable::fmt(r.vmcpi(), 5)});
+        }
+        std::cout << workload << " (" << instrs << " instructions)\n";
+        emit(table, opts);
+    }
+
+    std::cout << "Expected shape: the 2:1 row's average chain length "
+                 "sits near the paper's\n1.25 (gcc measured ~1.3); "
+                 "denser tables (1:1) lengthen chains and raise\n"
+                 "per-walk PTE loads, sparser tables (4:1) shorten "
+                 "them.\n";
+    return 0;
+}

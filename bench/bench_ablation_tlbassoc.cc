@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation A7: TLB associativity. The paper's TLBs are fully
+ * associative (Table 1); many contemporary and later MMUs shipped
+ * set-associative TLBs instead. This ablation compares fully
+ * associative against 2/4/8-way set-associative TLBs of equal
+ * capacity, reporting user TLB misses per 1K instructions and VMCPI.
+ *
+ * Usage: bench_ablation_tlbassoc [--csv] [--instructions=N]
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vmsim;
+    using namespace vmsim::bench;
+
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    Counter instrs = opts.instructions;
+    Counter warmup = opts.warmup;
+
+    banner("Ablation: TLB associativity (paper: fully associative)");
+    std::cout << "caches: 64KB/1MB, 64/128B lines; 128-entry TLBs; "
+                 "set-assoc configs drop the protected partition\n\n";
+
+    struct Org
+    {
+        unsigned assoc;
+        const char *name;
+    };
+    const Org orgs[] = {
+        {0, "full"}, {8, "8-way"}, {4, "4-way"}, {2, "2-way"}};
+
+    // INTEL and PA-RISC have unpartitioned TLBs, so associativity is
+    // a pure apples-to-apples change for them; for ULTRIX the
+    // set-associative variants also give up the protected partition
+    // (a real constraint of indexed TLBs).
+    const SystemKind kinds[] = {SystemKind::Intel, SystemKind::Parisc,
+                                SystemKind::Ultrix};
+
+    for (const auto &workload : {std::string("gcc"),
+                                 std::string("vortex")}) {
+        TextTable table;
+        std::vector<std::string> header = {"system"};
+        for (const Org &o : orgs)
+            header.push_back(std::string("misses/1Ki ") + o.name);
+        for (const Org &o : orgs)
+            header.push_back(std::string("VMCPI ") + o.name);
+        table.setHeader(header);
+
+        for (SystemKind kind : kinds) {
+            std::vector<std::string> misses, vmcpi;
+            for (const Org &o : orgs) {
+                SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB,
+                                            128, opts);
+                cfg.tlbAssoc = o.assoc;
+                if (o.assoc != 0)
+                    cfg.tlbProtectedSlots = 0;
+                Results r = runOnce(cfg, workload, instrs, warmup);
+                double per_k =
+                    1000.0 *
+                    static_cast<double>(r.vmStats().itlbMisses +
+                                        r.vmStats().dtlbMisses) /
+                    static_cast<double>(r.userInstrs());
+                misses.push_back(TextTable::fmt(per_k, 2));
+                vmcpi.push_back(TextTable::fmt(r.vmcpi(), 5));
+            }
+            std::vector<std::string> row = {kindName(kind)};
+            row.insert(row.end(), misses.begin(), misses.end());
+            row.insert(row.end(), vmcpi.begin(), vmcpi.end());
+            table.addRow(row);
+        }
+        std::cout << workload << " (" << instrs << " instructions)\n";
+        emit(table, opts);
+    }
+
+    std::cout << "Expected shape: full associativity is the floor; "
+                 "lower associativity adds\nconflict misses that grow "
+                 "as the page working set concentrates in few sets\n"
+                 "(contiguous regions index adjacent sets, so the "
+                 "penalty is usually mild at\n8-way and visible by "
+                 "2-way).\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation A5: TLB replacement policy. The paper's TLBs use random
+ * replacement ("similar to MIPS"); this ablation compares Random, LRU
+ * and FIFO for each TLB-based organization, reporting user TLB misses
+ * per 1K instructions and VMCPI.
+ *
+ * Usage: bench_ablation_tlbrepl [--csv] [--instructions=N]
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vmsim;
+    using namespace vmsim::bench;
+
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    Counter instrs = opts.instructions;
+    Counter warmup = opts.warmup;
+
+    banner("Ablation: TLB replacement policy (paper: random)");
+    std::cout << "caches: 64KB/1MB, 64/128B lines; 128-entry TLBs\n\n";
+
+    struct Policy
+    {
+        TlbRepl repl;
+        const char *name;
+    };
+    const Policy policies[] = {{TlbRepl::Random, "random"},
+                               {TlbRepl::LRU, "LRU"},
+                               {TlbRepl::FIFO, "FIFO"}};
+
+    for (const auto &workload : {std::string("gcc"),
+                                 std::string("vortex")}) {
+        TextTable table;
+        table.setHeader({"system", "misses/1Ki rnd", "misses/1Ki LRU",
+                         "misses/1Ki FIFO", "VMCPI rnd", "VMCPI LRU",
+                         "VMCPI FIFO"});
+        for (SystemKind kind : {SystemKind::Ultrix, SystemKind::Mach,
+                                SystemKind::Intel, SystemKind::Parisc}) {
+            std::vector<std::string> misses, vmcpi;
+            for (const Policy &p : policies) {
+                SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB,
+                                            128, opts);
+                cfg.tlbRepl = p.repl;
+                Results r = runOnce(cfg, workload, instrs, warmup);
+                double per_k =
+                    1000.0 *
+                    static_cast<double>(r.vmStats().itlbMisses +
+                                        r.vmStats().dtlbMisses) /
+                    static_cast<double>(r.userInstrs());
+                misses.push_back(TextTable::fmt(per_k, 2));
+                vmcpi.push_back(TextTable::fmt(r.vmcpi(), 5));
+            }
+            std::vector<std::string> row = {kindName(kind)};
+            row.insert(row.end(), misses.begin(), misses.end());
+            row.insert(row.end(), vmcpi.begin(), vmcpi.end());
+            table.addRow(row);
+        }
+        std::cout << workload << " (" << instrs << " instructions)\n";
+        emit(table, opts);
+    }
+
+    std::cout << "Expected shape: policies differ little when the page "
+                 "working set fits or\nmassively exceeds the TLB; LRU "
+                 "wins modestly in between, and cyclic access\n"
+                 "patterns can favor random over LRU.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark harnesses: canonical config
+ * builders and formatting helpers. Each bench binary regenerates one
+ * of the paper's tables/figures (see DESIGN.md experiment index) and
+ * prints the same rows/series the paper reports.
+ */
+
+#ifndef VMSIM_BENCH_BENCH_COMMON_HH
+#define VMSIM_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "vmsim.hh"
+
+namespace vmsim::bench
+{
+
+/** The five headline VM organizations of the paper's figures. */
+inline const std::vector<SystemKind> &
+paperVmSystems()
+{
+    static const std::vector<SystemKind> kinds = {
+        SystemKind::Ultrix, SystemKind::Mach, SystemKind::Intel,
+        SystemKind::Parisc, SystemKind::Notlb,
+    };
+    return kinds;
+}
+
+/** Paper defaults: 128x2 TLB, 16 protected slots, 4 KB pages, 8 MB. */
+inline SimConfig
+paperConfig(SystemKind kind, std::uint64_t l1_size, unsigned l1_line,
+            std::uint64_t l2_size, unsigned l2_line,
+            const BenchOptions &opts)
+{
+    SimConfig cfg;
+    cfg.kind = kind;
+    cfg.l1 = CacheParams{l1_size, l1_line};
+    cfg.l2 = CacheParams{l2_size, l2_line};
+    cfg.seed = opts.seed;
+    return cfg;
+}
+
+/** "64K" / "2M" style size label. */
+inline std::string
+sizeLabel(std::uint64_t bytes)
+{
+    if (bytes >= 1_MiB && bytes % 1_MiB == 0)
+        return std::to_string(bytes >> 20) + "M";
+    return std::to_string(bytes >> 10) + "K";
+}
+
+/** "16/32" linesize-combo label. */
+inline std::string
+lineLabel(unsigned l1_line, unsigned l2_line)
+{
+    return std::to_string(l1_line) + "/" + std::to_string(l2_line);
+}
+
+/** Emit a table as text or CSV per options. */
+inline void
+emit(const TextTable &table, const BenchOptions &opts)
+{
+    if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << '\n';
+}
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "### " << title << "\n\n";
+}
+
+} // namespace vmsim::bench
+
+#endif // VMSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Extension E1: context-switch (multiprogramming) pressure.
+ *
+ * The paper's machines carry no ASIDs, so every address-space switch
+ * costs a full TLB flush and re-walk. This bench sweeps the scheduling
+ * quantum and reports VM overhead (VMCPI + interrupt CPI @50) per
+ * organization. Two results the paper's framework predicts:
+ *
+ *  - hardware-walked TLBs (INTEL, HW-*) refill flushed TLBs far more
+ *    cheaply than software-managed ones (no interrupt storm per
+ *    refill burst);
+ *  - the global-virtual-space designs (NOTLB, SPUR) keep no
+ *    per-process translation state at all and are immune — the
+ *    selling point of single-global-address-space systems.
+ *
+ * Usage: bench_ctx_switch [--csv] [--instructions=N]
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vmsim;
+    using namespace vmsim::bench;
+
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    Counter instrs = opts.instructions;
+    Counter warmup = opts.warmup;
+
+    const Counter quanta[] = {0, 1'000'000, 250'000, 50'000, 10'000};
+    const SystemKind kinds[] = {
+        SystemKind::Ultrix, SystemKind::Mach,       SystemKind::Intel,
+        SystemKind::Parisc, SystemKind::HwInverted, SystemKind::HwMips,
+        SystemKind::Notlb,  SystemKind::Spur,
+    };
+
+    banner("Context-switch pressure: VM overhead (VMCPI + intCPI@50) "
+           "vs scheduling quantum");
+    std::cout << "caches: 64KB/1MB, 64/128B lines; TLBs flushed per "
+                 "switch (no ASIDs)\n\n";
+
+    for (const auto &workload : {std::string("gcc"),
+                                 std::string("vortex")}) {
+        TextTable table;
+        table.setHeader({"system", "no switch", "1M", "250K", "50K",
+                         "10K"});
+        // Untagged (paper) TLBs: flush per switch. ASID-tagged rows
+        // follow, where a switch instead costs 16 randomly-evicted
+        // entries per side (competitor pressure).
+        for (bool asid : {false, true}) {
+            for (SystemKind kind : kinds) {
+                if (asid && !kindHasTlb(kind))
+                    continue; // tagging changes nothing for these
+                std::vector<std::string> row = {
+                    std::string(kindName(kind)) +
+                    (asid ? " +ASID" : "")};
+                for (Counter q : quanta) {
+                    SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB,
+                                                128, opts);
+                    cfg.ctxSwitchInterval = q;
+                    if (asid)
+                        cfg.tlbAsidBits = 6;
+                    Results r = runOnce(cfg, workload, instrs, warmup);
+                    row.push_back(
+                        TextTable::fmt(r.vmcpi() + r.interruptCpi(),
+                                       5));
+                }
+                table.addRow(row);
+            }
+        }
+        std::cout << workload << " (" << instrs << " instructions)\n";
+        emit(table, opts);
+    }
+
+    std::cout << "Expected shape: software-managed TLBs degrade "
+                 "steeply as the quantum\nshrinks; hardware-walked "
+                 "TLBs degrade gently; NOTLB and SPUR rows are flat\n"
+                 "(no per-process translation state); the +ASID rows "
+                 "flatten most of the\ndegradation (switches cost "
+                 "partial eviction, not a flush).\n";
+    return 0;
+}

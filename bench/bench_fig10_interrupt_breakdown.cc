@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 10-style [reconstructed]: VMCPI with interrupt overhead
+ * stacked on top, across L1 cache sizes, at the paper's featured
+ * 64/128-byte linesizes and 1 MB L2.
+ *
+ * The paper's truncated Section 4.3 presents the interrupt cost in
+ * relation to the cache-dependent VMCPI; this bench regenerates that
+ * view: for each system and L1 size, the table shows VMCPI followed
+ * by total VM-mechanism overhead (VMCPI + interrupt CPI) at each of
+ * the paper's three interrupt costs. Two structural facts emerge:
+ * the interrupt component is cache-independent (it scales with miss
+ * *counts*, not miss *locality*), so as caches grow it comes to
+ * dominate the software-managed schemes' overhead — the paper's
+ * argument that interrupt handling deserves architectural attention.
+ *
+ * Usage: bench_fig10_interrupt_breakdown [--full] [--csv]
+ *        [--instructions=N]
+ */
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vmsim;
+    using namespace vmsim::bench;
+
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    Counter instrs = opts.instructions;
+    Counter warmup = opts.warmup;
+
+    banner("Figure 10-style (reconstructed): VMCPI + interrupt "
+           "overhead vs L1 size");
+    std::cout << "64/128-byte L1/L2 linesizes, 1MB L2; columns show "
+                 "VMCPI and VMCPI+intCPI at 10/50/200-cycle "
+                 "interrupts\n\n";
+
+    auto l1_sizes = paperL1Sizes(opts.full);
+
+    for (const auto &workload : {std::string("gcc"),
+                                 std::string("vortex")}) {
+        for (SystemKind kind : paperVmSystems()) {
+            TextTable table;
+            table.setHeader({"L1/side", "VMCPI", "+int@10", "+int@50",
+                             "+int@200", "int share@200"});
+            for (std::uint64_t l1 : l1_sizes) {
+                SimConfig cfg = paperConfig(kind, l1, 64, 1_MiB, 128,
+                                            opts);
+                Results r = runOnce(cfg, workload, instrs, warmup);
+                double v = r.vmcpi();
+                double i10 = v + r.interruptCpiAt(10);
+                double i50 = v + r.interruptCpiAt(50);
+                double i200 = v + r.interruptCpiAt(200);
+                double share = i200 > 0
+                                   ? 100.0 * r.interruptCpiAt(200) /
+                                         i200
+                                   : 0.0;
+                table.addRow({sizeLabel(l1), TextTable::fmt(v, 5),
+                              TextTable::fmt(i10, 5),
+                              TextTable::fmt(i50, 5),
+                              TextTable::fmt(i200, 5),
+                              TextTable::fmt(share, 1) + "%"});
+            }
+            std::cout << kindName(kind) << " - " << workload << '\n';
+            table.print(std::cout);
+            std::cout << '\n';
+        }
+    }
+
+    std::cout << "Expected shape: the interrupt columns stay constant "
+                 "down each table while\nVMCPI shrinks with L1 size, "
+                 "so the interrupt share grows toward the right-\n"
+                 "hand percentages; INTEL's tables show zero interrupt "
+                 "overhead throughout.\n";
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * M1: microbenchmarks (google-benchmark) of the simulator primitives:
+ * cache access, TLB lookup/insert, hashed-table walk, synthetic trace
+ * generation, and the full per-instruction simulation step for each
+ * VM organization. These bound the wall-clock cost of the sweep
+ * benches and catch performance regressions in the hot loop.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "vmsim.hh"
+
+namespace
+{
+
+using namespace vmsim;
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    Cache cache(CacheParams{64_KiB, 32});
+    cache.access(0x1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(0x1000));
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheAccessStream(benchmark::State &state)
+{
+    Cache cache(CacheParams{64_KiB, 32});
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a));
+        a += 32;
+    }
+}
+BENCHMARK(BM_CacheAccessStream);
+
+void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    Tlb tlb(TlbParams{128, 16});
+    tlb.insert(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.lookup(5));
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void
+BM_TlbInsertChurn(benchmark::State &state)
+{
+    Tlb tlb(TlbParams{128, 16});
+    Vpn v = 0;
+    for (auto _ : state)
+        tlb.insert(++v);
+}
+BENCHMARK(BM_TlbInsertChurn);
+
+void
+BM_HashedWalk(benchmark::State &state)
+{
+    PhysMem pm(8_MiB, 12);
+    HashedPageTable pt(pm, 2);
+    std::vector<Addr> buf;
+    buf.reserve(16);
+    Vpn v = 0;
+    for (auto _ : state) {
+        buf.clear();
+        benchmark::DoNotOptimize(pt.walk((v++ * 7919) % 2048, buf));
+    }
+}
+BENCHMARK(BM_HashedWalk);
+
+void
+BM_WorkloadNext(benchmark::State &state)
+{
+    GccLikeWorkload w(1);
+    TraceRecord rec;
+    for (auto _ : state) {
+        w.next(rec);
+        benchmark::DoNotOptimize(rec);
+    }
+}
+BENCHMARK(BM_WorkloadNext);
+
+void
+BM_SimulatorStep(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.kind = static_cast<SystemKind>(state.range(0));
+    cfg.l1 = CacheParams{64_KiB, 64};
+    cfg.l2 = CacheParams{1_MiB, 128};
+    System sys(cfg);
+    GccLikeWorkload trace(1);
+    Simulator sim(sys.vm(), trace);
+    for (auto _ : state)
+        sim.run(1);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorStep)
+    ->Arg(static_cast<int>(SystemKind::Ultrix))
+    ->Arg(static_cast<int>(SystemKind::Mach))
+    ->Arg(static_cast<int>(SystemKind::Intel))
+    ->Arg(static_cast<int>(SystemKind::Parisc))
+    ->Arg(static_cast<int>(SystemKind::Notlb))
+    ->Arg(static_cast<int>(SystemKind::Base));
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

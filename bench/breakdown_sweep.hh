@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared implementation of the Figure 8/9 VMCPI break-downs: for the
+ * paper's featured 64/128-byte L1/L2 linesizes, every VMCPI component
+ * (Table 3 tags) as a function of L1 size, one table per (VM system,
+ * L2 size). Figures 8 and 9 differ only in workload.
+ */
+
+#ifndef VMSIM_BENCH_BREAKDOWN_SWEEP_HH
+#define VMSIM_BENCH_BREAKDOWN_SWEEP_HH
+
+#include "bench_common.hh"
+
+namespace vmsim::bench
+{
+
+inline int
+runBreakdownSweep(const std::string &figure, const std::string &workload,
+                  int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    Counter instrs = opts.instructions;
+    Counter warmup = opts.warmup;
+
+    banner(figure + ": VMCPI break-downs (64/128-byte L1/L2 linesizes) "
+                    "- " +
+           workload);
+    std::cout << "instructions/point=" << instrs << " warmup=" << warmup
+              << "\n\n";
+
+    auto l1_sizes = paperL1Sizes(opts.full);
+    auto l2_sizes = paperL2Sizes(opts.full);
+
+    for (SystemKind kind : paperVmSystems()) {
+        for (std::uint64_t l2 : l2_sizes) {
+            TextTable table;
+            table.setHeader({"L1/side", "uhandler", "upte-L2",
+                             "upte-MEM", "khandler", "kpte-L2",
+                             "kpte-MEM", "rhandler", "rpte-L2",
+                             "rpte-MEM", "handler-L2", "handler-MEM",
+                             "total"});
+            for (std::uint64_t l1 : l1_sizes) {
+                SimConfig cfg = paperConfig(kind, l1, 64, l2, 128, opts);
+                Results r = runOnce(cfg, workload, instrs, warmup);
+                VmcpiBreakdown b = r.vmcpiBreakdown();
+                std::vector<std::string> row = {sizeLabel(l1)};
+                for (const auto &[tag, value] : b.components())
+                    row.push_back(TextTable::fmt(value, 5));
+                row.push_back(TextTable::fmt(b.total(), 5));
+                table.addRow(row);
+            }
+            std::cout << kindName(kind) << " - " << sizeLabel(l2)
+                      << "B L2 cache (VMCPI components)\n";
+            emit(table, opts);
+        }
+    }
+    return 0;
+}
+
+} // namespace vmsim::bench
+
+#endif // VMSIM_BENCH_BREAKDOWN_SWEEP_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared implementation of the Figure 6/7 VMCPI sweeps: VMCPI as a
+ * function of L1 size, L2 size, and L1/L2 linesizes, one table per
+ * (VM system, L2 size). Figures 6 and 7 differ only in workload.
+ */
+
+#ifndef VMSIM_BENCH_VMCPI_SWEEP_HH
+#define VMSIM_BENCH_VMCPI_SWEEP_HH
+
+#include "bench_common.hh"
+
+namespace vmsim::bench
+{
+
+inline int
+runVmcpiSweep(const std::string &figure, const std::string &workload,
+              int argc, char **argv)
+{
+    BenchOptions opts = BenchOptions::parse(argc, argv);
+    Counter instrs = opts.instructions;
+    Counter warmup = opts.warmup;
+
+    banner(figure + ": VMCPI vs cache organization - " + workload);
+    std::cout << "instructions/point=" << instrs << " warmup=" << warmup
+              << (opts.full ? " (full paper grid)" : " (reduced grid)")
+              << "\n\n";
+
+    auto l1_sizes = paperL1Sizes(opts.full);
+    auto l2_sizes = paperL2Sizes(opts.full);
+    auto lines = paperLineSizes(opts.full);
+
+    for (SystemKind kind : paperVmSystems()) {
+        for (std::uint64_t l2 : l2_sizes) {
+            TextTable table;
+            std::vector<std::string> header = {"L1/side"};
+            for (auto [a, b] : lines)
+                header.push_back(lineLabel(a, b) + "B");
+            table.setHeader(header);
+
+            for (std::uint64_t l1 : l1_sizes) {
+                std::vector<std::string> row = {sizeLabel(l1)};
+                for (auto [l1_line, l2_line] : lines) {
+                    SimConfig cfg = paperConfig(kind, l1, l1_line, l2,
+                                                l2_line, opts);
+                    Results r = runOnce(cfg, workload, instrs, warmup);
+                    row.push_back(TextTable::fmt(r.vmcpi(), 5));
+                }
+                table.addRow(row);
+            }
+            std::cout << kindName(kind) << " - " << sizeLabel(l2)
+                      << "B L2 cache (VMCPI)\n";
+            emit(table, opts);
+        }
+    }
+    return 0;
+}
+
+} // namespace vmsim::bench
+
+#endif // VMSIM_BENCH_VMCPI_SWEEP_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * compare_mmus: the paper's headline experiment in miniature.
+ *
+ * Runs one workload through all nine memory-management organizations
+ * (the paper's six plus the Section 4.2 interpolations) on identical
+ * caches, and prints a comparison table: MCPI, VMCPI (with its
+ * dominant components), interrupt CPI at the paper's three costs, and
+ * total CPI.
+ *
+ * Usage: compare_mmus [workload] [instructions]
+ *   workload:     gcc | vortex | ijpeg   (default vortex)
+ *   instructions: per-system instruction count (default 2000000)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "vmsim.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vmsim;
+
+    std::string workload = argc > 1 ? argv[1] : "vortex";
+    Counter instrs =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000'000;
+    Counter warmup = instrs / 2;
+
+    const SystemKind kinds[] = {
+        SystemKind::Base,       SystemKind::Ultrix, SystemKind::Mach,
+        SystemKind::Intel,      SystemKind::Parisc, SystemKind::Notlb,
+        SystemKind::HwInverted, SystemKind::HwMips, SystemKind::Spur,
+    };
+
+    std::cout << "Comparing MMU / TLB-refill / page-table organizations"
+              << " on " << workload << " (" << instrs
+              << " instructions, 64KB/1MB caches)\n\n";
+
+    TextTable table;
+    table.setHeader({"system", "MCPI", "VMCPI", "int@10", "int@50",
+                     "int@200", "CPI@50", "overhead@50"});
+
+    for (SystemKind kind : kinds) {
+        SimConfig cfg;
+        cfg.kind = kind;
+        cfg.l1 = CacheParams{64_KiB, 64};
+        cfg.l2 = CacheParams{1_MiB, 128};
+        cfg.costs.interruptCycles = 50;
+
+        Results r = runOnce(cfg, workload, instrs, warmup);
+        double total = r.totalCpi();
+        double overhead =
+            (r.vmcpi() + r.interruptCpi()) / total * 100.0;
+        table.addRow({kindName(kind), TextTable::fmt(r.mcpi(), 4),
+                      TextTable::fmt(r.vmcpi(), 5),
+                      TextTable::fmt(r.interruptCpiAt(10), 5),
+                      TextTable::fmt(r.interruptCpiAt(50), 5),
+                      TextTable::fmt(r.interruptCpiAt(200), 5),
+                      TextTable::fmt(total, 4),
+                      TextTable::fmt(overhead, 1) + "%"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading guide (paper Section 4.2): INTEL's "
+                 "hardware walk avoids interrupts and\nI-cache "
+                 "pollution; PA-RISC's inverted table packs PTEs "
+                 "densely; HW-INVERTED\nmerges the two (as PowerPC / "
+                 "PA-7200 did) and should be the cheapest TLB\n"
+                 "mechanism overall.\n";
+    return 0;
+}

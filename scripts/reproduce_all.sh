@@ -1,0 +1,36 @@
+#!/bin/sh
+# Reproduce every table/figure of the paper plus the ablations and
+# extensions, writing one output file per experiment into results/.
+#
+# Usage: scripts/reproduce_all.sh [build-dir] [extra bench args...]
+#   e.g. scripts/reproduce_all.sh build --full --instructions=5000000
+#
+# The default (reduced-grid) run finishes in a few minutes on one core;
+# --full runs the complete Table-1 cross-product.
+
+set -eu
+
+BUILD="${1:-build}"
+shift 2>/dev/null || true
+OUT="results"
+
+if [ ! -d "$BUILD/bench" ]; then
+    echo "error: '$BUILD/bench' not found; build first:" >&2
+    echo "  cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+    exit 1
+fi
+
+mkdir -p "$OUT"
+
+for bench in "$BUILD"/bench/bench_*; do
+    [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    echo "== $name"
+    if [ "$name" = "bench_micro" ]; then
+        "$bench" > "$OUT/$name.txt" 2>&1
+    else
+        "$bench" "$@" > "$OUT/$name.txt" 2>&1
+    fi
+done
+
+echo "done: $(ls "$OUT" | wc -l) experiment outputs in $OUT/"

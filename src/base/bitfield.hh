@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bitfield extraction and insertion helpers, in the style of gem5's
+ * base/bitfield.hh. Page-table index computation is mostly bitfield
+ * slicing of virtual addresses, so these helpers keep that code legible.
+ */
+
+#ifndef VMSIM_BASE_BITFIELD_HH
+#define VMSIM_BASE_BITFIELD_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace vmsim
+{
+
+/**
+ * Generate a 64-bit mask of @p nbits ones in the low-order positions.
+ * mask(0) == 0, mask(64) == all ones.
+ */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << nbits) - 1;
+}
+
+/**
+ * Extract the bitfield from position @p first to @p last (inclusive,
+ * last >= first) from @p val and right-justify it.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned last, unsigned first)
+{
+    assert(last >= first && last < 64);
+    return (val >> first) & mask(last - first + 1);
+}
+
+/** Extract the single bit at position @p bit from @p val. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned bit)
+{
+    return bits(val, bit, bit);
+}
+
+/**
+ * Extract the bitfield from position @p first to @p last (inclusive)
+ * from @p val, without shifting it down (masked-in-place).
+ */
+constexpr std::uint64_t
+mbits(std::uint64_t val, unsigned last, unsigned first)
+{
+    assert(last >= first && last < 64);
+    return val & (mask(last - first + 1) << first);
+}
+
+/**
+ * Return @p val with the bitfield from @p first to @p last (inclusive)
+ * replaced by the low-order bits of @p bit_val.
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t val, unsigned last, unsigned first,
+           std::uint64_t bit_val)
+{
+    assert(last >= first && last < 64);
+    std::uint64_t m = mask(last - first + 1) << first;
+    return (val & ~m) | ((bit_val << first) & m);
+}
+
+/** Count the number of set bits in @p val. */
+constexpr unsigned
+popCount(std::uint64_t val)
+{
+    unsigned count = 0;
+    while (val) {
+        val &= val - 1;
+        ++count;
+    }
+    return count;
+}
+
+} // namespace vmsim
+
+#endif // VMSIM_BASE_BITFIELD_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Small integer-math helpers: power-of-two tests, logarithms, ceiling
+ * division, alignment. These are used pervasively by the cache, TLB and
+ * page-table code, which index structures by power-of-two geometry.
+ */
+
+#ifndef VMSIM_BASE_INTMATH_HH
+#define VMSIM_BASE_INTMATH_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace vmsim
+{
+
+/** Return true if @p n is a (positive) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/**
+ * Floor of the base-2 logarithm of @p n.
+ * @pre n > 0
+ */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    assert(n > 0);
+    unsigned log = 0;
+    if (n & 0xffffffff00000000ULL) { log += 32; n >>= 32; }
+    if (n & 0x00000000ffff0000ULL) { log += 16; n >>= 16; }
+    if (n & 0x000000000000ff00ULL) { log += 8;  n >>= 8; }
+    if (n & 0x00000000000000f0ULL) { log += 4;  n >>= 4; }
+    if (n & 0x000000000000000cULL) { log += 2;  n >>= 2; }
+    if (n & 0x0000000000000002ULL) { log += 1; }
+    return log;
+}
+
+/**
+ * Ceiling of the base-2 logarithm of @p n.
+ * @pre n > 0
+ */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    assert(n > 0);
+    return n == 1 ? 0 : floorLog2(n - 1) + 1;
+}
+
+/** Ceiling division: smallest q with q * b >= a. @pre b > 0 */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    assert(b > 0);
+    return (a + b - 1) / b;
+}
+
+/** Round @p a down to a multiple of the power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t a, std::uint64_t align)
+{
+    assert(isPowerOf2(align));
+    return a & ~(align - 1);
+}
+
+/** Round @p a up to a multiple of the power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t a, std::uint64_t align)
+{
+    assert(isPowerOf2(align));
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Return true if @p a is a multiple of the power-of-two @p align. */
+constexpr bool
+isAligned(std::uint64_t a, std::uint64_t align)
+{
+    assert(isPowerOf2(align));
+    return (a & (align - 1)) == 0;
+}
+
+} // namespace vmsim
+
+#endif // VMSIM_BASE_INTMATH_HH

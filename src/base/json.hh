@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A minimal JSON writer: enough to serialize results and experiment
+ * rows for downstream plotting, with correct string escaping and
+ * stable key order (insertion order). Not a parser; vmsim only emits.
+ */
+
+#ifndef VMSIM_BASE_JSON_HH
+#define VMSIM_BASE_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vmsim
+{
+
+/** A JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    Json() : kind_(Kind::Null) {}
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(double d) : kind_(Kind::Number), num_(d) {}
+    Json(std::int64_t i) : kind_(Kind::Number), num_(double(i)), isInt_(true), int_(i) {}
+    Json(std::uint64_t u)
+        : kind_(Kind::Number), num_(double(u)), isInt_(true),
+          int_(static_cast<std::int64_t>(u))
+    {}
+    Json(int i) : Json(std::int64_t{i}) {}
+    Json(unsigned u) : Json(std::uint64_t{u}) {}
+    Json(const char *s) : kind_(Kind::String), str_(s) {}
+    Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+    /** Make an empty array. */
+    static Json array();
+
+    /** Make an empty object. */
+    static Json object();
+
+    /** Append to an array (converts null to array). */
+    Json &push(Json v);
+
+    /** Set an object member (converts null to object). */
+    Json &set(const std::string &key, Json v);
+
+    /** Serialize. @p indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+  private:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+    static void escapeTo(std::string &out, const std::string &s);
+
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0;
+    bool isInt_ = false;
+    std::int64_t int_ = 0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_BASE_JSON_HH

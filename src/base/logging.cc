@@ -1,0 +1,56 @@
+#include "base/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace vmsim
+{
+
+namespace
+{
+
+std::atomic<bool> quiet_flag{false};
+
+} // anonymous namespace
+
+bool
+setQuiet(bool quiet)
+{
+    return quiet_flag.exchange(quiet);
+}
+
+namespace detail
+{
+
+void
+panicImpl(const std::string &msg)
+{
+    if (!quiet_flag.load())
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    if (!quiet_flag.load())
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet_flag.load())
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet_flag.load())
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace vmsim

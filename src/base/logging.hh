@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Error-reporting and status-message primitives, modeled on gem5's
+ * base/logging.hh but adapted for a library that must be testable:
+ * instead of aborting the process, panic() and fatal() throw typed
+ * exceptions that unit tests can assert on.
+ *
+ *  - panic(): an internal simulator invariant was violated (a vmsim bug).
+ *  - fatal(): the user supplied an invalid configuration or input.
+ *  - warn() / inform(): non-fatal status messages on stderr.
+ */
+
+#ifndef VMSIM_BASE_LOGGING_HH
+#define VMSIM_BASE_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vmsim
+{
+
+/** Thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+/** Thrown by fatal(): user-caused error (bad config, bad input file). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and throw PanicError. Use when a
+ * condition arises that should be impossible regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report a user-caused error (bad configuration, invalid trace file)
+ * and throw FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about questionable-but-survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless @p cond holds; message describes the invariant. */
+template <typename... Args>
+void
+panicIf(bool cond, Args &&...args)
+{
+    if (cond)
+        panic(std::forward<Args>(args)...);
+}
+
+/** fatal() if @p cond holds; message describes the user error. */
+template <typename... Args>
+void
+fatalIf(bool cond, Args &&...args)
+{
+    if (cond)
+        fatal(std::forward<Args>(args)...);
+}
+
+/**
+ * Globally silence warn()/inform() output (useful in test and bench
+ * binaries that intentionally provoke warnings). Returns previous value.
+ */
+bool setQuiet(bool quiet);
+
+} // namespace vmsim
+
+#endif // VMSIM_BASE_LOGGING_HH

@@ -1,0 +1,107 @@
+#include "base/random.hh"
+
+#include <cmath>
+
+namespace vmsim
+{
+
+namespace
+{
+
+/** splitmix64 step, used to expand the user seed into engine state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Random::Random(std::uint64_t seed)
+{
+    // xoshiro state must not be all-zero; splitmix64 guarantees a good
+    // spread even for small or zero seeds.
+    for (auto &s : s_)
+        s = splitmix64(seed);
+}
+
+std::uint64_t
+Random::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Random::uniform(std::uint64_t bound)
+{
+    if (bound == 0)
+        return next();
+    // Rejection sampling: discard draws in the biased tail.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Random::uniformRange(std::uint64_t lo, std::uint64_t hi)
+{
+    return lo + uniform(hi - lo + 1);
+}
+
+double
+Random::uniformReal()
+{
+    // 53 high-order bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Random::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformReal() < p;
+}
+
+std::uint64_t
+Random::geometric(double p, std::uint64_t cap)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return cap;
+    double u = uniformReal();
+    // Inverse-CDF; u == 0 maps to 0 failures.
+    double k = std::floor(std::log1p(-u) / std::log1p(-p));
+    if (k < 0)
+        k = 0;
+    auto v = static_cast<std::uint64_t>(k);
+    return v > cap ? cap : v;
+}
+
+} // namespace vmsim

@@ -1,0 +1,94 @@
+#include "base/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace vmsim
+{
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, unsigned nbuckets)
+    : lo_(lo), hi_(hi), count_(0), underflow_(0), overflow_(0)
+{
+    fatalIf(nbuckets == 0, "Histogram needs at least one bucket");
+    fatalIf(hi <= lo, "Histogram range [", lo, ", ", hi, ") is empty");
+    width_ = (hi - lo) / nbuckets;
+    buckets_.assign(nbuckets, 0);
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1; // fp rounding at the top edge
+        ++buckets_[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    count_ = underflow_ = overflow_ = 0;
+    for (auto &b : buckets_)
+        b = 0;
+}
+
+double
+Histogram::bucketLo(unsigned i) const
+{
+    return lo_ + width_ * i;
+}
+
+std::string
+Histogram::toString(const std::string &name) const
+{
+    std::ostringstream oss;
+    oss << name << ": n=" << count_ << " under=" << underflow_
+        << " over=" << overflow_;
+    for (unsigned i = 0; i < buckets_.size(); ++i)
+        oss << " [" << bucketLo(i) << ")=" << buckets_[i];
+    return oss.str();
+}
+
+void
+CounterGroup::add(const std::string &key, Counter delta)
+{
+    for (auto &e : entries_) {
+        if (e.first == key) {
+            e.second += delta;
+            return;
+        }
+    }
+    entries_.emplace_back(key, delta);
+}
+
+Counter
+CounterGroup::get(const std::string &key) const
+{
+    for (const auto &e : entries_)
+        if (e.first == key)
+            return e.second;
+    return 0;
+}
+
+void
+CounterGroup::reset()
+{
+    entries_.clear();
+}
+
+} // namespace vmsim

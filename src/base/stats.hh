@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Lightweight statistics collection: scalar counters, running
+ * distributions, and fixed-bucket histograms. Modeled loosely on gem5's
+ * statistics package but kept minimal — the simulator's hot loop only
+ * ever increments counters; summary math happens at reporting time.
+ */
+
+#ifndef VMSIM_BASE_STATS_HH
+#define VMSIM_BASE_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace vmsim
+{
+
+/**
+ * Running distribution of a stream of samples: count, sum, min, max,
+ * and variance via Welford's online algorithm.
+ */
+class Distribution
+{
+  public:
+    Distribution() { reset(); }
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        if (v < min_ || count_ == 1)
+            min_ = v;
+        if (v > max_ || count_ == 1)
+            max_ = v;
+        sum_ += v;
+        double delta = v - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (v - mean_);
+    }
+
+    /** Clear all accumulated state. */
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = mean_ = m2_ = 0.0;
+        min_ = max_ = 0.0;
+    }
+
+    Counter count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /** Population variance; zero for fewer than two samples. */
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double stddev() const;
+
+  private:
+    Counter count_;
+    double sum_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+};
+
+/**
+ * Histogram with uniform buckets over [lo, hi); out-of-range samples
+ * land in underflow/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of the first bucket
+     * @param hi upper bound of the last bucket (exclusive)
+     * @param nbuckets number of uniform buckets, > 0
+     */
+    Histogram(double lo, double hi, unsigned nbuckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Clear all buckets. */
+    void reset();
+
+    Counter count() const { return count_; }
+    Counter underflow() const { return underflow_; }
+    Counter overflow() const { return overflow_; }
+    unsigned numBuckets() const { return (unsigned)buckets_.size(); }
+    Counter bucket(unsigned i) const { return buckets_.at(i); }
+
+    /** Lower edge of bucket @p i. */
+    double bucketLo(unsigned i) const;
+
+    /** Render as a one-line summary plus per-bucket counts. */
+    std::string toString(const std::string &name) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    Counter count_;
+    Counter underflow_;
+    Counter overflow_;
+    std::vector<Counter> buckets_;
+};
+
+/**
+ * A named scalar counter group: maps stable string keys to counters for
+ * ad-hoc reporting (used by benches to dump raw event counts).
+ */
+class CounterGroup
+{
+  public:
+    /** Add @p delta to the counter named @p key (created at zero). */
+    void add(const std::string &key, Counter delta = 1);
+
+    /** Read the counter named @p key (zero if never written). */
+    Counter get(const std::string &key) const;
+
+    /** All (key, value) pairs in insertion order. */
+    const std::vector<std::pair<std::string, Counter>> &entries() const
+    {
+        return entries_;
+    }
+
+    void reset();
+
+  private:
+    std::vector<std::pair<std::string, Counter>> entries_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_BASE_STATS_HH

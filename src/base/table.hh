@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Text table and CSV rendering used by the bench harnesses to print the
+ * paper's tables and figure series. A TextTable collects string cells
+ * and right-aligns numeric-looking columns; writeCsv emits the same data
+ * machine-readably.
+ */
+
+#ifndef VMSIM_BASE_TABLE_HH
+#define VMSIM_BASE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vmsim
+{
+
+/** A simple aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /**
+     * Append a row. Rows shorter than the header are padded with empty
+     * cells; longer rows are a caller bug and raise panic().
+     */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string fmt(double v, int precision = 4);
+
+    /** Render with aligned columns and a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment, comma-separated, quoted as needed). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return header_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_BASE_TABLE_HH

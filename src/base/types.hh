@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout vmsim.
+ *
+ * The simulator models a 32-bit machine (the paper's MIPS, IA-32 and
+ * PA-RISC platforms are all 32-bit), but addresses are carried in 64-bit
+ * integers so that intermediate arithmetic (e.g. table base + index)
+ * never overflows and so that physical table regions can be placed
+ * outside the 32-bit virtual space when convenient.
+ */
+
+#ifndef VMSIM_BASE_TYPES_HH
+#define VMSIM_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace vmsim
+{
+
+/** An address, virtual or physical depending on context. */
+using Addr = std::uint64_t;
+
+/** A count of CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** A statistics counter. */
+using Counter = std::uint64_t;
+
+/** A virtual page number (address >> page shift). */
+using Vpn = std::uint64_t;
+
+/** A physical frame number. */
+using Pfn = std::uint64_t;
+
+/** An invalid / "no address" sentinel. */
+constexpr Addr kInvalidAddr = ~static_cast<Addr>(0);
+
+/** An invalid frame number sentinel. */
+constexpr Pfn kInvalidPfn = ~static_cast<Pfn>(0);
+
+} // namespace vmsim
+
+#endif // VMSIM_BASE_TYPES_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Byte-size unit helpers (KiB / MiB / GiB) used by cache and page-table
+ * configuration code.
+ */
+
+#ifndef VMSIM_BASE_UNITS_HH
+#define VMSIM_BASE_UNITS_HH
+
+#include <cstdint>
+
+namespace vmsim
+{
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/** User-defined literals so configs read like the paper: 128_KiB, 2_MiB. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v * kKiB;
+}
+
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v * kMiB;
+}
+
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v * kGiB;
+}
+
+} // namespace vmsim
+
+#endif // VMSIM_BASE_UNITS_HH

@@ -1,0 +1,113 @@
+#include "core/factory.hh"
+
+#include "os/base_vm.hh"
+#include "os/hw_inverted_vm.hh"
+#include "os/hw_mips_vm.hh"
+#include "os/intel_vm.hh"
+#include "os/mach_vm.hh"
+#include "os/notlb_vm.hh"
+#include "os/parisc_vm.hh"
+#include "os/spur_vm.hh"
+#include "os/ultrix_vm.hh"
+
+namespace vmsim
+{
+
+HandlerCosts
+defaultHandlerCosts(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Mach:
+        return MachVm::machDefaultCosts();
+      case SystemKind::Parisc:
+        return PariscVm::pariscDefaultCosts();
+      default:
+        // ULTRIX / NOTLB: 10-instr user, 20-instr root handlers.
+        // INTEL / HW-*: 7-cycle FSM. BASE ignores these entirely.
+        return HandlerCosts{};
+    }
+}
+
+TlbParams
+tlbParamsFor(SystemKind kind, const SimConfig &config)
+{
+    TlbParams p;
+    p.entries = config.tlbEntries;
+    p.repl = config.tlbRepl;
+    p.assoc = config.tlbAssoc;
+    p.asidBits = config.tlbAsidBits;
+    switch (kind) {
+      case SystemKind::Ultrix:
+      case SystemKind::Mach:
+      case SystemKind::HwMips:
+        p.protectedSlots = config.tlbProtectedSlots;
+        break;
+      default:
+        p.protectedSlots = 0;
+        break;
+    }
+    return p;
+}
+
+namespace
+{
+
+/** Apply post-construction knobs common to every organization. */
+std::unique_ptr<VmSystem>
+finish(std::unique_ptr<VmSystem> vm, const SimConfig &config)
+{
+    vm->setCtxSwitchEvictions(config.ctxSwitchEvictions);
+    if (config.l2TlbEntries != 0 && kindHasTlb(config.kind)) {
+        TlbParams l2;
+        l2.entries = config.l2TlbEntries;
+        l2.protectedSlots = 0;
+        l2.repl = config.tlbRepl;
+        l2.asidBits = config.tlbAsidBits;
+        vm->attachL2Tlb(l2, config.l2TlbHitCycles, config.seed ^ 0x77);
+    }
+    return vm;
+}
+
+} // anonymous namespace
+
+std::unique_ptr<VmSystem>
+makeVmSystem(const SimConfig &config, MemSystem &mem, PhysMem &phys_mem)
+{
+    HandlerCosts costs = config.overrideHandlerCosts
+                             ? config.handlerCosts
+                             : defaultHandlerCosts(config.kind);
+    TlbParams tlb = tlbParamsFor(config.kind, config);
+    unsigned pb = config.pageBits;
+    std::uint64_t seed = config.seed;
+
+    switch (config.kind) {
+      case SystemKind::Ultrix:
+        return finish(std::make_unique<UltrixVm>(mem, phys_mem, tlb, tlb, costs,
+                                          pb, seed), config);
+      case SystemKind::Mach:
+        return finish(std::make_unique<MachVm>(mem, phys_mem, tlb, tlb, costs,
+                                        pb, seed), config);
+      case SystemKind::Intel:
+        return finish(std::make_unique<IntelVm>(mem, phys_mem, tlb, tlb, costs,
+                                         pb, seed), config);
+      case SystemKind::Parisc:
+        return finish(std::make_unique<PariscVm>(mem, phys_mem, tlb, tlb, costs,
+                                          pb, seed, config.hptRatio), config);
+      case SystemKind::Notlb:
+        return finish(std::make_unique<NotlbVm>(mem, phys_mem, costs, pb), config);
+      case SystemKind::Base:
+        return finish(std::make_unique<BaseVm>(mem), config);
+      case SystemKind::HwInverted:
+        return finish(std::make_unique<HwInvertedVm>(mem, phys_mem, tlb, tlb,
+                                              costs, pb, seed,
+                                              config.hptRatio), config);
+      case SystemKind::HwMips:
+        return finish(std::make_unique<HwMipsVm>(mem, phys_mem, tlb, tlb, costs,
+                                          pb, seed), config);
+      case SystemKind::Spur:
+        return finish(std::make_unique<SpurVm>(mem, phys_mem, costs, pb), config);
+    }
+    panic("unreachable SystemKind in makeVmSystem");
+}
+
+} // namespace vmsim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Factory for VM organizations: builds the right VmSystem subclass,
+ * TLB partitioning and handler-cost defaults for a SystemKind,
+ * matching paper Table 4 and the per-system TLB notes of Table 1.
+ */
+
+#ifndef VMSIM_CORE_FACTORY_HH
+#define VMSIM_CORE_FACTORY_HH
+
+#include <memory>
+
+#include "core/sim_config.hh"
+#include "mem/mem_system.hh"
+#include "mem/phys_mem.hh"
+#include "os/vm_system.hh"
+
+namespace vmsim
+{
+
+/** The paper's Table 4 handler costs for @p kind. */
+HandlerCosts defaultHandlerCosts(SystemKind kind);
+
+/**
+ * TLB parameters for @p kind given the config's geometry: ULTRIX,
+ * MACH and HW-MIPS get the configured protected slots; INTEL, PA-RISC
+ * and HW-INVERTED are unpartitioned; TLB-less kinds get none.
+ */
+TlbParams tlbParamsFor(SystemKind kind, const SimConfig &config);
+
+/**
+ * Construct the VmSystem for @p config.kind wired to @p mem and
+ * @p phys_mem. Page tables reserve their physical regions from
+ * @p phys_mem during construction.
+ */
+std::unique_ptr<VmSystem> makeVmSystem(const SimConfig &config,
+                                       MemSystem &mem, PhysMem &phys_mem);
+
+} // namespace vmsim
+
+#endif // VMSIM_CORE_FACTORY_HH

@@ -1,0 +1,169 @@
+#include "core/results.hh"
+
+#include <iomanip>
+
+#include "base/logging.hh"
+
+namespace vmsim
+{
+
+std::vector<std::pair<std::string, double>>
+VmcpiBreakdown::components() const
+{
+    return {
+        {"uhandler", uhandler},     {"upte-L2", upteL2},
+        {"upte-MEM", upteMem},      {"khandler", khandler},
+        {"kpte-L2", kpteL2},        {"kpte-MEM", kpteMem},
+        {"rhandler", rhandler},     {"rpte-L2", rpteL2},
+        {"rpte-MEM", rpteMem},      {"handler-L2", handlerL2},
+        {"handler-MEM", handlerMem},
+    };
+}
+
+Results::Results(std::string system, std::string workload,
+                 Counter user_instrs, const MemSystemStats &mem,
+                 const VmStats &vm, const CostModel &costs)
+    : system_(std::move(system)), workload_(std::move(workload)),
+      userInstrs_(user_instrs), mem_(mem), vm_(vm), costs_(costs)
+{
+    panicIf(user_instrs == 0, "Results over zero instructions");
+}
+
+double
+Results::perInstr(Counter n) const
+{
+    return static_cast<double>(n) / static_cast<double>(userInstrs_);
+}
+
+McpiBreakdown
+Results::mcpiBreakdown() const
+{
+    const auto &ui = mem_.instOf(AccessClass::User);
+    const auto &ud = mem_.dataOf(AccessClass::User);
+    McpiBreakdown b;
+    b.l1iMiss = perInstr(ui.l1Misses) * costs_.l1MissCycles;
+    b.l1dMiss = perInstr(ud.l1Misses) * costs_.l1MissCycles;
+    b.l2iMiss = perInstr(ui.l2Misses) * costs_.l2MissCycles;
+    b.l2dMiss = perInstr(ud.l2Misses) * costs_.l2MissCycles;
+    return b;
+}
+
+VmcpiBreakdown
+Results::vmcpiBreakdown() const
+{
+    const auto &hf = mem_.instOf(AccessClass::HandlerFetch);
+    const auto &pu = mem_.dataOf(AccessClass::PteUser);
+    const auto &pk = mem_.dataOf(AccessClass::PteKernel);
+    const auto &pr = mem_.dataOf(AccessClass::PteRoot);
+
+    VmcpiBreakdown b;
+    // Handler base cost: one cycle per handler instruction on the
+    // 1-CPI core, plus the FSM's sequential work for hardware walkers
+    // (the INTEL "7 cycles" of Table 4), less any fraction overlapped
+    // with independent execution (Pentium Pro style).
+    double fsm_cycles = static_cast<double>(vm_.hwWalkCycles) *
+                        (1.0 - costs_.hwWalkOverlap);
+    b.uhandler = (static_cast<double>(vm_.uhandlerInstrs) + fsm_cycles) /
+                 static_cast<double>(userInstrs_);
+    b.khandler = perInstr(vm_.khandlerInstrs);
+    b.rhandler = perInstr(vm_.rhandlerInstrs);
+
+    b.upteL2 = perInstr(pu.l1Misses) * costs_.l1MissCycles;
+    b.upteMem = perInstr(pu.l2Misses) * costs_.l2MissCycles;
+    b.kpteL2 = perInstr(pk.l1Misses) * costs_.l1MissCycles;
+    b.kpteMem = perInstr(pk.l2Misses) * costs_.l2MissCycles;
+    b.rpteL2 = perInstr(pr.l1Misses) * costs_.l1MissCycles;
+    b.rpteMem = perInstr(pr.l2Misses) * costs_.l2MissCycles;
+
+    b.handlerL2 = perInstr(hf.l1Misses) * costs_.l1MissCycles;
+    b.handlerMem = perInstr(hf.l2Misses) * costs_.l2MissCycles;
+    return b;
+}
+
+double
+Results::interruptCpi() const
+{
+    return interruptCpiAt(costs_.interruptCycles);
+}
+
+double
+Results::interruptCpiAt(Cycles interrupt_cycles) const
+{
+    return perInstr(vm_.interrupts) * static_cast<double>(interrupt_cycles);
+}
+
+Json
+Results::toJson() const
+{
+    Json j = Json::object();
+    j.set("system", system_);
+    j.set("workload", workload_);
+    j.set("user_instructions", userInstrs_);
+
+    Json events = Json::object();
+    events.set("interrupts", vm_.interrupts);
+    events.set("uhandler_calls", vm_.uhandlerCalls);
+    events.set("khandler_calls", vm_.khandlerCalls);
+    events.set("rhandler_calls", vm_.rhandlerCalls);
+    events.set("hw_walks", vm_.hwWalks);
+    events.set("pte_loads", vm_.pteLoads);
+    events.set("itlb_misses", vm_.itlbMisses);
+    events.set("dtlb_misses", vm_.dtlbMisses);
+    events.set("ctx_switches", vm_.ctxSwitches);
+    j.set("events", std::move(events));
+
+    McpiBreakdown m = mcpiBreakdown();
+    Json mcpi_j = Json::object();
+    mcpi_j.set("L1i-miss", m.l1iMiss);
+    mcpi_j.set("L1d-miss", m.l1dMiss);
+    mcpi_j.set("L2i-miss", m.l2iMiss);
+    mcpi_j.set("L2d-miss", m.l2dMiss);
+    mcpi_j.set("total", m.total());
+    j.set("mcpi", std::move(mcpi_j));
+
+    Json vmcpi_j = Json::object();
+    VmcpiBreakdown v = vmcpiBreakdown();
+    for (const auto &[tag, value] : v.components())
+        vmcpi_j.set(tag, value);
+    vmcpi_j.set("total", v.total());
+    j.set("vmcpi", std::move(vmcpi_j));
+
+    Json int_j = Json::object();
+    int_j.set("cycles_per_interrupt", costs_.interruptCycles);
+    int_j.set("cpi", interruptCpi());
+    int_j.set("cpi_at_10", interruptCpiAt(10));
+    int_j.set("cpi_at_50", interruptCpiAt(50));
+    int_j.set("cpi_at_200", interruptCpiAt(200));
+    j.set("interrupt", std::move(int_j));
+
+    j.set("total_cpi", totalCpi());
+    return j;
+}
+
+void
+Results::printSummary(std::ostream &os) const
+{
+    auto flags = os.flags();
+    os << system_ << " / " << workload_ << " (" << userInstrs_
+       << " user instructions)\n";
+    os << std::fixed << std::setprecision(5);
+
+    McpiBreakdown m = mcpiBreakdown();
+    os << "  MCPI   = " << m.total() << "  (L1i " << m.l1iMiss << ", L1d "
+       << m.l1dMiss << ", L2i " << m.l2iMiss << ", L2d " << m.l2dMiss
+       << ")\n";
+
+    VmcpiBreakdown v = vmcpiBreakdown();
+    os << "  VMCPI  = " << v.total() << '\n';
+    for (const auto &[tag, value] : v.components()) {
+        if (value > 0)
+            os << "    " << std::left << std::setw(12) << tag
+               << std::right << ' ' << value << '\n';
+    }
+    os << "  intCPI = " << interruptCpi() << "  (" << vm_.interrupts
+       << " interrupts @ " << costs_.interruptCycles << " cycles)\n";
+    os << "  CPI    = " << totalCpi() << '\n';
+    os.flags(flags);
+}
+
+} // namespace vmsim

@@ -1,0 +1,111 @@
+#include "core/sim_config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace vmsim
+{
+
+const char *
+kindName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Ultrix:     return "ULTRIX";
+      case SystemKind::Mach:       return "MACH";
+      case SystemKind::Intel:      return "INTEL";
+      case SystemKind::Parisc:     return "PA-RISC";
+      case SystemKind::Notlb:      return "NOTLB";
+      case SystemKind::Base:       return "BASE";
+      case SystemKind::HwInverted: return "HW-INVERTED";
+      case SystemKind::HwMips:     return "HW-MIPS";
+      case SystemKind::Spur:       return "SPUR";
+    }
+    panic("unreachable SystemKind");
+}
+
+SystemKind
+kindFromName(const std::string &name)
+{
+    std::string up = name;
+    std::transform(up.begin(), up.end(), up.begin(), [](unsigned char c) {
+        return static_cast<char>(std::toupper(c));
+    });
+    if (up == "ULTRIX")      return SystemKind::Ultrix;
+    if (up == "MACH")        return SystemKind::Mach;
+    if (up == "INTEL")       return SystemKind::Intel;
+    if (up == "PA-RISC" || up == "PARISC") return SystemKind::Parisc;
+    if (up == "NOTLB")       return SystemKind::Notlb;
+    if (up == "BASE")        return SystemKind::Base;
+    if (up == "HW-INVERTED" || up == "HWINVERTED")
+        return SystemKind::HwInverted;
+    if (up == "HW-MIPS" || up == "HWMIPS") return SystemKind::HwMips;
+    if (up == "SPUR")        return SystemKind::Spur;
+    fatal("unknown system '", name, "'");
+}
+
+bool
+kindHasTlb(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Notlb:
+      case SystemKind::Base:
+      case SystemKind::Spur:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+kindUsesSoftwareRefill(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Ultrix:
+      case SystemKind::Mach:
+      case SystemKind::Parisc:
+      case SystemKind::Notlb:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+SimConfig::validate() const
+{
+    fatalIf(l1.sizeBytes == 0 || !isPowerOf2(l1.sizeBytes),
+            "L1 size must be a nonzero power of two");
+    fatalIf(l2.sizeBytes < l1.sizeBytes, "L2 must be at least L1-sized");
+    fatalIf(l2.lineSize < l1.lineSize,
+            "L2 line size must be >= L1 line size");
+    fatalIf(tlbEntries == 0 && kindHasTlb(kind),
+            kindName(kind), " requires a TLB");
+    fatalIf(tlbProtectedSlots >= tlbEntries && kindHasTlb(kind),
+            "protected slots must leave normal TLB capacity");
+    fatalIf(pageBits < 10 || pageBits > 20, "unreasonable page size");
+    fatalIf(physMemBytes == 0 || !isPowerOf2(physMemBytes),
+            "physical memory must be a nonzero power of two");
+    fatalIf(hptRatio == 0, "HPT ratio must be >= 1");
+    fatalIf(costs.l1MissCycles == 0 || costs.l2MissCycles == 0,
+            "miss costs must be nonzero");
+    fatalIf(costs.hwWalkOverlap < 0.0 || costs.hwWalkOverlap > 1.0,
+            "hwWalkOverlap must be in [0, 1]");
+}
+
+std::string
+SimConfig::toString() const
+{
+    std::ostringstream oss;
+    oss << kindName(kind) << " L1=" << l1.toString()
+        << " L2=" << l2.toString();
+    if (kindHasTlb(kind))
+        oss << " TLB=" << tlbEntries << "x2";
+    oss << " int=" << costs.interruptCycles;
+    return oss.str();
+}
+
+} // namespace vmsim

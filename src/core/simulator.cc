@@ -1,0 +1,75 @@
+#include "core/simulator.hh"
+
+#include "core/factory.hh"
+#include "trace/synthetic/workloads.hh"
+
+namespace vmsim
+{
+
+Simulator::Simulator(VmSystem &vm, TraceSource &trace,
+                     Counter ctx_switch_interval)
+    : vm_(vm), trace_(trace), ctxSwitchInterval_(ctx_switch_interval)
+{}
+
+Counter
+Simulator::run(Counter max_instrs)
+{
+    TraceRecord rec;
+    Counter n = 0;
+    // The paper's fundamental algorithm: translate + fetch every
+    // instruction; translate + access data for loads/stores. All TLB
+    // probing and page-table walking happens inside the VmSystem.
+    while (n < max_instrs && trace_.next(rec)) {
+        if (ctxSwitchInterval_ && ++sinceSwitch_ >= ctxSwitchInterval_) {
+            sinceSwitch_ = 0;
+            vm_.contextSwitch();
+        }
+        vm_.instRef(rec.pc);
+        if (rec.isMemOp())
+            vm_.dataRef(rec.daddr, rec.isStore());
+        ++n;
+    }
+    executed_ += n;
+    return n;
+}
+
+System::System(const SimConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    physMem_ = std::make_unique<PhysMem>(config_.physMemBytes,
+                                         config_.pageBits);
+    mem_ = std::make_unique<MemSystem>(config_.l1, config_.l2,
+                                       config_.seed, config_.unifiedL2);
+    vm_ = makeVmSystem(config_, *mem_, *physMem_);
+}
+
+System::~System() = default;
+
+Results
+System::run(TraceSource &trace, Counter max_instrs,
+            const std::string &workload_name, Counter warmup_instrs)
+{
+    Simulator sim(*vm_, trace, config_.ctxSwitchInterval);
+    if (warmup_instrs > 0) {
+        sim.run(warmup_instrs);
+        mem_->resetStats();
+        vm_->resetVmStats();
+    }
+    executed_ += sim.run(max_instrs);
+    return Results(vm_->name(), workload_name, executed_, mem_->stats(),
+                   vm_->vmStats(), config_.costs);
+}
+
+Results
+runOnce(const SimConfig &config, const std::string &workload,
+        Counter instrs, Counter warmup_instrs)
+{
+    if (warmup_instrs == ~Counter{0})
+        warmup_instrs = instrs / 4;
+    auto trace = makeWorkload(workload, config.seed);
+    System system(config);
+    return system.run(*trace, instrs, trace->name(), warmup_instrs);
+}
+
+} // namespace vmsim

@@ -1,0 +1,108 @@
+#include "core/sweep.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "core/simulator.hh"
+
+namespace vmsim
+{
+
+std::vector<std::uint64_t>
+paperL1Sizes(bool full)
+{
+    if (full)
+        return {1_KiB, 2_KiB, 4_KiB, 8_KiB, 16_KiB, 32_KiB, 64_KiB,
+                128_KiB};
+    return {1_KiB, 4_KiB, 16_KiB, 64_KiB, 128_KiB};
+}
+
+std::vector<std::uint64_t>
+paperL2Sizes(bool full)
+{
+    if (full)
+        return {1_MiB, 2_MiB, 4_MiB};
+    return {1_MiB, 4_MiB};
+}
+
+std::vector<std::pair<unsigned, unsigned>>
+paperLineSizes(bool full)
+{
+    if (full) {
+        std::vector<std::pair<unsigned, unsigned>> combos;
+        for (unsigned l1 : {16u, 32u, 64u, 128u})
+            for (unsigned l2 : {16u, 32u, 64u, 128u})
+                if (l2 >= l1)
+                    combos.emplace_back(l1, l2);
+        return combos;
+    }
+    return {{16, 32}, {32, 64}, {64, 128}, {128, 128}};
+}
+
+std::vector<Cycles>
+paperInterruptCosts()
+{
+    return {10, 50, 200};
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--full") == 0) {
+            opts.full = true;
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            opts.csv = true;
+        } else if (std::strncmp(arg, "--instructions=", 15) == 0) {
+            opts.instructions =
+                std::strtoull(arg + 15, nullptr, 10);
+            fatalIf(opts.instructions == 0,
+                    "--instructions must be positive");
+        } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
+            opts.warmup = std::strtoull(arg + 9, nullptr, 10);
+        } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+            opts.seed = std::strtoull(arg + 7, nullptr, 10);
+        } else {
+            fatal("unknown argument '", arg,
+                  "' (expected --full, --csv, --instructions=N, "
+                  "--warmup=N, --seed=N)");
+        }
+    }
+    if (opts.warmup == ~Counter{0})
+        opts.warmup = opts.instructions / 2;
+    return opts;
+}
+
+Results
+sweepCell(SimConfig config, const std::string &workload, Counter instrs)
+{
+    return runOnce(config, workload, instrs);
+}
+
+SeedStats
+runSeeds(SimConfig config, const std::string &workload, Counter instrs,
+         Counter warmup, unsigned n_seeds,
+         double (*metric)(const Results &))
+{
+    fatalIf(n_seeds == 0, "runSeeds needs at least one seed");
+    Distribution dist;
+    for (unsigned k = 0; k < n_seeds; ++k) {
+        SimConfig cfg = config;
+        cfg.seed = config.seed + k;
+        Results r = runOnce(cfg, workload, instrs, warmup);
+        dist.sample(metric(r));
+    }
+    SeedStats s;
+    s.mean = dist.mean();
+    s.stddev = dist.stddev();
+    s.min = dist.min();
+    s.max = dist.max();
+    s.seeds = n_seeds;
+    return s;
+}
+
+} // namespace vmsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Parameter-sweep helpers: the grids of paper Table 1 and a small
+ * runner that the bench binaries share. Benches default to a reduced
+ * grid sized for interactive runs; --full selects the paper's complete
+ * cross-product.
+ */
+
+#ifndef VMSIM_CORE_SWEEP_HH
+#define VMSIM_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/results.hh"
+#include "core/sim_config.hh"
+
+namespace vmsim
+{
+
+/** L1 sizes per side in bytes (paper: 1..128 KB). */
+std::vector<std::uint64_t> paperL1Sizes(bool full);
+
+/** L2 sizes per side in bytes (figure captions: 1, 2, 4 MB). */
+std::vector<std::uint64_t> paperL2Sizes(bool full);
+
+/**
+ * (L1 line, L2 line) combinations from {16,32,64,128} with
+ * L2 line >= L1 line. The reduced set keeps one combination per L1
+ * line size, including the paper's featured 64/128.
+ */
+std::vector<std::pair<unsigned, unsigned>> paperLineSizes(bool full);
+
+/** The paper's interrupt-cost sweep: {10, 50, 200} cycles. */
+std::vector<Cycles> paperInterruptCosts();
+
+/**
+ * Simple command-line options shared by the bench binaries:
+ *   --full             run the complete paper grid
+ *   --csv              emit CSV instead of aligned text
+ *   --instructions=N   instructions per simulation point
+ *   --warmup=N         warmup instructions (stats discarded);
+ *                      defaults to half the measured instructions
+ *   --seed=N           workload/replacement seed
+ * Unknown arguments are fatal() so typos don't silently run the
+ * wrong experiment.
+ */
+struct BenchOptions
+{
+    bool full = false;
+    bool csv = false;
+    Counter instructions = 2'000'000;
+    Counter warmup = ~Counter{0}; ///< resolved to instructions/2
+    std::uint64_t seed = 12345;
+
+    static BenchOptions parse(int argc, char **argv);
+};
+
+/**
+ * One sweep cell: run @p workload on @p config for @p instrs
+ * instructions. Thin wrapper over runOnce() that exists so sweep call
+ * sites read uniformly.
+ */
+Results sweepCell(SimConfig config, const std::string &workload,
+                  Counter instrs);
+
+/** Mean and spread of a metric across seed replications. */
+struct SeedStats
+{
+    double mean = 0;
+    double stddev = 0;
+    double min = 0;
+    double max = 0;
+    unsigned seeds = 0;
+};
+
+/**
+ * Replicate a simulation across @p n_seeds seeds (config.seed,
+ * config.seed+1, ...) and summarize @p metric over the runs — the
+ * honest way to report numbers affected by random TLB replacement.
+ *
+ * @param metric extractor, e.g. [](const Results &r){ return
+ *        r.vmcpi(); }
+ */
+SeedStats runSeeds(SimConfig config, const std::string &workload,
+                   Counter instrs, Counter warmup, unsigned n_seeds,
+                   double (*metric)(const Results &));
+
+} // namespace vmsim
+
+#endif // VMSIM_CORE_SWEEP_HH

@@ -1,0 +1,143 @@
+#include "mem/cache.hh"
+
+#include <sstream>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace vmsim
+{
+
+std::string
+CacheParams::toString() const
+{
+    std::ostringstream oss;
+    if (sizeBytes >= 1024 * 1024 && sizeBytes % (1024 * 1024) == 0)
+        oss << (sizeBytes >> 20) << "MB";
+    else
+        oss << (sizeBytes >> 10) << "KB";
+    oss << "/" << lineSize << "B/";
+    if (assoc == 1)
+        oss << "direct";
+    else
+        oss << assoc << "way";
+    return oss.str();
+}
+
+Cache::Cache(const CacheParams &params, std::uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    fatalIf(params_.sizeBytes == 0, "cache size must be nonzero");
+    fatalIf(!isPowerOf2(params_.sizeBytes),
+            "cache size ", params_.sizeBytes, " is not a power of two");
+    fatalIf(!isPowerOf2(params_.lineSize) || params_.lineSize < 4,
+            "cache line size ", params_.lineSize, " invalid");
+    fatalIf(params_.assoc == 0, "associativity must be >= 1");
+    fatalIf(params_.sizeBytes % (std::uint64_t{params_.lineSize} *
+                                 params_.assoc) != 0,
+            "cache size not divisible by line size * associativity");
+
+    std::uint64_t sets = params_.numSets();
+    fatalIf(sets == 0 || !isPowerOf2(sets),
+            "cache must have a power-of-two number of sets, got ", sets);
+
+    lineBits_ = floorLog2(params_.lineSize);
+    setBits_ = floorLog2(sets);
+    lineMask_ = params_.lineSize - 1;
+    setMask_ = sets - 1;
+    ways_.assign(sets * params_.assoc, Way{});
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++accesses_;
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Way *base = &ways_[set * params_.assoc];
+
+    ++stamp_;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lruStamp = stamp_;
+            return true;
+        }
+    }
+
+    ++misses_;
+
+    // Fill: prefer an invalid way, else replace per policy.
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (!victim) {
+        if (params_.assoc == 1) {
+            victim = base;
+        } else if (params_.repl == CacheRepl::Random) {
+            victim = &base[rng_.uniform(params_.assoc)];
+        } else {
+            victim = base;
+            for (unsigned w = 1; w < params_.assoc; ++w)
+                if (base[w].lruStamp < victim->lruStamp)
+                    victim = &base[w];
+        }
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->lruStamp = stamp_;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    const Way *base = &ways_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Way *base = &ways_[set * params_.assoc];
+    for (unsigned w = 0; w < params_.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            base[w].valid = false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &w : ways_)
+        w.valid = false;
+}
+
+double
+Cache::missRate() const
+{
+    return accesses_ ? static_cast<double>(misses_) /
+                           static_cast<double>(accesses_)
+                     : 0.0;
+}
+
+std::uint64_t
+Cache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : ways_)
+        if (w.valid)
+            ++n;
+    return n;
+}
+
+} // namespace vmsim

@@ -1,0 +1,54 @@
+#include "mem/phys_mem.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace vmsim
+{
+
+PhysMem::PhysMem(std::uint64_t size_bytes, unsigned page_bits)
+    : sizeBytes_(size_bytes), pageBits_(page_bits)
+{
+    fatalIf(page_bits < 6 || page_bits > 30, "unreasonable page size 2^",
+            page_bits);
+    fatalIf(size_bytes == 0 || !isPowerOf2(size_bytes),
+            "physical memory size must be a nonzero power of two");
+    fatalIf(size_bytes < pageSize(), "physical memory smaller than a page");
+    numFrames_ = size_bytes >> page_bits;
+}
+
+Addr
+PhysMem::reserveRegion(std::uint64_t bytes, std::uint64_t align)
+{
+    panicIf(nextFrame_ != 0 || !map_.empty(),
+            "reserveRegion after frame allocation began");
+    fatalIf(bytes == 0, "cannot reserve an empty region");
+    Addr base = alignUp(reserveCursor_, align ? align : 1);
+    reserveCursor_ = base + bytes;
+    // Frames begin after all reservations, page-aligned.
+    Pfn first_frame = divCeil(reserveCursor_, pageSize());
+    numFrames_ = (sizeBytes_ >> pageBits_) > first_frame
+                     ? (sizeBytes_ >> pageBits_) - first_frame
+                     : 0;
+    frameBase_ = first_frame;
+    return base;
+}
+
+Pfn
+PhysMem::frameOf(Vpn vpn)
+{
+    auto it = map_.find(vpn);
+    if (it != map_.end())
+        return it->second;
+    Pfn pfn = frameBase_ + nextFrame_++;
+    if (!overcommitted_ && map_.size() + 1 > numFrames_) {
+        overcommitted_ = true;
+        warn("physical memory overcommitted: ", map_.size() + 1,
+             " pages touched but only ", numFrames_,
+             " frames exist; continuing without eviction");
+    }
+    map_.emplace(vpn, pfn);
+    return pfn;
+}
+
+} // namespace vmsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Physical memory model: fixed-size frame pool with first-touch
+ * virtual-to-physical frame assignment, plus reservation of physical
+ * regions for page tables.
+ *
+ * The paper fixes physical memory at 8 MB for the PA-RISC simulation
+ * (the inverted table's size derives from it) and otherwise assumes
+ * memory is "large enough to hold all pages used by an application".
+ * vmsim mirrors that: frames are assigned bump-style on first touch and
+ * never reclaimed; exceeding the nominal frame count merely produces a
+ * one-time warning (the caches are virtual, so frame numbers carry no
+ * behavioral weight beyond table sizing).
+ */
+
+#ifndef VMSIM_MEM_PHYS_MEM_HH
+#define VMSIM_MEM_PHYS_MEM_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/types.hh"
+
+namespace vmsim
+{
+
+/** Frame pool with first-touch allocation and table-region reservation. */
+class PhysMem
+{
+  public:
+    /**
+     * @param size_bytes nominal physical memory size (paper: 8 MB)
+     * @param page_bits  log2 of the page size (paper: 12, i.e. 4 KB)
+     */
+    PhysMem(std::uint64_t size_bytes, unsigned page_bits);
+
+    /**
+     * Reserve a physically-contiguous region (for a page table) and
+     * return its base physical address. Regions are carved from the
+     * bottom of physical memory, ahead of any frame allocation.
+     * @pre no frames allocated yet
+     */
+    Addr reserveRegion(std::uint64_t bytes, std::uint64_t align);
+
+    /**
+     * Physical frame backing virtual page @p vpn, allocated on first
+     * touch. Deterministic: repeat calls return the same frame.
+     */
+    Pfn frameOf(Vpn vpn);
+
+    /** True if @p vpn has been touched (has a frame). */
+    bool isMapped(Vpn vpn) const { return map_.find(vpn) != map_.end(); }
+
+    /** Physical base address of the frame backing @p vpn. */
+    Addr frameAddrOf(Vpn vpn) { return frameOf(vpn) << pageBits_; }
+
+    std::uint64_t pageSize() const { return std::uint64_t{1} << pageBits_; }
+    unsigned pageBits() const { return pageBits_; }
+    std::uint64_t sizeBytes() const { return sizeBytes_; }
+
+    /** Total frames in the nominal pool (after reservations). */
+    std::uint64_t numFrames() const { return numFrames_; }
+
+    /** Frames handed out so far. */
+    std::uint64_t framesUsed() const { return map_.size(); }
+
+    /** True once more frames were requested than nominally exist. */
+    bool overcommitted() const { return overcommitted_; }
+
+  private:
+    std::uint64_t sizeBytes_;
+    unsigned pageBits_;
+    Addr reserveCursor_ = 0;    ///< next free byte for reserveRegion
+    Pfn frameBase_ = 0;         ///< first frame past reserved regions
+    Pfn nextFrame_ = 0;         ///< next frame for first-touch alloc
+    std::uint64_t numFrames_ = 0;
+    bool overcommitted_ = false;
+    std::unordered_map<Vpn, Pfn> map_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_MEM_PHYS_MEM_HH

@@ -1,0 +1,22 @@
+#include "os/base_vm.hh"
+
+namespace vmsim
+{
+
+BaseVm::BaseVm(MemSystem &mem)
+    : VmSystem("BASE", mem)
+{}
+
+void
+BaseVm::instRef(Addr pc)
+{
+    mem_.instFetch(pc, AccessClass::User);
+}
+
+void
+BaseVm::dataRef(Addr addr, bool store)
+{
+    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+}
+
+} // namespace vmsim

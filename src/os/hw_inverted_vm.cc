@@ -1,0 +1,64 @@
+#include "os/hw_inverted_vm.hh"
+
+namespace vmsim
+{
+
+HwInvertedVm::HwInvertedVm(MemSystem &mem, PhysMem &phys_mem,
+                           const TlbParams &itlb_params,
+                           const TlbParams &dtlb_params,
+                           const HandlerCosts &costs, unsigned page_bits,
+                           std::uint64_t seed, unsigned hpt_ratio)
+    : VmSystem("HW-INVERTED", mem), pt_(phys_mem, hpt_ratio, page_bits),
+      itlb_(itlb_params, seed ^ 0x39), dtlb_(dtlb_params, seed ^ 0x4A),
+      costs_(costs)
+{
+    walkBuf_.reserve(16);
+}
+
+void
+HwInvertedVm::instRef(Addr pc)
+{
+    if (!itlb_.lookup(pt_.vpnOf(pc))) {
+        ++stats_.itlbMisses;
+        walk(pc, itlb_);
+    }
+    mem_.instFetch(pc, AccessClass::User);
+}
+
+void
+HwInvertedVm::dataRef(Addr addr, bool store)
+{
+    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
+        ++stats_.dtlbMisses;
+        walk(addr, dtlb_);
+    }
+    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+}
+
+void
+HwInvertedVm::walk(Addr vaddr, Tlb &target)
+{
+    Vpn v = pt_.vpnOf(vaddr);
+
+    if (l2TlbLookup(v, target))
+        return;
+
+    ++stats_.hwWalks;
+
+    walkBuf_.clear();
+    unsigned depth = pt_.walk(v, walkBuf_);
+
+    // FSM sequential work: base cost plus one cycle per extra probe.
+    stats_.hwWalkCycles += costs_.hwWalkCycles + (depth - 1);
+
+    for (Addr entry : walkBuf_) {
+        mem_.dataAccess(entry, kHashedPteSize, false,
+                        AccessClass::PteUser);
+        ++stats_.pteLoads;
+    }
+
+    l2TlbFill(v);
+    target.insert(v);
+}
+
+} // namespace vmsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * HW-INVERTED: a hardware-managed TLB backed by an inverted (hashed)
+ * page table — the organization the paper's Section 4.2 concludes is
+ * the best merge of the two lowest-overhead designs ("use a
+ * hardware-managed TLB with an inverted page table... this is exactly
+ * what has been done in the PowerPC and PA-7200 architectures").
+ *
+ * This is one of the paper's explicitly-invited interpolations: INTEL's
+ * walk mechanism (hardware FSM, no interrupt, no I-cache impact, 7
+ * cycles of sequential work per probe step) combined with PA-RISC's
+ * table (dense 16-byte PTEs, physical cacheable chain walk). The
+ * per-walk FSM cost is hwWalkCycles plus one additional cycle per
+ * extra chain entry probed.
+ */
+
+#ifndef VMSIM_OS_HW_INVERTED_VM_HH
+#define VMSIM_OS_HW_INVERTED_VM_HH
+
+#include <vector>
+
+#include "mem/phys_mem.hh"
+#include "os/vm_system.hh"
+#include "pt/hashed_page_table.hh"
+#include "tlb/tlb.hh"
+
+namespace vmsim
+{
+
+/** Interpolated design: HW-managed TLB + hashed inverted page table. */
+class HwInvertedVm : public VmSystem
+{
+  public:
+    HwInvertedVm(MemSystem &mem, PhysMem &phys_mem,
+                 const TlbParams &itlb_params,
+                 const TlbParams &dtlb_params,
+                 const HandlerCosts &costs = HandlerCosts{},
+                 unsigned page_bits = 12, std::uint64_t seed = 1,
+                 unsigned hpt_ratio = 2);
+
+    void instRef(Addr pc) override;
+    void dataRef(Addr addr, bool store) override;
+
+    const Tlb *itlb() const override { return &itlb_; }
+    const Tlb *dtlb() const override { return &dtlb_; }
+
+    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
+    void contextSwitch() override { switchTlbs(itlb_, dtlb_); }
+
+    const HashedPageTable &pageTable() const { return pt_; }
+
+  private:
+    void walk(Addr vaddr, Tlb &target);
+
+    HashedPageTable pt_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    HandlerCosts costs_;
+    std::vector<Addr> walkBuf_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_OS_HW_INVERTED_VM_HH

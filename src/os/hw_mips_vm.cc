@@ -1,0 +1,67 @@
+#include "os/hw_mips_vm.hh"
+
+namespace vmsim
+{
+
+HwMipsVm::HwMipsVm(MemSystem &mem, PhysMem &phys_mem,
+                   const TlbParams &itlb_params,
+                   const TlbParams &dtlb_params, const HandlerCosts &costs,
+                   unsigned page_bits, std::uint64_t seed)
+    : VmSystem("HW-MIPS", mem), pt_(phys_mem, page_bits),
+      itlb_(itlb_params, seed ^ 0x5B), dtlb_(dtlb_params, seed ^ 0x6C),
+      costs_(costs)
+{
+}
+
+void
+HwMipsVm::instRef(Addr pc)
+{
+    if (!itlb_.lookup(pt_.vpnOf(pc))) {
+        ++stats_.itlbMisses;
+        walk(pc, itlb_);
+    }
+    mem_.instFetch(pc, AccessClass::User);
+}
+
+void
+HwMipsVm::dataRef(Addr addr, bool store)
+{
+    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
+        ++stats_.dtlbMisses;
+        walk(addr, dtlb_);
+    }
+    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+}
+
+void
+HwMipsVm::walk(Addr vaddr, Tlb &target)
+{
+    Vpn v = pt_.vpnOf(vaddr);
+
+    if (l2TlbLookup(v, target))
+        return;
+
+    ++stats_.hwWalks;
+    stats_.hwWalkCycles += costs_.hwWalkCycles;
+
+    Addr upte = pt_.uptEntryAddr(v);
+
+    if (!dtlb_.lookup(pt_.uptPageVpn(v))) {
+        // Nested: the FSM falls back to the physical root table.
+        stats_.hwWalkCycles += kNestedWalkCycles;
+        mem_.dataAccess(pt_.rptEntryAddr(v), kHierPteSize, false,
+                        AccessClass::PteRoot);
+        ++stats_.pteLoads;
+        if (dtlb_.params().protectedSlots > 0)
+            dtlb_.insertProtected(pt_.uptPageVpn(v));
+        else
+            dtlb_.insert(pt_.uptPageVpn(v));
+    }
+
+    mem_.dataAccess(upte, kHierPteSize, false, AccessClass::PteUser);
+    ++stats_.pteLoads;
+    l2TlbFill(v);
+    target.insert(v);
+}
+
+} // namespace vmsim

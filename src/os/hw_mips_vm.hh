@@ -1,0 +1,62 @@
+/**
+ * @file
+ * HW-MIPS: a hardware-managed TLB backed by a MIPS-style (Ultrix)
+ * two-tiered bottom-up page table — the second interpolation the
+ * paper's Section 4.2 invites ("a MIPS-style page table with a
+ * hardware-managed TLB").
+ *
+ * The FSM performs the same memory references as the ULTRIX software
+ * walk (virtual UPTE load, with a nested physical RPTE load when the
+ * UPT page is not in the D-TLB) but with INTEL's mechanism costs: no
+ * interrupt, no handler instruction fetches, 7 cycles of sequential
+ * work per walk plus 4 more when the nested root access is required.
+ * This resembles the programmable-FSM design the paper's conclusions
+ * advocate.
+ */
+
+#ifndef VMSIM_OS_HW_MIPS_VM_HH
+#define VMSIM_OS_HW_MIPS_VM_HH
+
+#include "mem/phys_mem.hh"
+#include "os/vm_system.hh"
+#include "pt/ultrix_page_table.hh"
+#include "tlb/tlb.hh"
+
+namespace vmsim
+{
+
+/** Interpolated design: HW-managed TLB + MIPS-style linear table. */
+class HwMipsVm : public VmSystem
+{
+  public:
+    HwMipsVm(MemSystem &mem, PhysMem &phys_mem,
+             const TlbParams &itlb_params, const TlbParams &dtlb_params,
+             const HandlerCosts &costs = HandlerCosts{},
+             unsigned page_bits = 12, std::uint64_t seed = 1);
+
+    void instRef(Addr pc) override;
+    void dataRef(Addr addr, bool store) override;
+
+    const Tlb *itlb() const override { return &itlb_; }
+    const Tlb *dtlb() const override { return &dtlb_; }
+
+    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
+    void contextSwitch() override { switchTlbs(itlb_, dtlb_); }
+
+    const UltrixPageTable &pageTable() const { return pt_; }
+
+    /** Extra FSM cycles for the nested root-level access. */
+    static constexpr unsigned kNestedWalkCycles = 4;
+
+  private:
+    void walk(Addr vaddr, Tlb &target);
+
+    UltrixPageTable pt_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    HandlerCosts costs_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_OS_HW_MIPS_VM_HH

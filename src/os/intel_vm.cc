@@ -1,0 +1,62 @@
+#include "os/intel_vm.hh"
+
+namespace vmsim
+{
+
+IntelVm::IntelVm(MemSystem &mem, PhysMem &phys_mem,
+                 const TlbParams &itlb_params,
+                 const TlbParams &dtlb_params, const HandlerCosts &costs,
+                 unsigned page_bits, std::uint64_t seed)
+    : VmSystem("INTEL", mem), pt_(phys_mem, page_bits),
+      itlb_(itlb_params, seed ^ 0xE5), dtlb_(dtlb_params, seed ^ 0xF6),
+      costs_(costs)
+{
+    fatalIf(itlb_params.protectedSlots != 0 ||
+                dtlb_params.protectedSlots != 0,
+            "INTEL TLBs are unpartitioned (no protected slots)");
+}
+
+void
+IntelVm::instRef(Addr pc)
+{
+    if (!itlb_.lookup(pt_.vpnOf(pc))) {
+        ++stats_.itlbMisses;
+        walk(pc, itlb_);
+    }
+    mem_.instFetch(pc, AccessClass::User);
+}
+
+void
+IntelVm::dataRef(Addr addr, bool store)
+{
+    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
+        ++stats_.dtlbMisses;
+        walk(addr, dtlb_);
+    }
+    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+}
+
+void
+IntelVm::walk(Addr vaddr, Tlb &target)
+{
+    Vpn v = pt_.vpnOf(vaddr);
+
+    if (l2TlbLookup(v, target))
+        return;
+
+    // Hardware state machine: no interrupt, no instruction fetches,
+    // 7 cycles of sequential work, two physical cacheable PTE loads.
+    ++stats_.hwWalks;
+    stats_.hwWalkCycles += costs_.hwWalkCycles;
+
+    mem_.dataAccess(pt_.rootEntryAddr(v), kHierPteSize, false,
+                    AccessClass::PteRoot);
+    mem_.dataAccess(pt_.leafEntryAddr(v), kHierPteSize, false,
+                    AccessClass::PteUser);
+    stats_.pteLoads += 2;
+
+    l2TlbFill(v);
+    target.insert(v);
+}
+
+} // namespace vmsim

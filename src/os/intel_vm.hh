@@ -1,0 +1,58 @@
+/**
+ * @file
+ * INTEL: BSD / Windows NT on the IA-32 hardware-managed TLB.
+ *
+ * A hardware finite state machine walks the two-tiered table top-down
+ * on every TLB miss: exactly two physical memory references (root
+ * entry, then leaf PTE). There is no interrupt, no handler code, and
+ * hence no I-cache or I-TLB impact; the D-caches are affected because
+ * the page tables are cacheable. The FSM's sequential work is 7 cycles
+ * (paper §3.1's cycle-by-cycle breakdown), plus any stalls from PTE
+ * references missing the data caches. Root-level PTEs are not cached
+ * in the TLB, so the TLBs are unpartitioned (all 128 slots per side
+ * hold user PTEs).
+ */
+
+#ifndef VMSIM_OS_INTEL_VM_HH
+#define VMSIM_OS_INTEL_VM_HH
+
+#include "mem/phys_mem.hh"
+#include "os/vm_system.hh"
+#include "pt/intel_page_table.hh"
+#include "tlb/tlb.hh"
+
+namespace vmsim
+{
+
+/** The INTEL simulation: HW-managed TLB, 2-tier top-down table. */
+class IntelVm : public VmSystem
+{
+  public:
+    IntelVm(MemSystem &mem, PhysMem &phys_mem,
+            const TlbParams &itlb_params, const TlbParams &dtlb_params,
+            const HandlerCosts &costs = HandlerCosts{},
+            unsigned page_bits = 12, std::uint64_t seed = 1);
+
+    void instRef(Addr pc) override;
+    void dataRef(Addr addr, bool store) override;
+
+    const Tlb *itlb() const override { return &itlb_; }
+    const Tlb *dtlb() const override { return &dtlb_; }
+
+    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
+    void contextSwitch() override { switchTlbs(itlb_, dtlb_); }
+
+    const IntelPageTable &pageTable() const { return pt_; }
+
+  private:
+    void walk(Addr vaddr, Tlb &target);
+
+    IntelPageTable pt_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    HandlerCosts costs_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_OS_INTEL_VM_HH

@@ -1,0 +1,89 @@
+#include "os/mach_vm.hh"
+
+namespace vmsim
+{
+
+MachVm::MachVm(MemSystem &mem, PhysMem &phys_mem,
+               const TlbParams &itlb_params, const TlbParams &dtlb_params,
+               const HandlerCosts &costs, unsigned page_bits,
+               std::uint64_t seed)
+    : VmSystem("MACH", mem), pt_(phys_mem, page_bits),
+      itlb_(itlb_params, seed ^ 0xC3), dtlb_(dtlb_params, seed ^ 0xD4),
+      costs_(costs)
+{
+}
+
+void
+MachVm::instRef(Addr pc)
+{
+    if (!itlb_.lookup(pt_.vpnOf(pc))) {
+        ++stats_.itlbMisses;
+        walk(pc, itlb_);
+    }
+    mem_.instFetch(pc, AccessClass::User);
+}
+
+void
+MachVm::dataRef(Addr addr, bool store)
+{
+    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
+        ++stats_.dtlbMisses;
+        walk(addr, dtlb_);
+    }
+    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+}
+
+void
+MachVm::walk(Addr vaddr, Tlb &target)
+{
+    Vpn v = pt_.vpnOf(vaddr);
+
+    if (l2TlbLookup(v, target))
+        return;
+
+    // User-level miss: dedicated vector, 10 instructions.
+    takeInterrupt();
+    fetchHandler(kUserHandlerBase, costs_.userInstrs,
+                 stats_.uhandlerCalls, stats_.uhandlerInstrs);
+
+    Addr upte = pt_.uptEntryAddr(v);
+    Vpn upte_page = pt_.uptPageVpn(v);
+
+    if (!dtlb_.lookup(upte_page)) {
+        // Kernel-level miss on the user-page-table page: dedicated
+        // kernel vector, 20 instructions.
+        takeInterrupt();
+        fetchHandler(kKernelHandlerBase, costs_.kernelInstrs,
+                     stats_.khandlerCalls, stats_.khandlerInstrs);
+
+        Addr kpte = pt_.kptEntryAddr(upte_page);
+        Vpn kpte_page = pt_.kptPageVpn(upte_page);
+
+        if (!dtlb_.lookup(kpte_page)) {
+            // Root-level miss: the long administrative path (500
+            // instructions + 10 bookkeeping loads) plus the RPTE load
+            // from wired physical memory.
+            takeInterrupt();
+            fetchHandler(kRootHandlerBase, costs_.rootInstrs,
+                         stats_.rhandlerCalls, stats_.rhandlerInstrs);
+            for (unsigned i = 0; i < costs_.adminLoads; ++i)
+                mem_.dataAccess(pt_.adminDataAddr(i), kDataBytes, false,
+                                AccessClass::PteRoot);
+            mem_.dataAccess(pt_.rptEntryAddr(kpte_page), kHierPteSize,
+                            false, AccessClass::PteRoot);
+            ++stats_.pteLoads;
+            insertKernelMapping(kpte_page);
+        }
+
+        mem_.dataAccess(kpte, kHierPteSize, false, AccessClass::PteKernel);
+        ++stats_.pteLoads;
+        insertKernelMapping(upte_page);
+    }
+
+    mem_.dataAccess(upte, kHierPteSize, false, AccessClass::PteUser);
+    ++stats_.pteLoads;
+    l2TlbFill(v);
+    target.insert(v);
+}
+
+} // namespace vmsim

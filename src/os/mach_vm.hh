@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MACH: Mach's virtual memory system on a MIPS-style software-managed
+ * TLB.
+ *
+ * Three-tiered page table walked bottom-up (paper Figure 2). Three
+ * handler paths: a 10-instruction user-level handler, a 20-instruction
+ * kernel-level handler (the paper adds this dedicated vector to put the
+ * systems on equal footing), and a deliberately expensive root-level
+ * path — 500 instructions plus 10 "administrative" loads — modeling the
+ * general-purpose interrupt vector's bookkeeping that Bala measured at
+ * several hundred cycles. Kernel- and root-level PTE mappings are
+ * inserted into the 16 protected lower TLB slots.
+ */
+
+#ifndef VMSIM_OS_MACH_VM_HH
+#define VMSIM_OS_MACH_VM_HH
+
+#include "mem/phys_mem.hh"
+#include "os/vm_system.hh"
+#include "pt/mach_page_table.hh"
+#include "tlb/tlb.hh"
+
+namespace vmsim
+{
+
+/** The MACH simulation: SW-managed TLB, 3-tier bottom-up table. */
+class MachVm : public VmSystem
+{
+  public:
+    /** Parameters as for UltrixVm; MACH root costs come from @p costs
+     *  (defaults: 500 root instructions, 10 admin loads). */
+    MachVm(MemSystem &mem, PhysMem &phys_mem,
+           const TlbParams &itlb_params, const TlbParams &dtlb_params,
+           const HandlerCosts &costs = machDefaultCosts(),
+           unsigned page_bits = 12, std::uint64_t seed = 1);
+
+    /** The paper's Table 4 costs for MACH. */
+    static HandlerCosts
+    machDefaultCosts()
+    {
+        HandlerCosts c;
+        c.userInstrs = 10;
+        c.kernelInstrs = 20;
+        c.rootInstrs = 500;
+        c.adminLoads = 10;
+        return c;
+    }
+
+    void instRef(Addr pc) override;
+    void dataRef(Addr addr, bool store) override;
+
+    const Tlb *itlb() const override { return &itlb_; }
+    const Tlb *dtlb() const override { return &dtlb_; }
+
+    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
+    void contextSwitch() override { switchTlbs(itlb_, dtlb_); }
+
+    const MachPageTable &pageTable() const { return pt_; }
+
+  private:
+    void walk(Addr vaddr, Tlb &target);
+
+    /**
+     * Install a kernel/root-level mapping: protected slots when the
+     * TLB is partitioned (the paper's configuration), normal slots in
+     * the protected-slot ablation.
+     */
+    void
+    insertKernelMapping(Vpn vpn)
+    {
+        if (dtlb_.params().protectedSlots > 0)
+            dtlb_.insertProtected(vpn);
+        else
+            dtlb_.insert(vpn);
+    }
+
+    MachPageTable pt_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    HandlerCosts costs_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_OS_MACH_VM_HH

@@ -1,0 +1,55 @@
+#include "os/notlb_vm.hh"
+
+namespace vmsim
+{
+
+NotlbVm::NotlbVm(MemSystem &mem, PhysMem &phys_mem,
+                 const HandlerCosts &costs, unsigned page_bits)
+    : VmSystem("NOTLB", mem), pt_(phys_mem, page_bits), costs_(costs)
+{}
+
+void
+NotlbVm::instRef(Addr pc)
+{
+    MemLevel lvl = mem_.instFetch(pc, AccessClass::User);
+    if (lvl == MemLevel::Memory)
+        missHandler(pc);
+}
+
+void
+NotlbVm::dataRef(Addr addr, bool store)
+{
+    MemLevel lvl =
+        mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+    if (lvl == MemLevel::Memory)
+        missHandler(addr);
+}
+
+void
+NotlbVm::missHandler(Addr vaddr)
+{
+    Vpn v = pt_.vpnOf(vaddr);
+
+    // Every L2 miss interrupts the processor: 10-instruction handler
+    // performs the translation and fill.
+    takeInterrupt();
+    fetchHandler(kUserHandlerBase, costs_.userInstrs,
+                 stats_.uhandlerCalls, stats_.uhandlerInstrs);
+
+    MemLevel pte_lvl = mem_.dataAccess(pt_.uptEntryAddr(v), kHierPteSize,
+                                       false, AccessClass::PteUser);
+    ++stats_.pteLoads;
+
+    // If the PTE reference itself missed the L2 cache, the second
+    // handler runs and resolves it via the wired root table.
+    if (pte_lvl == MemLevel::Memory) {
+        takeInterrupt();
+        fetchHandler(kRootHandlerBase, costs_.rootInstrs,
+                     stats_.rhandlerCalls, stats_.rhandlerInstrs);
+        mem_.dataAccess(pt_.rptEntryAddr(v), kHierPteSize, false,
+                        AccessClass::PteRoot);
+        ++stats_.pteLoads;
+    }
+}
+
+} // namespace vmsim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * NOTLB: software-managed caches with no TLB, as in VMP / softvm
+ * (paper Figure 5).
+ *
+ * The processor runs on virtual caches and takes an interrupt on every
+ * L2 cache miss; the operating system performs the page-table lookup
+ * and cache fill in software. The page table is the two-tiered
+ * "disjunct" table, with walk costs identical to ULTRIX (10-instruction
+ * user handler, 20-instruction root handler invoked when the PTE
+ * reference itself misses the L2 cache) — so any measured difference
+ * from ULTRIX is due purely to the absence of a TLB.
+ */
+
+#ifndef VMSIM_OS_NOTLB_VM_HH
+#define VMSIM_OS_NOTLB_VM_HH
+
+#include "mem/phys_mem.hh"
+#include "os/vm_system.hh"
+#include "pt/disjunct_page_table.hh"
+
+namespace vmsim
+{
+
+/** The NOTLB simulation: no TLB; SW cache-miss handlers on L2 misses. */
+class NotlbVm : public VmSystem
+{
+  public:
+    NotlbVm(MemSystem &mem, PhysMem &phys_mem,
+            const HandlerCosts &costs = HandlerCosts{},
+            unsigned page_bits = 12);
+
+    void instRef(Addr pc) override;
+    void dataRef(Addr addr, bool store) override;
+
+    const DisjunctPageTable &pageTable() const { return pt_; }
+
+  private:
+    /** The cache-miss handler: runs on every user-reference L2 miss. */
+    void missHandler(Addr vaddr);
+
+    DisjunctPageTable pt_;
+    HandlerCosts costs_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_OS_NOTLB_VM_HH

@@ -1,0 +1,69 @@
+#include "os/parisc_vm.hh"
+
+namespace vmsim
+{
+
+PariscVm::PariscVm(MemSystem &mem, PhysMem &phys_mem,
+                   const TlbParams &itlb_params,
+                   const TlbParams &dtlb_params, const HandlerCosts &costs,
+                   unsigned page_bits, std::uint64_t seed,
+                   unsigned hpt_ratio)
+    : VmSystem("PA-RISC", mem), pt_(phys_mem, hpt_ratio, page_bits),
+      itlb_(itlb_params, seed ^ 0x17), dtlb_(dtlb_params, seed ^ 0x28),
+      costs_(costs)
+{
+    fatalIf(itlb_params.protectedSlots != 0 ||
+                dtlb_params.protectedSlots != 0,
+            "PA-RISC TLBs are unpartitioned (no protected slots)");
+    walkBuf_.reserve(16);
+}
+
+void
+PariscVm::instRef(Addr pc)
+{
+    if (!itlb_.lookup(pt_.vpnOf(pc))) {
+        ++stats_.itlbMisses;
+        walk(pc, itlb_);
+    }
+    mem_.instFetch(pc, AccessClass::User);
+}
+
+void
+PariscVm::dataRef(Addr addr, bool store)
+{
+    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
+        ++stats_.dtlbMisses;
+        walk(addr, dtlb_);
+    }
+    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+}
+
+void
+PariscVm::walk(Addr vaddr, Tlb &target)
+{
+    Vpn v = pt_.vpnOf(vaddr);
+
+    if (l2TlbLookup(v, target))
+        return;
+
+    // Single handler: interrupt, 20 instructions, then the chain walk.
+    takeInterrupt();
+    fetchHandler(kUserHandlerBase, costs_.userInstrs,
+                 stats_.uhandlerCalls, stats_.uhandlerInstrs);
+
+    walkBuf_.clear();
+    pt_.walk(v, walkBuf_);
+    for (Addr entry : walkBuf_) {
+        // Each visited entry is a full 16-byte PTE read (tag compare
+        // plus, on match, the mapping word): 4x the cache footprint of
+        // a hierarchical PTE load.
+        mem_.dataAccess(entry, kHashedPteSize, false,
+                        AccessClass::PteUser);
+        ++stats_.pteLoads;
+    }
+
+    l2TlbFill(v);
+    target.insert(v);
+}
+
+} // namespace vmsim

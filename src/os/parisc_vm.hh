@@ -1,0 +1,73 @@
+/**
+ * @file
+ * PA-RISC: HP-UX's hashed (inverted) page table on a software-managed
+ * TLB (paper Figure 4, after Huck & Hays).
+ *
+ * One 20-instruction TLB-miss handler hashes the faulting virtual
+ * address and walks the collision chain; each chain entry visited is a
+ * 16-byte PTE read with physical-but-cacheable addresses, so the walk
+ * cannot cause nested D-TLB misses and there is no kernel- or
+ * root-level handler. No distinction is made between user and kernel
+ * PTEs, so the TLBs are unpartitioned.
+ */
+
+#ifndef VMSIM_OS_PARISC_VM_HH
+#define VMSIM_OS_PARISC_VM_HH
+
+#include <vector>
+
+#include "mem/phys_mem.hh"
+#include "os/vm_system.hh"
+#include "pt/hashed_page_table.hh"
+#include "tlb/tlb.hh"
+
+namespace vmsim
+{
+
+/** The PA-RISC simulation: SW-managed TLB, hashed inverted table. */
+class PariscVm : public VmSystem
+{
+  public:
+    /**
+     * @param hpt_ratio table entries per physical frame (paper: 2)
+     * Other parameters as for UltrixVm.
+     */
+    PariscVm(MemSystem &mem, PhysMem &phys_mem,
+             const TlbParams &itlb_params, const TlbParams &dtlb_params,
+             const HandlerCosts &costs = pariscDefaultCosts(),
+             unsigned page_bits = 12, std::uint64_t seed = 1,
+             unsigned hpt_ratio = 2);
+
+    /** The paper's Table 4 costs for PA-RISC (20-instruction handler). */
+    static HandlerCosts
+    pariscDefaultCosts()
+    {
+        HandlerCosts c;
+        c.userInstrs = 20;
+        return c;
+    }
+
+    void instRef(Addr pc) override;
+    void dataRef(Addr addr, bool store) override;
+
+    const Tlb *itlb() const override { return &itlb_; }
+    const Tlb *dtlb() const override { return &dtlb_; }
+
+    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
+    void contextSwitch() override { switchTlbs(itlb_, dtlb_); }
+
+    const HashedPageTable &pageTable() const { return pt_; }
+
+  private:
+    void walk(Addr vaddr, Tlb &target);
+
+    HashedPageTable pt_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    HandlerCosts costs_;
+    std::vector<Addr> walkBuf_; ///< reused chain-walk scratch
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_OS_PARISC_VM_HH

@@ -1,0 +1,48 @@
+#include "os/spur_vm.hh"
+
+namespace vmsim
+{
+
+SpurVm::SpurVm(MemSystem &mem, PhysMem &phys_mem,
+               const HandlerCosts &costs, unsigned page_bits)
+    : VmSystem("SPUR", mem), pt_(phys_mem, page_bits), costs_(costs)
+{}
+
+void
+SpurVm::instRef(Addr pc)
+{
+    MemLevel lvl = mem_.instFetch(pc, AccessClass::User);
+    if (lvl == MemLevel::Memory)
+        hwMissWalk(pc);
+}
+
+void
+SpurVm::dataRef(Addr addr, bool store)
+{
+    MemLevel lvl =
+        mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+    if (lvl == MemLevel::Memory)
+        hwMissWalk(addr);
+}
+
+void
+SpurVm::hwMissWalk(Addr vaddr)
+{
+    Vpn v = pt_.vpnOf(vaddr);
+
+    ++stats_.hwWalks;
+    stats_.hwWalkCycles += costs_.hwWalkCycles;
+
+    MemLevel pte_lvl = mem_.dataAccess(pt_.uptEntryAddr(v), kHierPteSize,
+                                       false, AccessClass::PteUser);
+    ++stats_.pteLoads;
+
+    if (pte_lvl == MemLevel::Memory) {
+        stats_.hwWalkCycles += kNestedWalkCycles;
+        mem_.dataAccess(pt_.rptEntryAddr(v), kHierPteSize, false,
+                        AccessClass::PteRoot);
+        ++stats_.pteLoads;
+    }
+}
+
+} // namespace vmsim

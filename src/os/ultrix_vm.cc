@@ -1,0 +1,71 @@
+#include "os/ultrix_vm.hh"
+
+namespace vmsim
+{
+
+UltrixVm::UltrixVm(MemSystem &mem, PhysMem &phys_mem,
+                   const TlbParams &itlb_params,
+                   const TlbParams &dtlb_params, const HandlerCosts &costs,
+                   unsigned page_bits, std::uint64_t seed)
+    : VmSystem("ULTRIX", mem), pt_(phys_mem, page_bits),
+      itlb_(itlb_params, seed ^ 0xA1), dtlb_(dtlb_params, seed ^ 0xB2),
+      costs_(costs)
+{
+}
+
+void
+UltrixVm::instRef(Addr pc)
+{
+    if (!itlb_.lookup(pt_.vpnOf(pc))) {
+        ++stats_.itlbMisses;
+        walk(pc, itlb_);
+    }
+    mem_.instFetch(pc, AccessClass::User);
+}
+
+void
+UltrixVm::dataRef(Addr addr, bool store)
+{
+    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
+        ++stats_.dtlbMisses;
+        walk(addr, dtlb_);
+    }
+    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+}
+
+void
+UltrixVm::walk(Addr vaddr, Tlb &target)
+{
+    Vpn v = pt_.vpnOf(vaddr);
+
+    if (l2TlbLookup(v, target))
+        return;
+
+    // User-level miss handler (interrupt + 10 instructions).
+    takeInterrupt();
+    fetchHandler(kUserHandlerBase, costs_.userInstrs,
+                 stats_.uhandlerCalls, stats_.uhandlerInstrs);
+
+    Addr upte = pt_.uptEntryAddr(v);
+
+    // The UPTE reference is a mapped kernel-virtual load; if its page
+    // is not in the D-TLB the root-level handler runs first (nested
+    // interrupt), loads the RPTE from wired physical memory, and
+    // installs the UPT-page mapping in the protected slots.
+    if (!dtlb_.lookup(pt_.uptPageVpn(v))) {
+        takeInterrupt();
+        fetchHandler(kRootHandlerBase, costs_.rootInstrs,
+                     stats_.rhandlerCalls, stats_.rhandlerInstrs);
+        mem_.dataAccess(pt_.rptEntryAddr(v), kHierPteSize, false,
+                        AccessClass::PteRoot);
+        ++stats_.pteLoads;
+        insertKernelMapping(pt_.uptPageVpn(v));
+    }
+
+    mem_.dataAccess(upte, kHierPteSize, false, AccessClass::PteUser);
+    ++stats_.pteLoads;
+    l2TlbFill(v);
+    target.insert(v);
+}
+
+} // namespace vmsim

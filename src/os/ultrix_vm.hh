@@ -1,0 +1,86 @@
+/**
+ * @file
+ * ULTRIX: DEC Ultrix (BSD-like) on a MIPS-style software-managed TLB.
+ *
+ * Two-tiered linear page table walked bottom-up (paper Figure 1). The
+ * TLB-miss handler has two code segments: a 10-instruction user-level
+ * handler invoked on application TLB misses, and a 20-instruction
+ * root-level handler invoked when the user handler's PTE reference
+ * itself misses the D-TLB. Root-level PTE mappings are inserted into
+ * the 16 protected lower TLB slots. Walk pseudocode (paper §3.1):
+ *
+ *     tlbmiss_handler(UPT_HANDLER_BASE, 10);
+ *     if (dtlb_miss(UPT_BASE + uptidx(addr))) {
+ *         tlbmiss_handler(RPT_HANDLER_BASE, 20);
+ *         dcache_lookup(RPT_BASE + rptidx(addr));
+ *     }
+ *     dcache_lookup(UPT_BASE + uptidx(addr));
+ */
+
+#ifndef VMSIM_OS_ULTRIX_VM_HH
+#define VMSIM_OS_ULTRIX_VM_HH
+
+#include "mem/phys_mem.hh"
+#include "os/vm_system.hh"
+#include "pt/ultrix_page_table.hh"
+#include "tlb/tlb.hh"
+
+namespace vmsim
+{
+
+/** The ULTRIX simulation: SW-managed TLB, 2-tier bottom-up table. */
+class UltrixVm : public VmSystem
+{
+  public:
+    /**
+     * @param mem shared cache hierarchy
+     * @param phys_mem physical memory (root table is wired into it)
+     * @param itlb_params / @p dtlb_params TLB geometry; the paper uses
+     *        128 entries with 16 protected slots on each side
+     * @param costs handler lengths (paper Table 4 defaults)
+     * @param page_bits log2 page size
+     * @param seed randomness seed (TLB replacement)
+     */
+    UltrixVm(MemSystem &mem, PhysMem &phys_mem,
+             const TlbParams &itlb_params, const TlbParams &dtlb_params,
+             const HandlerCosts &costs = HandlerCosts{},
+             unsigned page_bits = 12, std::uint64_t seed = 1);
+
+    void instRef(Addr pc) override;
+    void dataRef(Addr addr, bool store) override;
+
+    const Tlb *itlb() const override { return &itlb_; }
+    const Tlb *dtlb() const override { return &dtlb_; }
+
+    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
+    void contextSwitch() override { switchTlbs(itlb_, dtlb_); }
+
+    const UltrixPageTable &pageTable() const { return pt_; }
+
+  private:
+    /** Software TLB refill for @p vaddr; inserts into @p target. */
+    void walk(Addr vaddr, Tlb &target);
+
+    /**
+     * Install a root-level (UPT page) mapping: into the protected
+     * slots when the TLB is partitioned (the paper's configuration),
+     * else into the normal slots (the protected-slot ablation).
+     */
+    void
+    insertKernelMapping(Vpn vpn)
+    {
+        if (dtlb_.params().protectedSlots > 0)
+            dtlb_.insertProtected(vpn);
+        else
+            dtlb_.insert(vpn);
+    }
+
+    UltrixPageTable pt_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    HandlerCosts costs_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_OS_ULTRIX_VM_HH

@@ -1,0 +1,53 @@
+#include "os/vm_system.hh"
+
+namespace vmsim
+{
+
+VmSystem::VmSystem(std::string name, MemSystem &mem)
+    : name_(std::move(name)), mem_(mem)
+{}
+
+VmSystem::~VmSystem() = default;
+
+void
+VmSystem::attachL2Tlb(const TlbParams &params, Cycles hit_cycles,
+                      std::uint64_t seed)
+{
+    l2Tlb_ = std::make_unique<Tlb>(params, seed);
+    l2TlbHitCycles_ = hit_cycles;
+}
+
+bool
+VmSystem::l2TlbLookup(Vpn v, Tlb &target)
+{
+    if (!l2Tlb_)
+        return false;
+    if (!l2Tlb_->lookup(v))
+        return false;
+    // Hardware refill from the second level: no interrupt, no
+    // handler, no page-table reference.
+    ++stats_.l2TlbHits;
+    stats_.hwWalkCycles += l2TlbHitCycles_;
+    target.insert(v);
+    return true;
+}
+
+void
+VmSystem::l2TlbFill(Vpn v)
+{
+    if (l2Tlb_)
+        l2Tlb_->insert(v);
+}
+
+void
+VmSystem::fetchHandler(Addr base, unsigned n, Counter &calls,
+                       Counter &instrs)
+{
+    ++calls;
+    instrs += n;
+    for (unsigned k = 0; k < n; ++k)
+        mem_.instFetch(base + std::uint64_t{k} * kInstrBytes,
+                       AccessClass::HandlerFetch);
+}
+
+} // namespace vmsim

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * VmSystem: the common interface of the simulated memory-management
+ * organizations, plus the handler-layout constants and event counters
+ * shared by all of them.
+ *
+ * A VmSystem receives the application's reference stream — instRef()
+ * for every instruction fetch and dataRef() for every load/store — and
+ * performs whatever TLB lookups, page-table walks, handler executions
+ * and cache accesses its organization requires, mirroring the paper's
+ * fundamental simulator algorithm (Section 3.1):
+ *
+ *     while (i = get_next_instruction()) {
+ *         if (itlb_miss(i->pc)) {
+ *             walk_page_table(i->pc);
+ *             insert_itlb(i->pc);
+ *         }
+ *         icache_lookup(i->pc);
+ *         if (LOAD_OR_STORE(i)) {
+ *             if (dtlb_miss(i->daddr)) {
+ *                 walk_page_table(i->daddr);
+ *                 insert_dtlb(i->daddr);
+ *             }
+ *             dcache_lookup(i->daddr);
+ *         }
+ *     }
+ *
+ * Handler code lives in unmapped cacheable space: executing it probes
+ * the I-caches (displacing user code — the pollution the paper
+ * measures) but can never itself cause an I-TLB miss. Each handler's
+ * code is page-aligned, per the paper.
+ */
+
+#ifndef VMSIM_OS_VM_SYSTEM_HH
+#define VMSIM_OS_VM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "base/types.hh"
+#include "mem/mem_system.hh"
+#include "tlb/tlb.hh"
+
+namespace vmsim
+{
+
+/**
+ * Cache addresses of the page-aligned TLB/cache-miss handler code
+ * segments (unmapped space; distinct pages so handlers displace
+ * distinct I-cache lines). The bases sit at a non-round offset within
+ * the unmapped window so that handler code does not systematically
+ * alias the application's (typically megabyte-aligned) text segment
+ * in the direct-mapped caches.
+ */
+constexpr Addr kUserHandlerBase = 0x80237000ULL;
+constexpr Addr kKernelHandlerBase = 0x80238000ULL;
+constexpr Addr kRootHandlerBase = 0x80239000ULL;
+
+/** Bytes per simulated instruction (MIPS-style fixed 32-bit encoding). */
+constexpr unsigned kInstrBytes = 4;
+
+/** Bytes per simulated user-level load/store. */
+constexpr unsigned kDataBytes = 4;
+
+/**
+ * Handler lengths and hardware-walk costs (paper Table 4).
+ * All instruction counts double as base cycle counts on the 1-CPI core.
+ */
+struct HandlerCosts
+{
+    unsigned userInstrs = 10;   ///< user-level miss handler length
+    unsigned kernelInstrs = 20; ///< kernel-level miss handler length
+    unsigned rootInstrs = 20;   ///< root-level miss handler length
+    unsigned adminLoads = 0;    ///< MACH root path administrative loads
+    unsigned hwWalkCycles = 7;  ///< FSM sequential work per walk (INTEL)
+};
+
+/**
+ * Raw VM-mechanism event counts. Together with the per-class cache-miss
+ * counters kept by MemSystem, these determine every VMCPI component of
+ * the paper's Table 3.
+ */
+struct VmStats
+{
+    Counter uhandlerCalls = 0;  ///< user-level handler invocations
+    Counter khandlerCalls = 0;  ///< kernel-level handler invocations
+    Counter rhandlerCalls = 0;  ///< root-level handler invocations
+    Counter uhandlerInstrs = 0; ///< instructions fetched by user handler
+    Counter khandlerInstrs = 0; ///< instructions fetched by kernel handler
+    Counter rhandlerInstrs = 0; ///< instructions fetched by root handler
+    Counter hwWalks = 0;        ///< hardware state-machine walks
+    Counter hwWalkCycles = 0;   ///< cycles of FSM sequential work
+    Counter interrupts = 0;     ///< precise interrupts taken
+    Counter pteLoads = 0;       ///< total PTE loads performed
+    Counter ctxSwitches = 0;    ///< address-space switches taken
+    Counter l2TlbHits = 0;      ///< walks satisfied by the L2 TLB
+    Counter itlbMisses = 0;     ///< user instruction-fetch TLB misses
+    Counter dtlbMisses = 0;     ///< user load/store TLB misses
+                                ///  (nested PTE-reference misses are
+                                ///  counted by the k/r handler calls,
+                                ///  not here)
+
+    void reset() { *this = VmStats{}; }
+};
+
+/**
+ * Abstract memory-management organization. Concrete subclasses own
+ * their TLBs and page table; the cache hierarchy is shared (passed in)
+ * so that handler and PTE traffic pollutes the same caches the
+ * application uses.
+ */
+class VmSystem
+{
+  public:
+    VmSystem(std::string name, MemSystem &mem);
+    virtual ~VmSystem();
+
+    VmSystem(const VmSystem &) = delete;
+    VmSystem &operator=(const VmSystem &) = delete;
+
+    /** Process one application instruction fetch at @p pc. */
+    virtual void instRef(Addr pc) = 0;
+
+    /** Process one application load/store of a word at @p addr. */
+    virtual void dataRef(Addr addr, bool store) = 0;
+
+    /** The I-TLB, or nullptr for TLB-less organizations. */
+    virtual const Tlb *itlb() const { return nullptr; }
+
+    /** The D-TLB, or nullptr for TLB-less organizations. */
+    virtual const Tlb *dtlb() const { return nullptr; }
+
+    /**
+     * React to an address-space switch. The simulated MMUs carry no
+     * ASIDs, so TLB-based organizations flush both TLBs; the
+     * organizations built on a flat global space (NOTLB, SPUR — whose
+     * disjunct segments are process-independent) and BASE have no
+     * translation state and are immune, which is one of the global
+     * virtual-address-space design's selling points.
+     */
+    virtual void contextSwitch() { noteContextSwitch(); }
+
+    const std::string &name() const { return name_; }
+    const VmStats &vmStats() const { return stats_; }
+    MemSystem &mem() { return mem_; }
+
+    /**
+     * Clear the VM event counters (used after warmup). Cache, TLB and
+     * page-table *state* is intentionally preserved — only statistics
+     * reset.
+     */
+    void resetVmStats() { stats_.reset(); }
+
+    /** Competitor pressure per switch for ASID-tagged TLBs. */
+    void setCtxSwitchEvictions(unsigned n) { ctxSwitchEvictions_ = n; }
+    unsigned ctxSwitchEvictions() const { return ctxSwitchEvictions_; }
+
+    /**
+     * Attach a unified second-level TLB: a hardware structure probed
+     * (in @p hit_cycles) before the organization's refill mechanism
+     * runs. A hit refills the first-level TLB without an interrupt,
+     * handler, or page-table reference — the two-level TLB design
+     * that followed the paper's era (e.g. later x86 and Alpha parts).
+     * Applies only to TLB-based organizations; call before simulating.
+     */
+    void attachL2Tlb(const TlbParams &params, Cycles hit_cycles = 2,
+                     std::uint64_t seed = 1);
+
+    /** The unified L2 TLB, or nullptr if none is attached. */
+    const Tlb *l2tlb() const { return l2Tlb_.get(); }
+
+  protected:
+    /** Record one address-space switch. */
+    void noteContextSwitch() { ++stats_.ctxSwitches; }
+
+    /**
+     * Standard TLB reaction to an address-space switch: untagged TLBs
+     * flush (no ASIDs — the paper's machines); ASID-tagged TLBs keep
+     * their entries and instead lose ctxSwitchEvictions() random
+     * entries per side to the competing processes' usage.
+     */
+    void
+    switchTlbs(Tlb &itlb, Tlb &dtlb)
+    {
+        noteContextSwitch();
+        if (itlb.params().tagged()) {
+            itlb.evictRandom(ctxSwitchEvictions_);
+            dtlb.evictRandom(ctxSwitchEvictions_);
+            if (l2Tlb_)
+                l2Tlb_->evictRandom(ctxSwitchEvictions_);
+        } else {
+            itlb.invalidateAll();
+            dtlb.invalidateAll();
+            if (l2Tlb_)
+                l2Tlb_->invalidateAll();
+        }
+    }
+
+    /**
+     * Simulate execution of a handler: fetch @p n instructions through
+     * the I-cache hierarchy starting at page-aligned @p base, and
+     * account them to @p calls / @p instrs.
+     */
+    void fetchHandler(Addr base, unsigned n, Counter &calls,
+                      Counter &instrs);
+
+    /** Record one precise interrupt (pipeline/ROB flush at handling). */
+    void takeInterrupt() { ++stats_.interrupts; }
+
+    /**
+     * Probe the optional L2 TLB for @p v at the top of a walk. On a
+     * hit, charges the probe cycles, installs @p v into @p target,
+     * and returns true — the caller skips its refill entirely. On a
+     * miss (or with no L2 TLB attached) returns false; the caller
+     * must call l2TlbFill() once its walk completes.
+     */
+    bool l2TlbLookup(Vpn v, Tlb &target);
+
+    /** Install @p v into the L2 TLB after a completed walk. */
+    void l2TlbFill(Vpn v);
+
+    std::string name_;
+    MemSystem &mem_;
+    VmStats stats_;
+
+  private:
+    unsigned ctxSwitchEvictions_ = 16;
+    std::unique_ptr<Tlb> l2Tlb_;
+    Cycles l2TlbHitCycles_ = 2;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_OS_VM_SYSTEM_HH

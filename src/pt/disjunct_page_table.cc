@@ -1,0 +1,36 @@
+#include "pt/disjunct_page_table.hh"
+
+#include "base/intmath.hh"
+
+namespace vmsim
+{
+
+DisjunctPageTable::DisjunctPageTable(PhysMem &phys_mem, unsigned page_bits,
+                                     Addr region_base, unsigned span_bits)
+    : PageTableBase(page_bits), regionBase_(region_base)
+{
+    fatalIf(!isAligned(region_base, pageSize()),
+            "page-group region base must be page aligned");
+    fatalIf(region_base < kKernelBase,
+            "page groups must live in kernel virtual space");
+    fatalIf(span_bits <= page_bits,
+            "scatter span must exceed the page size");
+    spanPagesBits_ = span_bits - page_bits;
+    fatalIf(numGroups() > (std::uint64_t{1} << spanPagesBits_),
+            "scatter span too small for ", numGroups(), " page groups");
+    rptPhysBase_ = phys_mem.reserveRegion(rptBytes(), pageSize());
+}
+
+Addr
+DisjunctPageTable::groupBase(std::uint64_t g) const
+{
+    panicIf(g >= numGroups(), "page group ", g, " out of range");
+    // Multiplication by an odd constant is a bijection mod 2^k, so
+    // every group gets a distinct page slot in the span while being
+    // scattered rather than sequential.
+    std::uint64_t slot =
+        (g * 0x9e3779b1ULL) & ((std::uint64_t{1} << spanPagesBits_) - 1);
+    return regionBase_ + (slot << pageBits_);
+}
+
+} // namespace vmsim

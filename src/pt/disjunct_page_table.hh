@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The NOTLB "disjunct" page table (paper Figure 5): a two-tiered table
+ * similar in structure and cost to the Ultrix/MIPS table, but based on
+ * a segmented global address space in which the page groups that make
+ * up the user page table are *disjunct* — scattered, not contiguous —
+ * regions of the flat space.
+ *
+ * Structure: the user page table is a collection of page-sized "page
+ * groups", each mapping one segment (ptesPerPage pages, 4 MB with the
+ * default geometry) of the user space. The groups are scattered over a
+ * larger span of the global space by a bijective multiplicative hash,
+ * so the table does not form one contiguous 2 MB array (and hence maps
+ * onto the caches differently than the ULTRIX table — the only
+ * observable difference, since walk costs are identical by design:
+ * "the differences between the measurements should be entirely due to
+ * the presence/absence of a TLB").
+ *
+ * As with the Ultrix table, a 2 KB root table in unmapped physical
+ * memory maps the page groups.
+ */
+
+#ifndef VMSIM_PT_DISJUNCT_PAGE_TABLE_HH
+#define VMSIM_PT_DISJUNCT_PAGE_TABLE_HH
+
+#include "mem/phys_mem.hh"
+#include "pt/page_table.hh"
+
+namespace vmsim
+{
+
+/** Two-tiered disjunct (scattered page-group) table for NOTLB. */
+class DisjunctPageTable : public PageTableBase
+{
+  public:
+    /**
+     * @param phys_mem physical memory for the wired root table
+     * @param page_bits log2 page size (paper: 12)
+     * @param region_base virtual base of the span the page groups are
+     *                    scattered over
+     * @param span_bits log2 of that span in bytes (default 64 MB)
+     */
+    explicit DisjunctPageTable(PhysMem &phys_mem, unsigned page_bits = 12,
+                               Addr region_base = kUptBaseUltrix,
+                               unsigned span_bits = 26);
+
+    /** Index of the page group covering user VPN @p v. */
+    std::uint64_t groupOf(Vpn v) const { return v / ptesPerPage(); }
+
+    /** Virtual base address of page group @p g (scattered). */
+    Addr groupBase(std::uint64_t g) const;
+
+    /** Virtual address of the PTE mapping user VPN @p v. */
+    Addr
+    uptEntryAddr(Vpn v) const
+    {
+        return groupBase(groupOf(v)) + (v % ptesPerPage()) * kHierPteSize;
+    }
+
+    /**
+     * Cache address (physical window) of the RPTE mapping the page
+     * group that covers user VPN @p v.
+     */
+    Addr
+    rptEntryAddr(Vpn v) const
+    {
+        return physToCacheAddr(rptPhysBase_ + groupOf(v) * kHierPteSize);
+    }
+
+    /** Number of page groups covering the user space. */
+    std::uint64_t numGroups() const
+    {
+        return userPages() / ptesPerPage();
+    }
+
+    std::uint64_t rptBytes() const { return numGroups() * kHierPteSize; }
+
+  private:
+    Addr regionBase_;
+    unsigned spanPagesBits_;
+    Addr rptPhysBase_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_PT_DISJUNCT_PAGE_TABLE_HH

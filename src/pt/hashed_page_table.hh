@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The PA-RISC hashed page table (paper Figure 4): a variant of the
+ * classical inverted page table that drops the hash anchor table.
+ *
+ * The table has (ratio * physical frames) 16-byte entries — the paper
+ * uses 8 MB of physical memory (2048 frames) and a 2:1 ratio, giving a
+ * 4096-entry table with an expected average collision-chain length of
+ * about 1.25. The faulting virtual address is hashed ("a single XOR of
+ * the upper virtual address bits and the lower virtual page number
+ * bits") to pick the chain head inside the main table; colliding
+ * entries live in an optional collision-resolution table (CRT), which
+ * the paper includes and so do we.
+ *
+ * PTEs are 16 bytes (four times the hierarchical PTE size) because the
+ * PFN must be stored in the entry; a lookup therefore touches 4x the
+ * cache footprint per entry, but entries are packed densely — the two
+ * competing effects the paper's Section 4.2 discusses.
+ *
+ * Entry placement depends only on the VPN (not the PFN), so no page
+ * placement policy is needed — matching the paper's methodology.
+ */
+
+#ifndef VMSIM_PT_HASHED_PAGE_TABLE_HH
+#define VMSIM_PT_HASHED_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "mem/phys_mem.hh"
+#include "pt/page_table.hh"
+
+namespace vmsim
+{
+
+/** PA-RISC style hashed/inverted page table with collision chains. */
+class HashedPageTable : public PageTableBase
+{
+  public:
+    /**
+     * @param phys_mem frame pool; table size derives from its frame
+     *                 count, and user pages are first-touch allocated
+     *                 from it so the table tracks real occupancy
+     * @param ratio table entries per physical frame (paper: 2)
+     * @param page_bits log2 page size (paper: 12)
+     */
+    HashedPageTable(PhysMem &phys_mem, unsigned ratio = 2,
+                    unsigned page_bits = 12);
+
+    /**
+     * Hash of user VPN @p v: bucket index into the main table.
+     * Implements Huck & Hays' single-XOR hash.
+     */
+    std::uint64_t hashOf(Vpn v) const;
+
+    /**
+     * Walk the chain for @p v, appending the cache address (physical
+     * window) of every entry visited — chain entries in order, up to
+     * and including the match — to @p out (which is NOT cleared, so
+     * callers can reuse a buffer after clearing it themselves).
+     *
+     * Inserts @p v on first touch (allocating its frame), modeling the
+     * paper's assumption that all pages are resident: the walk then
+     * finds the just-inserted entry at its chain position.
+     *
+     * @return number of entries visited (chain search depth).
+     */
+    unsigned walk(Vpn v, std::vector<Addr> &out);
+
+    /** Entries currently in the table (mapped pages). */
+    std::uint64_t entryCount() const { return entryCount_; }
+
+    /** Entries spilled to the collision-resolution table. */
+    std::uint64_t crtEntries() const { return crtNext_; }
+
+    /** Number of buckets (main-table entries). */
+    std::uint64_t numBuckets() const { return numBuckets_; }
+
+    /** Average chain length over non-empty buckets (paper: ~1.25). */
+    double avgChainLength() const;
+
+    /** Distribution of search depths observed by walk(). */
+    const Distribution &searchDepth() const { return searchDepth_; }
+
+  private:
+    struct Node
+    {
+        Vpn vpn;
+        Addr cacheAddr; ///< physical-window address of this entry
+    };
+
+    PhysMem &physMem_;
+    std::uint64_t numBuckets_;
+    Addr hptPhysBase_;
+    Addr crtPhysBase_;
+    std::uint64_t crtCapacity_;
+    std::uint64_t crtNext_ = 0;
+    std::uint64_t entryCount_ = 0;
+    bool crtOverflowWarned_ = false;
+    std::vector<std::vector<Node>> buckets_;
+    Distribution searchDepth_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_PT_HASHED_PAGE_TABLE_HH

@@ -1,0 +1,48 @@
+#include "pt/mach_page_table.hh"
+
+#include "base/intmath.hh"
+
+namespace vmsim
+{
+
+namespace
+{
+
+/** Bytes of physical scratch the admin loads are spread over. */
+constexpr std::uint64_t kAdminRegionBytes = 1024;
+
+} // anonymous namespace
+
+MachPageTable::MachPageTable(PhysMem &phys_mem, unsigned page_bits,
+                             unsigned pid)
+    : PageTableBase(page_bits), pid_(pid)
+{
+    uptBase_ = kMachUptRegion + std::uint64_t{pid} * uptBytes();
+    fatalIf(uptBase_ + uptBytes() > kMachKptBase,
+            "pid ", pid, " places the UPT beyond the KPT region");
+    rptPhysBase_ = phys_mem.reserveRegion(rptBytes(), pageSize());
+    adminPhysBase_ = phys_mem.reserveRegion(kAdminRegionBytes, 64);
+}
+
+Addr
+MachPageTable::rptEntryAddr(Vpn kpt_page_vpn) const
+{
+    Vpn kpt_first = kMachKptBase >> pageBits_;
+    panicIf(kpt_page_vpn < kpt_first ||
+                kpt_page_vpn >= kpt_first + (kptBytes() >> pageBits_),
+            "rptEntryAddr: vpn ", kpt_page_vpn,
+            " is not inside the KPT region");
+    std::uint64_t index = kpt_page_vpn - kpt_first;
+    return physToCacheAddr(rptPhysBase_ + index * kHierPteSize);
+}
+
+Addr
+MachPageTable::adminDataAddr(unsigned i) const
+{
+    // Stride by 64 bytes so successive admin loads touch distinct
+    // lines for any simulated L1 line size <= 64B, modeling the
+    // scattered bookkeeping structures of the general interrupt path.
+    return physToCacheAddr(adminPhysBase_ + (i * 64) % kAdminRegionBytes);
+}
+
+} // namespace vmsim

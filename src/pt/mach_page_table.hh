@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The Mach/MIPS page table: a three-tiered table walked bottom-up
+ * (paper Figure 2).
+ *
+ * A user address space is mapped by a 2 MB linear user page table (UPT)
+ * in kernel virtual space at  kMachUptRegion + pid * 2 MB.  The entire
+ * 4 GB kernel virtual space is mapped by a 4 MB kernel page table (KPT)
+ * occupying the top 4 MB of the kernel's space; the KPT is in turn
+ * mapped by a 4 KB root table (RPT) in physical memory.
+ *
+ * A lookup for user VPN v can therefore nest three deep:
+ *   1. UPTE load at  uptBase(pid) + v * 4          (virtual)
+ *   2. on D-TLB miss for that UPT page: KPTE load at
+ *      kptBase + vpn(upte_addr) * 4                (virtual)
+ *   3. on D-TLB miss for that KPT page: RPTE load at
+ *      rptBase + kptPageIndex * 4                  (physical)
+ */
+
+#ifndef VMSIM_PT_MACH_PAGE_TABLE_HH
+#define VMSIM_PT_MACH_PAGE_TABLE_HH
+
+#include "mem/phys_mem.hh"
+#include "pt/page_table.hh"
+
+namespace vmsim
+{
+
+/** Three-tiered bottom-up-walked page table (Mach on MIPS). */
+class MachPageTable : public PageTableBase
+{
+  public:
+    /**
+     * @param phys_mem physical memory from which the root table is
+     *                 reserved
+     * @param page_bits log2 page size (paper: 12)
+     * @param pid process id; places the UPT at
+     *            kMachUptRegion + pid * uptBytes()
+     */
+    explicit MachPageTable(PhysMem &phys_mem, unsigned page_bits = 12,
+                           unsigned pid = 1);
+
+    /** Virtual address of the UPTE mapping user VPN @p v. */
+    Addr
+    uptEntryAddr(Vpn v) const
+    {
+        return uptBase_ + v * kHierPteSize;
+    }
+
+    /** VPN of the UPT page holding the UPTE for user VPN @p v. */
+    Vpn uptPageVpn(Vpn v) const { return vpnOf(uptEntryAddr(v)); }
+
+    /**
+     * Virtual address of the KPTE mapping the kernel virtual page
+     * @p kernel_vpn (the KPT maps the whole 4 GB space linearly).
+     */
+    Addr
+    kptEntryAddr(Vpn kernel_vpn) const
+    {
+        return kMachKptBase + kernel_vpn * kHierPteSize;
+    }
+
+    /** VPN of the KPT page holding the KPTE for @p kernel_vpn. */
+    Vpn kptPageVpn(Vpn kernel_vpn) const
+    {
+        return vpnOf(kptEntryAddr(kernel_vpn));
+    }
+
+    /**
+     * Cache address (physical window) of the RPTE mapping the KPT page
+     * whose VPN is @p kpt_page_vpn.
+     * @pre kpt_page_vpn addresses a page inside the KPT region
+     */
+    Addr rptEntryAddr(Vpn kpt_page_vpn) const;
+
+    /**
+     * Cache address (physical window) of one of the "administrative"
+     * data words the MACH root-level path touches (paper: 10 extra
+     * loads modeling the general-purpose interrupt path's bookkeeping).
+     * Spread over a small physical region so they occupy several lines.
+     */
+    Addr adminDataAddr(unsigned i) const;
+
+    Addr uptBase() const { return uptBase_; }
+    std::uint64_t uptBytes() const { return userPages() * kHierPteSize; }
+
+    /** KPT maps the full 4 GB space. */
+    std::uint64_t kptBytes() const
+    {
+        return (std::uint64_t{4} * kGiB >> pageBits_) * kHierPteSize;
+    }
+
+    std::uint64_t rptBytes() const
+    {
+        return (kptBytes() >> pageBits_) * kHierPteSize;
+    }
+
+    unsigned pid() const { return pid_; }
+
+  private:
+    unsigned pid_;
+    Addr uptBase_;
+    Addr rptPhysBase_;
+    Addr adminPhysBase_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_PT_MACH_PAGE_TABLE_HH

@@ -1,0 +1,21 @@
+#include "pt/ultrix_page_table.hh"
+
+#include "base/intmath.hh"
+
+namespace vmsim
+{
+
+UltrixPageTable::UltrixPageTable(PhysMem &phys_mem, unsigned page_bits,
+                                 Addr upt_base)
+    : PageTableBase(page_bits), uptBase_(upt_base)
+{
+    fatalIf(!isAligned(upt_base, pageSize()),
+            "UPT base must be page aligned");
+    fatalIf(upt_base < kKernelBase,
+            "UPT must live in kernel virtual space");
+    // The root table is wired down in physical memory: 2 KB for the
+    // paper's geometry (512 UPT pages * 4 bytes).
+    rptPhysBase_ = phys_mem.reserveRegion(rptBytes(), pageSize());
+}
+
+} // namespace vmsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The Ultrix/MIPS page table: a two-tiered table walked bottom-up
+ * (paper Figure 1).
+ *
+ * The 2 GB user address space is mapped by a 2 MB linear array of
+ * 4-byte PTEs (the user page table, UPT) living in *virtual* kernel
+ * space; the UPT's 512 pages are in turn mapped by a 2 KB root page
+ * table (RPT) wired down in physical memory.
+ *
+ * A lookup for user VPN v therefore needs:
+ *   1. a load of the UPTE at  uptBase + v * 4        (virtual address —
+ *      requires a D-TLB mapping for that UPT page), and, if the D-TLB
+ *      misses on that,
+ *   2. a load of the RPTE at  rptBase + (v / ptesPerPage) * 4
+ *      (physical, unmapped, cacheable).
+ */
+
+#ifndef VMSIM_PT_ULTRIX_PAGE_TABLE_HH
+#define VMSIM_PT_ULTRIX_PAGE_TABLE_HH
+
+#include "mem/phys_mem.hh"
+#include "pt/page_table.hh"
+
+namespace vmsim
+{
+
+/** Two-tiered bottom-up-walked linear page table (Ultrix on MIPS). */
+class UltrixPageTable : public PageTableBase
+{
+  public:
+    /**
+     * @param phys_mem physical memory from which the root table is
+     *                 reserved (wired down)
+     * @param page_bits log2 page size (paper: 12)
+     * @param upt_base virtual base of the linear user page table
+     */
+    explicit UltrixPageTable(PhysMem &phys_mem, unsigned page_bits = 12,
+                             Addr upt_base = kUptBaseUltrix);
+
+    /** Virtual address of the UPTE mapping user VPN @p v. */
+    Addr
+    uptEntryAddr(Vpn v) const
+    {
+        return uptBase_ + v * kHierPteSize;
+    }
+
+    /** VPN of the UPT page holding the UPTE for user VPN @p v. */
+    Vpn uptPageVpn(Vpn v) const { return vpnOf(uptEntryAddr(v)); }
+
+    /**
+     * Cache address (physical window) of the RPTE mapping the UPT page
+     * that holds the UPTE for user VPN @p v.
+     */
+    Addr
+    rptEntryAddr(Vpn v) const
+    {
+        return physToCacheAddr(rptPhysBase_ +
+                               (v / ptesPerPage()) * kHierPteSize);
+    }
+
+    Addr uptBase() const { return uptBase_; }
+    std::uint64_t uptBytes() const { return userPages() * kHierPteSize; }
+    std::uint64_t rptBytes() const
+    {
+        return (uptBytes() >> pageBits_) * kHierPteSize;
+    }
+
+  private:
+    Addr uptBase_;
+    Addr rptPhysBase_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_PT_ULTRIX_PAGE_TABLE_HH

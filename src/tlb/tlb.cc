@@ -1,0 +1,282 @@
+#include "tlb/tlb.hh"
+
+#include <sstream>
+
+#include "base/bitfield.hh"
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace vmsim
+{
+
+std::string
+TlbParams::toString() const
+{
+    std::ostringstream oss;
+    oss << entries << "-entry";
+    if (!fullyAssociative())
+        oss << " " << assoc << "-way";
+    if (protectedSlots)
+        oss << " (" << protectedSlots << " protected)";
+    if (tagged())
+        oss << " " << asidBits << "b-ASID";
+    switch (repl) {
+      case TlbRepl::Random: oss << " random"; break;
+      case TlbRepl::LRU:    oss << " LRU";    break;
+      case TlbRepl::FIFO:   oss << " FIFO";   break;
+    }
+    return oss.str();
+}
+
+Tlb::Tlb(const TlbParams &params, std::uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    fatalIf(params_.entries == 0, "TLB must have at least one entry");
+    fatalIf(params_.protectedSlots >= params_.entries,
+            "protected slots (", params_.protectedSlots,
+            ") must leave room for normal entries (total ",
+            params_.entries, ")");
+    fatalIf(params_.asidBits > 15, "at most 15 ASID bits supported");
+    if (!params_.fullyAssociative()) {
+        fatalIf(params_.protectedSlots != 0,
+                "protected slots require a fully-associative TLB");
+        fatalIf(params_.entries % params_.assoc != 0,
+                "TLB entries not divisible by associativity");
+        numSets_ = params_.entries / params_.assoc;
+        fatalIf(!isPowerOf2(numSets_),
+                "set-associative TLB needs a power-of-two set count");
+    }
+    asidMask_ = mask(params_.asidBits);
+    slots_.assign(params_.entries, Slot{});
+    if (params_.fullyAssociative())
+        index_.reserve(params_.entries * 2);
+}
+
+void
+Tlb::setRange(Vpn vpn, unsigned &lo, unsigned &hi) const
+{
+    unsigned set = static_cast<unsigned>(vpn & (numSets_ - 1));
+    lo = set * params_.assoc;
+    hi = lo + params_.assoc;
+}
+
+bool
+Tlb::probeFa(std::uint64_t key) const
+{
+    return index_.find(key) != index_.end();
+}
+
+bool
+Tlb::lookup(Vpn vpn)
+{
+    if (params_.fullyAssociative()) {
+        auto it = index_.find(keyOf(vpn, tagAsid()));
+        if (it == index_.end() && params_.tagged())
+            it = index_.find(keyOf(vpn, kGlobalAsid));
+        if (it != index_.end()) {
+            ++hits_;
+            if (params_.repl == TlbRepl::LRU)
+                slots_[it->second].stamp = ++stamp_;
+            return true;
+        }
+        ++misses_;
+        return false;
+    }
+
+    unsigned lo, hi;
+    setRange(vpn, lo, hi);
+    std::uint64_t key = keyOf(vpn, tagAsid());
+    std::uint64_t gkey = keyOf(vpn, kGlobalAsid);
+    for (unsigned s = lo; s < hi; ++s) {
+        if (slots_[s].valid &&
+            (slots_[s].key == key ||
+             (params_.tagged() && slots_[s].key == gkey))) {
+            ++hits_;
+            if (params_.repl == TlbRepl::LRU)
+                slots_[s].stamp = ++stamp_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+Tlb::contains(Vpn vpn) const
+{
+    if (params_.fullyAssociative()) {
+        if (probeFa(keyOf(vpn, tagAsid())))
+            return true;
+        return params_.tagged() && probeFa(keyOf(vpn, kGlobalAsid));
+    }
+    unsigned lo, hi;
+    setRange(vpn, lo, hi);
+    std::uint64_t key = keyOf(vpn, tagAsid());
+    std::uint64_t gkey = keyOf(vpn, kGlobalAsid);
+    for (unsigned s = lo; s < hi; ++s)
+        if (slots_[s].valid &&
+            (slots_[s].key == key ||
+             (params_.tagged() && slots_[s].key == gkey)))
+            return true;
+    return false;
+}
+
+void
+Tlb::insertInRegion(std::uint64_t key, unsigned lo, unsigned hi)
+{
+    // Refresh if already resident (fully-assoc: map probe; set-assoc:
+    // scan the region).
+    if (params_.fullyAssociative()) {
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            slots_[it->second].stamp = ++stamp_;
+            return;
+        }
+    } else {
+        for (unsigned s = lo; s < hi; ++s) {
+            if (slots_[s].valid && slots_[s].key == key) {
+                slots_[s].stamp = ++stamp_;
+                return;
+            }
+        }
+    }
+
+    // Prefer an invalid slot in the region.
+    unsigned victim = hi;
+    for (unsigned s = lo; s < hi; ++s) {
+        if (!slots_[s].valid) {
+            victim = s;
+            break;
+        }
+    }
+    if (victim == hi) {
+        switch (params_.repl) {
+          case TlbRepl::Random:
+            victim = lo + static_cast<unsigned>(rng_.uniform(hi - lo));
+            break;
+          case TlbRepl::LRU:
+          case TlbRepl::FIFO:
+            victim = lo;
+            for (unsigned s = lo + 1; s < hi; ++s)
+                if (slots_[s].stamp < slots_[victim].stamp)
+                    victim = s;
+            break;
+        }
+        if (params_.fullyAssociative())
+            index_.erase(slots_[victim].key);
+    }
+    slots_[victim] = Slot{key, true, ++stamp_};
+    if (params_.fullyAssociative())
+        index_[key] = victim;
+}
+
+void
+Tlb::insert(Vpn vpn)
+{
+    std::uint64_t key = keyOf(vpn, tagAsid());
+    if (params_.fullyAssociative()) {
+        insertInRegion(key, params_.protectedSlots, params_.entries);
+    } else {
+        unsigned lo, hi;
+        setRange(vpn, lo, hi);
+        insertInRegion(key, lo, hi);
+    }
+}
+
+void
+Tlb::insertProtected(Vpn vpn)
+{
+    panicIf(params_.protectedSlots == 0,
+            "insertProtected on an unpartitioned TLB");
+    // Protected mappings are global: they hit under any ASID.
+    std::uint64_t asid = params_.tagged() ? kGlobalAsid : 0;
+    insertInRegion(keyOf(vpn, asid), 0, params_.protectedSlots);
+}
+
+void
+Tlb::invalidateAll()
+{
+    for (auto &s : slots_)
+        s.valid = false;
+    index_.clear();
+}
+
+void
+Tlb::invalidate(Vpn vpn)
+{
+    std::uint64_t key = keyOf(vpn, tagAsid());
+    if (params_.fullyAssociative()) {
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            slots_[it->second].valid = false;
+            index_.erase(it);
+        }
+        return;
+    }
+    unsigned lo, hi;
+    setRange(vpn, lo, hi);
+    for (unsigned s = lo; s < hi; ++s)
+        if (slots_[s].valid && slots_[s].key == key)
+            slots_[s].valid = false;
+}
+
+void
+Tlb::invalidateAsid(Asid asid)
+{
+    std::uint64_t tag = params_.tagged()
+                            ? (asid & asidMask_)
+                            : std::uint64_t{0};
+    for (unsigned s = params_.protectedSlots; s < params_.entries; ++s) {
+        if (slots_[s].valid && (slots_[s].key >> 48) == tag) {
+            if (params_.fullyAssociative())
+                index_.erase(slots_[s].key);
+            slots_[s].valid = false;
+        }
+    }
+}
+
+unsigned
+Tlb::evictRandom(unsigned n)
+{
+    unsigned evicted = 0;
+    unsigned lo = params_.protectedSlots;
+    unsigned span = params_.entries - lo;
+    // Bounded sampling: up to 4n draws to find n valid victims.
+    for (unsigned tries = 0; tries < 4 * n && evicted < n; ++tries) {
+        unsigned s = lo + static_cast<unsigned>(rng_.uniform(span));
+        if (slots_[s].valid) {
+            if (params_.fullyAssociative())
+                index_.erase(slots_[s].key);
+            slots_[s].valid = false;
+            ++evicted;
+        }
+    }
+    return evicted;
+}
+
+void
+Tlb::setCurrentAsid(Asid asid)
+{
+    curAsid_ = asid;
+}
+
+double
+Tlb::missRate() const
+{
+    Counter total = hits_ + misses_;
+    return total ? static_cast<double>(misses_) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+unsigned
+Tlb::validEntries() const
+{
+    unsigned n = 0;
+    for (const auto &s : slots_)
+        if (s.valid)
+            ++n;
+    return n;
+}
+
+} // namespace vmsim

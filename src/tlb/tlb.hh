@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Translation lookaside buffer model.
+ *
+ * The paper's TLBs are fully associative with random replacement
+ * ("similar to MIPS"), split into a 128-entry I-TLB and a 128-entry
+ * D-TLB. The MIPS-like systems (ULTRIX, MACH) reserve the 16 lowest
+ * slots for "protected" entries holding root/kernel-level PTE mappings;
+ * the INTEL and PA-RISC simulations leave the TLB unpartitioned.
+ *
+ * vmsim models exactly that — a slot array partitioned into a
+ * protected region [0, protectedSlots) and a normal region
+ * [protectedSlots, entries), each replaced randomly within its own
+ * region — plus three extensions real MMUs of the era shipped and the
+ * ablation benches exercise:
+ *
+ *  - LRU / FIFO replacement (TlbParams::repl);
+ *  - set associativity (TlbParams::assoc != 0): the normal region is
+ *    organized as sets indexed by low VPN bits, as in the x86 and
+ *    PowerPC TLBs, instead of fully associative;
+ *  - ASID tagging (TlbParams::asidBits != 0): entries carry an
+ *    address-space id and only hit when it matches the current ASID,
+ *    so context switches (setCurrentAsid) need no flush. Protected
+ *    entries are global, matching MIPS's G-bit kernel mappings.
+ *
+ * evictRandom() supports the multiprogramming model where competing
+ * processes displace a fraction of a process's entries between its
+ * quanta.
+ */
+
+#ifndef VMSIM_TLB_TLB_HH
+#define VMSIM_TLB_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+
+namespace vmsim
+{
+
+/** Replacement policy for the TLB's slot regions. */
+enum class TlbRepl : std::uint8_t { Random, LRU, FIFO };
+
+/** An address-space identifier. */
+using Asid = std::uint16_t;
+
+/** Configuration of one TLB (I or D side). */
+struct TlbParams
+{
+    /** Total mapping slots (paper: 128 per side). */
+    unsigned entries = 128;
+
+    /**
+     * Slots reserved for protected (root/kernel PTE) mappings
+     * (paper: 16 for ULTRIX and MACH, 0 for INTEL and PA-RISC).
+     * Only supported for fully-associative TLBs.
+     */
+    unsigned protectedSlots = 0;
+
+    /** Replacement policy (paper: Random). */
+    TlbRepl repl = TlbRepl::Random;
+
+    /**
+     * Associativity; 0 (the paper's configuration) means fully
+     * associative. Nonzero organizes the TLB as entries/assoc sets
+     * indexed by low VPN bits.
+     */
+    unsigned assoc = 0;
+
+    /**
+     * Bits of ASID tag; 0 (the paper's configuration) means untagged
+     * — a context switch must flush. Nonzero entries hit only under
+     * the inserting ASID (protected entries are global).
+     */
+    unsigned asidBits = 0;
+
+    bool fullyAssociative() const { return assoc == 0; }
+    bool tagged() const { return asidBits != 0; }
+
+    std::string toString() const;
+};
+
+/**
+ * TLB with protected-slot partition, optional set associativity and
+ * optional ASID tagging. lookup() is the hot path: O(1) via a
+ * key->slot map when fully associative, a short set scan otherwise.
+ */
+class Tlb
+{
+  public:
+    Tlb(const TlbParams &params, std::uint64_t seed = 1);
+
+    /**
+     * Probe for @p vpn under the current ASID and record a hit or
+     * miss. Hits refresh LRU state. @return true on hit.
+     */
+    bool lookup(Vpn vpn);
+
+    /** Probe without touching statistics or LRU state. */
+    bool contains(Vpn vpn) const;
+
+    /**
+     * Insert a mapping for @p vpn (tagged with the current ASID if
+     * tagging is enabled), evicting per policy if needed. Inserting a
+     * resident VPN refreshes it in place.
+     */
+    void insert(Vpn vpn);
+
+    /**
+     * Insert a global mapping into the protected region (root/kernel
+     * PTE mappings in the ULTRIX and MACH simulations).
+     * @pre params().protectedSlots > 0
+     */
+    void insertProtected(Vpn vpn);
+
+    /** Drop every mapping (context switch without ASIDs). */
+    void invalidateAll();
+
+    /** Drop @p vpn (under the current ASID) if resident. */
+    void invalidate(Vpn vpn);
+
+    /** Drop every non-protected mapping belonging to @p asid. */
+    void invalidateAsid(Asid asid);
+
+    /**
+     * Evict up to @p n randomly-chosen valid normal entries — models
+     * displacement by other processes between scheduling quanta.
+     * @return entries actually evicted.
+     */
+    unsigned evictRandom(unsigned n);
+
+    /** Switch address spaces (meaningful only when tagged). */
+    void setCurrentAsid(Asid asid);
+    Asid currentAsid() const { return curAsid_; }
+
+    const TlbParams &params() const { return params_; }
+
+    Counter hits() const { return hits_; }
+    Counter misses() const { return misses_; }
+    Counter accesses() const { return hits_ + misses_; }
+    double missRate() const;
+
+    /** Currently valid entries (both regions). */
+    unsigned validEntries() const;
+
+    void resetStats() { hits_ = misses_ = 0; }
+
+  private:
+    /**
+     * Slot tag: VPN plus ASID. Protected/global entries use
+     * kGlobalAsid so they hit under any current ASID.
+     */
+    static constexpr std::uint64_t kGlobalAsid = 0xffff;
+
+    std::uint64_t
+    keyOf(Vpn vpn, std::uint64_t asid) const
+    {
+        return (asid << 48) | vpn;
+    }
+
+    /** ASID used for normal-entry keys right now. */
+    std::uint64_t
+    tagAsid() const
+    {
+        return params_.tagged() ? curAsid_ & asidMask_ : 0;
+    }
+
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        bool valid = false;
+        std::uint64_t stamp = 0; ///< LRU: last touch; FIFO: fill time
+    };
+
+    /** Insert @p key into slot region [lo, hi). */
+    void insertInRegion(std::uint64_t key, unsigned lo, unsigned hi);
+
+    /** Fully-associative probe (no stats). */
+    bool probeFa(std::uint64_t key) const;
+
+    /** Set-associative region bounds for @p vpn. */
+    void setRange(Vpn vpn, unsigned &lo, unsigned &hi) const;
+
+    TlbParams params_;
+    std::uint64_t asidMask_ = 0;
+    Asid curAsid_ = 0;
+    std::vector<Slot> slots_;
+    std::unordered_map<std::uint64_t, unsigned> index_; ///< FA: key->slot
+    Random rng_;
+    std::uint64_t stamp_ = 0;
+    unsigned numSets_ = 1; ///< set-associative only
+    Counter hits_ = 0;
+    Counter misses_ = 0;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_TLB_TLB_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * InterleavedTrace: a TraceSource combinator that round-robins among
+ * several underlying sources with a fixed instruction quantum.
+ *
+ * Two uses:
+ *  - multiprogramming approximation: interleave two workloads and set
+ *    the Simulator's context-switch interval to the same quantum, so
+ *    each "process" resumes with cold TLBs (cache contents are
+ *    optimistically shared — the simulated machine has no ASIDs, so a
+ *    faithful virtual-cache model would flush them too; see the
+ *    VmSystem::contextSwitch() discussion);
+ *  - phase mixing: compose a single process with alternating phases
+ *    (e.g. a gcc-like phase followed by streaming output).
+ */
+
+#ifndef VMSIM_TRACE_INTERLEAVED_HH
+#define VMSIM_TRACE_INTERLEAVED_HH
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "trace/trace.hh"
+
+namespace vmsim
+{
+
+/** Round-robin interleaving of several trace sources. */
+class InterleavedTrace : public TraceSource
+{
+  public:
+    /**
+     * @param sources the underlying streams (not owned; must outlive
+     *        this object); at least one
+     * @param quantum instructions taken from each source per turn
+     */
+    InterleavedTrace(std::vector<TraceSource *> sources, Counter quantum)
+        : sources_(std::move(sources)), quantum_(quantum)
+    {
+        fatalIf(sources_.empty(), "InterleavedTrace needs a source");
+        for (auto *s : sources_)
+            fatalIf(s == nullptr, "InterleavedTrace: null source");
+        fatalIf(quantum_ == 0, "InterleavedTrace quantum must be > 0");
+    }
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        // Advance to the next live source at quantum boundaries, and
+        // skip exhausted sources entirely.
+        for (std::size_t tried = 0; tried <= sources_.size(); ++tried) {
+            if (inQuantum_ >= quantum_) {
+                inQuantum_ = 0;
+                cur_ = (cur_ + 1) % sources_.size();
+            }
+            if (sources_[cur_]->next(rec)) {
+                ++inQuantum_;
+                return true;
+            }
+            // Current source dry: move on immediately.
+            inQuantum_ = quantum_;
+        }
+        return false; // every source exhausted
+    }
+
+    /** Index of the source the next record will come from. */
+    std::size_t currentSource() const { return cur_; }
+
+  private:
+    std::vector<TraceSource *> sources_;
+    Counter quantum_;
+    Counter inQuantum_ = 0;
+    std::size_t cur_ = 0;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_TRACE_INTERLEAVED_HH

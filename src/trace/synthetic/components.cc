@@ -1,0 +1,269 @@
+#include "trace/synthetic/components.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace vmsim
+{
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s)
+{
+    fatalIf(n == 0, "ZipfSampler over zero items");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = acc;
+    }
+    for (auto &c : cdf_)
+        c /= acc;
+    cdf_.back() = 1.0; // guard against fp residue
+}
+
+std::uint64_t
+ZipfSampler::sample(Random &rng) const
+{
+    double u = rng.uniformReal();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+StreamWalker::StreamWalker(Region region, unsigned stride)
+    : region_(region), stride_(stride)
+{
+    fatalIf(region.size == 0, "StreamWalker over empty region");
+    fatalIf(stride == 0, "StreamWalker stride must be nonzero");
+}
+
+Addr
+StreamWalker::nextAddr(Random &)
+{
+    Addr a = region_.base + offset_;
+    offset_ += stride_;
+    if (offset_ >= region_.size)
+        offset_ = 0;
+    return a;
+}
+
+PointerChase::PointerChase(Region region, std::uint64_t num_nodes,
+                           unsigned node_size, std::uint64_t seed)
+    : region_(region), nodeSize_(node_size)
+{
+    fatalIf(num_nodes < 2, "PointerChase needs at least two nodes");
+    fatalIf(node_size < 4, "PointerChase node size must be >= 4");
+    fatalIf(num_nodes * node_size > region.size,
+            "PointerChase: ", num_nodes, " nodes of ", node_size,
+            "B exceed region of ", region.size, "B");
+
+    // Build one full cycle through a random permutation so every node
+    // is visited exactly once per lap (a random *permutation cycle*,
+    // not random jumps — matching real linked-list traversals).
+    std::vector<std::uint32_t> order(num_nodes);
+    std::iota(order.begin(), order.end(), 0);
+    Random perm_rng(seed);
+    for (std::uint64_t i = num_nodes - 1; i > 0; --i) {
+        std::uint64_t j = perm_rng.uniform(i + 1);
+        std::swap(order[i], order[j]);
+    }
+    nextIdx_.resize(num_nodes);
+    for (std::uint64_t i = 0; i < num_nodes; ++i)
+        nextIdx_[order[i]] = order[(i + 1) % num_nodes];
+    cur_ = order[0];
+}
+
+Addr
+PointerChase::nextAddr(Random &)
+{
+    Addr a = region_.base + static_cast<std::uint64_t>(cur_) * nodeSize_;
+    cur_ = nextIdx_[cur_];
+    return a;
+}
+
+StackModel::StackModel(Region region, unsigned frame_bytes,
+                       double move_prob)
+    : region_(region), frameBytes_(frame_bytes), moveProb_(move_prob)
+{
+    fatalIf(region.size < 2 * frame_bytes,
+            "stack region too small for its frame size");
+    // Stacks grow down; start in the middle so both directions have
+    // headroom.
+    top_ = region_.base + region_.size / 2;
+}
+
+Addr
+StackModel::nextAddr(Random &rng)
+{
+    if (rng.chance(moveProb_)) {
+        // Push or pop one frame, staying inside the region.
+        if (rng.chance(0.5)) {
+            if (top_ >= region_.base + frameBytes_)
+                top_ -= frameBytes_;
+        } else {
+            if (top_ + 2 * frameBytes_ <= region_.end())
+                top_ += frameBytes_;
+        }
+    }
+    // Touch a word within the current frame.
+    std::uint64_t off = rng.uniform(frameBytes_ / 4) * 4;
+    return top_ + off;
+}
+
+ZipfRegionAccess::ZipfRegionAccess(Region region, unsigned record_bytes,
+                                   double skew, unsigned run_len,
+                                   std::uint64_t seed, bool scatter)
+    : region_(region), recordBytes_(record_bytes),
+      runLen_(run_len ? run_len : 1),
+      zipf_(region.size / record_bytes, skew)
+{
+    fatalIf(record_bytes < 4, "record size must be >= 4");
+    fatalIf(region.size < record_bytes, "region smaller than one record");
+    if (scatter) {
+        // Map popularity rank -> record slot through a shuffle so hot
+        // records land on scattered pages rather than clustering.
+        std::uint64_t n = region.size / record_bytes;
+        shuffle_.resize(n);
+        std::iota(shuffle_.begin(), shuffle_.end(), 0);
+        Random perm_rng(seed);
+        for (std::uint64_t i = n - 1; i > 0; --i) {
+            std::uint64_t j = perm_rng.uniform(i + 1);
+            std::swap(shuffle_[i], shuffle_[j]);
+        }
+    }
+}
+
+Addr
+ZipfRegionAccess::nextAddr(Random &rng)
+{
+    if (runLeft_ > 0) {
+        --runLeft_;
+        runAddr_ += 4;
+        return runAddr_;
+    }
+    std::uint64_t rank = zipf_.sample(rng);
+    std::uint64_t slot = shuffle_.empty() ? rank : shuffle_[rank];
+    runAddr_ = region_.base + slot * recordBytes_;
+    // Short spatial run within the record, at least one access.
+    runLeft_ = static_cast<unsigned>(rng.uniform(runLen_));
+    std::uint64_t max_words = recordBytes_ / 4;
+    if (runLeft_ >= max_words)
+        runLeft_ = static_cast<unsigned>(max_words) - 1;
+    return runAddr_;
+}
+
+CodeModel::CodeModel(Addr code_base, unsigned num_funcs,
+                     unsigned min_instrs, unsigned max_instrs, double skew,
+                     double loop_prob, std::uint64_t seed,
+                     double branch_prob)
+    : zipf_(num_funcs, skew), loopProb_(loop_prob),
+      branchProb_(branch_prob)
+{
+    fatalIf(num_funcs == 0, "CodeModel needs at least one function");
+    fatalIf(min_instrs == 0 || max_instrs < min_instrs,
+            "bad function length range [", min_instrs, ", ", max_instrs,
+            "]");
+    Random layout_rng(seed);
+    Addr cursor = code_base;
+    funcs_.reserve(num_funcs);
+    for (unsigned f = 0; f < num_funcs; ++f) {
+        unsigned len = static_cast<unsigned>(
+            layout_rng.uniformRange(min_instrs, max_instrs));
+        funcs_.push_back(Function{cursor, len});
+        cursor += std::uint64_t{len} * 4;
+    }
+    codeBytes_ = cursor - code_base;
+}
+
+void
+CodeModel::enterFunction(Random &rng)
+{
+    curFunc_ = static_cast<unsigned>(zipf_.sample(rng));
+    curInstr_ = 0;
+    loopTripsLeft_ = 0;
+    // The invocation retires about one function-length's worth of
+    // instructions regardless of the control-flow path taken.
+    instrsLeft_ = funcs_[curFunc_].numInstrs;
+    inFunction_ = true;
+}
+
+Addr
+CodeModel::nextPc(Random &rng)
+{
+    if (!inFunction_)
+        enterFunction(rng);
+
+    const Function &fn = funcs_[curFunc_];
+    Addr pc = fn.base + std::uint64_t{curInstr_} * 4;
+
+    --instrsLeft_;
+    ++curInstr_;
+
+    if (instrsLeft_ == 0 || curInstr_ >= fn.numInstrs) {
+        if (loopTripsLeft_ > 0 && instrsLeft_ > 0) {
+            // Re-run the tail loop.
+            --loopTripsLeft_;
+            curInstr_ = loopStart_;
+        } else if (instrsLeft_ > 0 && rng.chance(loopProb_) &&
+                   fn.numInstrs > 8) {
+            // Start a short backward loop over the function tail.
+            loopStart_ = fn.numInstrs -
+                         static_cast<unsigned>(
+                             rng.uniformRange(4, fn.numInstrs / 2));
+            loopTripsLeft_ =
+                static_cast<unsigned>(rng.uniformRange(1, 16));
+            curInstr_ = loopStart_;
+        } else {
+            inFunction_ = false; // return; next call picks a function
+        }
+    } else if (rng.chance(branchProb_)) {
+        // Taken branch to another basic block of this function.
+        curInstr_ = static_cast<unsigned>(rng.uniform(fn.numInstrs));
+    }
+    return pc;
+}
+
+SyntheticWorkload::SyntheticWorkload(std::string name, std::uint64_t seed)
+    : rng_(seed), name_(std::move(name))
+{}
+
+void
+SyntheticWorkload::setCode(CodeModel code)
+{
+    code_.clear();
+    code_.push_back(std::move(code));
+}
+
+void
+SyntheticWorkload::addData(std::unique_ptr<AddressGenerator> gen,
+                           double weight)
+{
+    fatalIf(weight <= 0, "data generator weight must be positive");
+    double prev = weightCdf_.empty() ? 0.0 : weightCdf_.back();
+    gens_.push_back(std::move(gen));
+    weightCdf_.push_back(prev + weight);
+}
+
+bool
+SyntheticWorkload::next(TraceRecord &rec)
+{
+    panicIf(code_.empty(), "SyntheticWorkload without a CodeModel");
+    rec.pc = static_cast<std::uint32_t>(code_[0].nextPc(rng_));
+    if (!gens_.empty() && rng_.chance(memOpRate_)) {
+        // Pick a generator by weight.
+        double u = rng_.uniformReal() * weightCdf_.back();
+        std::size_t g = 0;
+        while (g + 1 < weightCdf_.size() && u >= weightCdf_[g])
+            ++g;
+        rec.daddr =
+            static_cast<std::uint32_t>(gens_[g]->nextAddr(rng_));
+        rec.op = rng_.chance(storeFrac_) ? MemOp::Store : MemOp::Load;
+    } else {
+        rec.daddr = 0;
+        rec.op = MemOp::None;
+    }
+    return true;
+}
+
+} // namespace vmsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Trace records and the TraceSource interface.
+ *
+ * The paper drives its simulator from SPEC'95 integer traces. vmsim
+ * consumes any TraceSource: the bundled deterministic synthetic
+ * workloads (trace/synthetic/), a binary trace file recorded by an
+ * external tool such as Pin or Valgrind (trace/trace_file.hh), or a
+ * user-supplied generator.
+ */
+
+#ifndef VMSIM_TRACE_TRACE_HH
+#define VMSIM_TRACE_TRACE_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace vmsim
+{
+
+/** Kind of memory operation an instruction performs. */
+enum class MemOp : std::uint8_t
+{
+    None = 0, ///< no data reference
+    Load = 1,
+    Store = 2,
+};
+
+/**
+ * One executed instruction: its PC and, if it is a load or store, its
+ * effective data address. Addresses are 32-bit virtual addresses of
+ * the simulated machine.
+ */
+struct TraceRecord
+{
+    std::uint32_t pc = 0;
+    std::uint32_t daddr = 0;
+    MemOp op = MemOp::None;
+
+    bool isMemOp() const { return op != MemOp::None; }
+    bool isStore() const { return op == MemOp::Store; }
+
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return pc == o.pc && daddr == o.daddr && op == o.op;
+    }
+};
+
+/** A stream of executed instructions. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next instruction into @p rec.
+     * @return false when the trace is exhausted (synthetic sources are
+     *         typically unbounded and always return true).
+     */
+    virtual bool next(TraceRecord &rec) = 0;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_TRACE_TRACE_HH

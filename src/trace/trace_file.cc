@@ -1,0 +1,177 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace vmsim
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'V', 'M', 'T', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kIoBufRecords = 4096;
+
+void
+putU32(unsigned char *p, std::uint32_t v)
+{
+    p[0] = static_cast<unsigned char>(v);
+    p[1] = static_cast<unsigned char>(v >> 8);
+    p[2] = static_cast<unsigned char>(v >> 16);
+    p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void
+putU64(unsigned char *p, std::uint64_t v)
+{
+    putU32(p, static_cast<std::uint32_t>(v));
+    putU32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t
+getU32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+getU64(const unsigned char *p)
+{
+    return static_cast<std::uint64_t>(getU32(p)) |
+           (static_cast<std::uint64_t>(getU32(p + 4)) << 32);
+}
+
+} // anonymous namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb")), path_(path)
+{
+    fatalIf(!file_, "cannot open trace file for writing: ", path);
+    buf_.reserve(kIoBufRecords * kTraceRecordBytes);
+
+    unsigned char header[kTraceHeaderBytes];
+    std::memcpy(header, kMagic, 4);
+    putU32(header + 4, kVersion);
+    putU64(header + 8, 0); // patched by close()
+    std::size_t n = std::fwrite(header, 1, sizeof(header), file_);
+    fatalIf(n != sizeof(header), "short write of trace header: ", path);
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (file_) {
+        // Destructor must not throw; best-effort close.
+        try {
+            close();
+        } catch (...) {
+        }
+    }
+}
+
+void
+TraceFileWriter::write(const TraceRecord &rec)
+{
+    panicIf(!file_, "write to a closed TraceFileWriter");
+    unsigned char packed[kTraceRecordBytes];
+    putU32(packed, rec.pc);
+    putU32(packed + 4, rec.daddr);
+    packed[8] = static_cast<unsigned char>(rec.op);
+    buf_.insert(buf_.end(), packed, packed + sizeof(packed));
+    ++count_;
+    if (buf_.size() >= kIoBufRecords * kTraceRecordBytes)
+        flushBuffer();
+}
+
+void
+TraceFileWriter::flushBuffer()
+{
+    if (buf_.empty())
+        return;
+    std::size_t n = std::fwrite(buf_.data(), 1, buf_.size(), file_);
+    fatalIf(n != buf_.size(), "short write to trace file: ", path_);
+    buf_.clear();
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!file_)
+        return;
+    flushBuffer();
+    // Patch the record count into the header.
+    unsigned char count_bytes[8];
+    putU64(count_bytes, count_);
+    int rc = std::fseek(file_, 8, SEEK_SET);
+    fatalIf(rc != 0, "cannot seek in trace file: ", path_);
+    std::size_t n = std::fwrite(count_bytes, 1, sizeof(count_bytes), file_);
+    fatalIf(n != sizeof(count_bytes), "cannot patch trace header: ", path_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    fatalIf(!file_, "cannot open trace file: ", path);
+    buf_.resize(kIoBufRecords * kTraceRecordBytes);
+
+    unsigned char header[kTraceHeaderBytes];
+    std::size_t n = std::fread(header, 1, sizeof(header), file_);
+    fatalIf(n != sizeof(header), "trace file too short: ", path);
+    fatalIf(std::memcmp(header, kMagic, 4) != 0,
+            "bad trace magic (not a VMT1 file): ", path);
+    std::uint32_t version = getU32(header + 4);
+    fatalIf(version != kVersion, "unsupported trace version ", version,
+            ": ", path);
+    total_ = getU64(header + 8);
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceFileReader::fillBuffer()
+{
+    bufLen_ = std::fread(buf_.data(), 1, buf_.size(), file_);
+    bufPos_ = 0;
+    fatalIf(bufLen_ % kTraceRecordBytes != 0,
+            "trace file truncated mid-record");
+    return bufLen_ > 0;
+}
+
+bool
+TraceFileReader::next(TraceRecord &rec)
+{
+    if (read_ >= total_)
+        return false;
+    if (bufPos_ >= bufLen_ && !fillBuffer())
+        return false;
+    const unsigned char *p = buf_.data() + bufPos_;
+    rec.pc = getU32(p);
+    rec.daddr = getU32(p + 4);
+    unsigned char op = p[8];
+    fatalIf(op > 2, "corrupt trace record: op=", unsigned{op});
+    rec.op = static_cast<MemOp>(op);
+    bufPos_ += kTraceRecordBytes;
+    ++read_;
+    return true;
+}
+
+void
+TraceFileReader::rewind()
+{
+    int rc = std::fseek(file_, kTraceHeaderBytes, SEEK_SET);
+    fatalIf(rc != 0, "cannot rewind trace file");
+    read_ = 0;
+    bufPos_ = bufLen_ = 0;
+}
+
+} // namespace vmsim

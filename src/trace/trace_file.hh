@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Binary trace file format, writer, and reader.
+ *
+ * Format "VMT1": a 16-byte header (magic, version, record count)
+ * followed by packed 9-byte records:
+ *
+ *     offset  size  field
+ *     0       4     magic "VMT1"
+ *     4       4     version (little-endian u32, currently 1)
+ *     8       8     record count (little-endian u64)
+ *     16      9*n   records: pc (u32 LE), daddr (u32 LE), op (u8)
+ *
+ * This is the interchange point for real traces: a Pin or Valgrind
+ * tool that emits (pc, address, load/store) tuples in this format can
+ * drive every simulation in place of the synthetic workloads.
+ */
+
+#ifndef VMSIM_TRACE_TRACE_FILE_HH
+#define VMSIM_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace vmsim
+{
+
+/** Streaming writer for "VMT1" trace files. */
+class TraceFileWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one record. */
+    void write(const TraceRecord &rec);
+
+    /** Patch the header's record count and close. Idempotent. */
+    void close();
+
+    Counter recordsWritten() const { return count_; }
+
+  private:
+    void flushBuffer();
+
+    std::FILE *file_;
+    std::string path_;
+    Counter count_ = 0;
+    std::vector<unsigned char> buf_;
+};
+
+/** Streaming reader for "VMT1" trace files. */
+class TraceFileReader : public TraceSource
+{
+  public:
+    /** Open and validate @p path; fatal() on malformed files. */
+    explicit TraceFileReader(const std::string &path);
+    ~TraceFileReader() override;
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    bool next(TraceRecord &rec) override;
+
+    /** Total records the header promises. */
+    Counter recordCount() const { return total_; }
+
+    /** Records consumed so far. */
+    Counter recordsRead() const { return read_; }
+
+    /** Rewind to the first record. */
+    void rewind();
+
+  private:
+    bool fillBuffer();
+
+    std::FILE *file_;
+    Counter total_ = 0;
+    Counter read_ = 0;
+    std::vector<unsigned char> buf_;
+    std::size_t bufPos_ = 0;
+    std::size_t bufLen_ = 0;
+};
+
+/** Size in bytes of one packed record. */
+constexpr std::size_t kTraceRecordBytes = 9;
+
+/** Size in bytes of the file header. */
+constexpr std::size_t kTraceHeaderBytes = 16;
+
+} // namespace vmsim
+
+#endif // VMSIM_TRACE_TRACE_FILE_HH

@@ -1,0 +1,579 @@
+/**
+ * @file
+ * Unit tests for the base module: intmath, bitfield, logging, random,
+ * stats, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "base/bitfield.hh"
+#include "base/intmath.hh"
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+// ---------------------------------------------------------------- intmath
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4097));
+    EXPECT_TRUE(isPowerOf2(std::uint64_t{1} << 63));
+    EXPECT_FALSE(isPowerOf2(~std::uint64_t{0}));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(4095), 11u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(std::uint64_t{1} << 63), 63u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(IntMath, FloorCeilAgreeOnPowersOf2)
+{
+    for (unsigned b = 0; b < 63; ++b) {
+        std::uint64_t v = std::uint64_t{1} << b;
+        EXPECT_EQ(floorLog2(v), ceilLog2(v)) << "bit " << b;
+    }
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(12, 3), 4u);
+}
+
+TEST(IntMath, Alignment)
+{
+    EXPECT_EQ(alignDown(0x12345, 0x1000), 0x12000u);
+    EXPECT_EQ(alignUp(0x12345, 0x1000), 0x13000u);
+    EXPECT_EQ(alignUp(0x12000, 0x1000), 0x12000u);
+    EXPECT_TRUE(isAligned(0x12000, 0x1000));
+    EXPECT_FALSE(isAligned(0x12001, 0x1000));
+}
+
+// --------------------------------------------------------------- bitfield
+
+TEST(Bitfield, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(12), 0xfffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bitfield, Bits)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeef, 0, 0), 1u);
+    EXPECT_EQ(bits(0x80000000u, 31), 1u);
+    EXPECT_EQ(bits(0x80000000u, 30), 0u);
+}
+
+TEST(Bitfield, Mbits)
+{
+    EXPECT_EQ(mbits(0xdeadbeef, 15, 8), 0xbe00u);
+    EXPECT_EQ(mbits(0xff, 3, 0), 0xfu);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffffffff, 15, 8, 0), 0xffff00ffu);
+    EXPECT_EQ(insertBits(0x1200, 15, 8, 0x34), 0x3400u);
+}
+
+TEST(Bitfield, BitsInsertRoundTrip)
+{
+    std::uint64_t v = 0x0123456789abcdefULL;
+    for (unsigned first = 0; first < 60; first += 7) {
+        unsigned last = first + 5;
+        std::uint64_t field = bits(v, last, first);
+        EXPECT_EQ(insertBits(v, last, first, field), v);
+    }
+}
+
+TEST(Bitfield, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(1), 1u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~std::uint64_t{0}), 64u);
+}
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, Literals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(64_KiB, 65536u);
+    EXPECT_EQ(1_MiB, 1048576u);
+    EXPECT_EQ(2_GiB, 0x80000000u);
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    setQuiet(true);
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+    setQuiet(false);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    setQuiet(true);
+    EXPECT_THROW(fatal("bad config: ", "x"), FatalError);
+    setQuiet(false);
+}
+
+TEST(Logging, MessageConcatenation)
+{
+    setQuiet(true);
+    try {
+        fatal("value=", 7, " name=", "abc");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=abc");
+    }
+    setQuiet(false);
+}
+
+TEST(Logging, ConditionalHelpers)
+{
+    setQuiet(true);
+    EXPECT_NO_THROW(panicIf(false, "never"));
+    EXPECT_NO_THROW(fatalIf(false, "never"));
+    EXPECT_THROW(panicIf(true, "yes"), PanicError);
+    EXPECT_THROW(fatalIf(true, "yes"), FatalError);
+    setQuiet(false);
+}
+
+TEST(Logging, FatalIsNotPanic)
+{
+    setQuiet(true);
+    // The two error classes must stay distinguishable for callers.
+    EXPECT_THROW(
+        {
+            try {
+                fatal("user error");
+            } catch (const PanicError &) {
+                FAIL() << "fatal threw PanicError";
+            }
+        },
+        FatalError);
+    setQuiet(false);
+}
+
+// ----------------------------------------------------------------- random
+
+TEST(Random, DeterministicFromSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, ZeroSeedWorks)
+{
+    Random r(0);
+    // Must not get stuck at zero.
+    std::set<std::uint64_t> vals;
+    for (int i = 0; i < 16; ++i)
+        vals.insert(r.next());
+    EXPECT_GT(vals.size(), 14u);
+}
+
+TEST(Random, UniformBounds)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.uniform(17), 17u);
+}
+
+TEST(Random, UniformCoversRange)
+{
+    Random r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.uniform(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, UniformRangeInclusive)
+{
+    Random r(9);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t v = r.uniformRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        hit_lo |= (v == 3);
+        hit_hi |= (v == 6);
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Random, UniformRealInUnitInterval)
+{
+    Random r(11);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        double v = r.uniformReal();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-1.0));
+        EXPECT_TRUE(r.chance(2.0));
+    }
+}
+
+TEST(Random, ChanceFrequency)
+{
+    Random r(17);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i)
+        if (r.chance(0.25))
+            ++hits;
+    EXPECT_NEAR(hits / 50000.0, 0.25, 0.01);
+}
+
+TEST(Random, GeometricMean)
+{
+    Random r(19);
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(0.5));
+    // E[failures before success] = (1-p)/p = 1.
+    EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(Random, GeometricCap)
+{
+    Random r(23);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LE(r.geometric(1e-12, 50), 50u);
+    EXPECT_EQ(r.geometric(0.0, 10), 10u);
+    EXPECT_EQ(r.geometric(1.0), 0u);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Distribution, Empty)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.variance(), 0.0);
+    EXPECT_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, SingleSample)
+{
+    Distribution d;
+    d.sample(5.0);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.mean(), 5.0);
+    EXPECT_EQ(d.min(), 5.0);
+    EXPECT_EQ(d.max(), 5.0);
+    EXPECT_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, KnownMoments)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_NEAR(d.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(d.stddev(), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(d.sum(), 40.0);
+}
+
+TEST(Distribution, Reset)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.sample(2.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0.0);
+    d.sample(10.0);
+    EXPECT_EQ(d.min(), 10.0);
+}
+
+TEST(Distribution, NegativeValues)
+{
+    Distribution d;
+    d.sample(-3.0);
+    d.sample(3.0);
+    EXPECT_EQ(d.min(), -3.0);
+    EXPECT_EQ(d.max(), 3.0);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(Histogram, Bucketing)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(0.0);  // bucket 0
+    h.sample(1.99); // bucket 0
+    h.sample(2.0);  // bucket 1
+    h.sample(9.99); // bucket 4
+    h.sample(-1.0); // underflow
+    h.sample(10.0); // overflow (hi is exclusive)
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, BucketEdges)
+{
+    Histogram h(0.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(3), 3.0);
+}
+
+TEST(Histogram, InvalidConstruction)
+{
+    setQuiet(true);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), FatalError);
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), FatalError);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), FatalError);
+    setQuiet(false);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(0.0, 10.0, 2);
+    h.sample(1.0);
+    h.sample(100.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST(CounterGroup, AddAndGet)
+{
+    CounterGroup g;
+    EXPECT_EQ(g.get("x"), 0u);
+    g.add("x");
+    g.add("x", 4);
+    g.add("y", 2);
+    EXPECT_EQ(g.get("x"), 5u);
+    EXPECT_EQ(g.get("y"), 2u);
+    EXPECT_EQ(g.entries().size(), 2u);
+    EXPECT_EQ(g.entries()[0].first, "x");
+}
+
+TEST(CounterGroup, Reset)
+{
+    CounterGroup g;
+    g.add("a", 3);
+    g.reset();
+    EXPECT_EQ(g.get("a"), 0u);
+    EXPECT_TRUE(g.entries().empty());
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(TextTable, AlignedOutput)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"only"});
+    EXPECT_EQ(t.numRows(), 1u);
+    EXPECT_EQ(t.numCols(), 3u);
+}
+
+TEST(TextTable, OverlongRowPanics)
+{
+    setQuiet(true);
+    TextTable t;
+    t.setHeader({"a"});
+    EXPECT_THROW(t.addRow({"1", "2"}), PanicError);
+    EXPECT_THROW(
+        {
+            TextTable u;
+            u.addRow({"1"});
+        },
+        PanicError);
+    setQuiet(false);
+}
+
+TEST(TextTable, CsvQuoting)
+{
+    TextTable t;
+    t.setHeader({"k", "v"});
+    t.addRow({"has,comma", "has\"quote"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, FmtPrecision)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(1.0, 3), "1.000");
+}
+
+
+// ------------------------------------------------------------------- json
+
+TEST(Json, Scalars)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(std::uint64_t{18446744073709551615ull}).dump(),
+              "-1"); // u64 above int64 range wraps; use doubles there
+    EXPECT_EQ(Json(1.5).dump(), "1.5");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+    EXPECT_EQ(Json("line\nbreak").dump(), "\"line\\nbreak\"");
+    EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+    EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ArraysAndObjects)
+{
+    Json arr = Json::array();
+    arr.push(1).push("two").push(Json());
+    EXPECT_EQ(arr.dump(), "[1,\"two\",null]");
+
+    Json obj = Json::object();
+    obj.set("a", 1);
+    obj.set("b", Json::array().push(2));
+    EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":[2]}");
+}
+
+TEST(Json, SetOverwritesInPlace)
+{
+    Json obj = Json::object();
+    obj.set("k", 1);
+    obj.set("other", 2);
+    obj.set("k", 3);
+    EXPECT_EQ(obj.dump(), "{\"k\":3,\"other\":2}");
+}
+
+TEST(Json, NullConvertsOnFirstUse)
+{
+    Json j;
+    j.push(1);
+    EXPECT_EQ(j.dump(), "[1]");
+    Json o;
+    o.set("x", 1);
+    EXPECT_EQ(o.dump(), "{\"x\":1}");
+}
+
+TEST(Json, TypeMisusePanics)
+{
+    setQuiet(true);
+    Json arr = Json::array();
+    EXPECT_THROW(arr.set("k", 1), PanicError);
+    Json obj = Json::object();
+    EXPECT_THROW(obj.push(1), PanicError);
+    setQuiet(false);
+}
+
+TEST(Json, PrettyPrinting)
+{
+    Json obj = Json::object();
+    obj.set("a", 1);
+    std::string out = obj.dump(2);
+    EXPECT_NE(out.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull)
+{
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+} // anonymous namespace
+} // namespace vmsim

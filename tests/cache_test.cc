@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit and property tests for the Cache model: geometry validation,
+ * direct-mapped conflict behavior, associativity, replacement, and
+ * parameterized sweeps over the paper's cache shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/units.hh"
+#include "mem/cache.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+CacheParams
+params(std::uint64_t size, unsigned line, unsigned assoc = 1)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.lineSize = line;
+    p.assoc = assoc;
+    return p;
+}
+
+TEST(CacheParams, NumSets)
+{
+    EXPECT_EQ(params(1_KiB, 16).numSets(), 64u);
+    EXPECT_EQ(params(64_KiB, 64).numSets(), 1024u);
+    EXPECT_EQ(params(64_KiB, 64, 4).numSets(), 256u);
+}
+
+TEST(CacheParams, ToString)
+{
+    EXPECT_EQ(params(64_KiB, 32).toString(), "64KB/32B/direct");
+    EXPECT_EQ(params(2_MiB, 128).toString(), "2MB/128B/direct");
+    EXPECT_EQ(params(64_KiB, 32, 4).toString(), "64KB/32B/4way");
+}
+
+TEST(Cache, InvalidGeometryRejected)
+{
+    setQuiet(true);
+    EXPECT_THROW(Cache(params(0, 32)), FatalError);
+    EXPECT_THROW(Cache(params(3000, 32)), FatalError);
+    EXPECT_THROW(Cache(params(1_KiB, 24)), FatalError);
+    EXPECT_THROW(Cache(params(1_KiB, 2)), FatalError);
+    EXPECT_THROW(Cache(params(1_KiB, 32, 0)), FatalError);
+    // size not divisible by line * assoc
+    EXPECT_THROW(Cache(params(1_KiB, 512, 4)), FatalError);
+    setQuiet(false);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(params(1_KiB, 32));
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x101f)); // same 32B line
+    EXPECT_FALSE(c.access(0x1020)); // next line
+    EXPECT_EQ(c.accesses(), 4u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    // 1 KB direct-mapped, 32 B lines -> 32 sets; addresses 1 KB apart
+    // with equal offsets collide.
+    Cache c(params(1_KiB, 32));
+    EXPECT_FALSE(c.access(0x0000));
+    EXPECT_FALSE(c.access(0x0400)); // evicts 0x0000
+    EXPECT_FALSE(c.access(0x0000)); // conflict miss
+    EXPECT_FALSE(c.access(0x0400));
+    EXPECT_EQ(c.misses(), 4u);
+}
+
+TEST(Cache, DistinctSetsDoNotConflict)
+{
+    Cache c(params(1_KiB, 32));
+    for (Addr a = 0; a < 1_KiB; a += 32)
+        EXPECT_FALSE(c.access(a));
+    // Entire cache now resident.
+    for (Addr a = 0; a < 1_KiB; a += 32)
+        EXPECT_TRUE(c.access(a));
+    EXPECT_EQ(c.validLines(), 32u);
+}
+
+TEST(Cache, TwoWayAvoidsPairConflict)
+{
+    // Two addresses mapping to the same set coexist in a 2-way cache.
+    Cache c(params(1_KiB, 32, 2));
+    EXPECT_FALSE(c.access(0x0000));
+    EXPECT_FALSE(c.access(0x0400));
+    EXPECT_TRUE(c.access(0x0000));
+    EXPECT_TRUE(c.access(0x0400));
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way set: fill both ways, touch way A, insert third line ->
+    // way B (the LRU) must be evicted.
+    CacheParams p = params(1_KiB, 32, 2);
+    p.repl = CacheRepl::LRU;
+    Cache c(p);
+    c.access(0x0000); // A
+    c.access(0x0400); // B
+    c.access(0x0000); // touch A
+    c.access(0x0800); // evicts B
+    EXPECT_TRUE(c.access(0x0000));
+    EXPECT_FALSE(c.access(0x0400));
+}
+
+TEST(Cache, ProbeDoesNotFill)
+{
+    Cache c(params(1_KiB, 32));
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.probe(0x40)); // still absent
+    c.access(0x40);
+    EXPECT_TRUE(c.probe(0x40));
+    EXPECT_EQ(c.accesses(), 1u); // probes don't count as accesses
+}
+
+TEST(Cache, InvalidateSingleLine)
+{
+    Cache c(params(1_KiB, 32));
+    c.access(0x40);
+    c.access(0x80);
+    c.invalidate(0x40);
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_TRUE(c.probe(0x80));
+}
+
+TEST(Cache, InvalidateAll)
+{
+    Cache c(params(1_KiB, 32));
+    for (Addr a = 0; a < 512; a += 32)
+        c.access(a);
+    EXPECT_GT(c.validLines(), 0u);
+    c.invalidateAll();
+    EXPECT_EQ(c.validLines(), 0u);
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(Cache, LineAddr)
+{
+    Cache c(params(1_KiB, 64));
+    EXPECT_EQ(c.lineAddr(0x12345), 0x12340u);
+    EXPECT_EQ(c.lineAddr(0x12340), 0x12340u);
+    EXPECT_EQ(c.lineAddr(0x1237f), 0x12340u);
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c(params(1_KiB, 32));
+    EXPECT_EQ(c.missRate(), 0.0);
+    c.access(0);
+    c.access(0);
+    c.access(0);
+    c.access(0);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.25);
+}
+
+TEST(Cache, RandomReplacementStaysWithinSet)
+{
+    CacheParams p = params(1_KiB, 32, 4);
+    p.repl = CacheRepl::Random;
+    Cache c(p, 99);
+    // Fill one set (set index 0) with 4 ways, then keep inserting
+    // conflicting lines; lines in other sets must stay resident.
+    c.access(0x2000); // a different set? no: 0x2000 % 256... compute:
+    // 1KB/32B/4way -> 8 sets, set bits = addr[7:5]. 0x2000 -> set 0.
+    c.access(0x0020); // set 1
+    for (int i = 0; i < 32; ++i)
+        c.access(0x0000 + std::uint64_t{0x100} * i); // all set 0
+    EXPECT_TRUE(c.probe(0x0020)); // set 1 untouched
+}
+
+TEST(Cache, FullCacheWorkingSetHitsAfterWarmup)
+{
+    Cache c(params(8_KiB, 64));
+    for (int lap = 0; lap < 3; ++lap) {
+        Counter misses_before = c.misses();
+        for (Addr a = 0; a < 8_KiB; a += 64)
+            c.access(a);
+        if (lap > 0) {
+            EXPECT_EQ(c.misses(), misses_before) << "lap " << lap;
+        }
+    }
+}
+
+TEST(Cache, OversizedWorkingSetAlwaysMisses)
+{
+    // Cyclic sweep of 2x the cache through a direct-mapped cache:
+    // every access evicts the line needed one lap later.
+    Cache c(params(1_KiB, 32));
+    for (int lap = 0; lap < 3; ++lap)
+        for (Addr a = 0; a < 2_KiB; a += 32)
+            c.access(a);
+    EXPECT_EQ(c.misses(), c.accesses());
+}
+
+// Property sweep over the paper's cache geometry grid: invariants that
+// must hold for every L1 shape in Table 1.
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>>
+{};
+
+TEST_P(CacheGeometryTest, WorkingSetResidency)
+{
+    auto [size, line] = GetParam();
+    Cache c(params(size, line));
+    // One full pass installs every line; the second pass is all hits.
+    for (Addr a = 0; a < size; a += line)
+        EXPECT_FALSE(c.access(a));
+    for (Addr a = 0; a < size; a += line)
+        EXPECT_TRUE(c.access(a));
+    EXPECT_EQ(c.validLines(), size / line);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+TEST_P(CacheGeometryTest, TagDisambiguation)
+{
+    auto [size, line] = GetParam();
+    Cache c(params(size, line));
+    // Two addresses that differ only above the index bits must not be
+    // confused for one another.
+    Addr a = 0x100;
+    Addr b = a + size;
+    c.access(a);
+    EXPECT_FALSE(c.probe(b));
+    c.access(b);
+    EXPECT_FALSE(c.probe(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, CacheGeometryTest,
+    ::testing::Combine(::testing::Values(1_KiB, 2_KiB, 4_KiB, 8_KiB,
+                                         16_KiB, 32_KiB, 64_KiB, 128_KiB),
+                       ::testing::Values(16u, 32u, 64u, 128u)));
+
+// Associativity property: for a fixed working set that fits, higher
+// associativity never increases misses under LRU.
+class CacheAssocTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(CacheAssocTest, FittingWorkingSetEventuallyAllHits)
+{
+    unsigned assoc = GetParam();
+    CacheParams p = params(4_KiB, 32, assoc);
+    p.repl = CacheRepl::LRU;
+    Cache c(p);
+    for (int lap = 0; lap < 2; ++lap)
+        for (Addr a = 0; a < 4_KiB; a += 32)
+            c.access(a);
+    // Second lap: no new misses.
+    EXPECT_EQ(c.misses(), 4_KiB / 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(Assoc, CacheAssocTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+
+TEST(Cache, RandomReplacementDeterministicPerSeed)
+{
+    CacheParams p = params(1_KiB, 32, 4);
+    p.repl = CacheRepl::Random;
+    Cache a(p, 11), b(p, 11), c(p, 12);
+    int diverged = 0;
+    for (Addr addr = 0; addr < 64_KiB; addr += 32) {
+        a.access(addr % 8_KiB);
+        b.access(addr % 8_KiB);
+        c.access(addr % 8_KiB);
+        if (a.probe(addr % 8_KiB) != c.probe(addr % 8_KiB))
+            ++diverged;
+        ASSERT_EQ(a.probe(addr % 8_KiB), b.probe(addr % 8_KiB));
+    }
+    EXPECT_EQ(a.misses(), b.misses());
+}
+
+TEST(Cache, ValidLinesNeverExceedsCapacity)
+{
+    Cache c(params(2_KiB, 64, 2));
+    Random rng(5);
+    for (int i = 0; i < 5000; ++i)
+        c.access(rng.uniform(1_MiB));
+    EXPECT_LE(c.validLines(), 2_KiB / 64);
+    EXPECT_EQ(c.validLines(), 2_KiB / 64); // saturated under pressure
+}
+
+TEST(Cache, InvalidateMissingLineIsHarmless)
+{
+    Cache c(params(1_KiB, 32));
+    c.access(0x40);
+    c.invalidate(0x9999040); // same set, different tag: not present
+    EXPECT_TRUE(c.probe(0x40));
+}
+
+} // anonymous namespace
+} // namespace vmsim

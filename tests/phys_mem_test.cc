@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for PhysMem: region reservation, first-touch frame allocation,
+ * determinism, and overcommit behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "mem/phys_mem.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+TEST(PhysMem, BasicGeometry)
+{
+    PhysMem pm(8_MiB, 12);
+    EXPECT_EQ(pm.pageSize(), 4096u);
+    EXPECT_EQ(pm.numFrames(), 2048u);
+    EXPECT_EQ(pm.framesUsed(), 0u);
+    EXPECT_FALSE(pm.overcommitted());
+}
+
+TEST(PhysMem, InvalidConstruction)
+{
+    setQuiet(true);
+    EXPECT_THROW(PhysMem(0, 12), FatalError);
+    EXPECT_THROW(PhysMem(3_MiB, 12), FatalError); // not a power of two
+    EXPECT_THROW(PhysMem(8_MiB, 40), FatalError); // silly page size
+    EXPECT_THROW(PhysMem(1_KiB, 12), FatalError); // smaller than a page
+    setQuiet(false);
+}
+
+TEST(PhysMem, FirstTouchIsDeterministic)
+{
+    PhysMem pm(8_MiB, 12);
+    Pfn f1 = pm.frameOf(100);
+    Pfn f2 = pm.frameOf(200);
+    EXPECT_NE(f1, f2);
+    EXPECT_EQ(pm.frameOf(100), f1);
+    EXPECT_EQ(pm.frameOf(200), f2);
+    EXPECT_EQ(pm.framesUsed(), 2u);
+}
+
+TEST(PhysMem, IsMapped)
+{
+    PhysMem pm(8_MiB, 12);
+    EXPECT_FALSE(pm.isMapped(5));
+    pm.frameOf(5);
+    EXPECT_TRUE(pm.isMapped(5));
+    EXPECT_FALSE(pm.isMapped(6));
+}
+
+TEST(PhysMem, FrameAddr)
+{
+    PhysMem pm(8_MiB, 12);
+    Pfn f = pm.frameOf(7);
+    EXPECT_EQ(pm.frameAddrOf(7), f << 12);
+}
+
+TEST(PhysMem, ReserveRegionsAreDisjointAndAligned)
+{
+    PhysMem pm(8_MiB, 12);
+    Addr a = pm.reserveRegion(2_KiB, 4096);
+    Addr b = pm.reserveRegion(64_KiB, 4096);
+    Addr c = pm.reserveRegion(100, 64);
+    EXPECT_EQ(a % 4096, 0u);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_EQ(c % 64, 0u);
+    EXPECT_GE(b, a + 2_KiB);
+    EXPECT_GE(c, b + 64_KiB);
+}
+
+TEST(PhysMem, FramesStartAfterReservations)
+{
+    PhysMem pm(8_MiB, 12);
+    pm.reserveRegion(64_KiB, 4096);
+    Pfn first = pm.frameOf(0);
+    // Frame 0..15 hold the reserved region.
+    EXPECT_GE(first, 16u);
+    // The reservation shrank the pool.
+    EXPECT_EQ(pm.numFrames(), 2048u - 16u);
+}
+
+TEST(PhysMem, ReserveAfterAllocationPanics)
+{
+    setQuiet(true);
+    PhysMem pm(8_MiB, 12);
+    pm.frameOf(1);
+    EXPECT_THROW(pm.reserveRegion(4096, 4096), PanicError);
+    setQuiet(false);
+}
+
+TEST(PhysMem, EmptyReservationRejected)
+{
+    setQuiet(true);
+    PhysMem pm(8_MiB, 12);
+    EXPECT_THROW(pm.reserveRegion(0, 4096), FatalError);
+    setQuiet(false);
+}
+
+TEST(PhysMem, OvercommitWarnsButContinues)
+{
+    setQuiet(true);
+    PhysMem pm(1_MiB, 12); // 256 frames
+    for (Vpn v = 0; v < 300; ++v)
+        pm.frameOf(v);
+    EXPECT_TRUE(pm.overcommitted());
+    EXPECT_EQ(pm.framesUsed(), 300u);
+    // Mappings stay stable even past capacity.
+    EXPECT_EQ(pm.frameOf(299), pm.frameOf(299));
+    setQuiet(false);
+}
+
+TEST(PhysMem, DistinctVpnsGetDistinctFrames)
+{
+    PhysMem pm(8_MiB, 12);
+    std::set<Pfn> frames;
+    for (Vpn v = 1000; v < 1100; ++v)
+        frames.insert(pm.frameOf(v));
+    EXPECT_EQ(frames.size(), 100u);
+}
+
+} // anonymous namespace
+} // namespace vmsim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the NOTLB disjunct page table (paper Fig. 5): scattered
+ * page groups, bijective group placement, entry math identical in
+ * cost structure to the Ultrix table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "mem/phys_mem.hh"
+#include "pt/disjunct_page_table.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+TEST(DisjunctPageTable, GroupCountAndRootSize)
+{
+    PhysMem pm(8_MiB, 12);
+    DisjunctPageTable pt(pm);
+    // 512K user pages / 1024 PTEs per group = 512 page groups.
+    EXPECT_EQ(pt.numGroups(), 512u);
+    EXPECT_EQ(pt.rptBytes(), 2_KiB);
+}
+
+TEST(DisjunctPageTable, GroupBasesArePageAlignedAndDistinct)
+{
+    PhysMem pm(8_MiB, 12);
+    DisjunctPageTable pt(pm);
+    std::set<Addr> bases;
+    for (std::uint64_t g = 0; g < pt.numGroups(); ++g) {
+        Addr base = pt.groupBase(g);
+        EXPECT_EQ(base % 4096, 0u);
+        bases.insert(base);
+    }
+    // Bijective scatter: no two groups collide.
+    EXPECT_EQ(bases.size(), pt.numGroups());
+}
+
+TEST(DisjunctPageTable, GroupsAreScatteredNotSequential)
+{
+    PhysMem pm(8_MiB, 12);
+    DisjunctPageTable pt(pm);
+    // Consecutive groups must not be laid out back to back (that
+    // would be the contiguous ULTRIX layout).
+    unsigned adjacent = 0;
+    for (std::uint64_t g = 0; g + 1 < pt.numGroups(); ++g)
+        if (pt.groupBase(g + 1) == pt.groupBase(g) + 4096)
+            ++adjacent;
+    EXPECT_LT(adjacent, pt.numGroups() / 16);
+}
+
+TEST(DisjunctPageTable, EntryMathWithinGroup)
+{
+    PhysMem pm(8_MiB, 12);
+    DisjunctPageTable pt(pm);
+    // VPNs 0..1023 live in group 0, linearly.
+    EXPECT_EQ(pt.groupOf(0), 0u);
+    EXPECT_EQ(pt.groupOf(1023), 0u);
+    EXPECT_EQ(pt.groupOf(1024), 1u);
+    EXPECT_EQ(pt.uptEntryAddr(1) - pt.uptEntryAddr(0), 4u);
+    EXPECT_EQ(pt.uptEntryAddr(0), pt.groupBase(0));
+}
+
+TEST(DisjunctPageTable, EntriesInKernelSpace)
+{
+    PhysMem pm(8_MiB, 12);
+    DisjunctPageTable pt(pm);
+    for (Vpn v = 0; v < 524288; v += 50000)
+        EXPECT_GE(pt.uptEntryAddr(v), kKernelBase);
+}
+
+TEST(DisjunctPageTable, RptEntriesPhysical)
+{
+    PhysMem pm(8_MiB, 12);
+    DisjunctPageTable pt(pm);
+    EXPECT_GE(pt.rptEntryAddr(0), kPhysWindowBase);
+    // One RPTE per group.
+    EXPECT_EQ(pt.rptEntryAddr(0), pt.rptEntryAddr(1023));
+    EXPECT_EQ(pt.rptEntryAddr(1024) - pt.rptEntryAddr(0), 4u);
+}
+
+TEST(DisjunctPageTable, OutOfRangeGroupPanics)
+{
+    setQuiet(true);
+    PhysMem pm(8_MiB, 12);
+    DisjunctPageTable pt(pm);
+    EXPECT_THROW(pt.groupBase(pt.numGroups()), PanicError);
+    setQuiet(false);
+}
+
+TEST(DisjunctPageTable, TooSmallSpanRejected)
+{
+    setQuiet(true);
+    PhysMem pm(8_MiB, 12);
+    // A 2^21 = 2 MB span holds only 512 pages — exactly numGroups;
+    // 2^20 cannot.
+    EXPECT_THROW(DisjunctPageTable(pm, 12, kUptBaseUltrix, 20),
+                 FatalError);
+    EXPECT_NO_THROW(DisjunctPageTable(pm, 12, kUptBaseUltrix, 21));
+    setQuiet(false);
+}
+
+TEST(DisjunctPageTable, SameCostStructureAsUltrix)
+{
+    // The paper relies on ULTRIX and NOTLB having identical walk
+    // costs: one UPTE plus (on nesting) one RPTE, both 4 bytes.
+    PhysMem pm(8_MiB, 12);
+    DisjunctPageTable pt(pm);
+    Vpn v = 123456;
+    Addr upte = pt.uptEntryAddr(v);
+    Addr rpte = pt.rptEntryAddr(v);
+    EXPECT_NE(upte, rpte);
+    EXPECT_GE(rpte, kPhysWindowBase); // root is unmapped: no recursion
+}
+
+} // anonymous namespace
+} // namespace vmsim

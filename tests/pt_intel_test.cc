@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the Intel two-tiered top-down page table (paper Fig. 3):
+ * page-directory indexing, scattered first-touch PTE-page allocation,
+ * and the exactly-two-physical-references walk structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/units.hh"
+#include "mem/phys_mem.hh"
+#include "pt/intel_page_table.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+TEST(IntelPageTable, DirectorySize)
+{
+    PhysMem pm(8_MiB, 12);
+    IntelPageTable pt(pm);
+    // 512 four-byte entries cover the 2 GB user space (one per 4 MB
+    // segment). (A full 4 GB IA-32 directory would be 4 KB; only the
+    // user half is walked here.)
+    EXPECT_EQ(pt.pdBytes(), 2_KiB);
+}
+
+TEST(IntelPageTable, RootEntrySharedAcrossSegment)
+{
+    PhysMem pm(8_MiB, 12);
+    IntelPageTable pt(pm);
+    // VPNs within one 4 MB segment (1024 pages) share a root entry.
+    EXPECT_EQ(pt.rootEntryAddr(0), pt.rootEntryAddr(1023));
+    EXPECT_EQ(pt.rootEntryAddr(1024) - pt.rootEntryAddr(0), 4u);
+}
+
+TEST(IntelPageTable, RootEntriesPhysical)
+{
+    PhysMem pm(8_MiB, 12);
+    IntelPageTable pt(pm);
+    EXPECT_GE(pt.rootEntryAddr(0), kPhysWindowBase);
+    EXPECT_LT(pt.rootEntryAddr(524287), kPhysWindowBase + pm.sizeBytes());
+}
+
+TEST(IntelPageTable, LeafEntriesWithinAllocatedPages)
+{
+    PhysMem pm(8_MiB, 12);
+    IntelPageTable pt(pm);
+    Addr leaf0 = pt.leafEntryAddr(0);
+    Addr leaf1 = pt.leafEntryAddr(1);
+    // Adjacent VPNs in one segment: adjacent PTEs in the same page.
+    EXPECT_EQ(leaf1 - leaf0, 4u);
+    EXPECT_EQ(leaf0 >> 12, leaf1 >> 12);
+    EXPECT_GE(leaf0, kPhysWindowBase);
+}
+
+TEST(IntelPageTable, PtePagesAllocatedFirstTouch)
+{
+    PhysMem pm(8_MiB, 12);
+    IntelPageTable pt(pm);
+    EXPECT_EQ(pt.ptePagesAllocated(), 0u);
+    pt.leafEntryAddr(0);
+    EXPECT_EQ(pt.ptePagesAllocated(), 1u);
+    pt.leafEntryAddr(512); // same segment
+    EXPECT_EQ(pt.ptePagesAllocated(), 1u);
+    pt.leafEntryAddr(1024); // next segment
+    EXPECT_EQ(pt.ptePagesAllocated(), 2u);
+}
+
+TEST(IntelPageTable, LeafAddressesStableAcrossCalls)
+{
+    PhysMem pm(8_MiB, 12);
+    IntelPageTable pt(pm);
+    Addr a = pt.leafEntryAddr(777);
+    Addr b = pt.leafEntryAddr(777);
+    EXPECT_EQ(a, b);
+}
+
+TEST(IntelPageTable, PtePagesAreScattered)
+{
+    // PTE pages allocated interleaved with data frames must not be
+    // contiguous — the "disjunct PTE pages" property of Figure 3.
+    PhysMem pm(8_MiB, 12);
+    IntelPageTable pt(pm);
+    pt.leafEntryAddr(0);          // PTE page for segment 0
+    pm.frameOf(42);               // a data page lands in between
+    pm.frameOf(43);
+    pt.leafEntryAddr(1024);       // PTE page for segment 1
+    Addr p0 = pt.leafEntryAddr(0) >> 12;
+    Addr p1 = pt.leafEntryAddr(1024) >> 12;
+    EXPECT_GT(p1, p0 + 1); // not adjacent frames
+}
+
+TEST(IntelPageTable, ExactlyTwoReferencesPerWalk)
+{
+    // Structural: the walk is root + leaf, both physical, so neither
+    // can recurse through the TLB.
+    PhysMem pm(8_MiB, 12);
+    IntelPageTable pt(pm);
+    Vpn v = 300000;
+    Addr root = pt.rootEntryAddr(v);
+    Addr leaf = pt.leafEntryAddr(v);
+    EXPECT_NE(root >> 12, leaf >> 12);
+    EXPECT_GE(root, kPhysWindowBase);
+    EXPECT_GE(leaf, kPhysWindowBase);
+}
+
+TEST(IntelPageTable, DistinctSegmentsDistinctLeafPages)
+{
+    PhysMem pm(8_MiB, 12);
+    IntelPageTable pt(pm);
+    std::set<Addr> pages;
+    for (Vpn seg = 0; seg < 20; ++seg)
+        pages.insert(pt.leafEntryAddr(seg * 1024) >> 12);
+    EXPECT_EQ(pages.size(), 20u);
+}
+
+} // anonymous namespace
+} // namespace vmsim

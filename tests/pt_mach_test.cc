@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the Mach three-tiered page table (paper Fig. 2): per-pid
+ * UPT placement, the 4 MB kernel table mapping the full 4 GB space,
+ * the 4 KB root table, and the three-deep nesting structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "mem/phys_mem.hh"
+#include "pt/mach_page_table.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+TEST(MachPageTable, PaperLayoutSizes)
+{
+    PhysMem pm(8_MiB, 12);
+    MachPageTable pt(pm);
+    EXPECT_EQ(pt.uptBytes(), 2_MiB);
+    EXPECT_EQ(pt.kptBytes(), 4_MiB); // maps the whole 4 GB space
+    EXPECT_EQ(pt.rptBytes(), 4_KiB);
+}
+
+TEST(MachPageTable, UptBaseDependsOnPid)
+{
+    PhysMem pm1(8_MiB, 12), pm2(8_MiB, 12);
+    MachPageTable a(pm1, 12, 1), b(pm2, 12, 2);
+    EXPECT_EQ(a.uptBase(), kMachUptRegion + 2_MiB);
+    EXPECT_EQ(b.uptBase(), kMachUptRegion + 4_MiB);
+    EXPECT_EQ(b.uptBase() - a.uptBase(), a.uptBytes());
+}
+
+TEST(MachPageTable, PidBeyondRegionRejected)
+{
+    setQuiet(true);
+    PhysMem pm(8_MiB, 12);
+    // The UPT region runs from 0xA0000000 to the KPT at 0xFFC00000:
+    // about 1534 MB -> 767 pids of 2 MB each fit.
+    EXPECT_THROW(MachPageTable(pm, 12, 100000), FatalError);
+    setQuiet(false);
+}
+
+TEST(MachPageTable, UptEntryAddresses)
+{
+    PhysMem pm(8_MiB, 12);
+    MachPageTable pt(pm, 12, 3);
+    EXPECT_EQ(pt.uptEntryAddr(0), pt.uptBase());
+    EXPECT_EQ(pt.uptEntryAddr(7), pt.uptBase() + 28);
+    EXPECT_GE(pt.uptEntryAddr(0), kKernelBase);
+}
+
+TEST(MachPageTable, KptMapsTheWholeSpace)
+{
+    PhysMem pm(8_MiB, 12);
+    MachPageTable pt(pm);
+    // KPTE for kernel VPN 0 sits at the KPT base...
+    EXPECT_EQ(pt.kptEntryAddr(0), kMachKptBase);
+    // ...and the KPTE for the last VPN of the 4 GB space sits at the
+    // very top of the 4 MB table.
+    Vpn last = (std::uint64_t{4} * kGiB >> 12) - 1;
+    EXPECT_EQ(pt.kptEntryAddr(last), 0xFFFFFFFCu);
+}
+
+TEST(MachPageTable, ThreeLevelNestingStructure)
+{
+    PhysMem pm(8_MiB, 12);
+    MachPageTable pt(pm, 12, 1);
+    Vpn user_vpn = 99999;
+
+    // Level 1: the UPTE, a mapped kernel-virtual address.
+    Addr upte = pt.uptEntryAddr(user_vpn);
+    Vpn upte_page = pt.uptPageVpn(user_vpn);
+    EXPECT_EQ(upte >> 12, upte_page);
+
+    // Level 2: the KPTE mapping that UPT page — inside the KPT.
+    Addr kpte = pt.kptEntryAddr(upte_page);
+    EXPECT_GE(kpte, kMachKptBase);
+    Vpn kpte_page = pt.kptPageVpn(upte_page);
+    EXPECT_EQ(kpte >> 12, kpte_page);
+
+    // Level 3: the RPTE mapping that KPT page — physical window.
+    Addr rpte = pt.rptEntryAddr(kpte_page);
+    EXPECT_GE(rpte, kPhysWindowBase);
+    EXPECT_LT(rpte, kPhysWindowBase + pm.sizeBytes());
+}
+
+TEST(MachPageTable, RptIndexOutsideKptRejected)
+{
+    setQuiet(true);
+    PhysMem pm(8_MiB, 12);
+    MachPageTable pt(pm);
+    // A VPN below the KPT region is not a KPT page.
+    EXPECT_THROW(pt.rptEntryAddr(0x1000), PanicError);
+    setQuiet(false);
+}
+
+TEST(MachPageTable, AdminDataAddressesAreSpread)
+{
+    PhysMem pm(8_MiB, 12);
+    MachPageTable pt(pm);
+    // The 10 admin loads touch distinct 64-byte lines.
+    std::set<Addr> lines;
+    for (unsigned i = 0; i < 10; ++i)
+        lines.insert(pt.adminDataAddr(i) / 64);
+    EXPECT_EQ(lines.size(), 10u);
+    for (unsigned i = 0; i < 10; ++i) {
+        EXPECT_GE(pt.adminDataAddr(i), kPhysWindowBase);
+        EXPECT_LT(pt.adminDataAddr(i), kPhysWindowBase + pm.sizeBytes());
+    }
+}
+
+TEST(MachPageTable, SharedUptPageForNeighbors)
+{
+    PhysMem pm(8_MiB, 12);
+    MachPageTable pt(pm);
+    EXPECT_EQ(pt.uptPageVpn(0), pt.uptPageVpn(1023));
+    EXPECT_NE(pt.uptPageVpn(0), pt.uptPageVpn(1024));
+}
+
+TEST(MachPageTable, ReservesRootAndAdminRegions)
+{
+    PhysMem pm(8_MiB, 12);
+    std::uint64_t before = pm.numFrames();
+    MachPageTable pt(pm);
+    EXPECT_LT(pm.numFrames(), before);
+}
+
+} // anonymous namespace
+} // namespace vmsim

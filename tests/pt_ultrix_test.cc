@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the Ultrix two-tiered bottom-up page table (paper Fig. 1):
+ * layout sizes (2 MB UPT / 2 KB RPT at the paper's geometry), entry
+ * address math, and the virtual/physical split of the two levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "mem/phys_mem.hh"
+#include "pt/ultrix_page_table.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+TEST(UltrixPageTable, PaperLayoutSizes)
+{
+    PhysMem pm(8_MiB, 12);
+    UltrixPageTable pt(pm);
+    // 2 GB user space / 4 KB pages * 4 B PTEs = 2 MB user table.
+    EXPECT_EQ(pt.uptBytes(), 2_MiB);
+    // 2 MB UPT / 4 KB pages * 4 B PTEs = 2 KB root table.
+    EXPECT_EQ(pt.rptBytes(), 2_KiB);
+    EXPECT_EQ(pt.userPages(), 524288u);
+    EXPECT_EQ(pt.ptesPerPage(), 1024u);
+}
+
+TEST(UltrixPageTable, UptEntryAddresses)
+{
+    PhysMem pm(8_MiB, 12);
+    UltrixPageTable pt(pm);
+    EXPECT_EQ(pt.uptEntryAddr(0), kUptBaseUltrix);
+    EXPECT_EQ(pt.uptEntryAddr(1), kUptBaseUltrix + 4);
+    EXPECT_EQ(pt.uptEntryAddr(1024), kUptBaseUltrix + 4096);
+    // The UPT is linear: adjacent VPNs have adjacent PTEs.
+    for (Vpn v = 100; v < 110; ++v)
+        EXPECT_EQ(pt.uptEntryAddr(v + 1) - pt.uptEntryAddr(v), 4u);
+}
+
+TEST(UltrixPageTable, UptEntriesLiveInKernelVirtualSpace)
+{
+    PhysMem pm(8_MiB, 12);
+    UltrixPageTable pt(pm);
+    EXPECT_GE(pt.uptEntryAddr(0), kKernelBase);
+    EXPECT_GE(pt.uptEntryAddr(pt.userPages() - 1), kKernelBase);
+    // And below 4 GB.
+    EXPECT_LT(pt.uptEntryAddr(pt.userPages() - 1), std::uint64_t{4} *
+                                                       kGiB);
+}
+
+TEST(UltrixPageTable, UptPageVpn)
+{
+    PhysMem pm(8_MiB, 12);
+    UltrixPageTable pt(pm);
+    // 1024 PTEs per page: VPNs 0..1023 share one UPT page.
+    EXPECT_EQ(pt.uptPageVpn(0), pt.uptPageVpn(1023));
+    EXPECT_NE(pt.uptPageVpn(1023), pt.uptPageVpn(1024));
+    EXPECT_EQ(pt.uptPageVpn(0), kUptBaseUltrix >> 12);
+}
+
+TEST(UltrixPageTable, RptEntriesInPhysicalWindow)
+{
+    PhysMem pm(8_MiB, 12);
+    UltrixPageTable pt(pm);
+    Addr r = pt.rptEntryAddr(0);
+    EXPECT_GE(r, kPhysWindowBase);
+    EXPECT_LT(r, kPhysWindowBase + pm.sizeBytes());
+    // One RPTE covers 1024 user VPNs (one UPT page).
+    EXPECT_EQ(pt.rptEntryAddr(0), pt.rptEntryAddr(1023));
+    EXPECT_EQ(pt.rptEntryAddr(1024) - pt.rptEntryAddr(0), 4u);
+}
+
+TEST(UltrixPageTable, RootTableReservedFromPhysMem)
+{
+    PhysMem pm(8_MiB, 12);
+    EXPECT_EQ(pm.numFrames(), 2048u);
+    UltrixPageTable pt(pm);
+    // 2 KB root table consumes one (page-aligned) frame.
+    EXPECT_EQ(pm.numFrames(), 2047u);
+}
+
+TEST(UltrixPageTable, MisalignedUptBaseRejected)
+{
+    setQuiet(true);
+    PhysMem pm(8_MiB, 12);
+    EXPECT_THROW(UltrixPageTable(pm, 12, 0xC0000100), FatalError);
+    // UPT must be in kernel space.
+    EXPECT_THROW(UltrixPageTable(pm, 12, 0x10000000), FatalError);
+    setQuiet(false);
+}
+
+TEST(UltrixPageTable, AtMostTwoMemoryReferences)
+{
+    // The paper: "It requires at most two memory references to find
+    // the appropriate mapping information."  Structurally: one UPTE
+    // and one RPTE address exist per VPN, nothing deeper.
+    PhysMem pm(8_MiB, 12);
+    UltrixPageTable pt(pm);
+    Vpn v = 123456;
+    Addr upte = pt.uptEntryAddr(v);
+    Addr rpte = pt.rptEntryAddr(v);
+    EXPECT_NE(upte, rpte);
+    // The RPTE lives in unmapped space: walking it can never recurse.
+    EXPECT_GE(rpte, kPhysWindowBase);
+    EXPECT_LT(rpte, kUptBaseUltrix);
+}
+
+TEST(UltrixPageTable, DistinctVpnsDistinctUptes)
+{
+    PhysMem pm(8_MiB, 12);
+    UltrixPageTable pt(pm);
+    EXPECT_NE(pt.uptEntryAddr(1), pt.uptEntryAddr(2));
+    EXPECT_NE(pt.uptEntryAddr(0), pt.uptEntryAddr(pt.userPages() - 1));
+}
+
+TEST(UltrixPageTable, AlternatePageSize)
+{
+    PhysMem pm(8_MiB, 13); // 8 KB pages
+    UltrixPageTable pt(pm, 13);
+    // 2 GB / 8 KB * 4 B = 1 MB UPT.
+    EXPECT_EQ(pt.uptBytes(), 1_MiB);
+    EXPECT_EQ(pt.ptesPerPage(), 2048u);
+    // 1 MB / 8 KB * 4 = 512 B RPT.
+    EXPECT_EQ(pt.rptBytes(), 512u);
+}
+
+} // anonymous namespace
+} // namespace vmsim

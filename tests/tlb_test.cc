@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Tests for the TLB: lookup/insert semantics, the protected-slot
+ * partition used by ULTRIX/MACH, replacement policies, capacity
+ * behavior and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/logging.hh"
+#include "tlb/tlb.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+TlbParams
+tp(unsigned entries, unsigned prot = 0, TlbRepl repl = TlbRepl::Random)
+{
+    TlbParams p;
+    p.entries = entries;
+    p.protectedSlots = prot;
+    p.repl = repl;
+    return p;
+}
+
+TEST(TlbParams, ToString)
+{
+    EXPECT_EQ(tp(128).toString(), "128-entry random");
+    EXPECT_EQ(tp(128, 16).toString(), "128-entry (16 protected) random");
+    EXPECT_EQ(tp(64, 0, TlbRepl::LRU).toString(), "64-entry LRU");
+}
+
+TEST(Tlb, InvalidConstruction)
+{
+    setQuiet(true);
+    EXPECT_THROW(Tlb(tp(0)), FatalError);
+    EXPECT_THROW(Tlb(tp(16, 16)), FatalError); // no normal slots left
+    EXPECT_THROW(Tlb(tp(16, 20)), FatalError);
+    setQuiet(false);
+}
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb t(tp(8));
+    EXPECT_FALSE(t.lookup(5));
+    t.insert(5);
+    EXPECT_TRUE(t.lookup(5));
+    EXPECT_EQ(t.hits(), 1u);
+    EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(Tlb, ContainsDoesNotTouchStats)
+{
+    Tlb t(tp(8));
+    t.insert(3);
+    EXPECT_TRUE(t.contains(3));
+    EXPECT_FALSE(t.contains(4));
+    EXPECT_EQ(t.accesses(), 0u);
+}
+
+TEST(Tlb, DuplicateInsertIsRefresh)
+{
+    Tlb t(tp(8));
+    t.insert(1);
+    t.insert(1);
+    t.insert(1);
+    EXPECT_EQ(t.validEntries(), 1u);
+}
+
+TEST(Tlb, CapacityRespected)
+{
+    Tlb t(tp(8));
+    for (Vpn v = 0; v < 100; ++v)
+        t.insert(v);
+    EXPECT_EQ(t.validEntries(), 8u);
+}
+
+TEST(Tlb, FittingWorkingSetNeverEvicted)
+{
+    Tlb t(tp(16));
+    for (Vpn v = 0; v < 16; ++v)
+        t.insert(v);
+    for (Vpn v = 0; v < 16; ++v)
+        EXPECT_TRUE(t.lookup(v));
+    EXPECT_EQ(t.misses(), 0u);
+}
+
+TEST(Tlb, ProtectedSlotsSurviveNormalPressure)
+{
+    Tlb t(tp(32, 4));
+    t.insertProtected(1000);
+    t.insertProtected(1001);
+    // Flood the normal region.
+    for (Vpn v = 0; v < 500; ++v)
+        t.insert(v);
+    EXPECT_TRUE(t.contains(1000));
+    EXPECT_TRUE(t.contains(1001));
+}
+
+TEST(Tlb, NormalSlotsSurviveProtectedPressure)
+{
+    Tlb t(tp(32, 4));
+    t.insert(7);
+    for (Vpn v = 2000; v < 2100; ++v)
+        t.insertProtected(v);
+    EXPECT_TRUE(t.contains(7));
+    // Protected region bounded at 4 entries.
+    EXPECT_LE(t.validEntries(), 5u);
+}
+
+TEST(Tlb, ProtectedInsertOnUnpartitionedPanics)
+{
+    setQuiet(true);
+    Tlb t(tp(32, 0));
+    EXPECT_THROW(t.insertProtected(1), PanicError);
+    setQuiet(false);
+}
+
+TEST(Tlb, ProtectedEntriesHitViaLookup)
+{
+    Tlb t(tp(32, 4));
+    t.insertProtected(99);
+    EXPECT_TRUE(t.lookup(99));
+}
+
+TEST(Tlb, InvalidateSingle)
+{
+    Tlb t(tp(8));
+    t.insert(1);
+    t.insert(2);
+    t.invalidate(1);
+    EXPECT_FALSE(t.contains(1));
+    EXPECT_TRUE(t.contains(2));
+    EXPECT_EQ(t.validEntries(), 1u);
+    // Invalidating a non-resident VPN is harmless.
+    t.invalidate(42);
+    EXPECT_EQ(t.validEntries(), 1u);
+}
+
+TEST(Tlb, InvalidateAll)
+{
+    Tlb t(tp(8, 2));
+    t.insert(1);
+    t.insertProtected(2);
+    t.invalidateAll();
+    EXPECT_EQ(t.validEntries(), 0u);
+    EXPECT_FALSE(t.contains(1));
+    EXPECT_FALSE(t.contains(2));
+}
+
+TEST(Tlb, MissRate)
+{
+    Tlb t(tp(8));
+    EXPECT_EQ(t.missRate(), 0.0);
+    t.lookup(1); // miss
+    t.insert(1);
+    t.lookup(1); // hit
+    t.lookup(1); // hit
+    t.lookup(2); // miss
+    EXPECT_DOUBLE_EQ(t.missRate(), 0.5);
+    t.resetStats();
+    EXPECT_EQ(t.accesses(), 0u);
+}
+
+TEST(Tlb, LruEvictsLeastRecent)
+{
+    Tlb t(tp(4, 0, TlbRepl::LRU));
+    for (Vpn v = 0; v < 4; ++v)
+        t.insert(v);
+    // Touch 0..2, leaving 3 least-recently-used.
+    t.lookup(0);
+    t.lookup(1);
+    t.lookup(2);
+    t.insert(10);
+    EXPECT_FALSE(t.contains(3));
+    EXPECT_TRUE(t.contains(0));
+    EXPECT_TRUE(t.contains(10));
+}
+
+TEST(Tlb, FifoEvictsOldestInsert)
+{
+    Tlb t(tp(4, 0, TlbRepl::FIFO));
+    for (Vpn v = 0; v < 4; ++v)
+        t.insert(v);
+    // Touching entry 0 must NOT save it under FIFO... but our FIFO
+    // stamps at fill time, so lookups don't refresh.
+    t.lookup(0);
+    t.insert(10);
+    EXPECT_FALSE(t.contains(0));
+    EXPECT_TRUE(t.contains(10));
+}
+
+TEST(Tlb, RandomReplacementEventuallyUsesAllSlots)
+{
+    Tlb t(tp(8), 7);
+    std::set<Vpn> resident;
+    for (Vpn v = 0; v < 10000; ++v) {
+        t.insert(v);
+        if (t.contains(v))
+            resident.insert(v);
+    }
+    EXPECT_EQ(t.validEntries(), 8u);
+}
+
+TEST(Tlb, DeterministicGivenSeed)
+{
+    Tlb a(tp(8), 42), b(tp(8), 42);
+    for (Vpn v = 0; v < 1000; ++v) {
+        a.insert(v);
+        b.insert(v);
+    }
+    for (Vpn v = 0; v < 1000; ++v)
+        EXPECT_EQ(a.contains(v), b.contains(v)) << "vpn " << v;
+}
+
+TEST(Tlb, PaperGeometry)
+{
+    // The paper's MIPS-like configuration: 128 entries, 16 protected.
+    Tlb t(tp(128, 16));
+    for (Vpn v = 0; v < 112; ++v)
+        t.insert(v);
+    for (Vpn v = 1000; v < 1016; ++v)
+        t.insertProtected(v);
+    // Normal capacity is 112: all fit.
+    for (Vpn v = 0; v < 112; ++v)
+        EXPECT_TRUE(t.contains(v));
+    EXPECT_EQ(t.validEntries(), 128u);
+    // One more normal insert evicts exactly one normal entry.
+    t.insert(5000);
+    unsigned resident = 0;
+    for (Vpn v = 0; v < 112; ++v)
+        resident += t.contains(v);
+    EXPECT_EQ(resident, 111u);
+    // All protected entries intact.
+    for (Vpn v = 1000; v < 1016; ++v)
+        EXPECT_TRUE(t.contains(v));
+}
+
+// Replacement-policy sweep: basic invariants hold for all policies.
+class TlbReplTest : public ::testing::TestWithParam<TlbRepl>
+{};
+
+TEST_P(TlbReplTest, InsertLookupInvariant)
+{
+    Tlb t(tp(16, 4, GetParam()));
+    for (Vpn v = 0; v < 64; ++v) {
+        t.insert(v);
+        EXPECT_TRUE(t.contains(v)) << "just-inserted vpn evicted itself";
+    }
+    EXPECT_EQ(t.validEntries(), 12u + 0u); // 12 normal slots filled
+}
+
+TEST_P(TlbReplTest, ProtectedPartitionInvariant)
+{
+    Tlb t(tp(16, 4, GetParam()));
+    for (Vpn v = 0; v < 100; ++v) {
+        t.insertProtected(10000 + v);
+        EXPECT_TRUE(t.contains(10000 + v));
+    }
+    // Protected flood never spills into normal slots.
+    EXPECT_LE(t.validEntries(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, TlbReplTest,
+                         ::testing::Values(TlbRepl::Random, TlbRepl::LRU,
+                                           TlbRepl::FIFO));
+
+
+// --------------------------------------------------- set associativity
+
+TEST(TlbSetAssoc, ParamsValidation)
+{
+    setQuiet(true);
+    TlbParams p = tp(128);
+    p.assoc = 3; // 128 % 3 != 0
+    EXPECT_THROW(Tlb{p}, FatalError);
+    p.assoc = 4;
+    p.protectedSlots = 16; // partition requires fully associative
+    EXPECT_THROW(Tlb{p}, FatalError);
+    setQuiet(false);
+}
+
+TEST(TlbSetAssoc, SetConflictEvictsWithinSet)
+{
+    // 8 entries, 2-way -> 4 sets indexed by vpn low bits. Three VPNs
+    // mapping to set 0 cannot all be resident.
+    TlbParams p = tp(8);
+    p.assoc = 2;
+    Tlb t(p);
+    t.insert(0x00); // set 0
+    t.insert(0x04); // set 0
+    t.insert(0x08); // set 0: evicts one of the two
+    unsigned resident = t.contains(0x00) + t.contains(0x04) +
+                        t.contains(0x08);
+    EXPECT_EQ(resident, 2u);
+    // Other sets untouched.
+    t.insert(0x01);
+    EXPECT_TRUE(t.contains(0x01));
+    EXPECT_EQ(resident, t.contains(0x00) + t.contains(0x04) +
+                            t.contains(0x08));
+}
+
+TEST(TlbSetAssoc, LruWithinSet)
+{
+    TlbParams p = tp(8, 0, TlbRepl::LRU);
+    p.assoc = 2;
+    Tlb t(p);
+    t.insert(0x00);
+    t.insert(0x04);
+    t.lookup(0x00); // refresh
+    t.insert(0x08); // evicts 0x04 (LRU)
+    EXPECT_TRUE(t.contains(0x00));
+    EXPECT_FALSE(t.contains(0x04));
+}
+
+TEST(TlbSetAssoc, FittingSetMappedWorkingSetHits)
+{
+    // 64 entries 4-way: 16 sets. 64 consecutive VPNs spread evenly,
+    // 4 per set: everything fits.
+    TlbParams p = tp(64);
+    p.assoc = 4;
+    Tlb t(p);
+    for (Vpn v = 0; v < 64; ++v)
+        t.insert(v);
+    for (Vpn v = 0; v < 64; ++v)
+        EXPECT_TRUE(t.contains(v)) << v;
+    EXPECT_EQ(t.validEntries(), 64u);
+}
+
+TEST(TlbSetAssoc, ToString)
+{
+    TlbParams p = tp(64);
+    p.assoc = 4;
+    EXPECT_EQ(p.toString(), "64-entry 4-way random");
+}
+
+// -------------------------------------------------------------- ASIDs
+
+TEST(TlbAsid, EntriesOnlyHitUnderOwnAsid)
+{
+    TlbParams p = tp(16);
+    p.asidBits = 4;
+    Tlb t(p);
+    t.setCurrentAsid(1);
+    t.insert(100);
+    EXPECT_TRUE(t.lookup(100));
+    t.setCurrentAsid(2);
+    EXPECT_FALSE(t.lookup(100)); // other address space
+    t.setCurrentAsid(1);
+    EXPECT_TRUE(t.lookup(100)); // survived the switch
+}
+
+TEST(TlbAsid, SameVpnDifferentAsidsCoexist)
+{
+    TlbParams p = tp(16);
+    p.asidBits = 4;
+    Tlb t(p);
+    t.setCurrentAsid(1);
+    t.insert(100);
+    t.setCurrentAsid(2);
+    t.insert(100);
+    EXPECT_EQ(t.validEntries(), 2u);
+    EXPECT_TRUE(t.contains(100));
+    t.setCurrentAsid(1);
+    EXPECT_TRUE(t.contains(100));
+}
+
+TEST(TlbAsid, ProtectedEntriesAreGlobal)
+{
+    TlbParams p = tp(16, 4);
+    p.asidBits = 4;
+    Tlb t(p);
+    t.setCurrentAsid(3);
+    t.insertProtected(999);
+    t.setCurrentAsid(7);
+    EXPECT_TRUE(t.lookup(999)) << "kernel mapping must hit any ASID";
+}
+
+TEST(TlbAsid, InvalidateAsidIsSelective)
+{
+    TlbParams p = tp(16, 2);
+    p.asidBits = 4;
+    Tlb t(p);
+    t.setCurrentAsid(1);
+    t.insert(10);
+    t.insertProtected(50);
+    t.setCurrentAsid(2);
+    t.insert(20);
+    t.invalidateAsid(1);
+    EXPECT_TRUE(t.contains(20));
+    EXPECT_TRUE(t.lookup(50)); // global survives
+    t.setCurrentAsid(1);
+    EXPECT_FALSE(t.contains(10));
+}
+
+TEST(TlbAsid, TooManyAsidBitsRejected)
+{
+    setQuiet(true);
+    TlbParams p = tp(16);
+    p.asidBits = 16;
+    EXPECT_THROW(Tlb{p}, FatalError);
+    setQuiet(false);
+}
+
+TEST(TlbAsid, WorksWithSetAssociativity)
+{
+    TlbParams p = tp(16);
+    p.assoc = 2;
+    p.asidBits = 4;
+    Tlb t(p);
+    t.setCurrentAsid(1);
+    t.insert(0x10);
+    t.setCurrentAsid(2);
+    EXPECT_FALSE(t.lookup(0x10));
+    t.setCurrentAsid(1);
+    EXPECT_TRUE(t.lookup(0x10));
+}
+
+// ------------------------------------------------------- evictRandom
+
+TEST(TlbEvictRandom, EvictsRequestedCount)
+{
+    Tlb t(tp(32), 5);
+    for (Vpn v = 0; v < 32; ++v)
+        t.insert(v);
+    unsigned evicted = t.evictRandom(10);
+    EXPECT_EQ(evicted, 10u);
+    EXPECT_EQ(t.validEntries(), 22u);
+}
+
+TEST(TlbEvictRandom, SparesProtectedRegion)
+{
+    Tlb t(tp(32, 8), 5);
+    for (Vpn v = 0; v < 8; ++v)
+        t.insertProtected(1000 + v);
+    for (Vpn v = 0; v < 24; ++v)
+        t.insert(v);
+    t.evictRandom(100);
+    for (Vpn v = 0; v < 8; ++v)
+        EXPECT_TRUE(t.contains(1000 + v)) << v;
+}
+
+TEST(TlbEvictRandom, BoundedWhenMostlyEmpty)
+{
+    Tlb t(tp(32), 5);
+    t.insert(1);
+    unsigned evicted = t.evictRandom(10);
+    EXPECT_LE(evicted, 1u);
+}
+
+} // anonymous namespace
+} // namespace vmsim

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the trace record types and the VMT1 binary file format:
+ * round-tripping, header validation, truncation detection, rewind.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "trace/trace.hh"
+#include "trace/trace_file.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+/** Temp-file helper that cleans up after itself. */
+class TempFile
+{
+  public:
+    TempFile()
+    {
+        char tmpl[] = "/tmp/vmsim_trace_XXXXXX";
+        int fd = mkstemp(tmpl);
+        if (fd >= 0)
+            ::close(fd);
+        path_ = tmpl;
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(TraceRecord, Predicates)
+{
+    TraceRecord r{0x1000, 0x2000, MemOp::None};
+    EXPECT_FALSE(r.isMemOp());
+    EXPECT_FALSE(r.isStore());
+    r.op = MemOp::Load;
+    EXPECT_TRUE(r.isMemOp());
+    EXPECT_FALSE(r.isStore());
+    r.op = MemOp::Store;
+    EXPECT_TRUE(r.isMemOp());
+    EXPECT_TRUE(r.isStore());
+}
+
+TEST(TraceRecord, Equality)
+{
+    TraceRecord a{1, 2, MemOp::Load};
+    TraceRecord b{1, 2, MemOp::Load};
+    TraceRecord c{1, 2, MemOp::Store};
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    TempFile tf;
+    std::vector<TraceRecord> recs = {
+        {0x00400000, 0, MemOp::None},
+        {0x00400004, 0x10000000, MemOp::Load},
+        {0x00400008, 0x7fff0000, MemOp::Store},
+        {0xfffffffc, 0xffffffff, MemOp::Load},
+    };
+    {
+        TraceFileWriter w(tf.path());
+        for (const auto &r : recs)
+            w.write(r);
+        w.close();
+        EXPECT_EQ(w.recordsWritten(), recs.size());
+    }
+    TraceFileReader r(tf.path());
+    EXPECT_EQ(r.recordCount(), recs.size());
+    TraceRecord rec;
+    for (const auto &expect : recs) {
+        ASSERT_TRUE(r.next(rec));
+        EXPECT_EQ(rec, expect);
+    }
+    EXPECT_FALSE(r.next(rec));
+    EXPECT_EQ(r.recordsRead(), recs.size());
+}
+
+TEST(TraceFile, EmptyTrace)
+{
+    TempFile tf;
+    {
+        TraceFileWriter w(tf.path());
+        w.close();
+    }
+    TraceFileReader r(tf.path());
+    EXPECT_EQ(r.recordCount(), 0u);
+    TraceRecord rec;
+    EXPECT_FALSE(r.next(rec));
+}
+
+TEST(TraceFile, LargeTraceCrossesBuffering)
+{
+    TempFile tf;
+    const Counter n = 10000; // > one 4096-record I/O buffer
+    {
+        TraceFileWriter w(tf.path());
+        for (Counter i = 0; i < n; ++i)
+            w.write(TraceRecord{static_cast<std::uint32_t>(i * 4),
+                                static_cast<std::uint32_t>(i),
+                                i % 3 == 0 ? MemOp::Load : MemOp::None});
+        w.close();
+    }
+    TraceFileReader r(tf.path());
+    EXPECT_EQ(r.recordCount(), n);
+    TraceRecord rec;
+    Counter i = 0;
+    while (r.next(rec)) {
+        ASSERT_EQ(rec.pc, i * 4);
+        ++i;
+    }
+    EXPECT_EQ(i, n);
+}
+
+TEST(TraceFile, Rewind)
+{
+    TempFile tf;
+    {
+        TraceFileWriter w(tf.path());
+        w.write(TraceRecord{4, 0, MemOp::None});
+        w.write(TraceRecord{8, 0, MemOp::None});
+        w.close();
+    }
+    TraceFileReader r(tf.path());
+    TraceRecord rec;
+    while (r.next(rec)) {
+    }
+    r.rewind();
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec.pc, 4u);
+    EXPECT_EQ(r.recordsRead(), 1u);
+}
+
+TEST(TraceFile, DestructorClosesCleanly)
+{
+    TempFile tf;
+    {
+        TraceFileWriter w(tf.path());
+        w.write(TraceRecord{4, 0, MemOp::None});
+        // no explicit close(): destructor must patch the header.
+    }
+    TraceFileReader r(tf.path());
+    EXPECT_EQ(r.recordCount(), 1u);
+}
+
+TEST(TraceFile, MissingFileIsFatal)
+{
+    setQuiet(true);
+    EXPECT_THROW(TraceFileReader("/nonexistent/vmsim.trace"), FatalError);
+    setQuiet(false);
+}
+
+TEST(TraceFile, BadMagicIsFatal)
+{
+    setQuiet(true);
+    TempFile tf;
+    {
+        std::FILE *f = std::fopen(tf.path().c_str(), "wb");
+        std::fputs("NOTATRACEFILE___", f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(TraceFileReader r(tf.path()), FatalError);
+    setQuiet(false);
+}
+
+TEST(TraceFile, ShortHeaderIsFatal)
+{
+    setQuiet(true);
+    TempFile tf;
+    {
+        std::FILE *f = std::fopen(tf.path().c_str(), "wb");
+        std::fputs("VMT1", f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(TraceFileReader r(tf.path()), FatalError);
+    setQuiet(false);
+}
+
+TEST(TraceFile, CorruptOpByteIsFatal)
+{
+    setQuiet(true);
+    TempFile tf;
+    {
+        TraceFileWriter w(tf.path());
+        w.write(TraceRecord{4, 0, MemOp::None});
+        w.close();
+    }
+    // Corrupt the op byte (last byte of the record).
+    {
+        std::FILE *f = std::fopen(tf.path().c_str(), "rb+");
+        std::fseek(f, kTraceHeaderBytes + kTraceRecordBytes - 1, SEEK_SET);
+        std::fputc(0x7f, f);
+        std::fclose(f);
+    }
+    TraceFileReader r(tf.path());
+    TraceRecord rec;
+    EXPECT_THROW(r.next(rec), FatalError);
+    setQuiet(false);
+}
+
+TEST(TraceFile, RecordSizeIsStable)
+{
+    // The on-disk format is an interchange contract; its sizes are
+    // frozen by the header comment in trace_file.hh.
+    EXPECT_EQ(kTraceRecordBytes, 9u);
+    EXPECT_EQ(kTraceHeaderBytes, 16u);
+}
+
+
+TEST(TraceFile, WriteAfterClosePanics)
+{
+    setQuiet(true);
+    TempFile tf;
+    TraceFileWriter w(tf.path());
+    w.write(TraceRecord{4, 0, MemOp::None});
+    w.close();
+    EXPECT_THROW(w.write(TraceRecord{8, 0, MemOp::None}), PanicError);
+    setQuiet(false);
+}
+
+TEST(TraceFile, CloseIsIdempotent)
+{
+    TempFile tf;
+    TraceFileWriter w(tf.path());
+    w.write(TraceRecord{4, 0, MemOp::None});
+    w.close();
+    EXPECT_NO_THROW(w.close());
+    TraceFileReader r(tf.path());
+    EXPECT_EQ(r.recordCount(), 1u);
+}
+
+TEST(TraceFile, UnwritablePathIsFatal)
+{
+    setQuiet(true);
+    EXPECT_THROW(TraceFileWriter("/nonexistent_dir/trace.vmt"),
+                 FatalError);
+    setQuiet(false);
+}
+
+TEST(TraceFile, HeaderCountBeatsTrailingGarbage)
+{
+    // Extra bytes appended after the promised records are ignored
+    // (the header count is authoritative).
+    TempFile tf;
+    {
+        TraceFileWriter w(tf.path());
+        w.write(TraceRecord{4, 0, MemOp::None});
+        w.close();
+    }
+    {
+        std::FILE *f = std::fopen(tf.path().c_str(), "ab");
+        // One whole extra record's worth of zero bytes.
+        for (std::size_t i = 0; i < kTraceRecordBytes; ++i)
+            std::fputc(0, f);
+        std::fclose(f);
+    }
+    TraceFileReader r(tf.path());
+    TraceRecord rec;
+    EXPECT_TRUE(r.next(rec));
+    EXPECT_FALSE(r.next(rec));
+    EXPECT_EQ(r.recordsRead(), 1u);
+}
+
+} // anonymous namespace
+} // namespace vmsim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for PariscVm: the single-handler hashed-table refill (paper
+ * Table 4: 20 instructions, variable PTE loads), 16-byte PTE traffic,
+ * the absence of nested misses, and unpartitioned TLBs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/units.hh"
+#include "mem/mem_system.hh"
+#include "mem/phys_mem.hh"
+#include "os/parisc_vm.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+struct Fixture
+{
+    Fixture()
+        : mem(CacheParams{32_KiB, 32}, CacheParams{1_MiB, 64}),
+          pm(8_MiB, 12),
+          vm(mem, pm, TlbParams{128, 0, TlbRepl::Random},
+             TlbParams{128, 0, TlbRepl::Random})
+    {}
+
+    MemSystem mem;
+    PhysMem pm;
+    PariscVm vm;
+};
+
+TEST(PariscVm, DefaultCostsMatchTable4)
+{
+    EXPECT_EQ(PariscVm::pariscDefaultCosts().userInstrs, 20u);
+}
+
+TEST(PariscVm, RejectsPartitionedTlb)
+{
+    setQuiet(true);
+    MemSystem mem(CacheParams{32_KiB, 32}, CacheParams{1_MiB, 64});
+    PhysMem pm(8_MiB, 12);
+    EXPECT_THROW(
+        PariscVm(mem, pm, TlbParams{128, 16}, TlbParams{128, 16}),
+        FatalError);
+    setQuiet(false);
+}
+
+TEST(PariscVm, SingleHandlerSingleInterrupt)
+{
+    Fixture f;
+    f.vm.dataRef(0x10000000, false);
+    const VmStats &s = f.vm.vmStats();
+    EXPECT_EQ(s.uhandlerCalls, 1u);
+    EXPECT_EQ(s.uhandlerInstrs, 20u);
+    EXPECT_EQ(s.khandlerCalls, 0u);
+    EXPECT_EQ(s.rhandlerCalls, 0u);
+    EXPECT_EQ(s.interrupts, 1u);
+    EXPECT_GE(s.pteLoads, 1u);
+}
+
+TEST(PariscVm, NoNestedMissesEver)
+{
+    // The handler uses physical addresses: no kernel/root handlers
+    // can run regardless of access pattern.
+    Fixture f;
+    for (int i = 0; i < 1000; ++i)
+        f.vm.dataRef(0x10000000 + static_cast<std::uint64_t>(i) * 4096 * 7, false);
+    const VmStats &s = f.vm.vmStats();
+    EXPECT_EQ(s.khandlerCalls, 0u);
+    EXPECT_EQ(s.rhandlerCalls, 0u);
+    EXPECT_EQ(s.interrupts, s.uhandlerCalls);
+    // Only user-level PTE traffic exists.
+    EXPECT_EQ(f.mem.stats().dataOf(AccessClass::PteKernel).accesses, 0u);
+    EXPECT_EQ(f.mem.stats().dataOf(AccessClass::PteRoot).accesses, 0u);
+}
+
+TEST(PariscVm, ChainWalkCostsExtraPteLoads)
+{
+    Fixture f;
+    const HashedPageTable &pt = f.vm.pageTable();
+    // Find two user pages whose VPNs collide in the hash.
+    Vpn a = 0x10000000 >> 12;
+    Vpn b = 0;
+    for (Vpn v = a + 1; v < (kUserSpan >> 12); ++v) {
+        if (pt.hashOf(v) == pt.hashOf(a)) {
+            b = v;
+            break;
+        }
+    }
+    ASSERT_NE(b, 0u);
+    f.vm.dataRef(a << 12, false);
+    Counter loads_a = f.vm.vmStats().pteLoads;
+    EXPECT_EQ(loads_a, 1u);
+    f.vm.dataRef(b << 12, false);
+    // The collider visits the chain head plus its own entry.
+    EXPECT_EQ(f.vm.vmStats().pteLoads, loads_a + 2);
+}
+
+TEST(PariscVm, SixteenBytePtesHitDCache)
+{
+    Fixture f;
+    f.vm.dataRef(0x10000000, false);
+    // One 16-byte aligned PTE read: one D-side access in 32B lines.
+    EXPECT_EQ(f.mem.stats().dataOf(AccessClass::PteUser).accesses, 1u);
+    // Re-walking the same entry after TLB eviction would hit the
+    // D-cache line; simulate by another page hashing elsewhere --
+    // at minimum the first load was a (cold) miss:
+    EXPECT_EQ(f.mem.stats().dataOf(AccessClass::PteUser).l1Misses, 1u);
+}
+
+TEST(PariscVm, HandlerTouchesICache)
+{
+    Fixture f;
+    f.vm.dataRef(0x10000000, false);
+    EXPECT_EQ(f.mem.stats().instOf(AccessClass::HandlerFetch).accesses,
+              20u);
+    EXPECT_TRUE(f.mem.l1i().probe(kUserHandlerBase));
+}
+
+TEST(PariscVm, AllTlbSlotsUsable)
+{
+    Fixture f;
+    for (int i = 0; i < 128; ++i)
+        f.vm.dataRef(0x10000000 + static_cast<std::uint64_t>(i) * 4096, false);
+    EXPECT_EQ(f.vm.dtlb()->validEntries(), 128u);
+}
+
+TEST(PariscVm, AverageSearchDepthNearPaper)
+{
+    // Touch ~1500 pages; average chain search depth should sit near
+    // the paper's 1.25-1.5 band for a 2:1 table.
+    Fixture f;
+    Random rng(3);
+    for (int i = 0; i < 4000; ++i) {
+        Addr page = rng.uniform(1500);
+        f.vm.dataRef(0x10000000 + page * 4096, false);
+    }
+    double avg = f.vm.pageTable().searchDepth().mean();
+    EXPECT_GE(avg, 1.0);
+    EXPECT_LT(avg, 1.6);
+}
+
+TEST(PariscVm, CustomHptRatio)
+{
+    MemSystem mem(CacheParams{32_KiB, 32}, CacheParams{1_MiB, 64});
+    PhysMem pm(8_MiB, 12);
+    PariscVm vm(mem, pm, TlbParams{128, 0}, TlbParams{128, 0},
+                PariscVm::pariscDefaultCosts(), 12, 1, 4);
+    EXPECT_EQ(vm.pageTable().numBuckets(), 8192u);
+}
+
+TEST(PariscVm, Name)
+{
+    Fixture f;
+    EXPECT_EQ(f.vm.name(), "PA-RISC");
+}
+
+} // anonymous namespace
+} // namespace vmsim
