@@ -5,9 +5,11 @@
  * giving better performance, would add too many variables") and notes
  * that page-table hotspotting "is easily solved with set
  * associativity". This ablation quantifies both claims: MCPI and
- * VMCPI at 1/2/4-way L1 and L2 for each system.
+ * VMCPI at 1/2/4-way L1 and L2 for each system, with the way count
+ * riding the SweepSpec variant axis.
  *
- * Usage: bench_ablation_assoc [--csv] [--instructions=N]
+ * Usage: bench_ablation_assoc [--csv] [--instructions=N] [--jobs=N]
+ *        [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -19,37 +21,49 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
 
     banner("Ablation: cache associativity (paper simulates "
            "direct-mapped only)");
     std::cout << "caches: 64KB/1MB, 64/128B lines, LRU replacement for "
                  "associative configs\n\n";
 
-    for (const auto &workload : {std::string("gcc"),
-                                 std::string("vortex")}) {
+    std::vector<ConfigVariant> variants;
+    for (unsigned assoc : {1u, 2u, 4u})
+        variants.push_back({std::to_string(assoc) + "way",
+                            [assoc](SimConfig &cfg) {
+                                cfg.l1.assoc = assoc;
+                                cfg.l2.assoc = assoc;
+                                cfg.l1.repl = CacheRepl::LRU;
+                                cfg.l2.repl = CacheRepl::LRU;
+                            }});
+
+    SweepSpec spec = paperSweep(opts);
+    spec.systems(paperVmSystems())
+        .workloads({"gcc", "vortex"})
+        .variants(variants);
+    SweepResults res = makeRunner(opts).run(spec);
+
+    for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;
         table.setHeader({"system", "MCPI@1way", "MCPI@2way", "MCPI@4way",
                          "VMCPI@1way", "VMCPI@2way", "VMCPI@4way"});
-        for (SystemKind kind : paperVmSystems()) {
-            std::vector<std::string> row = {kindName(kind)};
+        for (std::size_t ki = 0; ki < spec.systemAxis().size(); ++ki) {
+            std::vector<std::string> row = {
+                kindName(spec.systemAxis()[ki])};
             std::vector<std::string> vm_cells;
-            for (unsigned assoc : {1u, 2u, 4u}) {
-                SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB,
-                                            128, opts);
-                cfg.l1.assoc = assoc;
-                cfg.l2.assoc = assoc;
-                cfg.l1.repl = CacheRepl::LRU;
-                cfg.l2.repl = CacheRepl::LRU;
-                Results r = runOnce(cfg, workload, instrs, warmup);
-                row.push_back(TextTable::fmt(r.mcpi(), 4));
-                vm_cells.push_back(TextTable::fmt(r.vmcpi(), 5));
+            for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+                CellIndex idx{.system = ki, .workload = wi,
+                              .variant = vi};
+                row.push_back(
+                    TextTable::fmt(res.meanMetric(idx, mcpiOf), 4));
+                vm_cells.push_back(
+                    TextTable::fmt(res.meanMetric(idx, vmcpiOf), 5));
             }
             row.insert(row.end(), vm_cells.begin(), vm_cells.end());
             table.addRow(row);
         }
-        std::cout << workload << " (" << instrs << " instructions)\n";
+        std::cout << spec.workloadAxis()[wi] << " ("
+                  << opts.instructions << " instructions)\n";
         emit(table, opts);
     }
 

@@ -6,7 +6,12 @@
  * gcc). This ablation sweeps the ratio over {1, 2, 4} and reports the
  * observed chain statistics and their effect on VMCPI.
  *
- * Usage: bench_ablation_hpt [--csv] [--instructions=N]
+ * The in-vivo half needs the live page table after each run (chain
+ * and CRT statistics are not part of Results), so it uses
+ * SweepRunner::map - the runner's raw parallel-map escape hatch -
+ * instead of a SweepSpec grid.
+ *
+ * Usage: bench_ablation_hpt [--csv] [--instructions=N] [--jobs=N]
  */
 
 #include <set>
@@ -21,7 +26,10 @@ main(int argc, char **argv)
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
     Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
+    Counter warmup = opts.resolvedWarmup();
+    SweepRunner runner = makeRunner(opts);
+
+    const unsigned ratios[] = {1u, 2u, 4u};
 
     banner("Ablation: PA-RISC hashed-page-table load factor");
     std::cout << "8MB physical memory = 2048 frames; table entries = "
@@ -33,30 +41,38 @@ main(int argc, char **argv)
     // drawn from across the user space, as the paper's 200M-
     // instruction runs would.
     {
+        struct Probe {
+            double avg_chain, avg_search;
+            std::size_t crt;
+        };
+        std::vector<Probe> probes =
+            runner.map(std::size(ratios), [&](std::size_t i) {
+                PhysMem pm(8_MiB, 12);
+                HashedPageTable pt(pm, ratios[i]);
+                Random rng(opts.seed);
+                std::vector<Addr> buf;
+                std::set<Vpn> touched;
+                while (touched.size() < 2048) {
+                    Vpn v = rng.uniform(kUserSpan >> 12);
+                    if (!touched.insert(v).second)
+                        continue;
+                    buf.clear();
+                    pt.walk(v, buf);
+                }
+                return Probe{pt.avgChainLength(),
+                             pt.searchDepth().mean(), pt.crtEntries()};
+            });
+
         TextTable table;
         table.setHeader({"ratio", "paper avg chain", "measured avg",
                          "avg search depth", "CRT entries"});
         const char *paper_chain[] = {"~1.5", "~1.25", "~1.125"};
-        unsigned idx = 0;
-        for (unsigned ratio : {1u, 2u, 4u}) {
-            PhysMem pm(8_MiB, 12);
-            HashedPageTable pt(pm, ratio);
-            Random rng(opts.seed);
-            std::vector<Addr> buf;
-            std::set<Vpn> touched;
-            while (touched.size() < 2048) {
-                Vpn v = rng.uniform(kUserSpan >> 12);
-                if (!touched.insert(v).second)
-                    continue;
-                buf.clear();
-                pt.walk(v, buf);
-            }
-            table.addRow({std::to_string(ratio) + ":1",
-                          paper_chain[idx++],
-                          TextTable::fmt(pt.avgChainLength(), 3),
-                          TextTable::fmt(pt.searchDepth().mean(), 3),
-                          std::to_string(pt.crtEntries())});
-        }
+        for (std::size_t i = 0; i < std::size(ratios); ++i)
+            table.addRow({std::to_string(ratios[i]) + ":1",
+                          paper_chain[i],
+                          TextTable::fmt(probes[i].avg_chain, 3),
+                          TextTable::fmt(probes[i].avg_search, 3),
+                          std::to_string(probes[i].crt)});
         std::cout << "Full occupancy (2048 pages resident, the paper's "
                      "sizing assumption):\n";
         emit(table, opts);
@@ -66,11 +82,16 @@ main(int argc, char **argv)
                  "workloads touch fewer\npages than a full physical "
                  "memory, so chains are shorter than the paper's:\n\n";
 
-    for (const auto &workload : workloadNames()) {
-        TextTable table;
-        table.setHeader({"ratio", "buckets", "avg chain", "avg search",
-                         "CRT entries", "pte loads/walk", "VMCPI"});
-        for (unsigned ratio : {1u, 2u, 4u}) {
+    struct InVivo {
+        std::size_t buckets, crt;
+        double avg_chain, avg_search, loads_per_walk, vmcpi;
+    };
+    std::vector<std::string> workloads = workloadNames();
+    std::vector<InVivo> rows = runner.map(
+        workloads.size() * std::size(ratios), [&](std::size_t j) {
+            const std::string &workload =
+                workloads[j / std::size(ratios)];
+            unsigned ratio = ratios[j % std::size(ratios)];
             SimConfig cfg = paperConfig(SystemKind::Parisc, 64_KiB, 64,
                                         1_MiB, 128, opts);
             cfg.hptRatio = ratio;
@@ -84,15 +105,27 @@ main(int argc, char **argv)
                     ? static_cast<double>(r.vmStats().pteLoads) /
                           static_cast<double>(r.vmStats().uhandlerCalls)
                     : 0.0;
-            table.addRow({std::to_string(ratio) + ":1",
-                          std::to_string(pt.numBuckets()),
-                          TextTable::fmt(pt.avgChainLength(), 3),
-                          TextTable::fmt(pt.searchDepth().mean(), 3),
-                          std::to_string(pt.crtEntries()),
-                          TextTable::fmt(loads_per_walk, 3),
-                          TextTable::fmt(r.vmcpi(), 5)});
+            return InVivo{pt.numBuckets(), pt.crtEntries(),
+                          pt.avgChainLength(), pt.searchDepth().mean(),
+                          loads_per_walk, r.vmcpi()};
+        });
+
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        TextTable table;
+        table.setHeader({"ratio", "buckets", "avg chain", "avg search",
+                         "CRT entries", "pte loads/walk", "VMCPI"});
+        for (std::size_t ri = 0; ri < std::size(ratios); ++ri) {
+            const InVivo &row = rows[wi * std::size(ratios) + ri];
+            table.addRow({std::to_string(ratios[ri]) + ":1",
+                          std::to_string(row.buckets),
+                          TextTable::fmt(row.avg_chain, 3),
+                          TextTable::fmt(row.avg_search, 3),
+                          std::to_string(row.crt),
+                          TextTable::fmt(row.loads_per_walk, 3),
+                          TextTable::fmt(row.vmcpi, 5)});
         }
-        std::cout << workload << " (" << instrs << " instructions)\n";
+        std::cout << workloads[wi] << " (" << instrs
+                  << " instructions)\n";
         emit(table, opts);
     }
 

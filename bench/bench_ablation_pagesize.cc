@@ -2,11 +2,12 @@
  * @file
  * Ablation A4: page size. The paper fixes pages at 4 KB (Table 1);
  * every table layout in vmsim is parameterized on page_bits, so this
- * ablation sweeps 2/4/8/16 KB pages. Larger pages extend TLB reach
- * (fewer walks) and shrink the page tables, at the cost of coarser
- * protection granularity the simulator does not model.
+ * ablation sweeps 2/4/8/16 KB pages (variant axis). Larger pages
+ * extend TLB reach (fewer walks) and shrink the page tables, at the
+ * cost of coarser protection granularity the simulator does not model.
  *
- * Usage: bench_ablation_pagesize [--csv] [--instructions=N]
+ * Usage: bench_ablation_pagesize [--csv] [--instructions=N] [--jobs=N]
+ *        [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -18,49 +19,60 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
 
     banner("Ablation: page size (paper fixes 4 KB)");
     std::cout << "caches: 64KB/1MB, 64/128B lines; 128-entry TLBs\n\n";
 
     const unsigned page_bits[] = {11, 12, 13, 14};
 
-    for (const auto &workload : {std::string("gcc"),
-                                 std::string("vortex")}) {
+    std::vector<ConfigVariant> variants;
+    for (unsigned pb : page_bits)
+        variants.push_back({std::to_string(1u << (pb - 10)) + "KB",
+                            [pb](SimConfig &cfg) {
+                                cfg.pageBits = pb;
+                            }});
+
+    SweepSpec spec = paperSweep(opts);
+    spec.systems({SystemKind::Ultrix, SystemKind::Intel,
+                  SystemKind::Parisc})
+        .workloads({"gcc", "vortex"})
+        .variants(variants);
+    SweepResults res = makeRunner(opts).run(spec);
+
+    for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;
         std::vector<std::string> header = {"system"};
-        for (unsigned pb : page_bits)
-            header.push_back(std::to_string(1u << (pb - 10)) +
-                             "KB walks/1Ki");
-        for (unsigned pb : page_bits)
-            header.push_back(std::to_string(1u << (pb - 10)) +
-                             "KB VMCPI");
+        for (const ConfigVariant &v : spec.variantAxis())
+            header.push_back(v.label + " walks/1Ki");
+        for (const ConfigVariant &v : spec.variantAxis())
+            header.push_back(v.label + " VMCPI");
         table.setHeader(header);
 
-        for (SystemKind kind :
-             {SystemKind::Ultrix, SystemKind::Intel,
-              SystemKind::Parisc}) {
+        for (std::size_t ki = 0; ki < spec.systemAxis().size(); ++ki) {
             std::vector<std::string> walks, vmcpi;
-            for (unsigned pb : page_bits) {
-                SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB,
-                                            128, opts);
-                cfg.pageBits = pb;
-                Results r = runOnce(cfg, workload, instrs, warmup);
+            for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+                CellIndex idx{.system = ki, .workload = wi,
+                              .variant = vi};
                 double per_k =
-                    1000.0 *
-                    static_cast<double>(r.vmStats().itlbMisses +
-                                        r.vmStats().dtlbMisses) /
-                    static_cast<double>(r.userInstrs());
+                    res.meanMetric(idx, [](const Results &r) {
+                        return 1000.0 *
+                               static_cast<double>(
+                                   r.vmStats().itlbMisses +
+                                   r.vmStats().dtlbMisses) /
+                               static_cast<double>(r.userInstrs());
+                    });
                 walks.push_back(TextTable::fmt(per_k, 2));
-                vmcpi.push_back(TextTable::fmt(r.vmcpi(), 5));
+                vmcpi.push_back(
+                    TextTable::fmt(res.meanMetric(idx, vmcpiOf), 5));
             }
-            std::vector<std::string> row = {kindName(kind)};
+            std::vector<std::string> row = {
+                kindName(spec.systemAxis()[ki])};
             row.insert(row.end(), walks.begin(), walks.end());
             row.insert(row.end(), vmcpi.begin(), vmcpi.end());
             table.addRow(row);
         }
-        std::cout << workload << " (" << instrs << " instructions)\n";
+        std::cout << spec.workloadAxis()[wi] << " ("
+                  << opts.instructions << " instructions)\n";
         emit(table, opts);
     }
 

@@ -3,12 +3,13 @@
  * Ablation A3: protected TLB slots. ULTRIX and MACH reserve the 16
  * lowest TLB slots for root/kernel-level PTE mappings (paper Table
  * 1); INTEL and PA-RISC leave the TLB unpartitioned. This ablation
- * runs the MIPS-style systems with and without the reservation to
- * show what the partition buys: without it, user-page churn evicts
- * the UPT/KPT mappings and every user miss re-runs the nested
- * handlers.
+ * runs the MIPS-style systems with and without the reservation
+ * (variant axis) to show what the partition buys: without it,
+ * user-page churn evicts the UPT/KPT mappings and every user miss
+ * re-runs the nested handlers.
  *
- * Usage: bench_ablation_protected [--csv] [--instructions=N]
+ * Usage: bench_ablation_protected [--csv] [--instructions=N] [--jobs=N]
+ *        [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -20,42 +21,53 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
 
     banner("Ablation: protected TLB slots (16 reserved vs none)");
     std::cout << "caches: 64KB/1MB, 64/128B lines; 128-entry TLBs\n\n";
 
-    const SystemKind kinds[] = {SystemKind::Ultrix, SystemKind::Mach,
-                                SystemKind::HwMips};
+    std::vector<ConfigVariant> variants;
+    for (unsigned prot : {16u, 0u})
+        variants.push_back({std::to_string(prot) + "prot",
+                            [prot](SimConfig &cfg) {
+                                cfg.tlbProtectedSlots = prot;
+                            }});
 
-    for (const auto &workload : {std::string("gcc"),
-                                 std::string("vortex")}) {
+    SweepSpec spec = paperSweep(opts);
+    spec.systems({SystemKind::Ultrix, SystemKind::Mach,
+                  SystemKind::HwMips})
+        .workloads({"gcc", "vortex"})
+        .variants(variants);
+    SweepResults res = makeRunner(opts).run(spec);
+
+    auto nestedWalks = [](const Results &r) {
+        return static_cast<double>(r.vmStats().rhandlerCalls +
+                                   r.vmStats().khandlerCalls);
+    };
+    auto intCpi = [](const Results &r) { return r.interruptCpi(); };
+
+    for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;
         table.setHeader({"system", "nested walks@16prot",
                          "nested walks@0prot", "VMCPI@16prot",
                          "VMCPI@0prot", "intCPI@16prot", "intCPI@0prot"});
-        for (SystemKind kind : kinds) {
-            std::vector<Counter> nested;
-            std::vector<double> vmcpi, intcpi;
-            for (unsigned prot : {16u, 0u}) {
-                SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB,
-                                            128, opts);
-                cfg.tlbProtectedSlots = prot;
-                Results r = runOnce(cfg, workload, instrs, warmup);
-                nested.push_back(r.vmStats().rhandlerCalls +
-                                 r.vmStats().khandlerCalls);
-                vmcpi.push_back(r.vmcpi());
-                intcpi.push_back(r.interruptCpi());
+        for (std::size_t ki = 0; ki < spec.systemAxis().size(); ++ki) {
+            std::vector<std::string> nested, vmcpi, intcpi;
+            for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+                CellIndex idx{.system = ki, .workload = wi,
+                              .variant = vi};
+                nested.push_back(std::to_string(static_cast<Counter>(
+                    res.meanMetric(idx, nestedWalks))));
+                vmcpi.push_back(
+                    TextTable::fmt(res.meanMetric(idx, vmcpiOf), 5));
+                intcpi.push_back(
+                    TextTable::fmt(res.meanMetric(idx, intCpi), 5));
             }
-            table.addRow({kindName(kind), std::to_string(nested[0]),
-                          std::to_string(nested[1]),
-                          TextTable::fmt(vmcpi[0], 5),
-                          TextTable::fmt(vmcpi[1], 5),
-                          TextTable::fmt(intcpi[0], 5),
-                          TextTable::fmt(intcpi[1], 5)});
+            table.addRow({kindName(spec.systemAxis()[ki]), nested[0],
+                          nested[1], vmcpi[0], vmcpi[1], intcpi[0],
+                          intcpi[1]});
         }
-        std::cout << workload << " (" << instrs << " instructions)\n";
+        std::cout << spec.workloadAxis()[wi] << " ("
+                  << opts.instructions << " instructions)\n";
         emit(table, opts);
     }
 

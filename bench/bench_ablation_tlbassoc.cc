@@ -4,9 +4,11 @@
  * associative (Table 1); many contemporary and later MMUs shipped
  * set-associative TLBs instead. This ablation compares fully
  * associative against 2/4/8-way set-associative TLBs of equal
- * capacity, reporting user TLB misses per 1K instructions and VMCPI.
+ * capacity (variant axis), reporting user TLB misses per 1K
+ * instructions and VMCPI.
  *
- * Usage: bench_ablation_tlbassoc [--csv] [--instructions=N]
+ * Usage: bench_ablation_tlbassoc [--csv] [--instructions=N] [--jobs=N]
+ *        [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -18,8 +20,6 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
 
     banner("Ablation: TLB associativity (paper: fully associative)");
     std::cout << "caches: 64KB/1MB, 64/128B lines; 128-entry TLBs; "
@@ -33,15 +33,33 @@ main(int argc, char **argv)
     const Org orgs[] = {
         {0, "full"}, {8, "8-way"}, {4, "4-way"}, {2, "2-way"}};
 
-    // INTEL and PA-RISC have unpartitioned TLBs, so associativity is
-    // a pure apples-to-apples change for them; for ULTRIX the
-    // set-associative variants also give up the protected partition
-    // (a real constraint of indexed TLBs).
-    const SystemKind kinds[] = {SystemKind::Intel, SystemKind::Parisc,
-                                SystemKind::Ultrix};
+    // Set-associative variants also give up the protected partition
+    // (a real constraint of indexed TLBs); INTEL and PA-RISC have
+    // unpartitioned TLBs, so associativity is a pure apples-to-apples
+    // change for them, while ULTRIX also loses its reservation.
+    std::vector<ConfigVariant> variants;
+    for (const Org &o : orgs)
+        variants.push_back({o.name, [assoc = o.assoc](SimConfig &cfg) {
+                                cfg.tlbAssoc = assoc;
+                                if (assoc != 0)
+                                    cfg.tlbProtectedSlots = 0;
+                            }});
 
-    for (const auto &workload : {std::string("gcc"),
-                                 std::string("vortex")}) {
+    SweepSpec spec = paperSweep(opts);
+    spec.systems({SystemKind::Intel, SystemKind::Parisc,
+                  SystemKind::Ultrix})
+        .workloads({"gcc", "vortex"})
+        .variants(variants);
+    SweepResults res = makeRunner(opts).run(spec);
+
+    auto missesPerK = [](const Results &r) {
+        return 1000.0 *
+               static_cast<double>(r.vmStats().itlbMisses +
+                                   r.vmStats().dtlbMisses) /
+               static_cast<double>(r.userInstrs());
+    };
+
+    for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;
         std::vector<std::string> header = {"system"};
         for (const Org &o : orgs)
@@ -50,29 +68,24 @@ main(int argc, char **argv)
             header.push_back(std::string("VMCPI ") + o.name);
         table.setHeader(header);
 
-        for (SystemKind kind : kinds) {
+        for (std::size_t ki = 0; ki < spec.systemAxis().size(); ++ki) {
             std::vector<std::string> misses, vmcpi;
-            for (const Org &o : orgs) {
-                SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB,
-                                            128, opts);
-                cfg.tlbAssoc = o.assoc;
-                if (o.assoc != 0)
-                    cfg.tlbProtectedSlots = 0;
-                Results r = runOnce(cfg, workload, instrs, warmup);
-                double per_k =
-                    1000.0 *
-                    static_cast<double>(r.vmStats().itlbMisses +
-                                        r.vmStats().dtlbMisses) /
-                    static_cast<double>(r.userInstrs());
-                misses.push_back(TextTable::fmt(per_k, 2));
-                vmcpi.push_back(TextTable::fmt(r.vmcpi(), 5));
+            for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+                CellIndex idx{.system = ki, .workload = wi,
+                              .variant = vi};
+                misses.push_back(
+                    TextTable::fmt(res.meanMetric(idx, missesPerK), 2));
+                vmcpi.push_back(
+                    TextTable::fmt(res.meanMetric(idx, vmcpiOf), 5));
             }
-            std::vector<std::string> row = {kindName(kind)};
+            std::vector<std::string> row = {
+                kindName(spec.systemAxis()[ki])};
             row.insert(row.end(), misses.begin(), misses.end());
             row.insert(row.end(), vmcpi.begin(), vmcpi.end());
             table.addRow(row);
         }
-        std::cout << workload << " (" << instrs << " instructions)\n";
+        std::cout << spec.workloadAxis()[wi] << " ("
+                  << opts.instructions << " instructions)\n";
         emit(table, opts);
     }
 

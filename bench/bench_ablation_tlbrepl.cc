@@ -2,10 +2,11 @@
  * @file
  * Ablation A5: TLB replacement policy. The paper's TLBs use random
  * replacement ("similar to MIPS"); this ablation compares Random, LRU
- * and FIFO for each TLB-based organization, reporting user TLB misses
- * per 1K instructions and VMCPI.
+ * and FIFO (variant axis) for each TLB-based organization, reporting
+ * user TLB misses per 1K instructions and VMCPI.
  *
- * Usage: bench_ablation_tlbrepl [--csv] [--instructions=N]
+ * Usage: bench_ablation_tlbrepl [--csv] [--instructions=N] [--jobs=N]
+ *        [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -17,8 +18,6 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
 
     banner("Ablation: TLB replacement policy (paper: random)");
     std::cout << "caches: 64KB/1MB, 64/128B lines; 128-entry TLBs\n\n";
@@ -32,34 +31,49 @@ main(int argc, char **argv)
                                {TlbRepl::LRU, "LRU"},
                                {TlbRepl::FIFO, "FIFO"}};
 
-    for (const auto &workload : {std::string("gcc"),
-                                 std::string("vortex")}) {
+    std::vector<ConfigVariant> variants;
+    for (const Policy &p : policies)
+        variants.push_back({p.name, [repl = p.repl](SimConfig &cfg) {
+                                cfg.tlbRepl = repl;
+                            }});
+
+    SweepSpec spec = paperSweep(opts);
+    spec.systems({SystemKind::Ultrix, SystemKind::Mach,
+                  SystemKind::Intel, SystemKind::Parisc})
+        .workloads({"gcc", "vortex"})
+        .variants(variants);
+    SweepResults res = makeRunner(opts).run(spec);
+
+    auto missesPerK = [](const Results &r) {
+        return 1000.0 *
+               static_cast<double>(r.vmStats().itlbMisses +
+                                   r.vmStats().dtlbMisses) /
+               static_cast<double>(r.userInstrs());
+    };
+
+    for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;
         table.setHeader({"system", "misses/1Ki rnd", "misses/1Ki LRU",
                          "misses/1Ki FIFO", "VMCPI rnd", "VMCPI LRU",
                          "VMCPI FIFO"});
-        for (SystemKind kind : {SystemKind::Ultrix, SystemKind::Mach,
-                                SystemKind::Intel, SystemKind::Parisc}) {
+        for (std::size_t ki = 0; ki < spec.systemAxis().size(); ++ki) {
             std::vector<std::string> misses, vmcpi;
-            for (const Policy &p : policies) {
-                SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB,
-                                            128, opts);
-                cfg.tlbRepl = p.repl;
-                Results r = runOnce(cfg, workload, instrs, warmup);
-                double per_k =
-                    1000.0 *
-                    static_cast<double>(r.vmStats().itlbMisses +
-                                        r.vmStats().dtlbMisses) /
-                    static_cast<double>(r.userInstrs());
-                misses.push_back(TextTable::fmt(per_k, 2));
-                vmcpi.push_back(TextTable::fmt(r.vmcpi(), 5));
+            for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+                CellIndex idx{.system = ki, .workload = wi,
+                              .variant = vi};
+                misses.push_back(
+                    TextTable::fmt(res.meanMetric(idx, missesPerK), 2));
+                vmcpi.push_back(
+                    TextTable::fmt(res.meanMetric(idx, vmcpiOf), 5));
             }
-            std::vector<std::string> row = {kindName(kind)};
+            std::vector<std::string> row = {
+                kindName(spec.systemAxis()[ki])};
             row.insert(row.end(), misses.begin(), misses.end());
             row.insert(row.end(), vmcpi.begin(), vmcpi.end());
             table.addRow(row);
         }
-        std::cout << workload << " (" << instrs << " instructions)\n";
+        std::cout << spec.workloadAxis()[wi] << " ("
+                  << opts.instructions << " instructions)\n";
         emit(table, opts);
     }
 

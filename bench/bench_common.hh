@@ -43,6 +43,47 @@ paperConfig(SystemKind kind, std::uint64_t l1_size, unsigned l1_line,
     return cfg;
 }
 
+/**
+ * SweepSpec seeded from the shared bench options: the paper's
+ * featured fixed point (64KB/1MB caches, 64/128-byte lines) as the
+ * base config, plus the run-length, seed-replication and warmup
+ * settings. Benches override whatever they sweep via the axes.
+ */
+inline SweepSpec
+paperSweep(const BenchOptions &opts)
+{
+    SimConfig base;
+    base.l1 = CacheParams{64_KiB, 64};
+    base.l2 = CacheParams{1_MiB, 128};
+    base.seed = opts.seed;
+    SweepSpec spec;
+    spec.base(base)
+        .instructions(opts.instructions)
+        .warmup(opts.resolvedWarmup())
+        .seeds(opts.seeds);
+    return spec;
+}
+
+/** The sweep executor configured by --jobs. */
+inline SweepRunner
+makeRunner(const BenchOptions &opts)
+{
+    return SweepRunner(opts.jobs);
+}
+
+/** Shorthand metric extractors for SweepResults::meanMetric(). */
+inline double
+vmcpiOf(const Results &r)
+{
+    return r.vmcpi();
+}
+
+inline double
+mcpiOf(const Results &r)
+{
+    return r.mcpi();
+}
+
 /** "64K" / "2M" style size label. */
 inline std::string
 sizeLabel(std::uint64_t bytes)

@@ -14,7 +14,11 @@
  *    per-process translation state at all and are immune — the
  *    selling point of single-global-address-space systems.
  *
- * Usage: bench_ctx_switch [--csv] [--instructions=N]
+ * Two SweepSpecs (untagged and ASID-tagged TLBs — the tagged one only
+ * covers TLB-based organizations) share a quantum variant axis.
+ *
+ * Usage: bench_ctx_switch [--csv] [--instructions=N] [--jobs=N]
+ *        [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -26,11 +30,9 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
 
     const Counter quanta[] = {0, 1'000'000, 250'000, 50'000, 10'000};
-    const SystemKind kinds[] = {
+    const std::vector<SystemKind> kinds = {
         SystemKind::Ultrix, SystemKind::Mach,       SystemKind::Intel,
         SystemKind::Parisc, SystemKind::HwInverted, SystemKind::HwMips,
         SystemKind::Notlb,  SystemKind::Spur,
@@ -41,36 +43,70 @@ main(int argc, char **argv)
     std::cout << "caches: 64KB/1MB, 64/128B lines; TLBs flushed per "
                  "switch (no ASIDs)\n\n";
 
-    for (const auto &workload : {std::string("gcc"),
-                                 std::string("vortex")}) {
+    // Untagged (paper) TLBs: flush per switch. The ASID-tagged spec
+    // instead costs each switch 16 randomly-evicted entries per side
+    // (competitor pressure); tagging changes nothing for the TLB-less
+    // organizations, so that spec drops them.
+    auto quantumVariants = [&](bool asid) {
+        std::vector<ConfigVariant> vs;
+        for (Counter q : quanta)
+            vs.push_back({q ? std::to_string(q) : "no switch",
+                          [q, asid](SimConfig &cfg) {
+                              cfg.ctxSwitchInterval = q;
+                              if (asid)
+                                  cfg.tlbAsidBits = 6;
+                          }});
+        return vs;
+    };
+
+    std::vector<SystemKind> tlb_kinds;
+    for (SystemKind kind : kinds)
+        if (kindHasTlb(kind))
+            tlb_kinds.push_back(kind);
+
+    SweepSpec untagged = paperSweep(opts);
+    untagged.systems(kinds)
+        .workloads({"gcc", "vortex"})
+        .variants(quantumVariants(false));
+    SweepSpec tagged = paperSweep(opts);
+    tagged.systems(tlb_kinds)
+        .workloads({"gcc", "vortex"})
+        .variants(quantumVariants(true));
+
+    SweepRunner runner = makeRunner(opts);
+    SweepResults res_untagged = runner.run(untagged);
+    SweepResults res_tagged = runner.run(tagged);
+
+    auto overhead = [](const Results &r) {
+        return r.vmcpi() + r.interruptCpi();
+    };
+
+    for (std::size_t wi = 0; wi < untagged.workloadAxis().size();
+         ++wi) {
         TextTable table;
         table.setHeader({"system", "no switch", "1M", "250K", "50K",
                          "10K"});
-        // Untagged (paper) TLBs: flush per switch. ASID-tagged rows
-        // follow, where a switch instead costs 16 randomly-evicted
-        // entries per side (competitor pressure).
         for (bool asid : {false, true}) {
-            for (SystemKind kind : kinds) {
-                if (asid && !kindHasTlb(kind))
-                    continue; // tagging changes nothing for these
+            const SweepSpec &spec = asid ? tagged : untagged;
+            const SweepResults &res = asid ? res_tagged : res_untagged;
+            for (std::size_t ki = 0; ki < spec.systemAxis().size();
+                 ++ki) {
                 std::vector<std::string> row = {
-                    std::string(kindName(kind)) +
+                    std::string(kindName(spec.systemAxis()[ki])) +
                     (asid ? " +ASID" : "")};
-                for (Counter q : quanta) {
-                    SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB,
-                                                128, opts);
-                    cfg.ctxSwitchInterval = q;
-                    if (asid)
-                        cfg.tlbAsidBits = 6;
-                    Results r = runOnce(cfg, workload, instrs, warmup);
-                    row.push_back(
-                        TextTable::fmt(r.vmcpi() + r.interruptCpi(),
-                                       5));
+                for (std::size_t vi = 0;
+                     vi < spec.variantAxis().size(); ++vi) {
+                    double v = res.meanMetric({.system = ki,
+                                               .workload = wi,
+                                               .variant = vi},
+                                              overhead);
+                    row.push_back(TextTable::fmt(v, 5));
                 }
                 table.addRow(row);
             }
         }
-        std::cout << workload << " (" << instrs << " instructions)\n";
+        std::cout << untagged.workloadAxis()[wi] << " ("
+                  << opts.instructions << " instructions)\n";
         emit(table, opts);
     }
 

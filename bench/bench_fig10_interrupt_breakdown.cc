@@ -15,7 +15,7 @@
  * argument that interrupt handling deserves architectural attention.
  *
  * Usage: bench_fig10_interrupt_breakdown [--full] [--csv]
- *        [--instructions=N]
+ *        [--instructions=N] [--jobs=N] [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -27,8 +27,6 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
 
     banner("Figure 10-style (reconstructed): VMCPI + interrupt "
            "overhead vs L1 size");
@@ -36,33 +34,49 @@ main(int argc, char **argv)
                  "VMCPI and VMCPI+intCPI at 10/50/200-cycle "
                  "interrupts\n\n";
 
-    auto l1_sizes = paperL1Sizes(opts.full);
+    SweepSpec spec = paperSweep(opts);
+    spec.systems(paperVmSystems())
+        .workloads({"gcc", "vortex"})
+        .l1Sizes(paperL1Sizes(opts.full));
+    SweepResults res = makeRunner(opts).run(spec);
 
-    for (const auto &workload : {std::string("gcc"),
-                                 std::string("vortex")}) {
-        for (SystemKind kind : paperVmSystems()) {
+    const auto &l1_sizes = spec.l1Axis();
+
+    for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
+        for (std::size_t ki = 0; ki < spec.systemAxis().size(); ++ki) {
             TextTable table;
             table.setHeader({"L1/side", "VMCPI", "+int@10", "+int@50",
                              "+int@200", "int share@200"});
-            for (std::uint64_t l1 : l1_sizes) {
-                SimConfig cfg = paperConfig(kind, l1, 64, 1_MiB, 128,
-                                            opts);
-                Results r = runOnce(cfg, workload, instrs, warmup);
-                double v = r.vmcpi();
-                double i10 = v + r.interruptCpiAt(10);
-                double i50 = v + r.interruptCpiAt(50);
-                double i200 = v + r.interruptCpiAt(200);
-                double share = i200 > 0
-                                   ? 100.0 * r.interruptCpiAt(200) /
-                                         i200
-                                   : 0.0;
-                table.addRow({sizeLabel(l1), TextTable::fmt(v, 5),
+            for (std::size_t l1i = 0; l1i < l1_sizes.size(); ++l1i) {
+                CellIndex idx{.system = ki, .workload = wi, .l1 = l1i};
+                auto metric = [&](auto fn) {
+                    return res.meanMetric(idx, fn);
+                };
+                double v = metric(vmcpiOf);
+                double i10 = metric([](const Results &r) {
+                    return r.vmcpi() + r.interruptCpiAt(10);
+                });
+                double i50 = metric([](const Results &r) {
+                    return r.vmcpi() + r.interruptCpiAt(50);
+                });
+                double i200 = metric([](const Results &r) {
+                    return r.vmcpi() + r.interruptCpiAt(200);
+                });
+                double share = metric([](const Results &r) {
+                    double total = r.vmcpi() + r.interruptCpiAt(200);
+                    return total > 0
+                               ? 100.0 * r.interruptCpiAt(200) / total
+                               : 0.0;
+                });
+                table.addRow({sizeLabel(l1_sizes[l1i]),
+                              TextTable::fmt(v, 5),
                               TextTable::fmt(i10, 5),
                               TextTable::fmt(i50, 5),
                               TextTable::fmt(i200, 5),
                               TextTable::fmt(share, 1) + "%"});
             }
-            std::cout << kindName(kind) << " - " << workload << '\n';
+            std::cout << kindName(spec.systemAxis()[ki]) << " - "
+                      << spec.workloadAxis()[wi] << '\n';
             table.print(std::cout);
             std::cout << '\n';
         }

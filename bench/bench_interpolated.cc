@@ -13,7 +13,8 @@
  * Runs the five paper systems plus the three interpolations and
  * prints VMCPI, interrupt CPI and total CPI side by side.
  *
- * Usage: bench_interpolated [--csv] [--instructions=N]
+ * Usage: bench_interpolated [--csv] [--instructions=N] [--jobs=N]
+ *        [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -25,39 +26,52 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
-
-    const SystemKind kinds[] = {
-        SystemKind::Ultrix,     SystemKind::Mach,   SystemKind::Intel,
-        SystemKind::Parisc,     SystemKind::Notlb,
-        SystemKind::HwInverted, SystemKind::HwMips, SystemKind::Spur,
-    };
 
     banner("Interpolated organizations (paper Section 4.2): measured "
            "headline systems + hardware/table recombinations");
     std::cout << "caches: 64KB/1MB split direct-mapped, 64/128B lines; "
                  "50-cycle interrupts\n\n";
 
-    for (const auto &workload : workloadNames()) {
+    SweepSpec spec = paperSweep(opts);
+    spec.systems({SystemKind::Ultrix, SystemKind::Mach,
+                  SystemKind::Intel, SystemKind::Parisc,
+                  SystemKind::Notlb, SystemKind::HwInverted,
+                  SystemKind::HwMips, SystemKind::Spur})
+        .workloads(workloadNames());
+    SweepResults res = makeRunner(opts).run(spec);
+
+    for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;
         table.setHeader({"system", "VMCPI", "uhandler", "pte-cpi",
                          "intCPI", "MCPI", "total CPI"});
-        for (SystemKind kind : kinds) {
-            SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB, 128,
-                                        opts);
-            Results r = runOnce(cfg, workload, instrs, warmup);
-            VmcpiBreakdown b = r.vmcpiBreakdown();
-            double pte_cpi = b.upteL2 + b.upteMem + b.kpteL2 +
-                             b.kpteMem + b.rpteL2 + b.rpteMem;
-            table.addRow({kindName(kind), TextTable::fmt(r.vmcpi(), 5),
-                          TextTable::fmt(b.uhandler, 5),
-                          TextTable::fmt(pte_cpi, 5),
-                          TextTable::fmt(r.interruptCpi(), 5),
-                          TextTable::fmt(r.mcpi(), 4),
-                          TextTable::fmt(r.totalCpi(), 4)});
+        for (std::size_t ki = 0; ki < spec.systemAxis().size(); ++ki) {
+            CellIndex idx{.system = ki, .workload = wi};
+            auto metric = [&](auto fn) { return res.meanMetric(idx, fn); };
+            double uhandler = metric([](const Results &r) {
+                return r.vmcpiBreakdown().uhandler;
+            });
+            double pte_cpi = metric([](const Results &r) {
+                VmcpiBreakdown b = r.vmcpiBreakdown();
+                return b.upteL2 + b.upteMem + b.kpteL2 + b.kpteMem +
+                       b.rpteL2 + b.rpteMem;
+            });
+            table.addRow(
+                {kindName(spec.systemAxis()[ki]),
+                 TextTable::fmt(metric(vmcpiOf), 5),
+                 TextTable::fmt(uhandler, 5),
+                 TextTable::fmt(pte_cpi, 5),
+                 TextTable::fmt(metric([](const Results &r) {
+                                    return r.interruptCpi();
+                                }),
+                                5),
+                 TextTable::fmt(metric(mcpiOf), 4),
+                 TextTable::fmt(metric([](const Results &r) {
+                                    return r.totalCpi();
+                                }),
+                                4)});
         }
-        std::cout << workload << " (" << instrs << " instructions)\n";
+        std::cout << spec.workloadAxis()[wi] << " ("
+                  << opts.instructions << " instructions)\n";
         emit(table, opts);
     }
 

@@ -11,9 +11,12 @@
  *
  * For each system and workload, prints VMCPI next to the interrupt
  * CPI at each swept cost and the resulting share of total VM-related
- * overhead attributable to the interrupt mechanism.
+ * overhead attributable to the interrupt mechanism. (The interrupt
+ * cost is applied at accounting time via interruptCpiAt(), so the
+ * sweep needs one simulation per (system, workload) cell, not three.)
  *
- * Usage: bench_interrupt_cost [--csv] [--instructions=N]
+ * Usage: bench_interrupt_cost [--csv] [--instructions=N] [--jobs=N]
+ *        [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -25,38 +28,52 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
 
     banner("Interrupt-cost sweep (paper Section 4.3, reconstructed): "
            "interrupt CPI vs VMCPI");
     std::cout << "caches: 64KB/1MB split direct-mapped, 64/128B lines; "
               << "interrupt cost in {10, 50, 200} cycles\n\n";
 
-    for (const auto &workload : workloadNames()) {
+    SweepSpec spec = paperSweep(opts);
+    spec.systems(paperVmSystems()).workloads(workloadNames());
+    SweepResults res = makeRunner(opts).run(spec);
+
+    for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;
         table.setHeader({"system", "VMCPI", "int/1Kinstr", "int@10",
                          "int@50", "int@200", "int share@200"});
-        for (SystemKind kind : paperVmSystems()) {
-            SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB, 128,
-                                        opts);
-            Results r = runOnce(cfg, workload, instrs, warmup);
-            double vmcpi = r.vmcpi();
-            double per_k = 1000.0 *
-                           static_cast<double>(r.vmStats().interrupts) /
-                           static_cast<double>(r.userInstrs());
-            double i10 = r.interruptCpiAt(10);
-            double i50 = r.interruptCpiAt(50);
-            double i200 = r.interruptCpiAt(200);
-            double share =
-                (vmcpi + i200) > 0 ? i200 / (vmcpi + i200) : 0.0;
-            table.addRow({kindName(kind), TextTable::fmt(vmcpi, 5),
+        for (std::size_t ki = 0; ki < spec.systemAxis().size(); ++ki) {
+            CellIndex idx{.system = ki, .workload = wi};
+            auto metric = [&](auto fn) { return res.meanMetric(idx, fn); };
+            double vmcpi = metric(vmcpiOf);
+            double per_k = metric([](const Results &r) {
+                return 1000.0 *
+                       static_cast<double>(r.vmStats().interrupts) /
+                       static_cast<double>(r.userInstrs());
+            });
+            double i10 = metric([](const Results &r) {
+                return r.interruptCpiAt(10);
+            });
+            double i50 = metric([](const Results &r) {
+                return r.interruptCpiAt(50);
+            });
+            double i200 = metric([](const Results &r) {
+                return r.interruptCpiAt(200);
+            });
+            double share = metric([](const Results &r) {
+                double v = r.vmcpi();
+                double i = r.interruptCpiAt(200);
+                return (v + i) > 0 ? i / (v + i) : 0.0;
+            });
+            table.addRow({kindName(spec.systemAxis()[ki]),
+                          TextTable::fmt(vmcpi, 5),
                           TextTable::fmt(per_k, 2),
                           TextTable::fmt(i10, 5), TextTable::fmt(i50, 5),
                           TextTable::fmt(i200, 5),
                           TextTable::fmt(100 * share, 1) + "%"});
         }
-        std::cout << workload << " (" << instrs << " instructions)\n";
+        std::cout << spec.workloadAxis()[wi] << " ("
+                  << opts.instructions << " instructions)\n";
         emit(table, opts);
     }
 

@@ -7,7 +7,12 @@
  * *excess* over BASE — the VM-inflicted cache misses that drive the
  * paper's Section 4.4 doubling result, shown per configuration.
  *
+ * One SweepSpec covers BASE plus the five VM systems across every
+ * (workload, L1) point; BASE's cells serve both as the breakdown
+ * table and as the reference the excess rows subtract.
+ *
  * Usage: bench_mcpi_sweep [--full] [--csv] [--instructions=N]
+ *        [--jobs=N] [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -19,33 +24,49 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
 
     banner("MCPI components and VM-inflicted excess (64/128-byte "
            "linesizes)");
-    std::cout << "instructions/point=" << instrs << " warmup=" << warmup
-              << "\n\n";
+    std::cout << "instructions/point=" << opts.instructions
+              << " warmup=" << opts.resolvedWarmup() << "\n\n";
 
-    auto l1_sizes = paperL1Sizes(opts.full);
+    // System axis: BASE first (the reference), then the VM systems.
+    std::vector<SystemKind> kinds = {SystemKind::Base};
+    kinds.insert(kinds.end(), paperVmSystems().begin(),
+                 paperVmSystems().end());
 
-    for (const auto &workload : workloadNames()) {
-        // BASE breakdown table.
+    SweepSpec spec = paperSweep(opts);
+    spec.systems(kinds)
+        .workloads(workloadNames())
+        .l1Sizes(paperL1Sizes(opts.full));
+    SweepResults res = makeRunner(opts).run(spec);
+
+    const auto &l1_sizes = spec.l1Axis();
+
+    for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
+        const std::string &workload = spec.workloadAxis()[wi];
+
+        // BASE breakdown table (system index 0).
         TextTable base_table;
         base_table.setHeader({"L1/side", "L1i-miss", "L1d-miss",
                               "L2i-miss", "L2d-miss", "MCPI"});
         std::vector<double> base_mcpi;
-        for (std::uint64_t l1 : l1_sizes) {
-            SimConfig cfg = paperConfig(SystemKind::Base, l1, 64, 1_MiB,
-                                        128, opts);
-            Results r = runOnce(cfg, workload, instrs, warmup);
-            McpiBreakdown b = r.mcpiBreakdown();
-            base_mcpi.push_back(b.total());
-            base_table.addRow({sizeLabel(l1), TextTable::fmt(b.l1iMiss, 4),
-                               TextTable::fmt(b.l1dMiss, 4),
-                               TextTable::fmt(b.l2iMiss, 4),
-                               TextTable::fmt(b.l2dMiss, 4),
-                               TextTable::fmt(b.total(), 4)});
+        for (std::size_t l1i = 0; l1i < l1_sizes.size(); ++l1i) {
+            CellIndex idx{.system = 0, .workload = wi, .l1 = l1i};
+            auto comp = [&](double McpiBreakdown::*member) {
+                return res.meanMetric(idx, [member](const Results &r) {
+                    return r.mcpiBreakdown().*member;
+                });
+            };
+            double total = res.meanMetric(idx, mcpiOf);
+            base_mcpi.push_back(total);
+            base_table.addRow(
+                {sizeLabel(l1_sizes[l1i]),
+                 TextTable::fmt(comp(&McpiBreakdown::l1iMiss), 4),
+                 TextTable::fmt(comp(&McpiBreakdown::l1dMiss), 4),
+                 TextTable::fmt(comp(&McpiBreakdown::l2iMiss), 4),
+                 TextTable::fmt(comp(&McpiBreakdown::l2dMiss), 4),
+                 TextTable::fmt(total, 4)});
         }
         std::cout << workload << " - BASE (no VM) MCPI components, "
                   << "1MB L2\n";
@@ -57,14 +78,12 @@ main(int argc, char **argv)
         for (std::uint64_t l1 : l1_sizes)
             header.push_back(sizeLabel(l1));
         excess.setHeader(header);
-        for (SystemKind kind : paperVmSystems()) {
-            std::vector<std::string> row = {kindName(kind)};
-            for (std::size_t i = 0; i < l1_sizes.size(); ++i) {
-                SimConfig cfg = paperConfig(kind, l1_sizes[i], 64,
-                                            1_MiB, 128, opts);
-                Results r = runOnce(cfg, workload, instrs, warmup);
-                row.push_back(
-                    TextTable::fmt(r.mcpi() - base_mcpi[i], 5));
+        for (std::size_t ki = 1; ki < kinds.size(); ++ki) {
+            std::vector<std::string> row = {kindName(kinds[ki])};
+            for (std::size_t l1i = 0; l1i < l1_sizes.size(); ++l1i) {
+                double m = res.meanMetric(
+                    {.system = ki, .workload = wi, .l1 = l1i}, mcpiOf);
+                row.push_back(TextTable::fmt(m - base_mcpi[l1i], 5));
             }
             excess.addRow(row);
         }

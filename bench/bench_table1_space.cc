@@ -2,11 +2,12 @@
  * @file
  * Table 1 (paper): the simulated parameter space. Enumerates the
  * cross-product of Table 1 — cache sizes, linesizes, TLB geometry,
- * systems — instantiates every configuration, and runs a short burst
- * through each to prove the whole space is constructible and
- * simulable. Prints the space and a per-system smoke summary.
+ * systems — as one SweepSpec grid, runs a short burst through every
+ * cell to prove the whole space is constructible and simulable, and
+ * prints the space plus a per-system smoke summary.
  *
  * Usage: bench_table1_space [--full] [--csv] [--instructions=N]
+ *        [--jobs=N]
  */
 
 #include "bench_common.hh"
@@ -46,41 +47,48 @@ main(int argc, char **argv)
                   "HW-INVERTED, HW-MIPS, SPUR interpolations)"});
     emit(space, opts);
 
-    // Instantiate and smoke-run the whole cross-product.
-    auto l1_sizes = paperL1Sizes(opts.full);
-    auto l2_sizes = paperL2Sizes(opts.full);
-    auto lines = paperLineSizes(opts.full);
+    // Instantiate and smoke-run the whole cross-product as one grid.
+    SweepSpec spec = paperSweep(opts);
+    spec.systems({SystemKind::Ultrix, SystemKind::Mach,
+                  SystemKind::Intel, SystemKind::Parisc,
+                  SystemKind::Notlb, SystemKind::Base,
+                  SystemKind::HwInverted, SystemKind::HwMips,
+                  SystemKind::Spur})
+        .workloads({"gcc"})
+        .l1Sizes(paperL1Sizes(opts.full))
+        .l2Sizes(paperL2Sizes(opts.full))
+        .lineSizes(paperLineSizes(opts.full))
+        .instructions(instrs)
+        .warmup(instrs / 4);
+    SweepResults res = makeRunner(opts).run(spec);
 
-    const SystemKind all_kinds[] = {
-        SystemKind::Ultrix,     SystemKind::Mach,   SystemKind::Intel,
-        SystemKind::Parisc,     SystemKind::Notlb,  SystemKind::Base,
-        SystemKind::HwInverted, SystemKind::HwMips, SystemKind::Spur,
-    };
+    std::size_t per_system = spec.l1Axis().size() *
+                             spec.l2Axis().size() *
+                             spec.lineAxis().size();
 
     TextTable summary;
     summary.setHeader({"system", "points", "min CPI", "max CPI"});
-    Counter total_points = 0;
-    for (SystemKind kind : all_kinds) {
-        Counter points = 0;
+    for (std::size_t ki = 0; ki < spec.systemAxis().size(); ++ki) {
         double min_cpi = 1e30, max_cpi = 0;
-        for (std::uint64_t l1 : l1_sizes) {
-            for (std::uint64_t l2 : l2_sizes) {
-                for (auto [l1_line, l2_line] : lines) {
-                    SimConfig cfg = paperConfig(kind, l1, l1_line, l2,
-                                                l2_line, opts);
-                    Results r = runOnce(cfg, "gcc", instrs, instrs / 4);
-                    min_cpi = std::min(min_cpi, r.totalCpi());
-                    max_cpi = std::max(max_cpi, r.totalCpi());
-                    ++points;
+        for (std::size_t l1 = 0; l1 < spec.l1Axis().size(); ++l1) {
+            for (std::size_t l2 = 0; l2 < spec.l2Axis().size(); ++l2) {
+                for (std::size_t li = 0; li < spec.lineAxis().size();
+                     ++li) {
+                    double cpi = res.meanMetric(
+                        {.system = ki, .l1 = l1, .l2 = l2, .line = li},
+                        [](const Results &r) { return r.totalCpi(); });
+                    min_cpi = std::min(min_cpi, cpi);
+                    max_cpi = std::max(max_cpi, cpi);
                 }
             }
         }
-        total_points += points;
-        summary.addRow({kindName(kind), std::to_string(points),
+        summary.addRow({kindName(spec.systemAxis()[ki]),
+                        std::to_string(per_system),
                         TextTable::fmt(min_cpi, 3),
                         TextTable::fmt(max_cpi, 3)});
     }
-    std::cout << "Cross-product smoke run (" << total_points
+    std::cout << "Cross-product smoke run ("
+              << spec.systemAxis().size() * per_system
               << " configurations x " << instrs << " instructions):\n";
     emit(summary, opts);
     return 0;

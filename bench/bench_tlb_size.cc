@@ -5,10 +5,11 @@
  *
  * Sweeps the per-side TLB entry count over 16..512 for every
  * TLB-based organization and prints VMCPI (plus walk counts per 1K
- * instructions). NOTLB/BASE have no TLB and appear as flat reference
- * rows where applicable.
+ * instructions). The entry counts ride the SweepSpec's open-ended
+ * variant axis (they are not one of the fixed cache axes).
  *
- * Usage: bench_tlb_size [--csv] [--instructions=N]
+ * Usage: bench_tlb_size [--csv] [--instructions=N] [--jobs=N]
+ *        [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -20,15 +21,8 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
 
     const unsigned sizes[] = {16, 32, 64, 128, 256, 512};
-    const SystemKind tlb_kinds[] = {
-        SystemKind::Ultrix,     SystemKind::Mach,  SystemKind::Intel,
-        SystemKind::Parisc,     SystemKind::HwInverted,
-        SystemKind::HwMips,
-    };
 
     banner("TLB-size sensitivity (abstract result, reconstructed): "
            "VMCPI vs TLB entries per side");
@@ -36,27 +30,42 @@ main(int argc, char **argv)
               << "protected slots scale as entries/8 (16 at the "
                  "paper's 128)\n\n";
 
-    for (const auto &workload : workloadNames()) {
+    std::vector<ConfigVariant> variants;
+    for (unsigned n : sizes)
+        variants.push_back({std::to_string(n), [n](SimConfig &cfg) {
+                                cfg.tlbEntries = n;
+                                cfg.tlbProtectedSlots = n / 8;
+                            }});
+
+    SweepSpec spec = paperSweep(opts);
+    spec.systems({SystemKind::Ultrix, SystemKind::Mach,
+                  SystemKind::Intel, SystemKind::Parisc,
+                  SystemKind::HwInverted, SystemKind::HwMips})
+        .workloads(workloadNames())
+        .variants(variants);
+    SweepResults res = makeRunner(opts).run(spec);
+
+    for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;
         std::vector<std::string> header = {"system"};
-        for (unsigned n : sizes)
-            header.push_back(std::to_string(n));
+        for (const ConfigVariant &v : spec.variantAxis())
+            header.push_back(v.label);
         table.setHeader(header);
 
-        for (SystemKind kind : tlb_kinds) {
-            std::vector<std::string> row = {kindName(kind)};
-            for (unsigned n : sizes) {
-                SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB,
-                                            128, opts);
-                cfg.tlbEntries = n;
-                cfg.tlbProtectedSlots = n / 8;
-                Results r = runOnce(cfg, workload, instrs, warmup);
-                row.push_back(TextTable::fmt(r.vmcpi(), 5));
+        for (std::size_t ki = 0; ki < spec.systemAxis().size(); ++ki) {
+            std::vector<std::string> row = {
+                kindName(spec.systemAxis()[ki])};
+            for (std::size_t vi = 0; vi < spec.variantAxis().size();
+                 ++vi) {
+                double v = res.meanMetric(
+                    {.system = ki, .workload = wi, .variant = vi},
+                    vmcpiOf);
+                row.push_back(TextTable::fmt(v, 5));
             }
             table.addRow(row);
         }
-        std::cout << workload << " (VMCPI; " << instrs
-                  << " instructions)\n";
+        std::cout << spec.workloadAxis()[wi] << " (VMCPI; "
+                  << opts.instructions << " instructions)\n";
         emit(table, opts);
     }
 

@@ -12,9 +12,11 @@
  *
  * For each workload and system, prints the three accountings side by
  * side as percentages of total run time (at 50-cycle interrupts; the
- * @200 column shows the pessimistic end).
+ * @200 column shows the pessimistic end). BASE rides along as system
+ * index 0 of the sweep and provides the reference MCPI.
  *
- * Usage: bench_total_overhead [--csv] [--instructions=N]
+ * Usage: bench_total_overhead [--csv] [--instructions=N] [--jobs=N]
+ *        [--seeds=N]
  */
 
 #include "bench_common.hh"
@@ -26,8 +28,6 @@ main(int argc, char **argv)
     using namespace vmsim::bench;
 
     BenchOptions opts = BenchOptions::parse(argc, argv);
-    Counter instrs = opts.instructions;
-    Counter warmup = opts.warmup;
 
     banner("Total VM overhead vs BASE (paper Section 4.4, "
            "reconstructed)");
@@ -37,40 +37,60 @@ main(int argc, char **argv)
                  "cache misses]\n"
               << "+ints   = the above + interrupt CPI\n\n";
 
-    for (const auto &workload : workloadNames()) {
-        // BASE gives the no-VM cache cost for the identical trace.
-        SimConfig base_cfg = paperConfig(SystemKind::Base, 64_KiB, 64,
-                                         1_MiB, 128, opts);
-        Results base = runOnce(base_cfg, workload, instrs, warmup);
+    std::vector<SystemKind> kinds = {SystemKind::Base};
+    kinds.insert(kinds.end(), paperVmSystems().begin(),
+                 paperVmSystems().end());
+
+    SweepSpec spec = paperSweep(opts);
+    spec.systems(kinds).workloads(workloadNames());
+    SweepResults res = makeRunner(opts).run(spec);
+
+    for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
+        double base_mcpi =
+            res.meanMetric({.system = 0, .workload = wi}, mcpiOf);
 
         TextTable table;
         table.setHeader({"system", "MCPI_base", "MCPI", "VMCPI",
                          "naive%", "+misses%", "+ints%@50",
                          "+ints%@200"});
-        for (SystemKind kind : paperVmSystems()) {
-            SimConfig cfg = paperConfig(kind, 64_KiB, 64, 1_MiB, 128,
-                                        opts);
-            Results r = runOnce(cfg, workload, instrs, warmup);
+        for (std::size_t ki = 1; ki < kinds.size(); ++ki) {
+            CellIndex idx{.system = ki, .workload = wi};
+            auto metric = [&](auto fn) { return res.meanMetric(idx, fn); };
 
-            double pollution = std::max(0.0, r.mcpi() - base.mcpi());
-            double naive = r.vmcpi();
-            double with_misses = naive + pollution;
-            double with_ints50 = with_misses + r.interruptCpiAt(50);
-            double with_ints200 = with_misses + r.interruptCpiAt(200);
-
-            auto pct = [&](double overhead_cpi, double int_cpi) {
-                double total = 1.0 + r.mcpi() + r.vmcpi() + int_cpi;
-                return TextTable::fmt(100 * overhead_cpi / total, 1) +
-                       "%";
+            double mcpi = metric(mcpiOf);
+            double naive = metric(vmcpiOf);
+            // Percent-of-runtime accountings, per run then averaged.
+            auto pctAt = [&](auto overhead, Cycles int_cost) {
+                return metric([&](const Results &r) {
+                    double int_cpi =
+                        int_cost ? r.interruptCpiAt(int_cost) : 0.0;
+                    double total =
+                        1.0 + r.mcpi() + r.vmcpi() + int_cpi;
+                    return 100.0 * overhead(r, int_cpi) / total;
+                });
             };
-            table.addRow({kindName(kind), TextTable::fmt(base.mcpi(), 4),
-                          TextTable::fmt(r.mcpi(), 4),
-                          TextTable::fmt(naive, 4), pct(naive, 0),
-                          pct(with_misses, 0),
-                          pct(with_ints50, r.interruptCpiAt(50)),
-                          pct(with_ints200, r.interruptCpiAt(200))});
+            auto naiveOv = [](const Results &r, double) {
+                return r.vmcpi();
+            };
+            auto missesOv = [&](const Results &r, double) {
+                return r.vmcpi() +
+                       std::max(0.0, r.mcpi() - base_mcpi);
+            };
+            auto intsOv = [&](const Results &r, double int_cpi) {
+                return r.vmcpi() +
+                       std::max(0.0, r.mcpi() - base_mcpi) + int_cpi;
+            };
+            table.addRow({kindName(kinds[ki]),
+                          TextTable::fmt(base_mcpi, 4),
+                          TextTable::fmt(mcpi, 4),
+                          TextTable::fmt(naive, 4),
+                          TextTable::fmt(pctAt(naiveOv, 0), 1) + "%",
+                          TextTable::fmt(pctAt(missesOv, 0), 1) + "%",
+                          TextTable::fmt(pctAt(intsOv, 50), 1) + "%",
+                          TextTable::fmt(pctAt(intsOv, 200), 1) + "%"});
         }
-        std::cout << workload << " (" << instrs << " instructions)\n";
+        std::cout << spec.workloadAxis()[wi] << " ("
+                  << opts.instructions << " instructions)\n";
         emit(table, opts);
     }
 

@@ -2,15 +2,16 @@
  * @file
  * compare_mmus: the paper's headline experiment in miniature.
  *
- * Runs one workload through all nine memory-management organizations
- * (the paper's six plus the Section 4.2 interpolations) on identical
- * caches, and prints a comparison table: MCPI, VMCPI (with its
- * dominant components), interrupt CPI at the paper's three costs, and
- * total CPI.
+ * Declares one SweepSpec — nine memory-management organizations (the
+ * paper's six plus the Section 4.2 interpolations) on identical
+ * caches against one workload — runs it on the parallel SweepRunner,
+ * and prints a comparison table: MCPI, VMCPI, interrupt CPI at the
+ * paper's three costs, and total CPI.
  *
- * Usage: compare_mmus [workload] [instructions]
+ * Usage: compare_mmus [workload] [instructions] [jobs]
  *   workload:     gcc | vortex | ijpeg   (default vortex)
  *   instructions: per-system instruction count (default 2000000)
+ *   jobs:         worker threads (default: hardware concurrency)
  */
 
 #include <cstdlib>
@@ -26,34 +27,44 @@ main(int argc, char **argv)
     std::string workload = argc > 1 ? argv[1] : "vortex";
     Counter instrs =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000'000;
-    Counter warmup = instrs / 2;
+    unsigned jobs =
+        argc > 3
+            ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10))
+            : 0;
 
-    const SystemKind kinds[] = {
-        SystemKind::Base,       SystemKind::Ultrix, SystemKind::Mach,
-        SystemKind::Intel,      SystemKind::Parisc, SystemKind::Notlb,
-        SystemKind::HwInverted, SystemKind::HwMips, SystemKind::Spur,
-    };
+    SimConfig base;
+    base.l1 = CacheParams{64_KiB, 64};
+    base.l2 = CacheParams{1_MiB, 128};
+    base.costs.interruptCycles = 50;
+
+    SweepSpec spec;
+    spec.base(base)
+        .systems({SystemKind::Base, SystemKind::Ultrix,
+                  SystemKind::Mach, SystemKind::Intel,
+                  SystemKind::Parisc, SystemKind::Notlb,
+                  SystemKind::HwInverted, SystemKind::HwMips,
+                  SystemKind::Spur})
+        .workloads({workload})
+        .instructions(instrs)
+        .warmup(instrs / 2);
 
     std::cout << "Comparing MMU / TLB-refill / page-table organizations"
               << " on " << workload << " (" << instrs
               << " instructions, 64KB/1MB caches)\n\n";
 
+    SweepResults res = SweepRunner(jobs).run(spec);
+
     TextTable table;
     table.setHeader({"system", "MCPI", "VMCPI", "int@10", "int@50",
                      "int@200", "CPI@50", "overhead@50"});
 
-    for (SystemKind kind : kinds) {
-        SimConfig cfg;
-        cfg.kind = kind;
-        cfg.l1 = CacheParams{64_KiB, 64};
-        cfg.l2 = CacheParams{1_MiB, 128};
-        cfg.costs.interruptCycles = 50;
-
-        Results r = runOnce(cfg, workload, instrs, warmup);
+    for (std::size_t ki = 0; ki < spec.systemAxis().size(); ++ki) {
+        const Results &r = res.at(CellIndex{.system = ki});
         double total = r.totalCpi();
         double overhead =
             (r.vmcpi() + r.interruptCpi()) / total * 100.0;
-        table.addRow({kindName(kind), TextTable::fmt(r.mcpi(), 4),
+        table.addRow({kindName(spec.systemAxis()[ki]),
+                      TextTable::fmt(r.mcpi(), 4),
                       TextTable::fmt(r.vmcpi(), 5),
                       TextTable::fmt(r.interruptCpiAt(10), 5),
                       TextTable::fmt(r.interruptCpiAt(50), 5),

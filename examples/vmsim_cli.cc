@@ -33,6 +33,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "vmsim.hh"
@@ -68,13 +69,19 @@ main(int argc, char **argv)
     std::string workload = "gcc";
     std::string trace_path;
     Counter instrs = 2'000'000;
-    Counter warmup = ~Counter{0};
+    std::optional<Counter> warmup;
     bool json = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        if (matches(arg, "--system="))
-            cfg.kind = kindFromName(arg + 9);
+        if (matches(arg, "--system=")) {
+            std::optional<SystemKind> kind = tryKindFromName(arg + 9);
+            if (!kind)
+                fatal("unknown system '", arg + 9,
+                      "' (expected ULTRIX, MACH, INTEL, PA-RISC, "
+                      "NOTLB, BASE, HW-INVERTED, HW-MIPS or SPUR)");
+            cfg.kind = *kind;
+        }
         else if (matches(arg, "--workload="))
             workload = arg + 11;
         else if (matches(arg, "--trace="))
@@ -124,16 +131,15 @@ main(int argc, char **argv)
             fatal("unknown argument '", arg,
                   "' (see the header of examples/vmsim_cli.cc)");
     }
-    if (warmup == ~Counter{0})
-        warmup = instrs / 2;
+    Counter warmup_instrs = warmup.value_or(instrs / 2);
 
     Results r = [&] {
         if (!trace_path.empty()) {
             TraceFileReader trace(trace_path);
             System sys(cfg);
-            return sys.run(trace, instrs, trace_path, warmup);
+            return sys.run(trace, instrs, trace_path, warmup_instrs);
         }
-        return runOnce(cfg, workload, instrs, warmup);
+        return runOnce(cfg, workload, instrs, warmup_instrs);
     }();
 
     if (json) {

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Build the simulator with ThreadSanitizer and run the concurrency-
+# sensitive test suites (thread pool, sweep engine) plus a small
+# parallel bench sweep. Catches data races in the SweepRunner /
+# ThreadPool / Logger stack that plain unit tests can miss.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build-tsan}
+
+cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target thread_pool_test sweep_test bench_mcpi_sweep
+
+"$BUILD_DIR"/tests/thread_pool_test
+"$BUILD_DIR"/tests/sweep_test
+"$BUILD_DIR"/bench/bench_mcpi_sweep --instructions=20000 \
+    --warmup=5000 --jobs=4 > /dev/null
+
+echo "TSan checks passed."

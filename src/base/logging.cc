@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace vmsim
 {
@@ -10,6 +11,21 @@ namespace
 {
 
 std::atomic<bool> quiet_flag{false};
+
+/**
+ * Serializes writes so that messages from concurrent sweep workers
+ * stay line-atomic: one guarded fprintf per message, never interleaved
+ * character soup. (Each message is already a single fprintf call, but
+ * POSIX only guarantees atomicity per stdio call on the same stream
+ * when the stream lock is honored — the explicit mutex also keeps the
+ * guarantee if a message ever becomes multiple writes.)
+ */
+std::mutex &
+writeMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 } // anonymous namespace
 
@@ -25,31 +41,39 @@ namespace detail
 void
 panicImpl(const std::string &msg)
 {
-    if (!quiet_flag.load())
+    if (!quiet_flag.load()) {
+        std::lock_guard<std::mutex> lock(writeMutex());
         std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    }
     throw PanicError(msg);
 }
 
 void
 fatalImpl(const std::string &msg)
 {
-    if (!quiet_flag.load())
+    if (!quiet_flag.load()) {
+        std::lock_guard<std::mutex> lock(writeMutex());
         std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    }
     throw FatalError(msg);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (!quiet_flag.load())
+    if (!quiet_flag.load()) {
+        std::lock_guard<std::mutex> lock(writeMutex());
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet_flag.load())
+    if (!quiet_flag.load()) {
+        std::lock_guard<std::mutex> lock(writeMutex());
         std::fprintf(stderr, "info: %s\n", msg.c_str());
+    }
 }
 
 } // namespace detail

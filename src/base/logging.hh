@@ -8,6 +8,10 @@
  *  - panic(): an internal simulator invariant was violated (a vmsim bug).
  *  - fatal(): the user supplied an invalid configuration or input.
  *  - warn() / inform(): non-fatal status messages on stderr.
+ *
+ * All entry points are thread-safe: each message is emitted as one
+ * mutex-guarded write, so output from concurrent sweep workers stays
+ * line-atomic.
  */
 
 #ifndef VMSIM_BASE_LOGGING_HH

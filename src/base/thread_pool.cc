@@ -1,0 +1,87 @@
+#include "base/thread_pool.hh"
+
+namespace vmsim
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock,
+                  [this] { return queue_.empty() && active_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workReady_.wait(lock, [this] {
+            return stopping_ || !queue_.empty();
+        });
+        if (queue_.empty()) {
+            // stopping_ && drained: exit. (Queued work submitted
+            // before destruction still runs to completion above.)
+            return;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> errLock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        lock.lock();
+        --active_;
+        if (queue_.empty() && active_ == 0)
+            allIdle_.notify_all();
+    }
+}
+
+} // namespace vmsim

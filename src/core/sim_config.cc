@@ -27,8 +27,8 @@ kindName(SystemKind kind)
     panic("unreachable SystemKind");
 }
 
-SystemKind
-kindFromName(const std::string &name)
+std::optional<SystemKind>
+tryKindFromName(const std::string &name)
 {
     std::string up = name;
     std::transform(up.begin(), up.end(), up.begin(), [](unsigned char c) {
@@ -44,6 +44,14 @@ kindFromName(const std::string &name)
         return SystemKind::HwInverted;
     if (up == "HW-MIPS" || up == "HWMIPS") return SystemKind::HwMips;
     if (up == "SPUR")        return SystemKind::Spur;
+    return std::nullopt;
+}
+
+SystemKind
+kindFromName(const std::string &name)
+{
+    if (std::optional<SystemKind> kind = tryKindFromName(name))
+        return *kind;
     fatal("unknown system '", name, "'");
 }
 

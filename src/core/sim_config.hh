@@ -21,6 +21,7 @@
 #ifndef VMSIM_CORE_SIM_CONFIG_HH
 #define VMSIM_CORE_SIM_CONFIG_HH
 
+#include <optional>
 #include <string>
 
 #include "base/types.hh"
@@ -55,6 +56,13 @@ constexpr SystemKind kPaperSystems[] = {
 
 /** Canonical display name ("ULTRIX", "PA-RISC", ...). */
 const char *kindName(SystemKind kind);
+
+/**
+ * Parse a system name (case-insensitive) without aborting: returns
+ * nullopt for unknown names so tools can validate user input and
+ * report their own errors.
+ */
+std::optional<SystemKind> tryKindFromName(const std::string &name);
 
 /** Parse a system name (case-insensitive); fatal() on unknown names. */
 SystemKind kindFromName(const std::string &name);

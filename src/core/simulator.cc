@@ -63,13 +63,12 @@ System::run(TraceSource &trace, Counter max_instrs,
 
 Results
 runOnce(const SimConfig &config, const std::string &workload,
-        Counter instrs, Counter warmup_instrs)
+        Counter instrs, std::optional<Counter> warmup_instrs)
 {
-    if (warmup_instrs == ~Counter{0})
-        warmup_instrs = instrs / 4;
     auto trace = makeWorkload(workload, config.seed);
     System system(config);
-    return system.run(*trace, instrs, trace->name(), warmup_instrs);
+    return system.run(*trace, instrs, trace->name(),
+                      warmup_instrs.value_or(instrs / 4));
 }
 
 } // namespace vmsim

@@ -8,6 +8,7 @@
 #define VMSIM_CORE_SIMULATOR_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/results.hh"
@@ -105,11 +106,13 @@ class System
 /**
  * Convenience one-shot: build the named synthetic workload and a
  * System from @p config, run @p instrs instructions, return Results.
- * @param warmup_instrs warmup length; by default one quarter of
- *        @p instrs (statistics from warmup are discarded).
+ * @param warmup_instrs warmup length (statistics from warmup are
+ *        discarded); nullopt selects the default of one quarter of
+ *        @p instrs. Pass an explicit 0 to skip warmup entirely.
  */
 Results runOnce(const SimConfig &config, const std::string &workload,
-                Counter instrs, Counter warmup_instrs = ~Counter{0});
+                Counter instrs,
+                std::optional<Counter> warmup_instrs = std::nullopt);
 
 } // namespace vmsim
 

@@ -66,15 +66,143 @@ BenchOptions::parse(int argc, char **argv)
             opts.warmup = std::strtoull(arg + 9, nullptr, 10);
         } else if (std::strncmp(arg, "--seed=", 7) == 0) {
             opts.seed = std::strtoull(arg + 7, nullptr, 10);
+        } else if (std::strncmp(arg, "--seeds=", 8) == 0) {
+            opts.seeds = static_cast<unsigned>(
+                std::strtoul(arg + 8, nullptr, 10));
+            fatalIf(opts.seeds == 0, "--seeds must be positive");
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            opts.jobs = static_cast<unsigned>(
+                std::strtoul(arg + 7, nullptr, 10));
         } else {
             fatal("unknown argument '", arg,
                   "' (expected --full, --csv, --instructions=N, "
-                  "--warmup=N, --seed=N)");
+                  "--warmup=N, --seed=N, --seeds=N, --jobs=N)");
         }
     }
-    if (opts.warmup == ~Counter{0})
-        opts.warmup = opts.instructions / 2;
     return opts;
+}
+
+std::size_t
+SweepSpec::numCells() const
+{
+    return systemDim() * workloadDim() * l1Dim() * l2Dim() * lineDim() *
+           interruptDim() * variantDim() * seedDim();
+}
+
+std::size_t
+SweepSpec::flatIndex(const CellIndex &idx) const
+{
+    panicIf(idx.system >= systemDim() || idx.workload >= workloadDim() ||
+                idx.l1 >= l1Dim() || idx.l2 >= l2Dim() ||
+                idx.line >= lineDim() || idx.interrupt >= interruptDim() ||
+                idx.variant >= variantDim() || idx.seed >= seedDim(),
+            "CellIndex out of range for this SweepSpec");
+    std::size_t flat = idx.system;
+    flat = flat * workloadDim() + idx.workload;
+    flat = flat * l1Dim() + idx.l1;
+    flat = flat * l2Dim() + idx.l2;
+    flat = flat * lineDim() + idx.line;
+    flat = flat * interruptDim() + idx.interrupt;
+    flat = flat * variantDim() + idx.variant;
+    flat = flat * seedDim() + idx.seed;
+    return flat;
+}
+
+CellIndex
+SweepSpec::unflatten(std::size_t flat) const
+{
+    panicIf(flat >= numCells(), "flat index out of range");
+    CellIndex idx;
+    idx.seed = flat % seedDim();
+    flat /= seedDim();
+    idx.variant = flat % variantDim();
+    flat /= variantDim();
+    idx.interrupt = flat % interruptDim();
+    flat /= interruptDim();
+    idx.line = flat % lineDim();
+    flat /= lineDim();
+    idx.l2 = flat % l2Dim();
+    flat /= l2Dim();
+    idx.l1 = flat % l1Dim();
+    flat /= l1Dim();
+    idx.workload = flat % workloadDim();
+    flat /= workloadDim();
+    idx.system = flat;
+    return idx;
+}
+
+SweepCell
+SweepSpec::cell(std::size_t flat) const
+{
+    SweepCell cell;
+    cell.flat = flat;
+    cell.index = unflatten(flat);
+    const CellIndex &i = cell.index;
+
+    SimConfig cfg = base_;
+    if (!systems_.empty())
+        cfg.kind = systems_[i.system];
+    if (!l1Sizes_.empty())
+        cfg.l1.sizeBytes = l1Sizes_[i.l1];
+    if (!l2Sizes_.empty())
+        cfg.l2.sizeBytes = l2Sizes_[i.l2];
+    if (!lineSizes_.empty()) {
+        cfg.l1.lineSize = lineSizes_[i.line].first;
+        cfg.l2.lineSize = lineSizes_[i.line].second;
+    }
+    if (!interruptCosts_.empty())
+        cfg.costs.interruptCycles = interruptCosts_[i.interrupt];
+    if (!variants_.empty() && variants_[i.variant].apply)
+        variants_[i.variant].apply(cfg);
+    // Seed offset last so replications differ even if a variant
+    // overrides the seed.
+    cfg.seed += i.seed;
+
+    cell.config = cfg;
+    cell.workload = workloads_.empty() ? "gcc" : workloads_[i.workload];
+    return cell;
+}
+
+SweepResults::SweepResults(SweepSpec spec, std::vector<Results> results)
+    : spec_(std::move(spec)), results_(std::move(results))
+{
+    panicIf(results_.size() != spec_.numCells(),
+            "SweepResults size does not match its spec's grid");
+}
+
+SeedStats
+SweepResults::seedStats(CellIndex idx,
+                        const std::function<double(const Results &)>
+                            &metric) const
+{
+    Distribution dist;
+    for (std::size_t k = 0; k < spec_.seedDim(); ++k) {
+        idx.seed = k;
+        dist.sample(metric(at(idx)));
+    }
+    SeedStats s;
+    s.mean = dist.mean();
+    s.stddev = dist.stddev();
+    s.min = dist.min();
+    s.max = dist.max();
+    s.seeds = static_cast<unsigned>(spec_.seedDim());
+    return s;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : ThreadPool::defaultThreads())
+{}
+
+SweepResults
+SweepRunner::run(const SweepSpec &spec) const
+{
+    const std::size_t n = spec.numCells();
+    std::vector<Results> results = map(n, [&](std::size_t i) {
+        SweepCell cell = spec.cell(i);
+        return runOnce(cell.config, cell.workload,
+                       spec.instructionCount(), spec.warmupCount());
+    });
+    return SweepResults(spec, std::move(results));
 }
 
 Results
@@ -89,20 +217,14 @@ runSeeds(SimConfig config, const std::string &workload, Counter instrs,
          double (*metric)(const Results &))
 {
     fatalIf(n_seeds == 0, "runSeeds needs at least one seed");
-    Distribution dist;
-    for (unsigned k = 0; k < n_seeds; ++k) {
-        SimConfig cfg = config;
-        cfg.seed = config.seed + k;
-        Results r = runOnce(cfg, workload, instrs, warmup);
-        dist.sample(metric(r));
-    }
-    SeedStats s;
-    s.mean = dist.mean();
-    s.stddev = dist.stddev();
-    s.min = dist.min();
-    s.max = dist.max();
-    s.seeds = n_seeds;
-    return s;
+    SweepSpec spec;
+    spec.base(config)
+        .workloads({workload})
+        .seeds(n_seeds)
+        .instructions(instrs)
+        .warmup(warmup);
+    SweepResults res = SweepRunner(1).run(spec);
+    return res.seedStats(CellIndex{}, metric);
 }
 
 } // namespace vmsim

@@ -1,19 +1,40 @@
 /**
  * @file
- * Parameter-sweep helpers: the grids of paper Table 1 and a small
- * runner that the bench binaries share. Benches default to a reduced
- * grid sized for interactive runs; --full selects the paper's complete
- * cross-product.
+ * The declarative sweep engine: paper Table 1's grids, a SweepSpec
+ * describing a cross-product of simulation points, and a SweepRunner
+ * that executes the materialized cells — serially or on a thread pool
+ * — into a stable, grid-ordered SweepResults table.
+ *
+ * The design invariant is determinism: a cell's SimConfig is derived
+ * only from the spec and the cell's grid coordinates, every cell
+ * builds its own System (no shared mutable state), and results land
+ * in a pre-sized table indexed by grid position. Output is therefore
+ * byte-identical whether the sweep runs on 1 thread or 64.
+ *
+ * Typical use (see docs/sweeps.md and bench/vmcpi_sweep.hh):
+ *
+ *     SweepSpec spec;
+ *     spec.systems(paperVmSystems())
+ *         .workloads({"gcc"})
+ *         .l1Sizes(paperL1Sizes(full))
+ *         .l2Sizes(paperL2Sizes(full))
+ *         .lineSizes(paperLineSizes(full))
+ *         .instructions(2'000'000);
+ *     SweepResults res = SweepRunner(jobs).run(spec);
+ *     double v = res.at({.system = 0, .l1 = 2, .line = 1}).vmcpi();
  */
 
 #ifndef VMSIM_CORE_SWEEP_HH
 #define VMSIM_CORE_SWEEP_HH
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "base/thread_pool.hh"
 #include "core/results.hh"
 #include "core/sim_config.hh"
 
@@ -37,13 +58,16 @@ std::vector<std::pair<unsigned, unsigned>> paperLineSizes(bool full);
 std::vector<Cycles> paperInterruptCosts();
 
 /**
- * Simple command-line options shared by the bench binaries:
+ * Command-line options shared by the bench binaries:
  *   --full             run the complete paper grid
  *   --csv              emit CSV instead of aligned text
  *   --instructions=N   instructions per simulation point
  *   --warmup=N         warmup instructions (stats discarded);
  *                      defaults to half the measured instructions
- *   --seed=N           workload/replacement seed
+ *   --seed=N           workload/replacement base seed
+ *   --seeds=N          seed replications per cell (seed, seed+1, ...)
+ *   --jobs=N           worker threads for the sweep (default: all
+ *                      hardware threads; 1 = serial)
  * Unknown arguments are fatal() so typos don't silently run the
  * wrong experiment.
  */
@@ -52,19 +76,234 @@ struct BenchOptions
     bool full = false;
     bool csv = false;
     Counter instructions = 2'000'000;
-    Counter warmup = ~Counter{0}; ///< resolved to instructions/2
+    std::optional<Counter> warmup; ///< unset = instructions/2
     std::uint64_t seed = 12345;
+    unsigned seeds = 1;
+    unsigned jobs = 0; ///< 0 = hardware_concurrency
+
+    /** The effective warmup length: --warmup=N or instructions/2. */
+    Counter
+    resolvedWarmup() const
+    {
+        return warmup.value_or(instructions / 2);
+    }
 
     static BenchOptions parse(int argc, char **argv);
 };
 
 /**
- * One sweep cell: run @p workload on @p config for @p instrs
- * instructions. Thin wrapper over runOnce() that exists so sweep call
- * sites read uniformly.
+ * One value of the open-ended sweep axis: a label plus an arbitrary
+ * SimConfig mutation. This is how benches sweep dimensions the fixed
+ * axes don't cover (TLB geometry, page size, replacement policy,
+ * scheduling quantum, ...).
  */
-Results sweepCell(SimConfig config, const std::string &workload,
-                  Counter instrs);
+struct ConfigVariant
+{
+    std::string label;
+    std::function<void(SimConfig &)> apply; ///< may be empty (identity)
+};
+
+/**
+ * Grid coordinates of one sweep cell. Members index into the
+ * corresponding SweepSpec axis; axes left at their defaults have a
+ * single implicit value at index 0, so designated initializers name
+ * only the axes a lookup actually sweeps.
+ */
+struct CellIndex
+{
+    std::size_t system = 0;
+    std::size_t workload = 0;
+    std::size_t l1 = 0;
+    std::size_t l2 = 0;
+    std::size_t line = 0;
+    std::size_t interrupt = 0;
+    std::size_t variant = 0;
+    std::size_t seed = 0;
+
+    bool
+    operator==(const CellIndex &o) const
+    {
+        return system == o.system && workload == o.workload &&
+               l1 == o.l1 && l2 == o.l2 && line == o.line &&
+               interrupt == o.interrupt && variant == o.variant &&
+               seed == o.seed;
+    }
+};
+
+/** One materialized sweep point: coordinates plus the derived config. */
+struct SweepCell
+{
+    CellIndex index;
+    std::size_t flat = 0; ///< position in grid order
+    SimConfig config;
+    std::string workload;
+};
+
+/**
+ * A declarative description of a sweep: a base SimConfig plus the
+ * axes to cross. Every axis is optional; an unset axis contributes a
+ * single cell using the base config's value. Axis setters are fluent
+ * and the spec is a value type, so grids compose from the
+ * paperL1Sizes()/paperL2Sizes()/paperLineSizes() helpers naturally.
+ *
+ * Grid order (outermost to innermost): system, workload, L1 size,
+ * L2 size, line combo, interrupt cost, variant, seed. SweepResults
+ * iteration and CSV emission follow this order deterministically.
+ */
+class SweepSpec
+{
+  public:
+    /** Base configuration every cell starts from. */
+    SweepSpec &
+    base(const SimConfig &cfg)
+    {
+        base_ = cfg;
+        return *this;
+    }
+
+    SweepSpec &
+    systems(std::vector<SystemKind> kinds)
+    {
+        systems_ = std::move(kinds);
+        return *this;
+    }
+
+    SweepSpec &
+    workloads(std::vector<std::string> names)
+    {
+        workloads_ = std::move(names);
+        return *this;
+    }
+
+    SweepSpec &
+    l1Sizes(std::vector<std::uint64_t> bytes)
+    {
+        l1Sizes_ = std::move(bytes);
+        return *this;
+    }
+
+    SweepSpec &
+    l2Sizes(std::vector<std::uint64_t> bytes)
+    {
+        l2Sizes_ = std::move(bytes);
+        return *this;
+    }
+
+    /** (L1 line, L2 line) combinations, e.g. paperLineSizes(full). */
+    SweepSpec &
+    lineSizes(std::vector<std::pair<unsigned, unsigned>> combos)
+    {
+        lineSizes_ = std::move(combos);
+        return *this;
+    }
+
+    SweepSpec &
+    interruptCosts(std::vector<Cycles> cycles)
+    {
+        interruptCosts_ = std::move(cycles);
+        return *this;
+    }
+
+    /** Open-ended axis: arbitrary labeled SimConfig mutations. */
+    SweepSpec &
+    variants(std::vector<ConfigVariant> vs)
+    {
+        variants_ = std::move(vs);
+        return *this;
+    }
+
+    /**
+     * Replicate every cell across @p n seeds (base seed, +1, ...).
+     * Summarize with SweepResults::seedStats().
+     */
+    SweepSpec &
+    seeds(unsigned n)
+    {
+        seeds_ = n ? n : 1;
+        return *this;
+    }
+
+    SweepSpec &
+    instructions(Counter n)
+    {
+        instructions_ = n;
+        return *this;
+    }
+
+    /** Warmup per cell; nullopt = instructions/4 (runOnce default). */
+    SweepSpec &
+    warmup(std::optional<Counter> n)
+    {
+        warmup_ = n;
+        return *this;
+    }
+
+    const SimConfig &baseConfig() const { return base_; }
+    const std::vector<SystemKind> &systemAxis() const { return systems_; }
+    const std::vector<std::string> &workloadAxis() const
+    {
+        return workloads_;
+    }
+    const std::vector<std::uint64_t> &l1Axis() const { return l1Sizes_; }
+    const std::vector<std::uint64_t> &l2Axis() const { return l2Sizes_; }
+    const std::vector<std::pair<unsigned, unsigned>> &lineAxis() const
+    {
+        return lineSizes_;
+    }
+    const std::vector<Cycles> &interruptAxis() const
+    {
+        return interruptCosts_;
+    }
+    const std::vector<ConfigVariant> &variantAxis() const
+    {
+        return variants_;
+    }
+    unsigned seedCount() const { return seeds_; }
+    Counter instructionCount() const { return instructions_; }
+    std::optional<Counter> warmupCount() const { return warmup_; }
+
+    /** Size of each grid dimension (unset axes count 1). */
+    std::size_t systemDim() const { return dim(systems_.size()); }
+    std::size_t workloadDim() const { return dim(workloads_.size()); }
+    std::size_t l1Dim() const { return dim(l1Sizes_.size()); }
+    std::size_t l2Dim() const { return dim(l2Sizes_.size()); }
+    std::size_t lineDim() const { return dim(lineSizes_.size()); }
+    std::size_t interruptDim() const { return dim(interruptCosts_.size()); }
+    std::size_t variantDim() const { return dim(variants_.size()); }
+    std::size_t seedDim() const { return seeds_; }
+
+    /** Total number of cells in the cross-product. */
+    std::size_t numCells() const;
+
+    /** Grid-order position of @p idx; panic() on out-of-range axes. */
+    std::size_t flatIndex(const CellIndex &idx) const;
+
+    /** Coordinates of grid position @p flat. */
+    CellIndex unflatten(std::size_t flat) const;
+
+    /**
+     * Materialize the cell at grid position @p flat: base config with
+     * the axis values applied (variant mutation runs after the fixed
+     * axes, the seed offset after the variant so replications always
+     * differ).
+     */
+    SweepCell cell(std::size_t flat) const;
+
+  private:
+    static std::size_t dim(std::size_t n) { return n ? n : 1; }
+
+    SimConfig base_{};
+    std::vector<SystemKind> systems_;
+    std::vector<std::string> workloads_;
+    std::vector<std::uint64_t> l1Sizes_;
+    std::vector<std::uint64_t> l2Sizes_;
+    std::vector<std::pair<unsigned, unsigned>> lineSizes_;
+    std::vector<Cycles> interruptCosts_;
+    std::vector<ConfigVariant> variants_;
+    unsigned seeds_ = 1;
+    Counter instructions_ = 2'000'000;
+    std::optional<Counter> warmup_;
+};
 
 /** Mean and spread of a metric across seed replications. */
 struct SeedStats
@@ -77,9 +316,108 @@ struct SeedStats
 };
 
 /**
+ * The completed sweep: every cell's Results in grid order. Lookups
+ * are by CellIndex, so formatting code iterates the axes it swept and
+ * never depends on execution order.
+ */
+class SweepResults
+{
+  public:
+    SweepResults() = default;
+    SweepResults(SweepSpec spec, std::vector<Results> results);
+
+    std::size_t size() const { return results_.size(); }
+    const SweepSpec &spec() const { return spec_; }
+
+    /** Results at grid position @p flat. */
+    const Results &
+    at(std::size_t flat) const
+    {
+        return results_.at(flat);
+    }
+
+    /** Results at coordinates @p idx. */
+    const Results &
+    at(const CellIndex &idx) const
+    {
+        return results_.at(spec_.flatIndex(idx));
+    }
+
+    /** The materialized cell (config + labels) at @p flat. */
+    SweepCell cellAt(std::size_t flat) const { return spec_.cell(flat); }
+
+    /**
+     * Summarize @p metric across the seed axis at @p idx (whose seed
+     * coordinate is ignored) — the honest way to report numbers
+     * affected by random TLB replacement.
+     */
+    SeedStats seedStats(CellIndex idx,
+                        const std::function<double(const Results &)>
+                            &metric) const;
+
+    /**
+     * Mean of @p metric across seed replications at @p idx. With the
+     * default single seed this is exactly the cell's metric value.
+     */
+    double
+    meanMetric(const CellIndex &idx,
+               const std::function<double(const Results &)> &metric)
+        const
+    {
+        return seedStats(idx, metric).mean;
+    }
+
+  private:
+    SweepSpec spec_;
+    std::vector<Results> results_;
+};
+
+/**
+ * Executes a SweepSpec's cells on a worker pool and collects the
+ * grid-ordered SweepResults. Cells are fully independent (each builds
+ * its own System from its own SimConfig), so the parallel result
+ * table is identical to a serial run's.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 = all hardware threads, 1 = serial. */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /** Run every cell of @p spec; rethrows the first cell's error. */
+    SweepResults run(const SweepSpec &spec) const;
+
+    /**
+     * Escape hatch for work that needs more than a Results per cell
+     * (e.g. page-table introspection): parallel map of fn(0..n-1)
+     * preserving index order, on this runner's job count.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn &&fn) const
+    {
+        return parallelMap(jobs_, n, std::forward<Fn>(fn));
+    }
+
+  private:
+    unsigned jobs_;
+};
+
+/**
+ * One sweep cell: run @p workload on @p config for @p instrs
+ * instructions. Thin wrapper over runOnce() that exists so one-off
+ * call sites read uniformly with sweep code.
+ */
+Results sweepCell(SimConfig config, const std::string &workload,
+                  Counter instrs);
+
+/**
  * Replicate a simulation across @p n_seeds seeds (config.seed,
- * config.seed+1, ...) and summarize @p metric over the runs — the
- * honest way to report numbers affected by random TLB replacement.
+ * config.seed+1, ...) and summarize @p metric over the runs.
+ * Convenience wrapper over a single-cell SweepSpec with a seed axis;
+ * runs serially.
  *
  * @param metric extractor, e.g. [](const Results &r){ return
  *        r.vmcpi(); }

@@ -22,6 +22,7 @@
 #include "base/random.hh"
 #include "base/stats.hh"
 #include "base/table.hh"
+#include "base/thread_pool.hh"
 #include "base/types.hh"
 #include "base/units.hh"
 #include "core/factory.hh"

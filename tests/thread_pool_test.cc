@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the queue-based ThreadPool and the parallelFor /
+ * parallelMap helpers: every submitted task runs exactly once, task
+ * exceptions propagate out of wait(), and the helpers produce the
+ * same results at any job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "base/thread_pool.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(2);
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, SingleThreadStillRunsTasks)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromWait)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, SurvivingTasksStillRunAfterError)
+{
+    std::atomic<int> count{0};
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i)
+        pool.submit([&count, i] {
+            if (i == 3)
+                throw std::runtime_error("one bad task");
+            ++count;
+        });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(count.load(), 19);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(257);
+    ThreadPool pool(4);
+    parallelFor(pool, hits.size(),
+                [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelMap, MatchesSerialResults)
+{
+    auto square = [](std::size_t i) {
+        return static_cast<int>(i * i);
+    };
+    std::vector<int> serial = parallelMap(1, 100, square);
+    std::vector<int> parallel = parallelMap(4, 100, square);
+    EXPECT_EQ(serial, parallel);
+    ASSERT_EQ(serial.size(), 100u);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], static_cast<int>(i * i));
+}
+
+TEST(ParallelMap, EmptyAndSingleElement)
+{
+    auto identity = [](std::size_t i) { return i; };
+    EXPECT_TRUE(parallelMap(4, 0, identity).empty());
+    std::vector<std::size_t> one = parallelMap(4, 1, identity);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 0u);
+}
+
+TEST(ParallelMap, ExceptionPropagates)
+{
+    EXPECT_THROW(parallelMap(4, 10,
+                             [](std::size_t i) -> int {
+                                 if (i == 7)
+                                     throw std::runtime_error("boom");
+                                 return 0;
+                             }),
+                 std::runtime_error);
+}
+
+} // anonymous namespace
+} // namespace vmsim
