@@ -64,11 +64,14 @@ paperSweep(const BenchOptions &opts)
     return spec;
 }
 
-/** The sweep executor configured by --jobs. */
+/** The sweep executor configured by --jobs and the --trace-events /
+ *  --chrome-trace / --stats-json / --interval observability flags. */
 inline SweepRunner
 makeRunner(const BenchOptions &opts)
 {
-    return SweepRunner(opts.jobs);
+    SweepRunner runner(opts.jobs);
+    runner.observe(opts.obs);
+    return runner;
 }
 
 /** Shorthand metric extractors for SweepResults::meanMetric(). */

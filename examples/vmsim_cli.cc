@@ -28,11 +28,21 @@
  *                         instead of flushing)          [0]
  *   --unified-l2          share one L2 of 2x capacity
  *   --json                emit machine-readable JSON
+ *
+ * Observability (see docs/observability.md):
+ *   --trace-events=FILE   JSONL event log of the measured run
+ *   --chrome-trace=FILE   Chrome-trace/Perfetto timeline (open at
+ *                         ui.perfetto.dev; 1 "us" = 1 instruction)
+ *   --stats-json=FILE     results + stats registry + interval series
+ *   --interval=N          sample MCPI/VMCPI every N instructions and
+ *                         print the series as CSV after the summary
  */
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -71,6 +81,10 @@ main(int argc, char **argv)
     Counter instrs = 2'000'000;
     std::optional<Counter> warmup;
     bool json = false;
+    std::string trace_events_path;
+    std::string chrome_trace_path;
+    std::string stats_json_path;
+    Counter interval = 0;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -127,25 +141,81 @@ main(int argc, char **argv)
             cfg.unifiedL2 = true;
         else if (std::strcmp(arg, "--json") == 0)
             json = true;
+        else if (matches(arg, "--trace-events="))
+            trace_events_path = arg + 15;
+        else if (matches(arg, "--chrome-trace="))
+            chrome_trace_path = arg + 15;
+        else if (matches(arg, "--stats-json="))
+            stats_json_path = arg + 13;
+        else if (matches(arg, "--interval="))
+            interval = numArg(arg, "--interval=");
         else
             fatal("unknown argument '", arg,
                   "' (see the header of examples/vmsim_cli.cc)");
     }
     Counter warmup_instrs = warmup.value_or(instrs / 2);
 
+    // Assemble the observability attachments: every requested exporter
+    // sees the same event stream through one fan-out sink.
+    MultiSink sinks;
+    std::unique_ptr<JsonlEventWriter> events;
+    if (!trace_events_path.empty()) {
+        events = std::make_unique<JsonlEventWriter>(trace_events_path);
+        sinks.add(events.get());
+    }
+    std::unique_ptr<ChromeTraceWriter> chrome;
+    if (!chrome_trace_path.empty()) {
+        chrome = std::make_unique<ChromeTraceWriter>(chrome_trace_path);
+        sinks.add(chrome.get());
+    }
+    StatsRegistry registry;
+    std::unique_ptr<StatsSink> stats;
+    if (!stats_json_path.empty()) {
+        stats = std::make_unique<StatsSink>(registry);
+        sinks.add(stats.get());
+    }
+    std::unique_ptr<IntervalSampler> sampler;
+    if (interval > 0)
+        sampler = std::make_unique<IntervalSampler>(interval);
+
+    RunHooks hooks;
+    hooks.sink = sinks.empty() ? nullptr : &sinks;
+    hooks.sampler = sampler.get();
+
     Results r = [&] {
         if (!trace_path.empty()) {
             TraceFileReader trace(trace_path);
             System sys(cfg);
+            sys.attachEventSink(hooks.sink);
+            sys.attachSampler(hooks.sampler);
             return sys.run(trace, instrs, trace_path, warmup_instrs);
         }
-        return runOnce(cfg, workload, instrs, warmup_instrs);
+        return runOnce(cfg, workload, instrs, warmup_instrs, hooks);
     }();
+
+    if (chrome)
+        chrome->finish();
+    if (!stats_json_path.empty()) {
+        Json out = Json::object();
+        out.set("results", r.toJson());
+        out.set("stats", registry.toJson());
+        if (sampler)
+            out.set("intervals", intervalsToJson(sampler->intervals()));
+        std::ofstream os(stats_json_path,
+                         std::ios::out | std::ios::trunc);
+        fatalIf(!os.is_open(), "cannot open '", stats_json_path,
+                "' for writing");
+        os << out.dump(2) << '\n';
+    }
 
     if (json) {
         Json out = r.toJson();
         out.set("config", cfg.toString());
         std::cout << out.dump(2) << '\n';
+        if (sampler) {
+            std::cout << '\n';
+            sampler->writeCsv(std::cout);
+        }
         return 0;
     }
 
@@ -161,5 +231,11 @@ main(int argc, char **argv)
               << TextTable::fmt(r.interruptCpiAt(10), 5) << " @50="
               << TextTable::fmt(r.interruptCpiAt(50), 5) << " @200="
               << TextTable::fmt(r.interruptCpiAt(200), 5) << '\n';
+
+    if (sampler) {
+        std::cout << "\ninterval series (every " << interval
+                  << " instructions):\n";
+        sampler->writeCsv(std::cout);
+    }
     return 0;
 }

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Build the simulator with AddressSanitizer and run the suites that
+# exercise the observability stack (event sinks, exporters, interval
+# sampler) plus a CLI smoke run that emits a Chrome trace and checks it
+# parses as JSON. Catches buffer/lifetime bugs in the writers that
+# plain unit tests can miss.
+#
+# Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target base_test obs_test simulator_test vmsim_cli
+
+"$BUILD_DIR"/tests/base_test
+"$BUILD_DIR"/tests/obs_test
+"$BUILD_DIR"/tests/simulator_test
+
+# Smoke test: a fully-instrumented CLI run whose Chrome trace must be
+# valid JSON (python3 json.tool is the arbiter when available).
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+"$BUILD_DIR"/examples/vmsim_cli --instructions=50000 --warmup=10000 \
+    --interval=10000 \
+    --trace-events="$TRACE_DIR/events.jsonl" \
+    --chrome-trace="$TRACE_DIR/trace.json" \
+    --stats-json="$TRACE_DIR/stats.json" > /dev/null
+test -s "$TRACE_DIR/events.jsonl"
+if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$TRACE_DIR/trace.json" > /dev/null
+    python3 -m json.tool "$TRACE_DIR/stats.json" > /dev/null
+fi
+
+echo "ASan checks passed."

@@ -142,4 +142,12 @@ Json::dump(int indent) const
     return out;
 }
 
+std::string
+Json::quoted(const std::string &s)
+{
+    std::string out;
+    escapeTo(out, s);
+    return out;
+}
+
 } // namespace vmsim

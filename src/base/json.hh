@@ -49,6 +49,13 @@ class Json
     /** Serialize. @p indent > 0 pretty-prints with that many spaces. */
     std::string dump(int indent = 0) const;
 
+    /**
+     * @p s as a quoted, escaped JSON string literal — for writers that
+     * stream JSON text directly (JSONL / Chrome-trace exporters)
+     * instead of building a Json tree per record.
+     */
+    static std::string quoted(const std::string &s);
+
   private:
     enum class Kind { Null, Bool, Number, String, Array, Object };
 

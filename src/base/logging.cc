@@ -1,8 +1,11 @@
 #include "base/logging.hh"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 
 namespace vmsim
 {
@@ -11,6 +14,37 @@ namespace
 {
 
 std::atomic<bool> quiet_flag{false};
+
+/** Parse VMSIM_LOG_LEVEL; unset or unrecognized means Info. */
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("VMSIM_LOG_LEVEL");
+    if (!env)
+        return LogLevel::Info;
+    std::string s(env);
+    for (auto &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (s == "silent" || s == "quiet" || s == "none" || s == "0")
+        return LogLevel::Silent;
+    if (s == "warn" || s == "warning" || s == "1")
+        return LogLevel::Warn;
+    return LogLevel::Info;
+}
+
+std::atomic<int> &
+levelFlag()
+{
+    static std::atomic<int> level{static_cast<int>(levelFromEnv())};
+    return level;
+}
+
+bool
+shouldLog(LogLevel at_least)
+{
+    return !quiet_flag.load() &&
+           levelFlag().load() >= static_cast<int>(at_least);
+}
 
 /**
  * Serializes writes so that messages from concurrent sweep workers
@@ -33,6 +67,19 @@ bool
 setQuiet(bool quiet)
 {
     return quiet_flag.exchange(quiet);
+}
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    return static_cast<LogLevel>(
+        levelFlag().exchange(static_cast<int>(level)));
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(levelFlag().load());
 }
 
 namespace detail
@@ -61,7 +108,7 @@ fatalImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!quiet_flag.load()) {
+    if (shouldLog(LogLevel::Warn)) {
         std::lock_guard<std::mutex> lock(writeMutex());
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
     }
@@ -70,7 +117,7 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet_flag.load()) {
+    if (shouldLog(LogLevel::Info)) {
         std::lock_guard<std::mutex> lock(writeMutex());
         std::fprintf(stderr, "info: %s\n", msg.c_str());
     }

@@ -121,8 +121,31 @@ fatalIf(bool cond, Args &&...args)
 /**
  * Globally silence warn()/inform() output (useful in test and bench
  * binaries that intentionally provoke warnings). Returns previous value.
+ * Quiet overrides the log level entirely.
  */
 bool setQuiet(bool quiet);
+
+/**
+ * Verbosity of the non-fatal message channels. Error reporting from
+ * panic()/fatal() is controlled only by setQuiet(), not by the level.
+ */
+enum class LogLevel
+{
+    Silent = 0, ///< neither warn() nor inform() prints
+    Warn = 1,   ///< warn() prints, inform() is suppressed
+    Info = 2,   ///< both print (the default)
+};
+
+/**
+ * Set the verbosity of warn()/inform(). Returns the previous level.
+ * The initial level comes from the VMSIM_LOG_LEVEL environment
+ * variable ("silent"/"warn"/"info" or 0/1/2); unset or unrecognized
+ * values mean Info.
+ */
+LogLevel setLogLevel(LogLevel level);
+
+/** The current verbosity (after any VMSIM_LOG_LEVEL override). */
+LogLevel logLevel();
 
 } // namespace vmsim
 

@@ -67,27 +67,24 @@ Histogram::toString(const std::string &name) const
 void
 CounterGroup::add(const std::string &key, Counter delta)
 {
-    for (auto &e : entries_) {
-        if (e.first == key) {
-            e.second += delta;
-            return;
-        }
-    }
-    entries_.emplace_back(key, delta);
+    auto [it, inserted] = index_.try_emplace(key, entries_.size());
+    if (inserted)
+        entries_.emplace_back(key, delta);
+    else
+        entries_[it->second].second += delta;
 }
 
 Counter
 CounterGroup::get(const std::string &key) const
 {
-    for (const auto &e : entries_)
-        if (e.first == key)
-            return e.second;
-    return 0;
+    auto it = index_.find(key);
+    return it == index_.end() ? 0 : entries_[it->second].second;
 }
 
 void
 CounterGroup::reset()
 {
+    index_.clear();
     entries_.clear();
 }
 

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
@@ -119,7 +121,8 @@ class Histogram
 
 /**
  * A named scalar counter group: maps stable string keys to counters for
- * ad-hoc reporting (used by benches to dump raw event counts).
+ * ad-hoc reporting (used by benches to dump raw event counts). A hash
+ * index makes add()/get() O(1) while iteration stays insertion-ordered.
  */
 class CounterGroup
 {
@@ -139,6 +142,7 @@ class CounterGroup
     void reset();
 
   private:
+    std::unordered_map<std::string, std::size_t> index_;
     std::vector<std::pair<std::string, Counter>> entries_;
 };
 

@@ -16,10 +16,18 @@ Simulator::run(Counter max_instrs)
 {
     TraceRecord rec;
     Counter n = 0;
+    // One extra branch per instruction when anything observes the run;
+    // a plain simulation pays only the `observing` test itself.
+    const bool observing = sampler_ || vm_.tracing();
     // The paper's fundamental algorithm: translate + fetch every
     // instruction; translate + access data for loads/stores. All TLB
     // probing and page-table walking happens inside the VmSystem.
     while (n < max_instrs && trace_.next(rec)) {
+        if (observing) {
+            vm_.setCurrentInstr(executed_ + n);
+            if (sampler_)
+                sampler_->tick(executed_ + n, vm_);
+        }
         if (ctxSwitchInterval_ && ++sinceSwitch_ >= ctxSwitchInterval_) {
             sinceSwitch_ = 0;
             vm_.contextSwitch();
@@ -51,12 +59,24 @@ System::run(TraceSource &trace, Counter max_instrs,
             const std::string &workload_name, Counter warmup_instrs)
 {
     Simulator sim(*vm_, trace, config_.ctxSwitchInterval);
+    // Observe only the measured region: events and intervals from
+    // warmup would not reconcile with the (reset) counters.
+    vm_->attachEventSink(nullptr);
     if (warmup_instrs > 0) {
         sim.run(warmup_instrs);
         mem_->resetStats();
         vm_->resetVmStats();
     }
+    vm_->attachEventSink(sink_);
+    if (sampler_) {
+        sampler_->configure(config_.costs, vm_->name(), workload_name);
+        sim.attachSampler(sampler_);
+    }
     executed_ += sim.run(max_instrs);
+    if (sampler_)
+        sampler_->finish(sim.instructionsExecuted(), *vm_);
+    if (sink_)
+        sink_->flush();
     return Results(vm_->name(), workload_name, executed_, mem_->stats(),
                    vm_->vmStats(), config_.costs);
 }
@@ -65,8 +85,18 @@ Results
 runOnce(const SimConfig &config, const std::string &workload,
         Counter instrs, std::optional<Counter> warmup_instrs)
 {
+    return runOnce(config, workload, instrs, warmup_instrs, RunHooks{});
+}
+
+Results
+runOnce(const SimConfig &config, const std::string &workload,
+        Counter instrs, std::optional<Counter> warmup_instrs,
+        const RunHooks &hooks)
+{
     auto trace = makeWorkload(workload, config.seed);
     System system(config);
+    system.attachEventSink(hooks.sink);
+    system.attachSampler(hooks.sampler);
     return system.run(*trace, instrs, trace->name(),
                       warmup_instrs.value_or(instrs / 4));
 }

@@ -15,6 +15,7 @@
 #include "core/sim_config.hh"
 #include "mem/mem_system.hh"
 #include "mem/phys_mem.hh"
+#include "obs/interval.hh"
 #include "os/vm_system.hh"
 #include "trace/trace.hh"
 
@@ -48,12 +49,20 @@ class Simulator
     /** Total user instructions executed across all run() calls. */
     Counter instructionsExecuted() const { return executed_; }
 
+    /**
+     * Sample interval statistics during run() (nullptr detaches). The
+     * sampler sees the instruction number of every boundary; it is not
+     * owned and must outlive the simulator.
+     */
+    void attachSampler(IntervalSampler *sampler) { sampler_ = sampler; }
+
   private:
     VmSystem &vm_;
     TraceSource &trace_;
     Counter ctxSwitchInterval_;
     Counter sinceSwitch_ = 0;
     Counter executed_ = 0;
+    IntervalSampler *sampler_ = nullptr;
 };
 
 /**
@@ -95,12 +104,30 @@ class System
     /** Instructions executed so far. */
     Counter instructionsExecuted() const { return executed_; }
 
+    /**
+     * Stream trace events from the measured region of every subsequent
+     * run() to @p sink (nullptr detaches). Warmup instructions are not
+     * reported, so event counts reconcile exactly with the counters in
+     * the returned Results. Not owned; must outlive the System.
+     */
+    void attachEventSink(EventSink *sink) { sink_ = sink; }
+
+    /**
+     * Sample interval statistics over the measured region of every
+     * subsequent run() (nullptr detaches). run() configures the
+     * sampler with the run's cost model and closes the final partial
+     * interval before returning. Not owned; must outlive the System.
+     */
+    void attachSampler(IntervalSampler *sampler) { sampler_ = sampler; }
+
   private:
     SimConfig config_;
     std::unique_ptr<PhysMem> physMem_;
     std::unique_ptr<MemSystem> mem_;
     std::unique_ptr<VmSystem> vm_;
     Counter executed_ = 0;
+    EventSink *sink_ = nullptr;
+    IntervalSampler *sampler_ = nullptr;
 };
 
 /**
@@ -113,6 +140,18 @@ class System
 Results runOnce(const SimConfig &config, const std::string &workload,
                 Counter instrs,
                 std::optional<Counter> warmup_instrs = std::nullopt);
+
+/** Observability attachments for runOnce(); either may be null. */
+struct RunHooks
+{
+    EventSink *sink = nullptr;
+    IntervalSampler *sampler = nullptr;
+};
+
+/** runOnce() with observability hooks attached to the measured run. */
+Results runOnce(const SimConfig &config, const std::string &workload,
+                Counter instrs, std::optional<Counter> warmup_instrs,
+                const RunHooks &hooks);
 
 } // namespace vmsim
 

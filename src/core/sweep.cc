@@ -1,11 +1,22 @@
 #include "core/sweep.hh"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 
+#include "base/json.hh"
 #include "base/logging.hh"
 #include "base/stats.hh"
 #include "core/simulator.hh"
+#include "obs/exporters.hh"
+#include "obs/interval.hh"
+#include "obs/stats_registry.hh"
 
 namespace vmsim
 {
@@ -73,10 +84,28 @@ BenchOptions::parse(int argc, char **argv)
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             opts.jobs = static_cast<unsigned>(
                 std::strtoul(arg + 7, nullptr, 10));
+        } else if (std::strncmp(arg, "--trace-events=", 15) == 0) {
+            opts.obs.traceEvents = arg + 15;
+            fatalIf(opts.obs.traceEvents.empty(),
+                    "--trace-events needs a file path");
+        } else if (std::strncmp(arg, "--chrome-trace=", 15) == 0) {
+            opts.obs.chromeTrace = arg + 15;
+            fatalIf(opts.obs.chromeTrace.empty(),
+                    "--chrome-trace needs a file path");
+        } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
+            opts.obs.statsJson = arg + 13;
+            fatalIf(opts.obs.statsJson.empty(),
+                    "--stats-json needs a file path");
+        } else if (std::strncmp(arg, "--interval=", 11) == 0) {
+            opts.obs.interval = std::strtoull(arg + 11, nullptr, 10);
+            fatalIf(opts.obs.interval == 0,
+                    "--interval must be positive");
         } else {
             fatal("unknown argument '", arg,
                   "' (expected --full, --csv, --instructions=N, "
-                  "--warmup=N, --seed=N, --seeds=N, --jobs=N)");
+                  "--warmup=N, --seed=N, --seeds=N, --jobs=N, "
+                  "--trace-events=F, --chrome-trace=F, --stats-json=F, "
+                  "--interval=N)");
         }
     }
     return opts;
@@ -164,10 +193,18 @@ SweepSpec::cell(std::size_t flat) const
 }
 
 SweepResults::SweepResults(SweepSpec spec, std::vector<Results> results)
-    : spec_(std::move(spec)), results_(std::move(results))
+    : SweepResults(std::move(spec), std::move(results), {})
+{}
+
+SweepResults::SweepResults(SweepSpec spec, std::vector<Results> results,
+                           std::vector<CellTiming> timings)
+    : spec_(std::move(spec)), results_(std::move(results)),
+      timings_(std::move(timings))
 {
     panicIf(results_.size() != spec_.numCells(),
             "SweepResults size does not match its spec's grid");
+    panicIf(!timings_.empty() && timings_.size() != results_.size(),
+            "SweepResults timings do not match its spec's grid");
 }
 
 SeedStats
@@ -193,16 +230,158 @@ SweepRunner::SweepRunner(unsigned jobs)
     : jobs_(jobs ? jobs : ThreadPool::defaultThreads())
 {}
 
+namespace
+{
+
+/** Event-log path for cell @p flat: unsuffixed when the sweep is one cell. */
+std::string
+cellEventPath(const std::string &base, std::size_t flat, std::size_t n)
+{
+    return n == 1 ? base : base + ".cell" + std::to_string(flat);
+}
+
+/**
+ * Render the sweep's wall-clock schedule as a Chrome trace: one
+ * complete slice per cell on its worker's track of the pid-0 timeline.
+ */
+void
+writeWallTrace(const std::string &path, const SweepResults &res)
+{
+    ChromeTraceWriter writer(path);
+    for (std::size_t i = 0; i < res.size(); ++i) {
+        const SweepCell cell = res.cellAt(i);
+        const CellTiming &t = res.timings()[i];
+        char ips[32];
+        std::snprintf(ips, sizeof(ips), "%.4g", t.instrsPerSec);
+        writer.durationEvent(
+            std::string(kindName(cell.config.kind)) + "/" + cell.workload,
+            "sweep-cell", t.startSeconds * 1e6, t.wallSeconds * 1e6,
+            ChromeTraceWriter::kWallPid, static_cast<int>(t.worker),
+            {{"system", kindName(cell.config.kind)},
+             {"workload", cell.workload},
+             {"cell", std::to_string(i)},
+             {"instrs_per_sec", ips}});
+    }
+    writer.finish();
+}
+
+/**
+ * Dump per-cell results + timings (and interval spreads when sampled)
+ * plus sweep-level wall-time distributions as one JSON document.
+ */
+void
+writeSweepStats(const std::string &path, const SweepResults &res,
+                const std::vector<IntervalSummary> &summaries)
+{
+    StatsRegistry registry;
+    Distribution &wall = registry.distribution("sweep.wall_seconds");
+    Distribution &ips = registry.distribution("sweep.instrs_per_sec");
+
+    Json cells = Json::array();
+    for (std::size_t i = 0; i < res.size(); ++i) {
+        const CellTiming &t = res.timings()[i];
+        wall.sample(t.wallSeconds);
+        ips.sample(t.instrsPerSec);
+
+        Json row = Json::object();
+        row.set("cell", static_cast<std::uint64_t>(i));
+        row.set("results", res.at(i).toJson());
+        Json timing = Json::object();
+        timing.set("start_seconds", t.startSeconds);
+        timing.set("wall_seconds", t.wallSeconds);
+        timing.set("worker", t.worker);
+        timing.set("instrs_per_sec", t.instrsPerSec);
+        row.set("timing", std::move(timing));
+        if (!summaries.empty()) {
+            const IntervalSummary &s = summaries[i];
+            Json sj = Json::object();
+            sj.set("intervals", s.intervals);
+            sj.set("mean_vmcpi", s.meanVmcpi);
+            sj.set("stddev_vmcpi", s.stddevVmcpi);
+            sj.set("min_vmcpi", s.minVmcpi);
+            sj.set("max_vmcpi", s.maxVmcpi);
+            row.set("interval_summary", std::move(sj));
+        }
+        cells.push(std::move(row));
+    }
+
+    Json doc = Json::object();
+    doc.set("cells", std::move(cells));
+    doc.set("stats", registry.toJson());
+
+    std::ofstream os(path, std::ios::out | std::ios::trunc);
+    fatalIf(!os.is_open(), "cannot open '", path, "' for writing");
+    os << doc.dump(2) << '\n';
+}
+
+} // anonymous namespace
+
 SweepResults
 SweepRunner::run(const SweepSpec &spec) const
 {
     const std::size_t n = spec.numCells();
+    const Counter instrs = spec.instructionCount();
+    // What each cell actually executes (runOnce's warmup default).
+    const Counter executed =
+        instrs + spec.warmupCount().value_or(instrs / 4);
+
+    std::vector<CellTiming> timings(n);
+    std::vector<IntervalSummary> summaries(obs_.interval ? n : 0);
+
+    // Dense worker indices in order of first appearance, so trace
+    // tracks are 0..jobs-1 regardless of the pool's thread ids.
+    std::unordered_map<std::thread::id, unsigned> workers;
+    std::mutex workersMutex;
+    auto workerIndex = [&] {
+        std::lock_guard<std::mutex> lock(workersMutex);
+        auto [it, inserted] = workers.try_emplace(
+            std::this_thread::get_id(),
+            static_cast<unsigned>(workers.size()));
+        return it->second;
+    };
+
+    const auto sweepStart = std::chrono::steady_clock::now();
     std::vector<Results> results = map(n, [&](std::size_t i) {
         SweepCell cell = spec.cell(i);
-        return runOnce(cell.config, cell.workload,
-                       spec.instructionCount(), spec.warmupCount());
+
+        RunHooks hooks;
+        std::unique_ptr<JsonlEventWriter> events;
+        if (!obs_.traceEvents.empty()) {
+            events = std::make_unique<JsonlEventWriter>(
+                cellEventPath(obs_.traceEvents, i, n));
+            hooks.sink = events.get();
+        }
+        std::unique_ptr<IntervalSampler> sampler;
+        if (obs_.interval) {
+            sampler = std::make_unique<IntervalSampler>(obs_.interval);
+            hooks.sampler = sampler.get();
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        Results r = runOnce(cell.config, cell.workload, instrs,
+                            spec.warmupCount(), hooks);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        CellTiming &t = timings[i];
+        t.startSeconds =
+            std::chrono::duration<double>(t0 - sweepStart).count();
+        t.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+        t.worker = workerIndex();
+        t.instrsPerSec = t.wallSeconds > 0
+                             ? static_cast<double>(executed) /
+                                   t.wallSeconds
+                             : 0.0;
+        if (sampler)
+            summaries[i] = summarizeIntervals(sampler->intervals());
+        return r;
     });
-    return SweepResults(spec, std::move(results));
+
+    SweepResults res(spec, std::move(results), std::move(timings));
+    if (!obs_.chromeTrace.empty())
+        writeWallTrace(obs_.chromeTrace, res);
+    if (!obs_.statsJson.empty())
+        writeSweepStats(obs_.statsJson, res, summaries);
+    return res;
 }
 
 Results

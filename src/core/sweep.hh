@@ -58,6 +58,41 @@ std::vector<std::pair<unsigned, unsigned>> paperLineSizes(bool full);
 std::vector<Cycles> paperInterruptCosts();
 
 /**
+ * Observability attachments for a sweep (or a single cell): which
+ * exporters to run and where they write. All fields optional; the
+ * default-constructed value observes nothing and costs nothing.
+ */
+struct ObsOptions
+{
+    /**
+     * JSONL event-log path. With more than one cell each cell writes
+     * to "<path>.cell<flat>" so concurrent workers never share a file.
+     */
+    std::string traceEvents;
+
+    /**
+     * Chrome-trace (Perfetto) output path. A sweep renders each cell's
+     * wall time as a duration slice on its worker's track (pid 0); a
+     * single-cell run additionally streams simulated VM events on the
+     * instruction timebase (pid 1).
+     */
+    std::string chromeTrace;
+
+    /** Stats-registry JSON dump path (per-cell rows + distributions). */
+    std::string statsJson;
+
+    /** Interval length in instructions for the sampler; 0 = off. */
+    Counter interval = 0;
+
+    bool
+    any() const
+    {
+        return !traceEvents.empty() || !chromeTrace.empty() ||
+               !statsJson.empty() || interval != 0;
+    }
+};
+
+/**
  * Command-line options shared by the bench binaries:
  *   --full             run the complete paper grid
  *   --csv              emit CSV instead of aligned text
@@ -68,6 +103,10 @@ std::vector<Cycles> paperInterruptCosts();
  *   --seeds=N          seed replications per cell (seed, seed+1, ...)
  *   --jobs=N           worker threads for the sweep (default: all
  *                      hardware threads; 1 = serial)
+ *   --trace-events=F   write per-cell JSONL event logs to F
+ *   --chrome-trace=F   write a Chrome-trace/Perfetto timeline to F
+ *   --stats-json=F     write per-cell stats + timing registry to F
+ *   --interval=N       sample interval statistics every N instructions
  * Unknown arguments are fatal() so typos don't silently run the
  * wrong experiment.
  */
@@ -80,6 +119,7 @@ struct BenchOptions
     std::uint64_t seed = 12345;
     unsigned seeds = 1;
     unsigned jobs = 0; ///< 0 = hardware_concurrency
+    ObsOptions obs;
 
     /** The effective warmup length: --warmup=N or instructions/2. */
     Counter
@@ -305,6 +345,20 @@ class SweepSpec
     std::optional<Counter> warmup_;
 };
 
+/**
+ * Wall-clock accounting for one executed sweep cell, on the sweep's
+ * own clock (startSeconds is measured from sweep launch). worker is a
+ * dense 0-based index over the pool threads that actually ran cells,
+ * stable enough to serve as a Chrome-trace track id.
+ */
+struct CellTiming
+{
+    double startSeconds = 0;
+    double wallSeconds = 0;
+    unsigned worker = 0;
+    double instrsPerSec = 0; ///< includes warmup instructions
+};
+
 /** Mean and spread of a metric across seed replications. */
 struct SeedStats
 {
@@ -325,6 +379,8 @@ class SweepResults
   public:
     SweepResults() = default;
     SweepResults(SweepSpec spec, std::vector<Results> results);
+    SweepResults(SweepSpec spec, std::vector<Results> results,
+                 std::vector<CellTiming> timings);
 
     std::size_t size() const { return results_.size(); }
     const SweepSpec &spec() const { return spec_; }
@@ -345,6 +401,10 @@ class SweepResults
 
     /** The materialized cell (config + labels) at @p flat. */
     SweepCell cellAt(std::size_t flat) const { return spec_.cell(flat); }
+
+    /** Per-cell wall-clock timings; empty unless the runner recorded
+     *  them (SweepRunner::run always does). */
+    const std::vector<CellTiming> &timings() const { return timings_; }
 
     /**
      * Summarize @p metric across the seed axis at @p idx (whose seed
@@ -370,6 +430,7 @@ class SweepResults
   private:
     SweepSpec spec_;
     std::vector<Results> results_;
+    std::vector<CellTiming> timings_;
 };
 
 /**
@@ -385,6 +446,20 @@ class SweepRunner
     explicit SweepRunner(unsigned jobs = 0);
 
     unsigned jobs() const { return jobs_; }
+
+    /**
+     * Attach observability outputs to subsequent run() calls: JSONL
+     * event logs and interval sampling per cell, plus a Chrome-trace
+     * timeline and a stats-JSON dump written after the sweep finishes.
+     */
+    SweepRunner &
+    observe(ObsOptions obs)
+    {
+        obs_ = std::move(obs);
+        return *this;
+    }
+
+    const ObsOptions &observeOptions() const { return obs_; }
 
     /** Run every cell of @p spec; rethrows the first cell's error. */
     SweepResults run(const SweepSpec &spec) const;
@@ -403,6 +478,7 @@ class SweepRunner
 
   private:
     unsigned jobs_;
+    ObsOptions obs_;
 };
 
 /**

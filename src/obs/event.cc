@@ -1,0 +1,80 @@
+#include "obs/event.hh"
+
+#include "base/logging.hh"
+
+namespace vmsim
+{
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::ItlbMiss:
+        return "itlb_miss";
+      case EventKind::DtlbMiss:
+        return "dtlb_miss";
+      case EventKind::HandlerEnter:
+        return "handler_enter";
+      case EventKind::HandlerExit:
+        return "handler_exit";
+      case EventKind::PteFetch:
+        return "pte_fetch";
+      case EventKind::HwWalk:
+        return "hw_walk";
+      case EventKind::Interrupt:
+        return "interrupt";
+      case EventKind::CtxSwitch:
+        return "ctx_switch";
+      case EventKind::L2TlbHit:
+        return "l2tlb_hit";
+      case EventKind::L2Miss:
+        return "l2_miss";
+    }
+    panic("unknown EventKind ", static_cast<unsigned>(kind));
+}
+
+EventSink::~EventSink() = default;
+
+void
+MultiSink::add(EventSink *sink)
+{
+    if (sink)
+        sinks_.push_back(sink);
+}
+
+void
+MultiSink::event(const TraceEvent &ev)
+{
+    for (EventSink *s : sinks_)
+        s->event(ev);
+}
+
+void
+MultiSink::flush()
+{
+    for (EventSink *s : sinks_)
+        s->flush();
+}
+
+Counter
+CollectingSink::countOf(EventKind kind) const
+{
+    Counter n = 0;
+    for (const TraceEvent &ev : events_)
+        if (ev.kind == kind)
+            ++n;
+    return n;
+}
+
+Counter
+CollectingSink::countOf(EventKind kind, EventLevel level) const
+{
+    Counter n = 0;
+    for (const TraceEvent &ev : events_)
+        if (ev.kind == kind &&
+            ev.level == static_cast<std::uint8_t>(level))
+            ++n;
+    return n;
+}
+
+} // namespace vmsim

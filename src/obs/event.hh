@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The event-tracing primitives: a compact TraceEvent record describing
+ * one simulated VM event (TLB miss, handler execution, PTE fetch,
+ * interrupt, ...) and the EventSink interface that consumers implement
+ * (JSONL writer, Chrome-trace writer, statistics sink, test collectors).
+ *
+ * This header sits *below* the os/ layer: VmSystem carries an optional
+ * EventSink pointer and emits through a null-checked hook, so a
+ * simulation with no sink attached pays exactly one predictable branch
+ * per potential event. Everything that formats or aggregates events
+ * lives above (obs/exporters.hh, obs/stats_registry.hh).
+ */
+
+#ifndef VMSIM_OBS_EVENT_HH
+#define VMSIM_OBS_EVENT_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace vmsim
+{
+
+/**
+ * What happened. The taxonomy mirrors the paper's event accounting:
+ * the TLB-miss/handler/PTE-fetch chain of Tables 3-4 plus the
+ * interrupt and context-switch events of Figures 8-10.
+ */
+enum class EventKind : std::uint8_t
+{
+    ItlbMiss = 0, ///< user instruction fetch missed the I-TLB
+    DtlbMiss,     ///< user load/store missed the D-TLB
+    HandlerEnter, ///< miss-handler execution begins (level = which)
+    HandlerExit,  ///< miss-handler execution ends
+    PteFetch,     ///< one PTE load (level = page-table level)
+    HwWalk,       ///< hardware state-machine walk begins
+    Interrupt,    ///< precise interrupt taken (pipeline flush)
+    CtxSwitch,    ///< address-space switch (TLB flush / eviction)
+    L2TlbHit,     ///< walk satisfied by the unified L2 TLB
+    L2Miss,       ///< user reference missed the L2 cache (went to memory)
+};
+
+constexpr unsigned kNumEventKinds = 10;
+
+/** Stable lowercase identifier ("itlb_miss", "pte_fetch", ...). */
+const char *eventKindName(EventKind kind);
+
+/**
+ * Handler / page-table levels used in TraceEvent::level. For L2Miss
+ * events the field instead distinguishes the side (0 = inst, 1 = data).
+ */
+enum class EventLevel : std::uint8_t
+{
+    User = 0,
+    Kernel = 1,
+    Root = 2,
+};
+
+/**
+ * One simulated event. Compact and POD so emission is a few stores;
+ * the instruction number doubles as the trace's timebase (the 1-CPI
+ * core retires one user instruction per cycle, so "instr" is also an
+ * approximate cycle stamp).
+ */
+struct TraceEvent
+{
+    EventKind kind = EventKind::ItlbMiss;
+    std::uint8_t level = 0; ///< handler/PT level, or side for L2Miss
+    Counter instr = 0;      ///< user-instruction number at emission
+    Addr vaddr = 0;         ///< faulting vaddr or PTE entry address
+    Vpn vpn = 0;            ///< virtual page being translated
+    Cycles cycles = 0;      ///< cost where known (handler instrs, ...)
+};
+
+/**
+ * Consumer of a simulation's event stream. Sinks are attached to a
+ * VmSystem (or a whole System) before running; event() is called
+ * synchronously from the simulation loop, so implementations should be
+ * cheap or buffer internally.
+ */
+class EventSink
+{
+  public:
+    virtual ~EventSink();
+
+    /** Receive one event. */
+    virtual void event(const TraceEvent &ev) = 0;
+
+    /** Push any buffered output to its destination. */
+    virtual void flush() {}
+};
+
+/** Fan one event stream out to several sinks (CLI: JSONL + trace + stats). */
+class MultiSink : public EventSink
+{
+  public:
+    /** Attach @p sink (not owned); ignores nullptr. */
+    void add(EventSink *sink);
+
+    bool empty() const { return sinks_.empty(); }
+
+    void event(const TraceEvent &ev) override;
+    void flush() override;
+
+  private:
+    std::vector<EventSink *> sinks_;
+};
+
+/**
+ * Test/analysis helper: buffers every event in memory and offers
+ * simple counting queries.
+ */
+class CollectingSink : public EventSink
+{
+  public:
+    void event(const TraceEvent &ev) override { events_.push_back(ev); }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Number of buffered events of @p kind (any level). */
+    Counter countOf(EventKind kind) const;
+
+    /** Number of buffered events of @p kind at @p level. */
+    Counter countOf(EventKind kind, EventLevel level) const;
+
+    void clear() { events_.clear(); }
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_OBS_EVENT_HH

@@ -1,0 +1,191 @@
+#include "obs/exporters.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+
+namespace vmsim
+{
+
+namespace
+{
+
+std::unique_ptr<std::ofstream>
+openOrDie(const std::string &path)
+{
+    auto f = std::make_unique<std::ofstream>(path,
+                                             std::ios::out |
+                                                 std::ios::trunc);
+    fatalIf(!f->is_open(), "cannot open '", path, "' for writing");
+    return f;
+}
+
+/** Display name of a handler/PT level for trace slice labels. */
+const char *
+levelName(std::uint8_t level)
+{
+    switch (level) {
+      case 0:
+        return "user";
+      case 1:
+        return "kernel";
+      default:
+        return "root";
+    }
+}
+
+} // anonymous namespace
+
+JsonlEventWriter::JsonlEventWriter(const std::string &path)
+    : owned_(openOrDie(path)), os_(*owned_)
+{}
+
+JsonlEventWriter::JsonlEventWriter(std::ostream &os)
+    : os_(os)
+{}
+
+void
+JsonlEventWriter::event(const TraceEvent &ev)
+{
+    char buf[192];
+    int n = std::snprintf(
+        buf, sizeof(buf),
+        "{\"kind\":\"%s\",\"level\":%u,\"instr\":%" PRIu64
+        ",\"vaddr\":\"0x%" PRIx64 "\",\"vpn\":%" PRIu64
+        ",\"cycles\":%" PRIu64 "}\n",
+        eventKindName(ev.kind), unsigned{ev.level}, ev.instr, ev.vaddr,
+        ev.vpn, ev.cycles);
+    os_.write(buf, n);
+    ++written_;
+}
+
+void
+JsonlEventWriter::flush()
+{
+    os_.flush();
+}
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
+    : owned_(openOrDie(path)), os_(*owned_)
+{
+    writeHeader();
+}
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream &os)
+    : os_(os)
+{
+    writeHeader();
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    finish();
+}
+
+void
+ChromeTraceWriter::writeHeader()
+{
+    os_ << "{\"traceEvents\":[\n";
+}
+
+void
+ChromeTraceWriter::beginRecord()
+{
+    panicIf(finished_, "ChromeTraceWriter: record after finish()");
+    if (!first_)
+        os_ << ",\n";
+    first_ = false;
+}
+
+void
+ChromeTraceWriter::event(const TraceEvent &ev)
+{
+    const auto ts = static_cast<double>(ev.instr);
+    char buf[256];
+    int n = 0;
+    switch (ev.kind) {
+      case EventKind::HandlerEnter:
+        n = std::snprintf(buf, sizeof(buf),
+                          "{\"name\":\"%s-handler\",\"cat\":\"handler\","
+                          "\"ph\":\"B\",\"ts\":%.1f,\"pid\":%d,"
+                          "\"tid\":0,\"args\":{\"vpn\":%" PRIu64
+                          ",\"instrs\":%" PRIu64 "}}",
+                          levelName(ev.level), ts, kSimPid, ev.vpn,
+                          ev.cycles);
+        break;
+      case EventKind::HandlerExit:
+        n = std::snprintf(buf, sizeof(buf),
+                          "{\"name\":\"%s-handler\",\"cat\":\"handler\","
+                          "\"ph\":\"E\",\"ts\":%.1f,\"pid\":%d,"
+                          "\"tid\":0}",
+                          levelName(ev.level), ts, kSimPid);
+        break;
+      case EventKind::HwWalk:
+        n = std::snprintf(buf, sizeof(buf),
+                          "{\"name\":\"hw-walk\",\"cat\":\"walk\","
+                          "\"ph\":\"X\",\"ts\":%.1f,\"dur\":%" PRIu64
+                          ",\"pid\":%d,\"tid\":0,\"args\":{\"vpn\":%"
+                          PRIu64 "}}",
+                          ts, ev.cycles, kSimPid, ev.vpn);
+        break;
+      default:
+        n = std::snprintf(buf, sizeof(buf),
+                          "{\"name\":\"%s\",\"cat\":\"vm\",\"ph\":\"i\","
+                          "\"s\":\"t\",\"ts\":%.1f,\"pid\":%d,"
+                          "\"tid\":0,\"args\":{\"level\":%u,\"vpn\":%"
+                          PRIu64 "}}",
+                          eventKindName(ev.kind), ts, kSimPid,
+                          unsigned{ev.level}, ev.vpn);
+        break;
+    }
+    beginRecord();
+    os_.write(buf, n);
+}
+
+void
+ChromeTraceWriter::durationEvent(
+    const std::string &name, const std::string &cat, double ts_us,
+    double dur_us, int pid, int tid,
+    const std::vector<std::pair<std::string, std::string>> &args)
+{
+    beginRecord();
+    os_ << "{\"name\":" << Json::quoted(name)
+        << ",\"cat\":" << Json::quoted(cat) << ",\"ph\":\"X\",\"ts\":";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f,\"dur\":%.3f", ts_us, dur_us);
+    os_ << buf << ",\"pid\":" << pid << ",\"tid\":" << tid;
+    if (!args.empty()) {
+        os_ << ",\"args\":{";
+        bool first = true;
+        for (const auto &[k, v] : args) {
+            if (!first)
+                os_ << ',';
+            first = false;
+            os_ << Json::quoted(k) << ':' << Json::quoted(v);
+        }
+        os_ << '}';
+    }
+    os_ << '}';
+}
+
+void
+ChromeTraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":"
+           "{\"generator\":\"vmsim\",\"sim_timebase\":"
+           "\"1us = 1 user instruction (pid 1)\"}}\n";
+    os_.flush();
+}
+
+void
+ChromeTraceWriter::flush()
+{
+    os_.flush();
+}
+
+} // namespace vmsim

@@ -1,0 +1,124 @@
+#include "obs/stats_registry.hh"
+
+namespace vmsim
+{
+
+CounterGroup &
+StatsRegistry::counterGroup(const std::string &name)
+{
+    auto it = groupIndex_.find(name);
+    if (it != groupIndex_.end())
+        return *groups_[it->second].second;
+    groupIndex_.emplace(name, groups_.size());
+    groups_.emplace_back(name, std::make_unique<CounterGroup>());
+    return *groups_.back().second;
+}
+
+Distribution &
+StatsRegistry::distribution(const std::string &name)
+{
+    auto it = distIndex_.find(name);
+    if (it != distIndex_.end())
+        return *dists_[it->second].second;
+    distIndex_.emplace(name, dists_.size());
+    dists_.emplace_back(name, std::make_unique<Distribution>());
+    return *dists_.back().second;
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name, double lo, double hi,
+                         unsigned nbuckets)
+{
+    auto it = histIndex_.find(name);
+    if (it != histIndex_.end())
+        return *hists_[it->second].second;
+    histIndex_.emplace(name, hists_.size());
+    hists_.emplace_back(name,
+                        std::make_unique<Histogram>(lo, hi, nbuckets));
+    return *hists_.back().second;
+}
+
+void
+StatsRegistry::reset()
+{
+    for (auto &[name, g] : groups_)
+        g->reset();
+    for (auto &[name, d] : dists_)
+        d->reset();
+    for (auto &[name, h] : hists_)
+        h->reset();
+}
+
+Json
+StatsRegistry::toJson() const
+{
+    Json j = Json::object();
+
+    Json counters = Json::object();
+    for (const auto &[name, g] : groups_) {
+        Json entries = Json::object();
+        for (const auto &[key, value] : g->entries())
+            entries.set(key, value);
+        counters.set(name, std::move(entries));
+    }
+    j.set("counters", std::move(counters));
+
+    Json dists = Json::object();
+    for (const auto &[name, d] : dists_) {
+        Json dj = Json::object();
+        dj.set("count", d->count());
+        dj.set("sum", d->sum());
+        dj.set("mean", d->mean());
+        dj.set("min", d->min());
+        dj.set("max", d->max());
+        dj.set("stddev", d->stddev());
+        dists.set(name, std::move(dj));
+    }
+    j.set("distributions", std::move(dists));
+
+    Json hists = Json::object();
+    for (const auto &[name, h] : hists_) {
+        Json hj = Json::object();
+        hj.set("count", h->count());
+        hj.set("underflow", h->underflow());
+        hj.set("overflow", h->overflow());
+        hj.set("lo", h->bucketLo(0));
+        hj.set("hi", h->bucketLo(h->numBuckets()));
+        Json buckets = Json::array();
+        for (unsigned i = 0; i < h->numBuckets(); ++i)
+            buckets.push(h->bucket(i));
+        hj.set("buckets", std::move(buckets));
+        hists.set(name, std::move(hj));
+    }
+    j.set("histograms", std::move(hists));
+
+    return j;
+}
+
+StatsSink::StatsSink(StatsRegistry &registry)
+    : events_(registry.counterGroup("events")),
+      pteLevels_(registry.counterGroup("pte_fetch_levels")),
+      episodes_(registry.distribution("handler_episodes")),
+      episodeHist_(registry.histogram("handler_episode_hist", 0, 512, 32))
+{}
+
+void
+StatsSink::event(const TraceEvent &ev)
+{
+    events_.add(eventKindName(ev.kind));
+    switch (ev.kind) {
+      case EventKind::PteFetch:
+        pteLevels_.add(ev.level == 0   ? "user"
+                       : ev.level == 1 ? "kernel"
+                                       : "root");
+        break;
+      case EventKind::HandlerExit:
+        episodes_.sample(static_cast<double>(ev.cycles));
+        episodeHist_.sample(static_cast<double>(ev.cycles));
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace vmsim

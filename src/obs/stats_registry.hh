@@ -1,0 +1,104 @@
+/**
+ * @file
+ * StatsRegistry: a namespace of named statistics instances
+ * (CounterGroup / Distribution / Histogram) with one JSON dump, so a
+ * tool can declare ad-hoc metrics anywhere and emit them all alongside
+ * its Results — the gem5 "stats file" idea scaled down to a library.
+ *
+ * StatsSink bridges the event stream into a registry: per-kind event
+ * counts, per-level PTE-fetch counts, and the distribution/histogram
+ * of handler episode lengths, all without custom sink code at the
+ * call site.
+ */
+
+#ifndef VMSIM_OBS_STATS_REGISTRY_HH
+#define VMSIM_OBS_STATS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/json.hh"
+#include "base/stats.hh"
+#include "obs/event.hh"
+
+namespace vmsim
+{
+
+/**
+ * Owns named statistics instances. Lookup by name creates on first
+ * use and returns the same instance thereafter (references are stable:
+ * instances live behind unique_ptr). Dumps preserve registration
+ * order.
+ */
+class StatsRegistry
+{
+  public:
+    /** The counter group named @p name (created empty on first use). */
+    CounterGroup &counterGroup(const std::string &name);
+
+    /** The distribution named @p name (created empty on first use). */
+    Distribution &distribution(const std::string &name);
+
+    /**
+     * The histogram named @p name. The geometry arguments apply on
+     * first use; later lookups return the existing instance unchanged.
+     */
+    Histogram &histogram(const std::string &name, double lo, double hi,
+                         unsigned nbuckets);
+
+    bool
+    empty() const
+    {
+        return groups_.empty() && dists_.empty() && hists_.empty();
+    }
+
+    /** Clear the accumulated state of every registered instance. */
+    void reset();
+
+    /**
+     * {"counters": {...}, "distributions": {...}, "histograms": {...}}
+     * with each instance serialized under its registered name.
+     */
+    Json toJson() const;
+
+  private:
+    template <typename T>
+    using Named = std::vector<std::pair<std::string, std::unique_ptr<T>>>;
+
+    std::unordered_map<std::string, std::size_t> groupIndex_;
+    std::unordered_map<std::string, std::size_t> distIndex_;
+    std::unordered_map<std::string, std::size_t> histIndex_;
+    Named<CounterGroup> groups_;
+    Named<Distribution> dists_;
+    Named<Histogram> hists_;
+};
+
+/**
+ * EventSink that aggregates the stream into a StatsRegistry:
+ *
+ *  - "events":            one counter per event kind
+ *  - "pte_fetch_levels":  PTE fetches split by page-table level
+ *  - "handler_episodes":  distribution of handler lengths (instrs)
+ *  - "handler_episode_hist": the same as a fixed-bucket histogram
+ */
+class StatsSink : public EventSink
+{
+  public:
+    /** Aggregate into @p registry (not owned; must outlive the sink). */
+    explicit StatsSink(StatsRegistry &registry);
+
+    void event(const TraceEvent &ev) override;
+
+  private:
+    CounterGroup &events_;
+    CounterGroup &pteLevels_;
+    Distribution &episodes_;
+    Histogram &episodeHist_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_OBS_STATS_REGISTRY_HH

@@ -10,13 +10,13 @@ BaseVm::BaseVm(MemSystem &mem)
 void
 BaseVm::instRef(Addr pc)
 {
-    mem_.instFetch(pc, AccessClass::User);
+    userInstFetch(pc);
 }
 
 void
 BaseVm::dataRef(Addr addr, bool store)
 {
-    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+    userDataAccess(addr, store);
 }
 
 } // namespace vmsim

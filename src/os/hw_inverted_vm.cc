@@ -19,20 +19,20 @@ void
 HwInvertedVm::instRef(Addr pc)
 {
     if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        ++stats_.itlbMisses;
+        noteItlbMiss(pc, pt_.vpnOf(pc));
         walk(pc, itlb_);
     }
-    mem_.instFetch(pc, AccessClass::User);
+    userInstFetch(pc);
 }
 
 void
 HwInvertedVm::dataRef(Addr addr, bool store)
 {
     if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        ++stats_.dtlbMisses;
+        noteDtlbMiss(addr, pt_.vpnOf(addr));
         walk(addr, dtlb_);
     }
-    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+    userDataAccess(addr, store);
 }
 
 void
@@ -43,19 +43,14 @@ HwInvertedVm::walk(Addr vaddr, Tlb &target)
     if (l2TlbLookup(v, target))
         return;
 
-    ++stats_.hwWalks;
-
     walkBuf_.clear();
     unsigned depth = pt_.walk(v, walkBuf_);
 
     // FSM sequential work: base cost plus one cycle per extra probe.
-    stats_.hwWalkCycles += costs_.hwWalkCycles + (depth - 1);
+    beginHwWalk(v, costs_.hwWalkCycles + (depth - 1));
 
-    for (Addr entry : walkBuf_) {
-        mem_.dataAccess(entry, kHashedPteSize, false,
-                        AccessClass::PteUser);
-        ++stats_.pteLoads;
-    }
+    for (Addr entry : walkBuf_)
+        pteFetch(entry, kHashedPteSize, AccessClass::PteUser, v);
 
     l2TlbFill(v);
     target.insert(v);

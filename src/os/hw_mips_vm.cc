@@ -17,20 +17,20 @@ void
 HwMipsVm::instRef(Addr pc)
 {
     if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        ++stats_.itlbMisses;
+        noteItlbMiss(pc, pt_.vpnOf(pc));
         walk(pc, itlb_);
     }
-    mem_.instFetch(pc, AccessClass::User);
+    userInstFetch(pc);
 }
 
 void
 HwMipsVm::dataRef(Addr addr, bool store)
 {
     if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        ++stats_.dtlbMisses;
+        noteDtlbMiss(addr, pt_.vpnOf(addr));
         walk(addr, dtlb_);
     }
-    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+    userDataAccess(addr, store);
 }
 
 void
@@ -41,25 +41,22 @@ HwMipsVm::walk(Addr vaddr, Tlb &target)
     if (l2TlbLookup(v, target))
         return;
 
-    ++stats_.hwWalks;
-    stats_.hwWalkCycles += costs_.hwWalkCycles;
+    beginHwWalk(v, costs_.hwWalkCycles);
 
     Addr upte = pt_.uptEntryAddr(v);
 
     if (!dtlb_.lookup(pt_.uptPageVpn(v))) {
         // Nested: the FSM falls back to the physical root table.
         stats_.hwWalkCycles += kNestedWalkCycles;
-        mem_.dataAccess(pt_.rptEntryAddr(v), kHierPteSize, false,
-                        AccessClass::PteRoot);
-        ++stats_.pteLoads;
+        pteFetch(pt_.rptEntryAddr(v), kHierPteSize, AccessClass::PteRoot,
+                 v);
         if (dtlb_.params().protectedSlots > 0)
             dtlb_.insertProtected(pt_.uptPageVpn(v));
         else
             dtlb_.insert(pt_.uptPageVpn(v));
     }
 
-    mem_.dataAccess(upte, kHierPteSize, false, AccessClass::PteUser);
-    ++stats_.pteLoads;
+    pteFetch(upte, kHierPteSize, AccessClass::PteUser, v);
     l2TlbFill(v);
     target.insert(v);
 }

@@ -20,20 +20,20 @@ void
 IntelVm::instRef(Addr pc)
 {
     if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        ++stats_.itlbMisses;
+        noteItlbMiss(pc, pt_.vpnOf(pc));
         walk(pc, itlb_);
     }
-    mem_.instFetch(pc, AccessClass::User);
+    userInstFetch(pc);
 }
 
 void
 IntelVm::dataRef(Addr addr, bool store)
 {
     if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        ++stats_.dtlbMisses;
+        noteDtlbMiss(addr, pt_.vpnOf(addr));
         walk(addr, dtlb_);
     }
-    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+    userDataAccess(addr, store);
 }
 
 void
@@ -46,14 +46,10 @@ IntelVm::walk(Addr vaddr, Tlb &target)
 
     // Hardware state machine: no interrupt, no instruction fetches,
     // 7 cycles of sequential work, two physical cacheable PTE loads.
-    ++stats_.hwWalks;
-    stats_.hwWalkCycles += costs_.hwWalkCycles;
+    beginHwWalk(v, costs_.hwWalkCycles);
 
-    mem_.dataAccess(pt_.rootEntryAddr(v), kHierPteSize, false,
-                    AccessClass::PteRoot);
-    mem_.dataAccess(pt_.leafEntryAddr(v), kHierPteSize, false,
-                    AccessClass::PteUser);
-    stats_.pteLoads += 2;
+    pteFetch(pt_.rootEntryAddr(v), kHierPteSize, AccessClass::PteRoot, v);
+    pteFetch(pt_.leafEntryAddr(v), kHierPteSize, AccessClass::PteUser, v);
 
     l2TlbFill(v);
     target.insert(v);

@@ -17,20 +17,20 @@ void
 MachVm::instRef(Addr pc)
 {
     if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        ++stats_.itlbMisses;
+        noteItlbMiss(pc, pt_.vpnOf(pc));
         walk(pc, itlb_);
     }
-    mem_.instFetch(pc, AccessClass::User);
+    userInstFetch(pc);
 }
 
 void
 MachVm::dataRef(Addr addr, bool store)
 {
     if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        ++stats_.dtlbMisses;
+        noteDtlbMiss(addr, pt_.vpnOf(addr));
         walk(addr, dtlb_);
     }
-    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+    userDataAccess(addr, store);
 }
 
 void
@@ -43,8 +43,7 @@ MachVm::walk(Addr vaddr, Tlb &target)
 
     // User-level miss: dedicated vector, 10 instructions.
     takeInterrupt();
-    fetchHandler(kUserHandlerBase, costs_.userInstrs,
-                 stats_.uhandlerCalls, stats_.uhandlerInstrs);
+    fetchHandler(EventLevel::User, kUserHandlerBase, costs_.userInstrs, v);
 
     Addr upte = pt_.uptEntryAddr(v);
     Vpn upte_page = pt_.uptPageVpn(v);
@@ -53,8 +52,8 @@ MachVm::walk(Addr vaddr, Tlb &target)
         // Kernel-level miss on the user-page-table page: dedicated
         // kernel vector, 20 instructions.
         takeInterrupt();
-        fetchHandler(kKernelHandlerBase, costs_.kernelInstrs,
-                     stats_.khandlerCalls, stats_.khandlerInstrs);
+        fetchHandler(EventLevel::Kernel, kKernelHandlerBase,
+                     costs_.kernelInstrs, upte_page);
 
         Addr kpte = pt_.kptEntryAddr(upte_page);
         Vpn kpte_page = pt_.kptPageVpn(upte_page);
@@ -64,24 +63,21 @@ MachVm::walk(Addr vaddr, Tlb &target)
             // instructions + 10 bookkeeping loads) plus the RPTE load
             // from wired physical memory.
             takeInterrupt();
-            fetchHandler(kRootHandlerBase, costs_.rootInstrs,
-                         stats_.rhandlerCalls, stats_.rhandlerInstrs);
+            fetchHandler(EventLevel::Root, kRootHandlerBase,
+                         costs_.rootInstrs, kpte_page);
             for (unsigned i = 0; i < costs_.adminLoads; ++i)
                 mem_.dataAccess(pt_.adminDataAddr(i), kDataBytes, false,
                                 AccessClass::PteRoot);
-            mem_.dataAccess(pt_.rptEntryAddr(kpte_page), kHierPteSize,
-                            false, AccessClass::PteRoot);
-            ++stats_.pteLoads;
+            pteFetch(pt_.rptEntryAddr(kpte_page), kHierPteSize,
+                     AccessClass::PteRoot, kpte_page);
             insertKernelMapping(kpte_page);
         }
 
-        mem_.dataAccess(kpte, kHierPteSize, false, AccessClass::PteKernel);
-        ++stats_.pteLoads;
+        pteFetch(kpte, kHierPteSize, AccessClass::PteKernel, upte_page);
         insertKernelMapping(upte_page);
     }
 
-    mem_.dataAccess(upte, kHierPteSize, false, AccessClass::PteUser);
-    ++stats_.pteLoads;
+    pteFetch(upte, kHierPteSize, AccessClass::PteUser, v);
     l2TlbFill(v);
     target.insert(v);
 }

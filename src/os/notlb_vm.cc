@@ -11,7 +11,7 @@ NotlbVm::NotlbVm(MemSystem &mem, PhysMem &phys_mem,
 void
 NotlbVm::instRef(Addr pc)
 {
-    MemLevel lvl = mem_.instFetch(pc, AccessClass::User);
+    MemLevel lvl = userInstFetch(pc);
     if (lvl == MemLevel::Memory)
         missHandler(pc);
 }
@@ -19,8 +19,7 @@ NotlbVm::instRef(Addr pc)
 void
 NotlbVm::dataRef(Addr addr, bool store)
 {
-    MemLevel lvl =
-        mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+    MemLevel lvl = userDataAccess(addr, store);
     if (lvl == MemLevel::Memory)
         missHandler(addr);
 }
@@ -33,22 +32,19 @@ NotlbVm::missHandler(Addr vaddr)
     // Every L2 miss interrupts the processor: 10-instruction handler
     // performs the translation and fill.
     takeInterrupt();
-    fetchHandler(kUserHandlerBase, costs_.userInstrs,
-                 stats_.uhandlerCalls, stats_.uhandlerInstrs);
+    fetchHandler(EventLevel::User, kUserHandlerBase, costs_.userInstrs, v);
 
-    MemLevel pte_lvl = mem_.dataAccess(pt_.uptEntryAddr(v), kHierPteSize,
-                                       false, AccessClass::PteUser);
-    ++stats_.pteLoads;
+    MemLevel pte_lvl = pteFetch(pt_.uptEntryAddr(v), kHierPteSize,
+                                AccessClass::PteUser, v);
 
     // If the PTE reference itself missed the L2 cache, the second
     // handler runs and resolves it via the wired root table.
     if (pte_lvl == MemLevel::Memory) {
         takeInterrupt();
-        fetchHandler(kRootHandlerBase, costs_.rootInstrs,
-                     stats_.rhandlerCalls, stats_.rhandlerInstrs);
-        mem_.dataAccess(pt_.rptEntryAddr(v), kHierPteSize, false,
-                        AccessClass::PteRoot);
-        ++stats_.pteLoads;
+        fetchHandler(EventLevel::Root, kRootHandlerBase,
+                     costs_.rootInstrs, v);
+        pteFetch(pt_.rptEntryAddr(v), kHierPteSize, AccessClass::PteRoot,
+                 v);
     }
 }
 

@@ -22,20 +22,20 @@ void
 PariscVm::instRef(Addr pc)
 {
     if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        ++stats_.itlbMisses;
+        noteItlbMiss(pc, pt_.vpnOf(pc));
         walk(pc, itlb_);
     }
-    mem_.instFetch(pc, AccessClass::User);
+    userInstFetch(pc);
 }
 
 void
 PariscVm::dataRef(Addr addr, bool store)
 {
     if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        ++stats_.dtlbMisses;
+        noteDtlbMiss(addr, pt_.vpnOf(addr));
         walk(addr, dtlb_);
     }
-    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+    userDataAccess(addr, store);
 }
 
 void
@@ -48,8 +48,7 @@ PariscVm::walk(Addr vaddr, Tlb &target)
 
     // Single handler: interrupt, 20 instructions, then the chain walk.
     takeInterrupt();
-    fetchHandler(kUserHandlerBase, costs_.userInstrs,
-                 stats_.uhandlerCalls, stats_.uhandlerInstrs);
+    fetchHandler(EventLevel::User, kUserHandlerBase, costs_.userInstrs, v);
 
     walkBuf_.clear();
     pt_.walk(v, walkBuf_);
@@ -57,9 +56,7 @@ PariscVm::walk(Addr vaddr, Tlb &target)
         // Each visited entry is a full 16-byte PTE read (tag compare
         // plus, on match, the mapping word): 4x the cache footprint of
         // a hierarchical PTE load.
-        mem_.dataAccess(entry, kHashedPteSize, false,
-                        AccessClass::PteUser);
-        ++stats_.pteLoads;
+        pteFetch(entry, kHashedPteSize, AccessClass::PteUser, v);
     }
 
     l2TlbFill(v);

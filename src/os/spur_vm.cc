@@ -11,7 +11,7 @@ SpurVm::SpurVm(MemSystem &mem, PhysMem &phys_mem,
 void
 SpurVm::instRef(Addr pc)
 {
-    MemLevel lvl = mem_.instFetch(pc, AccessClass::User);
+    MemLevel lvl = userInstFetch(pc);
     if (lvl == MemLevel::Memory)
         hwMissWalk(pc);
 }
@@ -19,8 +19,7 @@ SpurVm::instRef(Addr pc)
 void
 SpurVm::dataRef(Addr addr, bool store)
 {
-    MemLevel lvl =
-        mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+    MemLevel lvl = userDataAccess(addr, store);
     if (lvl == MemLevel::Memory)
         hwMissWalk(addr);
 }
@@ -30,18 +29,15 @@ SpurVm::hwMissWalk(Addr vaddr)
 {
     Vpn v = pt_.vpnOf(vaddr);
 
-    ++stats_.hwWalks;
-    stats_.hwWalkCycles += costs_.hwWalkCycles;
+    beginHwWalk(v, costs_.hwWalkCycles);
 
-    MemLevel pte_lvl = mem_.dataAccess(pt_.uptEntryAddr(v), kHierPteSize,
-                                       false, AccessClass::PteUser);
-    ++stats_.pteLoads;
+    MemLevel pte_lvl = pteFetch(pt_.uptEntryAddr(v), kHierPteSize,
+                                AccessClass::PteUser, v);
 
     if (pte_lvl == MemLevel::Memory) {
         stats_.hwWalkCycles += kNestedWalkCycles;
-        mem_.dataAccess(pt_.rptEntryAddr(v), kHierPteSize, false,
-                        AccessClass::PteRoot);
-        ++stats_.pteLoads;
+        pteFetch(pt_.rptEntryAddr(v), kHierPteSize, AccessClass::PteRoot,
+                 v);
     }
 }
 

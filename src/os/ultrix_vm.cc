@@ -17,20 +17,20 @@ void
 UltrixVm::instRef(Addr pc)
 {
     if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        ++stats_.itlbMisses;
+        noteItlbMiss(pc, pt_.vpnOf(pc));
         walk(pc, itlb_);
     }
-    mem_.instFetch(pc, AccessClass::User);
+    userInstFetch(pc);
 }
 
 void
 UltrixVm::dataRef(Addr addr, bool store)
 {
     if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        ++stats_.dtlbMisses;
+        noteDtlbMiss(addr, pt_.vpnOf(addr));
         walk(addr, dtlb_);
     }
-    mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+    userDataAccess(addr, store);
 }
 
 void
@@ -43,8 +43,7 @@ UltrixVm::walk(Addr vaddr, Tlb &target)
 
     // User-level miss handler (interrupt + 10 instructions).
     takeInterrupt();
-    fetchHandler(kUserHandlerBase, costs_.userInstrs,
-                 stats_.uhandlerCalls, stats_.uhandlerInstrs);
+    fetchHandler(EventLevel::User, kUserHandlerBase, costs_.userInstrs, v);
 
     Addr upte = pt_.uptEntryAddr(v);
 
@@ -54,16 +53,14 @@ UltrixVm::walk(Addr vaddr, Tlb &target)
     // installs the UPT-page mapping in the protected slots.
     if (!dtlb_.lookup(pt_.uptPageVpn(v))) {
         takeInterrupt();
-        fetchHandler(kRootHandlerBase, costs_.rootInstrs,
-                     stats_.rhandlerCalls, stats_.rhandlerInstrs);
-        mem_.dataAccess(pt_.rptEntryAddr(v), kHierPteSize, false,
-                        AccessClass::PteRoot);
-        ++stats_.pteLoads;
+        fetchHandler(EventLevel::Root, kRootHandlerBase,
+                     costs_.rootInstrs, v);
+        pteFetch(pt_.rptEntryAddr(v), kHierPteSize, AccessClass::PteRoot,
+                 v);
         insertKernelMapping(pt_.uptPageVpn(v));
     }
 
-    mem_.dataAccess(upte, kHierPteSize, false, AccessClass::PteUser);
-    ++stats_.pteLoads;
+    pteFetch(upte, kHierPteSize, AccessClass::PteUser, v);
     l2TlbFill(v);
     target.insert(v);
 }

@@ -1,5 +1,7 @@
 #include "os/vm_system.hh"
 
+#include "base/logging.hh"
+
 namespace vmsim
 {
 
@@ -28,6 +30,8 @@ VmSystem::l2TlbLookup(Vpn v, Tlb &target)
     // handler, no page-table reference.
     ++stats_.l2TlbHits;
     stats_.hwWalkCycles += l2TlbHitCycles_;
+    emitEvent(EventKind::L2TlbHit, EventLevel::User, 0, v,
+              l2TlbHitCycles_);
     target.insert(v);
     return true;
 }
@@ -40,14 +44,63 @@ VmSystem::l2TlbFill(Vpn v)
 }
 
 void
-VmSystem::fetchHandler(Addr base, unsigned n, Counter &calls,
-                       Counter &instrs)
+VmSystem::doEmit(EventKind kind, EventLevel level, Addr vaddr, Vpn vpn,
+                 Cycles cycles)
 {
-    ++calls;
-    instrs += n;
+    TraceEvent ev;
+    ev.kind = kind;
+    ev.level = static_cast<std::uint8_t>(level);
+    ev.instr = curInstr_;
+    ev.vaddr = vaddr;
+    ev.vpn = vpn;
+    ev.cycles = cycles;
+    sink_->event(ev);
+}
+
+MemLevel
+VmSystem::pteFetch(Addr entry_addr, unsigned size, AccessClass cls, Vpn v)
+{
+    MemLevel lvl = mem_.dataAccess(entry_addr, size, false, cls);
+    ++stats_.pteLoads;
+    if (sink_) {
+        // AccessClass::PteUser/PteKernel/PteRoot map onto the
+        // user/kernel/root page-table levels in declaration order.
+        auto level = static_cast<EventLevel>(
+            static_cast<unsigned>(cls) -
+            static_cast<unsigned>(AccessClass::PteUser));
+        doEmit(EventKind::PteFetch, level, entry_addr, v, 0);
+    }
+    return lvl;
+}
+
+void
+VmSystem::fetchHandler(EventLevel level, Addr base, unsigned n, Vpn v)
+{
+    Counter *calls = nullptr;
+    Counter *instrs = nullptr;
+    switch (level) {
+      case EventLevel::User:
+        calls = &stats_.uhandlerCalls;
+        instrs = &stats_.uhandlerInstrs;
+        break;
+      case EventLevel::Kernel:
+        calls = &stats_.khandlerCalls;
+        instrs = &stats_.khandlerInstrs;
+        break;
+      case EventLevel::Root:
+        calls = &stats_.rhandlerCalls;
+        instrs = &stats_.rhandlerInstrs;
+        break;
+    }
+    panicIf(!calls, "fetchHandler: bad handler level ",
+            static_cast<unsigned>(level));
+    ++*calls;
+    *instrs += n;
+    emitEvent(EventKind::HandlerEnter, level, base, v, n);
     for (unsigned k = 0; k < n; ++k)
         mem_.instFetch(base + std::uint64_t{k} * kInstrBytes,
                        AccessClass::HandlerFetch);
+    emitEvent(EventKind::HandlerExit, level, base, v, n);
 }
 
 } // namespace vmsim

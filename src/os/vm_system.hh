@@ -39,6 +39,7 @@
 
 #include "base/types.hh"
 #include "mem/mem_system.hh"
+#include "obs/event.hh"
 #include "tlb/tlb.hh"
 
 namespace vmsim
@@ -143,6 +144,26 @@ class VmSystem
     const std::string &name() const { return name_; }
     const VmStats &vmStats() const { return stats_; }
     MemSystem &mem() { return mem_; }
+    const MemSystem &mem() const { return mem_; }
+
+    /**
+     * Attach an event sink (not owned; nullptr detaches). While a sink
+     * is attached every TLB miss, handler execution, PTE fetch,
+     * interrupt, context switch and user L2-cache miss is reported to
+     * it; with none attached each potential emission costs one
+     * predictable branch.
+     */
+    void attachEventSink(EventSink *sink) { sink_ = sink; }
+    EventSink *eventSink() const { return sink_; }
+    bool tracing() const { return sink_ != nullptr; }
+
+    /**
+     * Timebase for emitted events: the driving Simulator stamps the
+     * current user-instruction number here before each instruction
+     * (only while a sink is attached).
+     */
+    void setCurrentInstr(Counter n) { curInstr_ = n; }
+    Counter currentInstr() const { return curInstr_; }
 
     /**
      * Clear the VM event counters (used after warmup). Cache, TLB and
@@ -170,8 +191,75 @@ class VmSystem
     const Tlb *l2tlb() const { return l2Tlb_.get(); }
 
   protected:
+    /**
+     * Report @p kind to the attached sink, if any. The disabled path
+     * is a single null test; the emit itself is out of line so the
+     * hot loop stays small.
+     */
+    void
+    emitEvent(EventKind kind, EventLevel level, Addr vaddr, Vpn vpn,
+              Cycles cycles = 0)
+    {
+        if (sink_)
+            doEmit(kind, level, vaddr, vpn, cycles);
+    }
+
     /** Record one address-space switch. */
-    void noteContextSwitch() { ++stats_.ctxSwitches; }
+    void
+    noteContextSwitch()
+    {
+        ++stats_.ctxSwitches;
+        emitEvent(EventKind::CtxSwitch, EventLevel::User, 0, 0);
+    }
+
+    /** Record a user instruction-fetch TLB miss on @p pc. */
+    void
+    noteItlbMiss(Addr pc, Vpn v)
+    {
+        ++stats_.itlbMisses;
+        emitEvent(EventKind::ItlbMiss, EventLevel::User, pc, v);
+    }
+
+    /** Record a user load/store TLB miss on @p addr. */
+    void
+    noteDtlbMiss(Addr addr, Vpn v)
+    {
+        ++stats_.dtlbMisses;
+        emitEvent(EventKind::DtlbMiss, EventLevel::User, addr, v);
+    }
+
+    /**
+     * Fetch one user instruction through the I-side hierarchy,
+     * reporting an L2Miss event if it goes all the way to memory.
+     */
+    MemLevel
+    userInstFetch(Addr pc)
+    {
+        MemLevel lvl = mem_.instFetch(pc, AccessClass::User);
+        if (sink_ && lvl == MemLevel::Memory)
+            doEmit(EventKind::L2Miss, EventLevel::User, pc, 0, 0);
+        return lvl;
+    }
+
+    /** The data-side twin of userInstFetch() (level field = 1). */
+    MemLevel
+    userDataAccess(Addr addr, bool store)
+    {
+        MemLevel lvl =
+            mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+        if (sink_ && lvl == MemLevel::Memory)
+            doEmit(EventKind::L2Miss, EventLevel::Kernel, addr, 0, 0);
+        return lvl;
+    }
+
+    /**
+     * Load one page-table entry of @p size bytes at @p entry_addr on
+     * behalf of translating @p v: performs the cache access under
+     * @p cls, counts it in pteLoads, and emits a PteFetch event at the
+     * page-table level implied by the access class.
+     */
+    MemLevel pteFetch(Addr entry_addr, unsigned size, AccessClass cls,
+                      Vpn v);
 
     /**
      * Standard TLB reaction to an address-space switch: untagged TLBs
@@ -197,15 +285,33 @@ class VmSystem
     }
 
     /**
-     * Simulate execution of a handler: fetch @p n instructions through
-     * the I-cache hierarchy starting at page-aligned @p base, and
-     * account them to @p calls / @p instrs.
+     * Simulate execution of the @p level miss handler: fetch @p n
+     * instructions through the I-cache hierarchy starting at
+     * page-aligned @p base, account them to the level's call/instr
+     * counters, and bracket the episode with HandlerEnter/HandlerExit
+     * events (@p v is the page being translated).
      */
-    void fetchHandler(Addr base, unsigned n, Counter &calls,
-                      Counter &instrs);
+    void fetchHandler(EventLevel level, Addr base, unsigned n, Vpn v);
 
     /** Record one precise interrupt (pipeline/ROB flush at handling). */
-    void takeInterrupt() { ++stats_.interrupts; }
+    void
+    takeInterrupt()
+    {
+        ++stats_.interrupts;
+        emitEvent(EventKind::Interrupt, EventLevel::User, 0, 0);
+    }
+
+    /**
+     * Record the start of a hardware state-machine walk for @p v,
+     * charging @p fsm_cycles of sequential FSM work.
+     */
+    void
+    beginHwWalk(Vpn v, Cycles fsm_cycles)
+    {
+        ++stats_.hwWalks;
+        stats_.hwWalkCycles += fsm_cycles;
+        emitEvent(EventKind::HwWalk, EventLevel::User, 0, v, fsm_cycles);
+    }
 
     /**
      * Probe the optional L2 TLB for @p v at the top of a walk. On a
@@ -224,9 +330,15 @@ class VmSystem
     VmStats stats_;
 
   private:
+    /** Out-of-line slow path of emitEvent(); sink_ is non-null here. */
+    void doEmit(EventKind kind, EventLevel level, Addr vaddr, Vpn vpn,
+                Cycles cycles);
+
     unsigned ctxSwitchEvictions_ = 16;
     std::unique_ptr<Tlb> l2Tlb_;
     Cycles l2TlbHitCycles_ = 2;
+    EventSink *sink_ = nullptr;
+    Counter curInstr_ = 0;
 };
 
 } // namespace vmsim

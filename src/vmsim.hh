@@ -33,6 +33,10 @@
 #include "mem/cache.hh"
 #include "mem/mem_system.hh"
 #include "mem/phys_mem.hh"
+#include "obs/event.hh"
+#include "obs/exporters.hh"
+#include "obs/interval.hh"
+#include "obs/stats_registry.hh"
 #include "os/base_vm.hh"
 #include "os/hw_inverted_vm.hh"
 #include "os/hw_mips_vm.hh"

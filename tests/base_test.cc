@@ -575,5 +575,145 @@ TEST(Json, NonFiniteNumbersBecomeNull)
     EXPECT_EQ(Json(std::nan("")).dump(), "null");
 }
 
+TEST(Json, QuotedEscapesForStreamingWriters)
+{
+    EXPECT_EQ(Json::quoted("plain"), "\"plain\"");
+    EXPECT_EQ(Json::quoted("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Distribution, SingleNegativeSample)
+{
+    // min/max must initialize from the first sample even when it is
+    // below the zero-initialized state.
+    Distribution d;
+    d.sample(-7.5);
+    EXPECT_EQ(d.min(), -7.5);
+    EXPECT_EQ(d.max(), -7.5);
+    EXPECT_EQ(d.mean(), -7.5);
+    EXPECT_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, AllNegativeSamples)
+{
+    Distribution d;
+    for (double v : {-1.0, -2.0, -3.0})
+        d.sample(v);
+    EXPECT_EQ(d.min(), -3.0);
+    EXPECT_EQ(d.max(), -1.0);
+    EXPECT_DOUBLE_EQ(d.mean(), -2.0);
+    EXPECT_DOUBLE_EQ(d.sum(), -6.0);
+}
+
+TEST(Histogram, AllSamplesOutOfRange)
+{
+    Histogram h(0.0, 10.0, 4);
+    h.sample(-5.0);
+    h.sample(-0.001);
+    h.sample(10.0);
+    h.sample(1e9);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.overflow(), 2u);
+    for (unsigned i = 0; i < h.numBuckets(); ++i)
+        EXPECT_EQ(h.bucket(i), 0u);
+}
+
+TEST(Histogram, BucketLoCoversFullRange)
+{
+    Histogram h(2.0, 10.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 2.0);
+    // bucketLo(numBuckets) is the exclusive upper bound of the range.
+    EXPECT_DOUBLE_EQ(h.bucketLo(h.numBuckets()), 10.0);
+}
+
+TEST(Histogram, NegativeRange)
+{
+    Histogram h(-10.0, -2.0, 4);
+    h.sample(-9.0); // bucket 0
+    h.sample(-3.0); // bucket 3
+    h.sample(-11.0);
+    h.sample(-1.0);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(CounterGroup, InsertionOrderSurvivesManyKeys)
+{
+    // The hash index must not disturb the reported entry order.
+    CounterGroup g;
+    std::vector<std::string> keys;
+    for (int i = 0; i < 100; ++i)
+        keys.push_back("key" + std::to_string((i * 37) % 100));
+    for (const std::string &k : keys)
+        g.add(k);
+    ASSERT_EQ(g.entries().size(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        EXPECT_EQ(g.entries()[i].first, keys[i]);
+        EXPECT_EQ(g.get(keys[i]), 1u);
+    }
+}
+
+TEST(CounterGroup, ReuseAfterReset)
+{
+    CounterGroup g;
+    g.add("a", 3);
+    g.add("b", 1);
+    g.reset();
+    g.add("b", 7);
+    EXPECT_EQ(g.get("a"), 0u);
+    EXPECT_EQ(g.get("b"), 7u);
+    ASSERT_EQ(g.entries().size(), 1u);
+    EXPECT_EQ(g.entries()[0].first, "b");
+}
+
+TEST(LogLevel, SetterReturnsPreviousAndGetterAgrees)
+{
+    LogLevel original = setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    EXPECT_EQ(setLogLevel(LogLevel::Silent), LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(original);
+}
+
+TEST(LogLevel, LevelsFilterWarnAndInform)
+{
+    // warn()/inform() write to stderr; redirect it to observe them.
+    LogLevel original = logLevel();
+    auto emits = [](LogLevel level) {
+        setLogLevel(level);
+        testing::internal::CaptureStderr();
+        warn("w");
+        inform("i");
+        std::string out = testing::internal::GetCapturedStderr();
+        return std::make_pair(out.find("warn: w") != std::string::npos,
+                              out.find("info: i") != std::string::npos);
+    };
+
+    auto [warn_i, info_i] = emits(LogLevel::Info);
+    EXPECT_TRUE(warn_i);
+    EXPECT_TRUE(info_i);
+    auto [warn_w, info_w] = emits(LogLevel::Warn);
+    EXPECT_TRUE(warn_w);
+    EXPECT_FALSE(info_w);
+    auto [warn_s, info_s] = emits(LogLevel::Silent);
+    EXPECT_FALSE(warn_s);
+    EXPECT_FALSE(info_s);
+    setLogLevel(original);
+}
+
+TEST(LogLevel, QuietOverridesLevel)
+{
+    LogLevel original = setLogLevel(LogLevel::Info);
+    setQuiet(true);
+    testing::internal::CaptureStderr();
+    warn("suppressed");
+    inform("suppressed");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+    setQuiet(false);
+    setLogLevel(original);
+}
+
 } // anonymous namespace
 } // namespace vmsim
