@@ -41,7 +41,7 @@ main(int argc, char **argv)
     spec.systems(paperVmSystems())
         .workloads({"gcc", "vortex"})
         .variants(variants);
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;

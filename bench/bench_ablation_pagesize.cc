@@ -37,7 +37,7 @@ main(int argc, char **argv)
                   SystemKind::Parisc})
         .workloads({"gcc", "vortex"})
         .variants(variants);
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;

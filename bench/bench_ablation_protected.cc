@@ -37,7 +37,7 @@ main(int argc, char **argv)
                   SystemKind::HwMips})
         .workloads({"gcc", "vortex"})
         .variants(variants);
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     auto nestedWalks = [](const Results &r) {
         return static_cast<double>(r.vmStats().rhandlerCalls +

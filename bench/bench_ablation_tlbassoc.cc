@@ -50,7 +50,7 @@ main(int argc, char **argv)
                   SystemKind::Ultrix})
         .workloads({"gcc", "vortex"})
         .variants(variants);
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     auto missesPerK = [](const Results &r) {
         return 1000.0 *

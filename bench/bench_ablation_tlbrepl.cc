@@ -42,7 +42,7 @@ main(int argc, char **argv)
                   SystemKind::Intel, SystemKind::Parisc})
         .workloads({"gcc", "vortex"})
         .variants(variants);
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     auto missesPerK = [](const Results &r) {
         return 1000.0 *

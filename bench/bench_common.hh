@@ -64,14 +64,59 @@ paperSweep(const BenchOptions &opts)
     return spec;
 }
 
-/** The sweep executor configured by --jobs and the --trace-events /
- *  --chrome-trace / --stats-json / --interval observability flags. */
+/** The sweep executor configured by --jobs, the --trace-events /
+ *  --chrome-trace / --stats-json / --interval observability flags, and
+ *  the --retries / --cell-timeout / --journal / --resume /
+ *  --inject-faults robustness flags. */
 inline SweepRunner
 makeRunner(const BenchOptions &opts)
 {
     SweepRunner runner(opts.jobs);
     runner.observe(opts.obs);
+    runner.retry({opts.retries, opts.retryBackoff});
+    runner.cellTimeout(opts.cellTimeout);
+    if (!opts.journal.empty())
+        runner.journal(opts.journal);
+    runner.resume(opts.resume);
+    runner.injectFaults(opts.faults);
     return runner;
+}
+
+/**
+ * Report failed cells to stderr after a sweep. Returns the number of
+ * failures so mains can choose their exit status (bench binaries keep
+ * exiting 0: a marked-failed cell is the isolation working).
+ */
+inline std::size_t
+reportFailures(const SweepResults &res)
+{
+    std::size_t failed = res.failedCount();
+    if (failed == 0)
+        return 0;
+    std::cerr << failed << " of " << res.size()
+              << " sweep cells failed:\n";
+    for (std::size_t i = 0; i < res.size(); ++i) {
+        const CellOutcome &o = res.outcomeAt(i);
+        if (!o.ok)
+            std::cerr << "  cell " << i << " (" << o.attempts
+                      << " attempts): " << o.error.toString() << '\n';
+    }
+    return failed;
+}
+
+/**
+ * The standard bench execution path: run @p spec on a runner built
+ * from @p opts, then report any isolated cell failures to stderr.
+ * Failed cells render as zero rows in the tables; the stderr report
+ * is what tells the reader which zeros are real and which are
+ * casualties.
+ */
+inline SweepResults
+runSweep(const BenchOptions &opts, const SweepSpec &spec)
+{
+    SweepResults res = makeRunner(opts).run(spec);
+    reportFailures(res);
+    return res;
 }
 
 /** Shorthand metric extractors for SweepResults::meanMetric(). */

@@ -38,7 +38,7 @@ main(int argc, char **argv)
                   SystemKind::Notlb, SystemKind::HwInverted,
                   SystemKind::HwMips, SystemKind::Spur})
         .workloads(workloadNames());
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;

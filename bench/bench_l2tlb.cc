@@ -48,7 +48,7 @@ main(int argc, char **argv)
                   SystemKind::HwInverted, SystemKind::HwMips})
         .workloads({"gcc", "vortex"})
         .variants(variants);
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         TextTable table;

@@ -39,7 +39,7 @@ main(int argc, char **argv)
     spec.systems(kinds)
         .workloads(workloadNames())
         .l1Sizes(paperL1Sizes(opts.full));
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     const auto &l1_sizes = spec.l1Axis();
 

@@ -60,7 +60,7 @@ main(int argc, char **argv)
         .lineSizes(paperLineSizes(opts.full))
         .instructions(instrs)
         .warmup(instrs / 4);
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     std::size_t per_system = spec.l1Axis().size() *
                              spec.l2Axis().size() *

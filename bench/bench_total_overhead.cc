@@ -43,7 +43,7 @@ main(int argc, char **argv)
 
     SweepSpec spec = paperSweep(opts);
     spec.systems(kinds).workloads(workloadNames());
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     for (std::size_t wi = 0; wi < spec.workloadAxis().size(); ++wi) {
         double base_mcpi =

@@ -34,7 +34,7 @@ runBreakdownSweep(const std::string &figure, const std::string &workload,
         .workloads({workload})
         .l1Sizes(paperL1Sizes(opts.full))
         .l2Sizes(paperL2Sizes(opts.full));
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     const auto &l1_sizes = spec.l1Axis();
     const auto &l2_sizes = spec.l2Axis();

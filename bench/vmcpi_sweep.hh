@@ -36,7 +36,7 @@ runVmcpiSweep(const std::string &figure, const std::string &workload,
         .l1Sizes(paperL1Sizes(opts.full))
         .l2Sizes(paperL2Sizes(opts.full))
         .lineSizes(paperLineSizes(opts.full));
-    SweepResults res = makeRunner(opts).run(spec);
+    SweepResults res = runSweep(opts, spec);
 
     const auto &l1_sizes = spec.l1Axis();
     const auto &l2_sizes = spec.l2Axis();

@@ -36,6 +36,14 @@
  *   --stats-json=FILE     results + stats registry + interval series
  *   --interval=N          sample MCPI/VMCPI every N instructions and
  *                         print the series as CSV after the summary
+ *
+ * Robustness (see docs/robustness.md):
+ *   --inject-faults=SPEC  deterministic fault injection on the trace
+ *                         and event-sink paths, e.g.
+ *                         corrupt=0.01,throw=0.01,seed=7
+ *
+ * All errors — bad flags, unreadable traces, injected faults — exit
+ * with status 1 and a one-line [code] diagnostic on stderr.
  */
 
 #include <cstdlib>
@@ -65,12 +73,9 @@ matches(const char *arg, const char *prefix)
     return std::strncmp(arg, prefix, std::strlen(prefix)) == 0;
 }
 
-} // anonymous namespace
-
 int
-main(int argc, char **argv)
+runCli(int argc, char **argv)
 {
-    using namespace vmsim;
 
     SimConfig cfg;
     cfg.kind = SystemKind::Ultrix;
@@ -85,6 +90,7 @@ main(int argc, char **argv)
     std::string chrome_trace_path;
     std::string stats_json_path;
     Counter interval = 0;
+    FaultSpec faults;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -149,6 +155,8 @@ main(int argc, char **argv)
             stats_json_path = arg + 13;
         else if (matches(arg, "--interval="))
             interval = numArg(arg, "--interval=");
+        else if (matches(arg, "--inject-faults="))
+            faults = FaultSpec::parse(arg + 16).orThrow();
         else
             fatal("unknown argument '", arg,
                   "' (see the header of examples/vmsim_cli.cc)");
@@ -181,14 +189,32 @@ main(int argc, char **argv)
     RunHooks hooks;
     hooks.sink = sinks.empty() ? nullptr : &sinks;
     hooks.sampler = sampler.get();
+    std::unique_ptr<FaultySink> faulty_sink;
+    if (faults.writeFail > 0) {
+        faulty_sink = std::make_unique<FaultySink>(
+            hooks.sink, faults, faultStream(faults.seed, 0, 0) ^ 1);
+        hooks.sink = faulty_sink.get();
+    }
+    if (faults.any()) {
+        EventSink *obs_sink = sinks.empty() ? nullptr : &sinks;
+        hooks.wrapTrace = [&faults, obs_sink](
+                              std::unique_ptr<TraceSource> inner) {
+            return std::make_unique<FaultyTraceSource>(
+                std::move(inner), faults,
+                faultStream(faults.seed, 0, 0), obs_sink);
+        };
+    }
 
     Results r = [&] {
         if (!trace_path.empty()) {
-            TraceFileReader trace(trace_path);
+            auto trace = TraceFileReader::open(trace_path).orThrow();
+            std::unique_ptr<TraceSource> source = std::move(trace);
+            if (hooks.wrapTrace)
+                source = hooks.wrapTrace(std::move(source));
             System sys(cfg);
             sys.attachEventSink(hooks.sink);
             sys.attachSampler(hooks.sampler);
-            return sys.run(trace, instrs, trace_path, warmup_instrs);
+            return sys.run(*source, instrs, trace_path, warmup_instrs);
         }
         return runOnce(cfg, workload, instrs, warmup_instrs, hooks);
     }();
@@ -203,8 +229,10 @@ main(int argc, char **argv)
             out.set("intervals", intervalsToJson(sampler->intervals()));
         std::ofstream os(stats_json_path,
                          std::ios::out | std::ios::trunc);
-        fatalIf(!os.is_open(), "cannot open '", stats_json_path,
-                "' for writing");
+        if (!os.is_open())
+            throw VmsimError(errnoError(stats_json_path,
+                                        "cannot open stats JSON for "
+                                        "writing"));
         os << out.dump(2) << '\n';
     }
 
@@ -238,4 +266,23 @@ main(int argc, char **argv)
         sampler->writeCsv(std::cout);
     }
     return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    // One boundary for every failure mode: structured errors print
+    // their [code] line, legacy fatal()s their message, and nothing
+    // escapes as an uncaught exception (which would abort with no
+    // useful diagnostic).
+    try {
+        return runCli(argc, argv);
+    } catch (const vmsim::VmsimError &e) {
+        std::cerr << "vmsim_cli: " << e.error().toString() << '\n';
+    } catch (const std::exception &e) {
+        std::cerr << "vmsim_cli: error: " << e.what() << '\n';
+    }
+    return 1;
 }

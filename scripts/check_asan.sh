@@ -14,11 +14,15 @@ BUILD_DIR=${1:-build-asan}
 cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target base_test obs_test simulator_test vmsim_cli
+    --target base_test obs_test simulator_test error_test fault_test \
+    sweep_resume_test vmsim_cli
 
 "$BUILD_DIR"/tests/base_test
 "$BUILD_DIR"/tests/obs_test
 "$BUILD_DIR"/tests/simulator_test
+"$BUILD_DIR"/tests/error_test
+"$BUILD_DIR"/tests/fault_test
+"$BUILD_DIR"/tests/sweep_resume_test
 
 # Smoke test: a fully-instrumented CLI run whose Chrome trace must be
 # valid JSON (python3 json.tool is the arbiter when available).

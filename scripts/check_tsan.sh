@@ -13,10 +13,15 @@ BUILD_DIR=${1:-build-tsan}
 cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target thread_pool_test sweep_test bench_mcpi_sweep
+    --target thread_pool_test sweep_test fault_test sweep_resume_test \
+    bench_mcpi_sweep
 
 "$BUILD_DIR"/tests/thread_pool_test
 "$BUILD_DIR"/tests/sweep_test
+# The fault/resume suites drive the watchdog thread, per-cell cancel
+# atomics, and the journal mutex — the racy-by-construction paths.
+"$BUILD_DIR"/tests/fault_test
+"$BUILD_DIR"/tests/sweep_resume_test
 "$BUILD_DIR"/bench/bench_mcpi_sweep --instructions=20000 \
     --warmup=5000 --jobs=4 > /dev/null
 

@@ -1,0 +1,23 @@
+#!/bin/sh
+# The full local gate: the tier-1 build + unit-test suite, then the
+# three sanitizer builds (ASan, TSan, UBSan). Run this before merging
+# anything that touches src/. Each stage uses its own build directory,
+# so incremental reruns are cheap.
+#
+# Usage: scripts/ci.sh [jobs]   (default: nproc)
+set -eu
+
+cd "$(dirname "$0")/.."
+JOBS=${1:-$(nproc)}
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitizers =="
+scripts/check_asan.sh
+scripts/check_tsan.sh
+scripts/check_ubsan.sh
+
+echo "ci.sh: all checks passed."

@@ -1,7 +1,9 @@
 #include "base/json.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "base/logging.hh"
 
@@ -148,6 +150,347 @@ Json::quoted(const std::string &s)
     std::string out;
     escapeTo(out, s);
     return out;
+}
+
+bool
+Json::asBool() const
+{
+    panicIf(kind_ != Kind::Bool, "Json::asBool on a non-bool");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    panicIf(kind_ != Kind::Number, "Json::asDouble on a non-number");
+    return isInt_ ? static_cast<double>(int_) : num_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    panicIf(kind_ != Kind::Number, "Json::asInt on a non-number");
+    return isInt_ ? int_ : static_cast<std::int64_t>(num_);
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    return static_cast<std::uint64_t>(asInt());
+}
+
+const std::string &
+Json::asString() const
+{
+    panicIf(kind_ != Kind::String, "Json::asString on a non-string");
+    return str_;
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    return 0;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    panicIf(kind_ != Kind::Array, "Json::at on a non-array");
+    panicIf(i >= arr_.size(), "Json::at index out of range");
+    return arr_[i];
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    panicIf(kind_ != Kind::Object, "Json::members on a non-object");
+    return obj_;
+}
+
+namespace
+{
+
+/**
+ * Recursive-descent parser over a bounded character range. Errors
+ * carry the byte offset so a bad journal line is diagnosable.
+ */
+class JsonParser
+{
+  public:
+    JsonParser(const char *begin, const char *end)
+        : begin_(begin), p_(begin), end_(end)
+    {}
+
+    Expected<Json>
+    document()
+    {
+        Json v;
+        if (Status s = value(v); !s.ok())
+            return s.error();
+        skipWs();
+        if (p_ != end_)
+            return failError("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    Error
+    failError(const std::string &what) const
+    {
+        return makeError(ErrorCode::ParseError, "json", what,
+                         " at offset ", p_ - begin_);
+    }
+
+    Status fail(const std::string &what) const { return failError(what); }
+
+    void
+    skipWs()
+    {
+        while (p_ != end_ &&
+               (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r'))
+            ++p_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (p_ != end_ && *p_ == c) {
+            ++p_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        const char *q = p_;
+        for (const char *w = word; *w; ++w, ++q)
+            if (q == end_ || *q != *w)
+                return false;
+        p_ = q;
+        return true;
+    }
+
+    Status
+    value(Json &out)
+    {
+        skipWs();
+        if (p_ == end_)
+            return fail("unexpected end of input");
+        switch (*p_) {
+          case '{':
+            return object(out);
+          case '[':
+            return array(out);
+          case '"': {
+            std::string s;
+            if (Status st = string(s); !st.ok())
+                return st;
+            out = Json(std::move(s));
+            return Status();
+          }
+          case 't':
+            if (consumeWord("true")) {
+                out = Json(true);
+                return Status();
+            }
+            return fail("invalid literal");
+          case 'f':
+            if (consumeWord("false")) {
+                out = Json(false);
+                return Status();
+            }
+            return fail("invalid literal");
+          case 'n':
+            if (consumeWord("null")) {
+                out = Json();
+                return Status();
+            }
+            return fail("invalid literal");
+          default:
+            return number(out);
+        }
+    }
+
+    Status
+    object(Json &out)
+    {
+        ++p_; // '{'
+        out = Json::object();
+        skipWs();
+        if (consume('}'))
+            return Status();
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (p_ == end_ || *p_ != '"')
+                return fail("expected object key");
+            if (Status st = string(key); !st.ok())
+                return st;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            Json v;
+            if (Status st = value(v); !st.ok())
+                return st;
+            out.set(key, std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return Status();
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    Status
+    array(Json &out)
+    {
+        ++p_; // '['
+        out = Json::array();
+        skipWs();
+        if (consume(']'))
+            return Status();
+        for (;;) {
+            Json v;
+            if (Status st = value(v); !st.ok())
+                return st;
+            out.push(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return Status();
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    Status
+    string(std::string &out)
+    {
+        ++p_; // '"'
+        out.clear();
+        while (p_ != end_) {
+            char c = *p_++;
+            if (c == '"')
+                return Status();
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p_ == end_)
+                break;
+            char esc = *p_++;
+            switch (esc) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (end_ - p_ < 4)
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *p_++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape");
+                }
+                // Encode as UTF-8 (the writer only emits control
+                // characters this way, but accept the full BMP).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Status
+    number(Json &out)
+    {
+        const char *start = p_;
+        bool isInt = true;
+        if (p_ != end_ && (*p_ == '-' || *p_ == '+'))
+            ++p_;
+        while (p_ != end_ &&
+               ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' || *p_ == 'e' ||
+                *p_ == 'E' || *p_ == '-' || *p_ == '+')) {
+            if (*p_ == '.' || *p_ == 'e' || *p_ == 'E')
+                isInt = false;
+            ++p_;
+        }
+        if (p_ == start)
+            return fail("expected a value");
+        std::string tok(start, p_);
+        errno = 0;
+        char *tokEnd = nullptr;
+        if (isInt) {
+            long long v = std::strtoll(tok.c_str(), &tokEnd, 10);
+            if (errno == 0 && tokEnd && *tokEnd == '\0') {
+                out = Json(static_cast<std::int64_t>(v));
+                return Status();
+            }
+            // Out of int64 range (or odd token): fall through to
+            // double so huge counters still load approximately.
+            errno = 0;
+        }
+        double d = std::strtod(tok.c_str(), &tokEnd);
+        if (!tokEnd || *tokEnd != '\0')
+            return fail("malformed number");
+        out = Json(d);
+        return Status();
+    }
+
+    const char *begin_;
+    const char *p_;
+    const char *end_;
+};
+
+} // anonymous namespace
+
+Expected<Json>
+Json::parse(const std::string &text)
+{
+    JsonParser parser(text.data(), text.data() + text.size());
+    return parser.document();
 }
 
 } // namespace vmsim

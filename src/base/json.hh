@@ -1,8 +1,11 @@
 /**
  * @file
- * A minimal JSON writer: enough to serialize results and experiment
- * rows for downstream plotting, with correct string escaping and
- * stable key order (insertion order). Not a parser; vmsim only emits.
+ * A minimal JSON value: a writer with correct string escaping and
+ * stable key order (insertion order), plus the small recursive-descent
+ * parser the sweep journal uses to reload checkpointed cells. Parsing
+ * reports structured errors (Expected<Json>) instead of aborting, so a
+ * truncated journal tail — the normal result of killing a sweep
+ * mid-write — degrades to "resume a little less" rather than a crash.
  */
 
 #ifndef VMSIM_BASE_JSON_HH
@@ -13,6 +16,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "base/error.hh"
 
 namespace vmsim
 {
@@ -55,6 +60,40 @@ class Json
      * instead of building a Json tree per record.
      */
     static std::string quoted(const std::string &s);
+
+    /**
+     * Parse one JSON document from @p text (trailing whitespace is
+     * allowed, trailing tokens are an error). Returns a ParseError
+     * with the byte offset of the first offending character on
+     * malformed input.
+     */
+    static Expected<Json> parse(const std::string &text);
+
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; panic() on kind mismatch (callers validate). */
+    bool asBool() const;
+    double asDouble() const;
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    const std::string &asString() const;
+
+    /** Element count of an array or object; 0 for scalars. */
+    std::size_t size() const;
+
+    /** Array element @p i; panic() when not an array or out of range. */
+    const Json &at(std::size_t i) const;
+
+    /** Object member @p key, or nullptr when absent / not an object. */
+    const Json *find(const std::string &key) const;
+
+    /** Object members in insertion order; panic() when not an object. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
 
   private:
     enum class Kind { Null, Bool, Number, String, Array, Object };

@@ -140,6 +140,140 @@ Results::toJson() const
     return j;
 }
 
+namespace
+{
+
+/** Journal field order for one ClassCounters triple. */
+Json
+countersToJson(const ClassCounters &c)
+{
+    Json j = Json::array();
+    j.push(c.accesses);
+    j.push(c.l1Misses);
+    j.push(c.l2Misses);
+    return j;
+}
+
+Status
+countersFromJson(const Json &j, ClassCounters &c)
+{
+    if (!j.isArray() || j.size() != 3)
+        return Status(makeError(ErrorCode::ParseError, "results",
+                                "class counters must be a 3-element "
+                                "array"));
+    for (std::size_t i = 0; i < 3; ++i)
+        if (!j.at(i).isNumber())
+            return Status(makeError(ErrorCode::ParseError, "results",
+                                    "class counter ", i,
+                                    " is not a number"));
+    c.accesses = j.at(0).asUint();
+    c.l1Misses = j.at(1).asUint();
+    c.l2Misses = j.at(2).asUint();
+    return Status();
+}
+
+/** The 14 VmStats counters, in declaration order. */
+constexpr const char *kVmFields[] = {
+    "uhandler_calls",  "khandler_calls",  "rhandler_calls",
+    "uhandler_instrs", "khandler_instrs", "rhandler_instrs",
+    "hw_walks",        "hw_walk_cycles",  "interrupts",
+    "pte_loads",       "ctx_switches",    "l2tlb_hits",
+    "itlb_misses",     "dtlb_misses",
+};
+
+Counter *
+vmField(VmStats &vm, std::size_t i)
+{
+    Counter *fields[] = {
+        &vm.uhandlerCalls,  &vm.khandlerCalls,  &vm.rhandlerCalls,
+        &vm.uhandlerInstrs, &vm.khandlerInstrs, &vm.rhandlerInstrs,
+        &vm.hwWalks,        &vm.hwWalkCycles,   &vm.interrupts,
+        &vm.pteLoads,       &vm.ctxSwitches,    &vm.l2TlbHits,
+        &vm.itlbMisses,     &vm.dtlbMisses,
+    };
+    return fields[i];
+}
+
+constexpr std::size_t kNumVmFields =
+    sizeof(kVmFields) / sizeof(kVmFields[0]);
+
+} // anonymous namespace
+
+Json
+Results::serialize() const
+{
+    Json j = Json::object();
+    j.set("system", system_);
+    j.set("workload", workload_);
+    j.set("user_instrs", userInstrs_);
+
+    Json inst = Json::array(), data = Json::array();
+    for (unsigned c = 0; c < kNumAccessClasses; ++c) {
+        inst.push(countersToJson(mem_.inst[c]));
+        data.push(countersToJson(mem_.data[c]));
+    }
+    Json mem = Json::object();
+    mem.set("inst", std::move(inst));
+    mem.set("data", std::move(data));
+    j.set("mem", std::move(mem));
+
+    Json vm = Json::object();
+    VmStats copy = vm_;
+    for (std::size_t i = 0; i < kNumVmFields; ++i)
+        vm.set(kVmFields[i], *vmField(copy, i));
+    j.set("vm", std::move(vm));
+    return j;
+}
+
+Expected<Results>
+Results::deserialize(const Json &j, const CostModel &costs)
+{
+    auto bad = [](auto &&...msg) {
+        return makeError(ErrorCode::ParseError, "results",
+                         std::forward<decltype(msg)>(msg)...);
+    };
+    const Json *system = j.find("system");
+    const Json *workload = j.find("workload");
+    const Json *instrs = j.find("user_instrs");
+    if (!system || !system->isString() || !workload ||
+        !workload->isString() || !instrs || !instrs->isNumber())
+        return bad("missing or mistyped system/workload/user_instrs");
+
+    MemSystemStats mem{};
+    const Json *memj = j.find("mem");
+    if (!memj)
+        return bad("missing 'mem'");
+    const Json *inst = memj->find("inst");
+    const Json *data = memj->find("data");
+    if (!inst || !inst->isArray() || inst->size() != kNumAccessClasses ||
+        !data || !data->isArray() || data->size() != kNumAccessClasses)
+        return bad("'mem' must hold inst/data arrays of ",
+                   kNumAccessClasses, " access classes");
+    for (unsigned c = 0; c < kNumAccessClasses; ++c) {
+        if (Status s = countersFromJson(inst->at(c), mem.inst[c]);
+            !s.ok())
+            return s.error();
+        if (Status s = countersFromJson(data->at(c), mem.data[c]);
+            !s.ok())
+            return s.error();
+    }
+
+    VmStats vm{};
+    const Json *vmj = j.find("vm");
+    if (!vmj || !vmj->isObject())
+        return bad("missing 'vm'");
+    for (std::size_t i = 0; i < kNumVmFields; ++i) {
+        const Json *f = vmj->find(kVmFields[i]);
+        if (!f || !f->isNumber())
+            return bad("missing or mistyped vm counter '", kVmFields[i],
+                       "'");
+        *vmField(vm, i) = f->asUint();
+    }
+
+    return Results(system->asString(), workload->asString(),
+                   instrs->asUint(), mem, vm, costs);
+}
+
 void
 Results::printSummary(std::ostream &os) const
 {

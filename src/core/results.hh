@@ -133,6 +133,22 @@ class Results
      */
     Json toJson() const;
 
+    /**
+     * Exact state snapshot for the sweep journal: strings and integer
+     * counters only, so a reloaded cell reproduces every derived
+     * metric bit-for-bit. The cost model is deliberately absent — its
+     * doubles would have to round-trip through decimal text; resume
+     * reconstructs it from the sweep spec instead.
+     */
+    Json serialize() const;
+
+    /**
+     * Inverse of serialize(). @p costs supplies the cost model the
+     * journal omits. Malformed input yields ParseError.
+     */
+    static Expected<Results> deserialize(const Json &j,
+                                         const CostModel &costs);
+
   private:
     double perInstr(Counter n) const;
 

@@ -82,26 +82,55 @@ kindUsesSoftwareRefill(SystemKind kind)
     }
 }
 
-void
+Status
 SimConfig::validate() const
 {
-    fatalIf(l1.sizeBytes == 0 || !isPowerOf2(l1.sizeBytes),
-            "L1 size must be a nonzero power of two");
-    fatalIf(l2.sizeBytes < l1.sizeBytes, "L2 must be at least L1-sized");
-    fatalIf(l2.lineSize < l1.lineSize,
-            "L2 line size must be >= L1 line size");
-    fatalIf(tlbEntries == 0 && kindHasTlb(kind),
-            kindName(kind), " requires a TLB");
-    fatalIf(tlbProtectedSlots >= tlbEntries && kindHasTlb(kind),
-            "protected slots must leave normal TLB capacity");
-    fatalIf(pageBits < 10 || pageBits > 20, "unreasonable page size");
-    fatalIf(physMemBytes == 0 || !isPowerOf2(physMemBytes),
-            "physical memory must be a nonzero power of two");
-    fatalIf(hptRatio == 0, "HPT ratio must be >= 1");
-    fatalIf(costs.l1MissCycles == 0 || costs.l2MissCycles == 0,
-            "miss costs must be nonzero");
-    fatalIf(costs.hwWalkOverlap < 0.0 || costs.hwWalkOverlap > 1.0,
-            "hwWalkOverlap must be in [0, 1]");
+    // Every rule names the offending field in both the message and the
+    // Error context, so sweep failure reports and tests can pinpoint
+    // the bad knob without parsing prose.
+    auto bad = [](const char *field, auto &&...msg) {
+        return Status(makeError(ErrorCode::InvalidConfig, field,
+                                std::forward<decltype(msg)>(msg)...));
+    };
+    if (l1.sizeBytes == 0 || !isPowerOf2(l1.sizeBytes))
+        return bad("l1.sizeBytes",
+                   "l1.sizeBytes must be a nonzero power of two, got ",
+                   l1.sizeBytes);
+    if (l2.sizeBytes < l1.sizeBytes)
+        return bad("l2.sizeBytes", "l2.sizeBytes (", l2.sizeBytes,
+                   ") must be at least l1.sizeBytes (", l1.sizeBytes,
+                   ")");
+    if (l2.lineSize < l1.lineSize)
+        return bad("l2.lineSize", "l2.lineSize (", l2.lineSize,
+                   ") must be >= l1.lineSize (", l1.lineSize, ")");
+    if (tlbEntries == 0 && kindHasTlb(kind))
+        return bad("tlbEntries", "tlbEntries must be nonzero: ",
+                   kindName(kind), " requires a TLB");
+    if (tlbProtectedSlots >= tlbEntries && kindHasTlb(kind))
+        return bad("tlbProtectedSlots", "tlbProtectedSlots (",
+                   tlbProtectedSlots,
+                   ") must leave normal TLB capacity (tlbEntries ",
+                   tlbEntries, ")");
+    if (pageBits < 10 || pageBits > 20)
+        return bad("pageBits", "pageBits must be in [10, 20], got ",
+                   pageBits);
+    if (physMemBytes == 0 || !isPowerOf2(physMemBytes))
+        return bad("physMemBytes",
+                   "physMemBytes must be a nonzero power of two, got ",
+                   physMemBytes);
+    if (hptRatio == 0)
+        return bad("hptRatio", "hptRatio must be >= 1");
+    if (costs.l1MissCycles == 0)
+        return bad("costs.l1MissCycles",
+                   "costs.l1MissCycles must be nonzero");
+    if (costs.l2MissCycles == 0)
+        return bad("costs.l2MissCycles",
+                   "costs.l2MissCycles must be nonzero");
+    if (costs.hwWalkOverlap < 0.0 || costs.hwWalkOverlap > 1.0)
+        return bad("costs.hwWalkOverlap",
+                   "costs.hwWalkOverlap must be in [0, 1], got ",
+                   costs.hwWalkOverlap);
+    return Status();
 }
 
 std::string

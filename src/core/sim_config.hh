@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "base/error.hh"
 #include "base/types.hh"
 #include "base/units.hh"
 #include "mem/cache.hh"
@@ -161,8 +162,14 @@ struct SimConfig
     CostModel costs{};
     std::uint64_t seed = 12345;
 
-    /** fatal() on inconsistent combinations. */
-    void validate() const;
+    /**
+     * Check the configuration for inconsistent combinations. Returns
+     * an InvalidConfig Error naming the offending field instead of
+     * aborting, so sweep cells with bad configs are isolated rather
+     * than killing the campaign. Call validate().orThrow() where an
+     * exception is the right propagation (System's constructor does).
+     */
+    Status validate() const;
 
     /** One-line description for table headers / logs. */
     std::string toString() const;

@@ -23,6 +23,15 @@ Simulator::run(Counter max_instrs)
     // instruction; translate + access data for loads/stores. All TLB
     // probing and page-table walking happens inside the VmSystem.
     while (n < max_instrs && trace_.next(rec)) {
+        // Cooperative cancellation: one relaxed load every 2K
+        // instructions is noise next to the TLB/cache probes.
+        if (cancel_ && (n & 0x7ff) == 0 &&
+            cancel_->load(std::memory_order_relaxed)) {
+            executed_ += n;
+            throwError(ErrorCode::Canceled, "simulator",
+                       "run canceled after ", executed_,
+                       " instructions");
+        }
         if (observing) {
             vm_.setCurrentInstr(executed_ + n);
             if (sampler_)
@@ -44,7 +53,7 @@ Simulator::run(Counter max_instrs)
 System::System(const SimConfig &config)
     : config_(config)
 {
-    config_.validate();
+    config_.validate().orThrow();
     physMem_ = std::make_unique<PhysMem>(config_.physMemBytes,
                                          config_.pageBits);
     mem_ = std::make_unique<MemSystem>(config_.l1, config_.l2,
@@ -59,6 +68,7 @@ System::run(TraceSource &trace, Counter max_instrs,
             const std::string &workload_name, Counter warmup_instrs)
 {
     Simulator sim(*vm_, trace, config_.ctxSwitchInterval);
+    sim.setCancel(cancel_);
     // Observe only the measured region: events and intervals from
     // warmup would not reconcile with the (reset) counters.
     vm_->attachEventSink(nullptr);
@@ -94,10 +104,17 @@ runOnce(const SimConfig &config, const std::string &workload,
         const RunHooks &hooks)
 {
     auto trace = makeWorkload(workload, config.seed);
+    // Capture the display name before any wrapping: wrappers are
+    // plain TraceSources with no name of their own.
+    std::string name = trace->name();
+    std::unique_ptr<TraceSource> source = std::move(trace);
+    if (hooks.wrapTrace)
+        source = hooks.wrapTrace(std::move(source));
     System system(config);
     system.attachEventSink(hooks.sink);
     system.attachSampler(hooks.sampler);
-    return system.run(*trace, instrs, trace->name(),
+    system.attachCancel(hooks.cancel);
+    return system.run(*source, instrs, name,
                       warmup_instrs.value_or(instrs / 4));
 }
 

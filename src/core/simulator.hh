@@ -7,6 +7,8 @@
 #ifndef VMSIM_CORE_SIMULATOR_HH
 #define VMSIM_CORE_SIMULATOR_HH
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -56,6 +58,14 @@ class Simulator
      */
     void attachSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
+    /**
+     * Cooperative cancellation: run() polls @p token every ~2K
+     * instructions and throws VmsimError(Canceled) when it becomes
+     * true. The watchdog in SweepRunner uses this to reclaim runaway
+     * cells. Not owned; nullptr detaches.
+     */
+    void setCancel(const std::atomic<bool> *token) { cancel_ = token; }
+
   private:
     VmSystem &vm_;
     TraceSource &trace_;
@@ -63,6 +73,7 @@ class Simulator
     Counter sinceSwitch_ = 0;
     Counter executed_ = 0;
     IntervalSampler *sampler_ = nullptr;
+    const std::atomic<bool> *cancel_ = nullptr;
 };
 
 /**
@@ -73,7 +84,10 @@ class Simulator
 class System
 {
   public:
-    /** Build and wire everything; fatal() on invalid configs. */
+    /**
+     * Build and wire everything; throws VmsimError (InvalidConfig)
+     * when SimConfig::validate() rejects the configuration.
+     */
     explicit System(const SimConfig &config);
     ~System();
 
@@ -120,6 +134,12 @@ class System
      */
     void attachSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
+    /**
+     * Cancellation token checked by every subsequent run(); see
+     * Simulator::setCancel(). Not owned; nullptr detaches.
+     */
+    void attachCancel(const std::atomic<bool> *token) { cancel_ = token; }
+
   private:
     SimConfig config_;
     std::unique_ptr<PhysMem> physMem_;
@@ -128,6 +148,7 @@ class System
     Counter executed_ = 0;
     EventSink *sink_ = nullptr;
     IntervalSampler *sampler_ = nullptr;
+    const std::atomic<bool> *cancel_ = nullptr;
 };
 
 /**
@@ -141,11 +162,21 @@ Results runOnce(const SimConfig &config, const std::string &workload,
                 Counter instrs,
                 std::optional<Counter> warmup_instrs = std::nullopt);
 
-/** Observability attachments for runOnce(); either may be null. */
+/** Observability / robustness attachments for runOnce(); all optional. */
 struct RunHooks
 {
     EventSink *sink = nullptr;
     IntervalSampler *sampler = nullptr;
+
+    /** Cancellation token polled by the simulation loop (not owned). */
+    const std::atomic<bool> *cancel = nullptr;
+
+    /**
+     * Wrap the workload's trace source before the run — the fault
+     * injector hooks in here. Receives ownership, returns ownership.
+     */
+    std::function<std::unique_ptr<TraceSource>(
+        std::unique_ptr<TraceSource>)> wrapTrace;
 };
 
 /** runOnce() with observability hooks attached to the measured run. */

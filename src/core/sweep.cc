@@ -1,5 +1,6 @@
 #include "core/sweep.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -7,8 +8,11 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <ostream>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "base/json.hh"
 #include "base/logging.hh"
@@ -100,14 +104,36 @@ BenchOptions::parse(int argc, char **argv)
             opts.obs.interval = std::strtoull(arg + 11, nullptr, 10);
             fatalIf(opts.obs.interval == 0,
                     "--interval must be positive");
+        } else if (std::strncmp(arg, "--retries=", 10) == 0) {
+            opts.retries = static_cast<unsigned>(
+                std::strtoul(arg + 10, nullptr, 10));
+        } else if (std::strncmp(arg, "--retry-backoff=", 16) == 0) {
+            opts.retryBackoff = std::strtod(arg + 16, nullptr);
+            fatalIf(opts.retryBackoff < 0,
+                    "--retry-backoff must be >= 0");
+        } else if (std::strncmp(arg, "--cell-timeout=", 15) == 0) {
+            opts.cellTimeout = std::strtod(arg + 15, nullptr);
+            fatalIf(opts.cellTimeout < 0,
+                    "--cell-timeout must be >= 0");
+        } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+            opts.journal = arg + 10;
+            fatalIf(opts.journal.empty(), "--journal needs a file path");
+        } else if (std::strcmp(arg, "--resume") == 0) {
+            opts.resume = true;
+        } else if (std::strncmp(arg, "--inject-faults=", 16) == 0) {
+            opts.faults = FaultSpec::parse(arg + 16).orThrow();
         } else {
             fatal("unknown argument '", arg,
                   "' (expected --full, --csv, --instructions=N, "
                   "--warmup=N, --seed=N, --seeds=N, --jobs=N, "
                   "--trace-events=F, --chrome-trace=F, --stats-json=F, "
-                  "--interval=N)");
+                  "--interval=N, --retries=N, --retry-backoff=S, "
+                  "--cell-timeout=S, --journal=F, --resume, "
+                  "--inject-faults=SPEC)");
         }
     }
+    fatalIf(opts.resume && opts.journal.empty(),
+            "--resume requires --journal=F");
     return opts;
 }
 
@@ -193,18 +219,103 @@ SweepSpec::cell(std::size_t flat) const
 }
 
 SweepResults::SweepResults(SweepSpec spec, std::vector<Results> results)
-    : SweepResults(std::move(spec), std::move(results), {})
+    : SweepResults(std::move(spec), std::move(results), {}, {})
 {}
 
 SweepResults::SweepResults(SweepSpec spec, std::vector<Results> results,
                            std::vector<CellTiming> timings)
+    : SweepResults(std::move(spec), std::move(results),
+                   std::move(timings), {})
+{}
+
+SweepResults::SweepResults(SweepSpec spec, std::vector<Results> results,
+                           std::vector<CellTiming> timings,
+                           std::vector<CellOutcome> outcomes)
     : spec_(std::move(spec)), results_(std::move(results)),
-      timings_(std::move(timings))
+      timings_(std::move(timings)), outcomes_(std::move(outcomes))
 {
     panicIf(results_.size() != spec_.numCells(),
             "SweepResults size does not match its spec's grid");
     panicIf(!timings_.empty() && timings_.size() != results_.size(),
             "SweepResults timings do not match its spec's grid");
+    panicIf(!outcomes_.empty() && outcomes_.size() != results_.size(),
+            "SweepResults outcomes do not match its spec's grid");
+}
+
+const CellOutcome &
+SweepResults::outcomeAt(std::size_t flat) const
+{
+    static const CellOutcome kOk{};
+    panicIf(flat >= results_.size(), "cell index out of range");
+    return outcomes_.empty() ? kOk : outcomes_[flat];
+}
+
+std::size_t
+SweepResults::failedCount() const
+{
+    std::size_t n = 0;
+    for (const CellOutcome &o : outcomes_)
+        if (!o.ok)
+            ++n;
+    return n;
+}
+
+namespace
+{
+
+/** Minimal CSV quoting: wrap and double-quote when needed. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
+void
+SweepResults::writeCsv(std::ostream &os) const
+{
+    os << "cell,system,workload,l1_bytes,l2_bytes,l1_line,l2_line,"
+          "interrupt_cycles,variant,seed,status,error,"
+          "mcpi,vmcpi,interrupt_cpi,total_cpi\n";
+    char num[32];
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+        const SweepCell cell = spec_.cell(i);
+        const CellOutcome &o = outcomeAt(i);
+        const std::vector<ConfigVariant> &vs = spec_.variantAxis();
+        os << i << ',' << kindName(cell.config.kind) << ','
+           << csvField(cell.workload) << ',' << cell.config.l1.sizeBytes
+           << ',' << cell.config.l2.sizeBytes << ','
+           << cell.config.l1.lineSize << ',' << cell.config.l2.lineSize
+           << ',' << cell.config.costs.interruptCycles << ','
+           << csvField(vs.empty() ? "" : vs[cell.index.variant].label)
+           << ',' << cell.config.seed << ','
+           << (o.ok ? "ok" : "failed") << ','
+           << csvField(o.ok ? "" : o.error.toString());
+        if (o.ok) {
+            const Results &r = results_[i];
+            const double metrics[] = {r.mcpi(), r.vmcpi(),
+                                      r.interruptCpi(), r.totalCpi()};
+            for (double m : metrics) {
+                // %.17g round-trips IEEE doubles exactly — the byte
+                // identity resume tests depend on.
+                std::snprintf(num, sizeof(num), "%.17g", m);
+                os << ',' << num;
+            }
+            os << '\n';
+        } else {
+            os << ",,,,\n";
+        }
+    }
 }
 
 SeedStats
@@ -285,7 +396,16 @@ writeSweepStats(const std::string &path, const SweepResults &res,
 
         Json row = Json::object();
         row.set("cell", static_cast<std::uint64_t>(i));
-        row.set("results", res.at(i).toJson());
+        const CellOutcome &o = res.outcomeAt(i);
+        Json outcome = Json::object();
+        outcome.set("ok", o.ok);
+        outcome.set("attempts", o.attempts);
+        outcome.set("from_journal", o.fromJournal);
+        if (!o.ok)
+            outcome.set("error", o.error.toString());
+        row.set("outcome", std::move(outcome));
+        if (o.ok)
+            row.set("results", res.at(i).toJson());
         Json timing = Json::object();
         timing.set("start_seconds", t.startSeconds);
         timing.set("wall_seconds", t.wallSeconds);
@@ -310,11 +430,179 @@ writeSweepStats(const std::string &path, const SweepResults &res,
     doc.set("stats", registry.toJson());
 
     std::ofstream os(path, std::ios::out | std::ios::trunc);
-    fatalIf(!os.is_open(), "cannot open '", path, "' for writing");
+    if (!os.is_open())
+        throw VmsimError(errnoError(path, "cannot open stats JSON for "
+                                          "writing"));
     os << doc.dump(2) << '\n';
 }
 
+constexpr const char *kJournalKind = "vmsim-sweep-journal";
+constexpr std::uint64_t kJournalVersion = 1;
+
+std::string
+fingerprintHex(std::uint64_t fp)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
+
+/**
+ * Append-only JSONL checkpoint of completed cells. Line 1 is a header
+ * carrying the spec fingerprint; each further line is one OK cell's
+ * serialized Results. Lines are written whole and flushed, so a kill
+ * leaves at worst one truncated tail line — which loadJournal skips.
+ */
+class SweepJournal
+{
+  public:
+    /** Open @p path, truncating unless @p append. Throws VmsimError. */
+    SweepJournal(const std::string &path, const SweepSpec &spec,
+                 bool append)
+        : path_(path)
+    {
+        os_.open(path, append ? (std::ios::out | std::ios::app)
+                              : (std::ios::out | std::ios::trunc));
+        if (!os_.is_open())
+            throw VmsimError(errnoError(path,
+                                        "cannot open sweep journal"));
+        if (append) {
+            // Terminate any partial tail line a kill left behind so
+            // our appended records start on a fresh line.
+            os_ << '\n';
+            os_.flush();
+        } else {
+            Json header = Json::object();
+            header.set("kind", kJournalKind);
+            header.set("version", kJournalVersion);
+            header.set("fingerprint",
+                       fingerprintHex(specFingerprint(spec)));
+            header.set("cells",
+                       static_cast<std::uint64_t>(spec.numCells()));
+            writeLine(header);
+        }
+    }
+
+    /** Record one completed cell; serialized by an internal mutex. */
+    void
+    record(std::size_t flat, const Results &results)
+    {
+        Json line = Json::object();
+        line.set("cell", static_cast<std::uint64_t>(flat));
+        line.set("results", results.serialize());
+        std::lock_guard<std::mutex> lock(mutex_);
+        writeLine(line);
+    }
+
+  private:
+    void
+    writeLine(const Json &j)
+    {
+        os_ << j.dump() << '\n';
+        os_.flush();
+        if (!os_)
+            throw VmsimError(errnoError(path_,
+                                        "cannot write sweep journal"));
+    }
+
+    std::string path_;
+    std::ofstream os_;
+    std::mutex mutex_;
+};
+
+/**
+ * Load a journal written for @p spec. Returns the recovered cells
+ * (index → Results); a missing file loads zero cells (first run), a
+ * fingerprint mismatch is an error, and a truncated or garbled tail
+ * line — the expected state after a kill — just ends the load early.
+ */
+Expected<std::vector<std::pair<std::size_t, Results>>>
+loadJournal(const std::string &path, const SweepSpec &spec)
+{
+    std::vector<std::pair<std::size_t, Results>> loaded;
+    std::ifstream is(path);
+    if (!is.is_open())
+        return loaded; // nothing to resume from
+
+    std::string line;
+    if (!std::getline(is, line))
+        return loaded; // empty file: treat as fresh
+    Expected<Json> header = Json::parse(line);
+    if (!header.ok())
+        return makeError(ErrorCode::ParseError, path,
+                         "sweep journal header is not JSON: ",
+                         header.error().message);
+    const Json *kind = header.value().find("kind");
+    const Json *fp = header.value().find("fingerprint");
+    if (!kind || !kind->isString() ||
+        kind->asString() != kJournalKind || !fp || !fp->isString())
+        return makeError(ErrorCode::ParseError, path,
+                         "'", path, "' is not a vmsim sweep journal");
+    if (fp->asString() != fingerprintHex(specFingerprint(spec)))
+        return makeError(ErrorCode::InvalidArgument, path,
+                         "sweep journal '", path,
+                         "' was written for a different spec "
+                         "(fingerprint ", fp->asString(), " != ",
+                         fingerprintHex(specFingerprint(spec)),
+                         "); refusing to mix results");
+
+    const std::size_t n = spec.numCells();
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        // Skip (don't stop at) undecodable lines: a kill mid-write
+        // leaves one truncated line, possibly followed by records a
+        // later resumed run appended after it.
+        Expected<Json> j = Json::parse(line);
+        if (!j.ok())
+            continue;
+        const Json *cell = j.value().find("cell");
+        const Json *results = j.value().find("results");
+        if (!cell || !cell->isNumber() || !results)
+            continue;
+        std::size_t flat = cell->asUint();
+        if (flat >= n)
+            continue;
+        // The journal stores only exact integers; the cost model comes
+        // from the spec so derived doubles reproduce bit-for-bit.
+        Expected<Results> r = Results::deserialize(
+            *results, spec.cell(flat).config.costs);
+        if (!r.ok())
+            continue;
+        loaded.emplace_back(flat, std::move(r).orThrow());
+    }
+    return loaded;
+}
+
 } // anonymous namespace
+
+std::uint64_t
+specFingerprint(const SweepSpec &spec)
+{
+    // FNV-1a over a stable text rendering of every materialized cell.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](const std::string &s) {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 0x100000001b3ULL;
+        }
+        h ^= 0xff;
+        h *= 0x100000001b3ULL;
+    };
+    mix(std::to_string(spec.numCells()));
+    mix(std::to_string(spec.instructionCount()));
+    mix(spec.warmupCount() ? std::to_string(*spec.warmupCount()) : "-");
+    for (std::size_t i = 0; i < spec.numCells(); ++i) {
+        const SweepCell cell = spec.cell(i);
+        mix(cell.workload);
+        mix(cell.config.toString());
+        mix(std::to_string(cell.config.seed));
+        mix(std::to_string(cell.config.pageBits));
+        mix(std::to_string(cell.config.physMemBytes));
+    }
+    return h;
+}
 
 SweepResults
 SweepRunner::run(const SweepSpec &spec) const
@@ -325,8 +613,39 @@ SweepRunner::run(const SweepSpec &spec) const
     const Counter executed =
         instrs + spec.warmupCount().value_or(instrs / 4);
 
+    std::vector<Results> results(n);
     std::vector<CellTiming> timings(n);
+    std::vector<CellOutcome> outcomes(n);
     std::vector<IntervalSummary> summaries(obs_.interval ? n : 0);
+
+    // Checkpoint/resume: reload completed cells, then re-run only the
+    // rest. Failed cells are never journaled, so they retry on resume.
+    std::unique_ptr<SweepJournal> journal;
+    std::vector<std::size_t> pending;
+    {
+        std::unordered_set<std::size_t> done;
+        if (resume_ && !journalPath_.empty()) {
+            auto loaded = loadJournal(journalPath_, spec).orThrow();
+            for (auto &[flat, r] : loaded) {
+                if (!done.insert(flat).second)
+                    continue;
+                results[flat] = std::move(r);
+                outcomes[flat].ok = true;
+                outcomes[flat].attempts = 0;
+                outcomes[flat].fromJournal = true;
+            }
+        }
+        if (!journalPath_.empty()) {
+            // Append when resuming onto a journal we just loaded from;
+            // start fresh (header line) otherwise.
+            bool append = resume_ && !done.empty();
+            journal = std::make_unique<SweepJournal>(journalPath_, spec,
+                                                     append);
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            if (!done.count(i))
+                pending.push_back(i);
+    }
 
     // Dense worker indices in order of first appearance, so trace
     // tracks are 0..jobs-1 regardless of the pool's thread ids.
@@ -340,43 +659,166 @@ SweepRunner::run(const SweepSpec &spec) const
         return it->second;
     };
 
+    // Watchdog: workers publish a wall-clock deadline per cell; one
+    // scanner thread trips the cell's cancel token when it passes, and
+    // the simulation loop turns that into a Canceled throw. Both
+    // vectors are sized once — never reallocated — so workers and
+    // watchdog touch disjoint atomics without locks.
+    const bool watch = cellTimeoutSeconds_ > 0;
+    std::vector<std::atomic<std::int64_t>> deadlines(watch ? n : 0);
+    std::vector<std::atomic<bool>> cancels(watch ? n : 0);
+    std::atomic<bool> watchdogStop{false};
+    std::thread watchdog;
+    auto nowNs = [] {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    };
+    if (watch) {
+        watchdog = std::thread([&] {
+            while (!watchdogStop.load(std::memory_order_acquire)) {
+                const std::int64_t now = nowNs();
+                for (std::size_t i = 0; i < n; ++i) {
+                    std::int64_t d =
+                        deadlines[i].load(std::memory_order_acquire);
+                    if (d != 0 && now > d)
+                        cancels[i].store(true,
+                                         std::memory_order_release);
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            }
+        });
+    }
+
     const auto sweepStart = std::chrono::steady_clock::now();
-    std::vector<Results> results = map(n, [&](std::size_t i) {
-        SweepCell cell = spec.cell(i);
-
-        RunHooks hooks;
-        std::unique_ptr<JsonlEventWriter> events;
-        if (!obs_.traceEvents.empty()) {
-            events = std::make_unique<JsonlEventWriter>(
-                cellEventPath(obs_.traceEvents, i, n));
-            hooks.sink = events.get();
-        }
-        std::unique_ptr<IntervalSampler> sampler;
-        if (obs_.interval) {
-            sampler = std::make_unique<IntervalSampler>(obs_.interval);
-            hooks.sampler = sampler.get();
-        }
-
+    auto runCell = [&](std::size_t i) {
+        const SweepCell cell = spec.cell(i);
+        const unsigned maxAttempts = 1 + retry_.maxRetries;
         const auto t0 = std::chrono::steady_clock::now();
-        Results r = runOnce(cell.config, cell.workload, instrs,
-                            spec.warmupCount(), hooks);
-        const auto t1 = std::chrono::steady_clock::now();
 
+        unsigned attempts = 0;
+        while (true) {
+            ++attempts;
+            try {
+                RunHooks hooks;
+                std::unique_ptr<JsonlEventWriter> events;
+                if (!obs_.traceEvents.empty()) {
+                    events = std::make_unique<JsonlEventWriter>(
+                        cellEventPath(obs_.traceEvents, i, n));
+                    hooks.sink = events.get();
+                }
+                std::unique_ptr<IntervalSampler> sampler;
+                if (obs_.interval) {
+                    sampler =
+                        std::make_unique<IntervalSampler>(obs_.interval);
+                    hooks.sampler = sampler.get();
+                }
+                // Fault streams are keyed by (cell, attempt): the same
+                // run is deterministic, yet a retried attempt rolls
+                // fresh faults and can succeed — transient semantics.
+                std::unique_ptr<FaultySink> faultySink;
+                if (faults_.writeFail > 0) {
+                    faultySink = std::make_unique<FaultySink>(
+                        hooks.sink, faults_,
+                        faultStream(faults_.seed, i, attempts - 1) ^ 1);
+                    hooks.sink = faultySink.get();
+                }
+                if (faults_.any()) {
+                    EventSink *obsSink = events.get();
+                    std::uint64_t stream =
+                        faultStream(faults_.seed, i, attempts - 1);
+                    const FaultSpec &fs = faults_;
+                    hooks.wrapTrace =
+                        [fs, stream, obsSink](
+                            std::unique_ptr<TraceSource> inner) {
+                            return std::make_unique<FaultyTraceSource>(
+                                std::move(inner), fs, stream, obsSink);
+                        };
+                }
+                if (watch) {
+                    cancels[i].store(false, std::memory_order_release);
+                    deadlines[i].store(
+                        nowNs() + static_cast<std::int64_t>(
+                                      cellTimeoutSeconds_ * 1e9),
+                        std::memory_order_release);
+                    hooks.cancel = &cancels[i];
+                }
+
+                Results r = runOnce(cell.config, cell.workload, instrs,
+                                    spec.warmupCount(), hooks);
+
+                if (watch)
+                    deadlines[i].store(0, std::memory_order_release);
+                if (sampler)
+                    summaries[i] =
+                        summarizeIntervals(sampler->intervals());
+                results[i] = std::move(r);
+                outcomes[i].ok = true;
+                outcomes[i].attempts = attempts;
+                if (journal)
+                    journal->record(i, results[i]);
+                break;
+            } catch (...) {
+                if (watch)
+                    deadlines[i].store(0, std::memory_order_release);
+                Error err = errorFromException(std::current_exception());
+                if (watch &&
+                    cancels[i].load(std::memory_order_acquire)) {
+                    err = makeError(
+                        ErrorCode::Timeout,
+                        "cell " + std::to_string(i), "cell ", i,
+                        " exceeded its ", cellTimeoutSeconds_,
+                        "s wall-clock budget and was canceled");
+                }
+                if (err.transient && attempts < maxAttempts) {
+                    if (retry_.backoffSeconds > 0)
+                        std::this_thread::sleep_for(
+                            std::chrono::duration<double>(
+                                retry_.backoffSeconds *
+                                double(1u << (attempts - 1))));
+                    continue;
+                }
+                outcomes[i].ok = false;
+                outcomes[i].error = std::move(err);
+                outcomes[i].attempts = attempts;
+                break;
+            }
+        }
+
+        const auto t1 = std::chrono::steady_clock::now();
         CellTiming &t = timings[i];
         t.startSeconds =
             std::chrono::duration<double>(t0 - sweepStart).count();
         t.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
         t.worker = workerIndex();
-        t.instrsPerSec = t.wallSeconds > 0
+        t.instrsPerSec = outcomes[i].ok && t.wallSeconds > 0
                              ? static_cast<double>(executed) /
                                    t.wallSeconds
                              : 0.0;
-        if (sampler)
-            summaries[i] = summarizeIntervals(sampler->intervals());
-        return r;
-    });
+    };
 
-    SweepResults res(spec, std::move(results), std::move(timings));
+    try {
+        map(pending.size(), [&](std::size_t k) {
+            runCell(pending[k]);
+            return 0;
+        });
+    } catch (...) {
+        // Journal I/O failure or similar infrastructure error: stop
+        // the watchdog before letting it propagate.
+        if (watch) {
+            watchdogStop.store(true, std::memory_order_release);
+            watchdog.join();
+        }
+        throw;
+    }
+    if (watch) {
+        watchdogStop.store(true, std::memory_order_release);
+        watchdog.join();
+    }
+
+    SweepResults res(spec, std::move(results), std::move(timings),
+                     std::move(outcomes));
     if (!obs_.chromeTrace.empty())
         writeWallTrace(obs_.chromeTrace, res);
     if (!obs_.statsJson.empty())

@@ -29,14 +29,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "base/error.hh"
 #include "base/thread_pool.hh"
 #include "core/results.hh"
 #include "core/sim_config.hh"
+#include "fault/fault.hh"
 
 namespace vmsim
 {
@@ -107,6 +110,12 @@ struct ObsOptions
  *   --chrome-trace=F   write a Chrome-trace/Perfetto timeline to F
  *   --stats-json=F     write per-cell stats + timing registry to F
  *   --interval=N       sample interval statistics every N instructions
+ *   --retries=N        retry transiently failed cells up to N times
+ *   --retry-backoff=S  base backoff seconds between retries
+ *   --cell-timeout=S   cancel any cell running longer than S seconds
+ *   --journal=F        checkpoint completed cells to JSONL file F
+ *   --resume           skip cells already completed in the journal
+ *   --inject-faults=S  fault spec, e.g. corrupt=0.01,throw=0.01,seed=7
  * Unknown arguments are fatal() so typos don't silently run the
  * wrong experiment.
  */
@@ -120,6 +129,12 @@ struct BenchOptions
     unsigned seeds = 1;
     unsigned jobs = 0; ///< 0 = hardware_concurrency
     ObsOptions obs;
+    unsigned retries = 0;      ///< transient-failure retries per cell
+    double retryBackoff = 0.0; ///< base seconds between retries
+    double cellTimeout = 0.0;  ///< per-cell wall-clock budget; 0 = none
+    std::string journal;       ///< checkpoint path; empty = off
+    bool resume = false;       ///< load the journal before running
+    FaultSpec faults;          ///< inactive unless --inject-faults
 
     /** The effective warmup length: --warmup=N or instructions/2. */
     Counter
@@ -359,6 +374,33 @@ struct CellTiming
     double instrsPerSec = 0; ///< includes warmup instructions
 };
 
+/**
+ * Retry policy for cells that fail with a *transient* error (an
+ * interrupted write, an injected ENOSPC). Deterministic failures —
+ * invalid configs, corrupt traces, timeouts — are never retried: they
+ * would fail identically again.
+ */
+struct RetryPolicy
+{
+    unsigned maxRetries = 0;    ///< extra attempts after the first
+    double backoffSeconds = 0.0; ///< sleep backoff * 2^k before retry k
+
+    bool any() const { return maxRetries > 0; }
+};
+
+/**
+ * How one sweep cell ended. Failed cells keep their slot in the
+ * grid-ordered results table (with a default Results) so passing
+ * cells' positions — and bytes — never depend on which others failed.
+ */
+struct CellOutcome
+{
+    bool ok = true;
+    Error error{};          ///< set when !ok
+    unsigned attempts = 1;  ///< total attempts (1 = no retries needed)
+    bool fromJournal = false; ///< loaded from a checkpoint, not re-run
+};
+
 /** Mean and spread of a metric across seed replications. */
 struct SeedStats
 {
@@ -381,6 +423,9 @@ class SweepResults
     SweepResults(SweepSpec spec, std::vector<Results> results);
     SweepResults(SweepSpec spec, std::vector<Results> results,
                  std::vector<CellTiming> timings);
+    SweepResults(SweepSpec spec, std::vector<Results> results,
+                 std::vector<CellTiming> timings,
+                 std::vector<CellOutcome> outcomes);
 
     std::size_t size() const { return results_.size(); }
     const SweepSpec &spec() const { return spec_; }
@@ -405,6 +450,25 @@ class SweepResults
     /** Per-cell wall-clock timings; empty unless the runner recorded
      *  them (SweepRunner::run always does). */
     const std::vector<CellTiming> &timings() const { return timings_; }
+
+    /** How cell @p flat ended; all-ok when outcomes were not recorded. */
+    const CellOutcome &outcomeAt(std::size_t flat) const;
+
+    /** True when cell @p flat produced a valid Results. */
+    bool okAt(std::size_t flat) const { return outcomeAt(flat).ok; }
+
+    /** Number of failed cells. */
+    std::size_t failedCount() const;
+
+    bool allOk() const { return failedCount() == 0; }
+
+    /**
+     * Emit one CSV row per cell in grid order: coordinates, status
+     * ("ok"/"failed" + error message), and the headline metrics with
+     * round-trip-exact (%.17g) doubles. This is the artifact the
+     * checkpoint/resume machinery promises to reproduce byte-for-byte.
+     */
+    void writeCsv(std::ostream &os) const;
 
     /**
      * Summarize @p metric across the seed axis at @p idx (whose seed
@@ -431,6 +495,7 @@ class SweepResults
     SweepSpec spec_;
     std::vector<Results> results_;
     std::vector<CellTiming> timings_;
+    std::vector<CellOutcome> outcomes_; ///< empty = every cell ok
 };
 
 /**
@@ -438,6 +503,15 @@ class SweepResults
  * grid-ordered SweepResults. Cells are fully independent (each builds
  * its own System from its own SimConfig), so the parallel result
  * table is identical to a serial run's.
+ *
+ * Failures are isolated per cell: a cell whose worker throws is marked
+ * failed in the outcomes table (with the structured Error) and the
+ * sweep continues — one corrupt trace or invalid variant never takes
+ * down a campaign. Transient failures can be retried with backoff
+ * (retry()), runaway cells canceled by a wall-clock watchdog
+ * (cellTimeout()), and completed cells checkpointed to a JSONL journal
+ * (journal()/resume()) so a killed sweep restarts where it left off.
+ * See docs/robustness.md.
  */
 class SweepRunner
 {
@@ -461,7 +535,59 @@ class SweepRunner
 
     const ObsOptions &observeOptions() const { return obs_; }
 
-    /** Run every cell of @p spec; rethrows the first cell's error. */
+    /** Retry transiently failed cells per @p policy. */
+    SweepRunner &
+    retry(RetryPolicy policy)
+    {
+        retry_ = policy;
+        return *this;
+    }
+
+    /**
+     * Cancel any cell still running after @p seconds of wall clock;
+     * the cell is marked failed with a Timeout error. 0 disables.
+     */
+    SweepRunner &
+    cellTimeout(double seconds)
+    {
+        cellTimeoutSeconds_ = seconds;
+        return *this;
+    }
+
+    /**
+     * Checkpoint each completed cell to the JSONL journal at @p path.
+     * With resume() set, cells already recorded there (for the same
+     * spec — a fingerprint guards against mixups) are loaded instead
+     * of re-run, and the final results are byte-identical to an
+     * uninterrupted sweep's.
+     */
+    SweepRunner &
+    journal(std::string path)
+    {
+        journalPath_ = std::move(path);
+        return *this;
+    }
+
+    SweepRunner &
+    resume(bool enable = true)
+    {
+        resume_ = enable;
+        return *this;
+    }
+
+    /** Inject deterministic faults into every cell (testing). */
+    SweepRunner &
+    injectFaults(const FaultSpec &spec)
+    {
+        faults_ = spec;
+        return *this;
+    }
+
+    /**
+     * Run every cell of @p spec. Cell failures land in the outcomes
+     * table, never propagate out of run(); only infrastructure errors
+     * (an unwritable journal, a resume-fingerprint mismatch) throw.
+     */
     SweepResults run(const SweepSpec &spec) const;
 
     /**
@@ -479,7 +605,20 @@ class SweepRunner
   private:
     unsigned jobs_;
     ObsOptions obs_;
+    RetryPolicy retry_;
+    double cellTimeoutSeconds_ = 0.0;
+    std::string journalPath_;
+    bool resume_ = false;
+    FaultSpec faults_;
 };
+
+/**
+ * Order-independent digest of a spec's materialized cells (workloads,
+ * configs, instruction counts). The journal header records it so a
+ * resume against a *different* spec is rejected instead of silently
+ * mixing incompatible results.
+ */
+std::uint64_t specFingerprint(const SweepSpec &spec);
 
 /**
  * One sweep cell: run @p workload on @p config for @p instrs

@@ -1,0 +1,193 @@
+#include "fault/fault.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace vmsim
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::CorruptRecord:
+        return "corrupt_record";
+      case FaultKind::Truncated:
+        return "truncated";
+      case FaultKind::Thrown:
+        return "thrown";
+      case FaultKind::WriteFail:
+        return "write_fail";
+    }
+    return "unknown";
+}
+
+bool
+FaultSpec::any() const
+{
+    return corrupt > 0.0 || truncate > 0.0 || throwProb > 0.0 ||
+           writeFail > 0.0;
+}
+
+Expected<FaultSpec>
+FaultSpec::parse(const std::string &text)
+{
+    FaultSpec spec;
+    std::istringstream iss(text);
+    std::string item;
+    while (std::getline(iss, item, ',')) {
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return makeError(ErrorCode::InvalidArgument, "fault-spec",
+                             "fault spec item '", item,
+                             "' is not key=value");
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        char *end = nullptr;
+        double num = std::strtod(val.c_str(), &end);
+        if (end == val.c_str() || *end != '\0')
+            return makeError(ErrorCode::InvalidArgument, "fault-spec",
+                             "fault spec value '", val, "' for '", key,
+                             "' is not a number");
+        if (key == "seed") {
+            if (num < 0)
+                return makeError(ErrorCode::InvalidArgument,
+                                 "fault-spec", "seed must be >= 0");
+            spec.seed = static_cast<std::uint64_t>(num);
+            continue;
+        }
+        if (num < 0.0 || num > 1.0)
+            return makeError(ErrorCode::InvalidArgument, "fault-spec",
+                             "probability for '", key,
+                             "' must be in [0, 1], got ", num);
+        if (key == "corrupt")
+            spec.corrupt = num;
+        else if (key == "truncate")
+            spec.truncate = num;
+        else if (key == "throw")
+            spec.throwProb = num;
+        else if (key == "writefail")
+            spec.writeFail = num;
+        else
+            return makeError(ErrorCode::InvalidArgument, "fault-spec",
+                             "unknown fault spec key '", key,
+                             "' (expected corrupt/truncate/throw/"
+                             "writefail/seed)");
+    }
+    return spec;
+}
+
+std::string
+FaultSpec::toString() const
+{
+    std::ostringstream oss;
+    auto add = [&](const char *key, double p) {
+        if (p > 0.0) {
+            if (oss.tellp() > 0)
+                oss << ',';
+            oss << key << '=' << p;
+        }
+    };
+    add("corrupt", corrupt);
+    add("truncate", truncate);
+    add("throw", throwProb);
+    add("writefail", writeFail);
+    if (oss.tellp() > 0)
+        oss << ",seed=" << seed;
+    return oss.str();
+}
+
+std::uint64_t
+faultStream(std::uint64_t seed, std::uint64_t cell, std::uint64_t attempt)
+{
+    // splitmix64 finalizer over the mixed triple: adjacent (cell,
+    // attempt) pairs land on unrelated streams.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (cell + 1) +
+                      0xbf58476d1ce4e5b9ULL * (attempt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+FaultInjector::FaultInjector(const FaultSpec &spec, std::uint64_t stream)
+    : spec_(spec), rng_(stream)
+{}
+
+FaultyTraceSource::FaultyTraceSource(std::unique_ptr<TraceSource> inner,
+                                     const FaultSpec &spec,
+                                     std::uint64_t stream,
+                                     EventSink *sink)
+    : inner_(std::move(inner)), injector_(spec, stream), sink_(sink)
+{}
+
+void
+FaultyTraceSource::emit(FaultKind kind)
+{
+    if (!sink_)
+        return;
+    TraceEvent ev;
+    ev.kind = EventKind::FaultInjected;
+    ev.level = static_cast<std::uint8_t>(kind);
+    ev.instr = read_;
+    sink_->event(ev);
+}
+
+bool
+FaultyTraceSource::next(TraceRecord &rec)
+{
+    if (truncated_)
+        return false;
+    if (!inner_->next(rec))
+        return false;
+    ++read_;
+    const FaultSpec &spec = injector_.spec();
+    if (injector_.fire(spec.throwProb)) {
+        emit(FaultKind::Thrown);
+        throw std::runtime_error("injected fault: trace read failed");
+    }
+    if (injector_.fire(spec.truncate)) {
+        emit(FaultKind::Truncated);
+        truncated_ = true;
+        throw VmsimError(makeError(ErrorCode::Truncated, "fault-inject",
+                                   "injected fault: trace truncated at "
+                                   "record ", read_));
+    }
+    if (injector_.fire(spec.corrupt)) {
+        emit(FaultKind::CorruptRecord);
+        throw VmsimError(makeError(ErrorCode::ParseError, "fault-inject",
+                                   "injected fault: corrupt trace "
+                                   "record ", read_));
+    }
+    return true;
+}
+
+FaultySink::FaultySink(EventSink *inner, const FaultSpec &spec,
+                       std::uint64_t stream)
+    : inner_(inner), injector_(spec, stream)
+{}
+
+void
+FaultySink::event(const TraceEvent &ev)
+{
+    if (injector_.fire(injector_.spec().writeFail)) {
+        Error err = makeError(ErrorCode::IoError, "fault-inject",
+                              "injected fault: sink write failed "
+                              "(transient)");
+        err.transient = true;
+        throw VmsimError(std::move(err));
+    }
+    if (inner_)
+        inner_->event(ev);
+}
+
+void
+FaultySink::flush()
+{
+    if (inner_)
+        inner_->flush();
+}
+
+} // namespace vmsim

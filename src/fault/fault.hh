@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness testing.
+ *
+ * A FaultSpec describes *what* to inject and *how often*; a
+ * FaultInjector is one seeded stream of injection decisions; the
+ * FaultyTraceSource / FaultySink wrappers sit transparently in front of
+ * a real trace reader or event sink and fire those decisions at the
+ * configured probability. Because every decision comes from a seeded
+ * xoshiro stream, a "1% corrupt records" campaign fails the *same*
+ * cells on every run — failures are reproducible, which is the whole
+ * point: the sweep engine's isolation, retry, and checkpoint paths get
+ * exercised on demand instead of waiting for a real flaky disk.
+ *
+ * Spec grammar (see docs/robustness.md):
+ *
+ *     key=value[,key=value...]
+ *     corrupt=P    probability a trace record is corrupted (bad op)
+ *     truncate=P   probability the trace ends early (Truncated error)
+ *     throw=P      probability a read throws a plain std::runtime_error
+ *     writefail=P  probability a sink write fails (transient IoError)
+ *     seed=N       base seed for the decision stream (default 1)
+ */
+
+#ifndef VMSIM_FAULT_FAULT_HH
+#define VMSIM_FAULT_FAULT_HH
+
+#include <memory>
+#include <string>
+
+#include "base/error.hh"
+#include "base/random.hh"
+#include "obs/event.hh"
+#include "trace/trace.hh"
+
+namespace vmsim
+{
+
+/** Which fault fired; recorded in FaultInjected events' level field. */
+enum class FaultKind : std::uint8_t
+{
+    CorruptRecord = 0, ///< trace record rewritten with an invalid op
+    Truncated,         ///< trace cut short (Truncated error thrown)
+    Thrown,            ///< plain std::runtime_error from next()
+    WriteFail,         ///< sink write failed (transient IoError)
+};
+
+/** Stable lowercase identifier ("corrupt_record", "write_fail", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** Probabilities and seed for one injection campaign. */
+struct FaultSpec
+{
+    double corrupt = 0.0;   ///< P(corrupt trace record)
+    double truncate = 0.0;  ///< P(truncate trace at a record)
+    double throwProb = 0.0; ///< P(throw std::runtime_error on read)
+    double writeFail = 0.0; ///< P(transient sink-write failure)
+    std::uint64_t seed = 1; ///< base seed for decision streams
+
+    /** True when any probability is nonzero. */
+    bool any() const;
+
+    /**
+     * Parse "corrupt=0.01,throw=0.005,seed=7". Unknown keys, bad
+     * numbers, and probabilities outside [0, 1] yield InvalidArgument.
+     * The empty string parses to an all-zero (inactive) spec.
+     */
+    static Expected<FaultSpec> parse(const std::string &text);
+
+    /** Round-trip back to the spec grammar (only nonzero fields). */
+    std::string toString() const;
+};
+
+/**
+ * One seeded stream of injection decisions. Distinct (cell, attempt)
+ * pairs get distinct streams, so a retry of a transiently failed cell
+ * sees *different* faults — deterministic across runs, yet able to
+ * succeed on retry exactly like a real transient error.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @p stream distinguishes independent decision streams drawn from
+     * the same spec (conventionally mix of cell index and attempt).
+     */
+    FaultInjector(const FaultSpec &spec, std::uint64_t stream);
+
+    const FaultSpec &spec() const { return spec_; }
+
+    /** Bernoulli draw against @p p from this stream. */
+    bool fire(double p) { return p > 0.0 && rng_.chance(p); }
+
+  private:
+    FaultSpec spec_;
+    Random rng_;
+};
+
+/**
+ * Wraps a TraceSource and injects read-side faults. Emits a
+ * FaultInjected event to @p sink (when attached) before each fault so
+ * injected failures are visible in the observability stream.
+ */
+class FaultyTraceSource : public TraceSource
+{
+  public:
+    FaultyTraceSource(std::unique_ptr<TraceSource> inner,
+                      const FaultSpec &spec, std::uint64_t stream,
+                      EventSink *sink = nullptr);
+
+    bool next(TraceRecord &rec) override;
+
+  private:
+    void emit(FaultKind kind);
+
+    std::unique_ptr<TraceSource> inner_;
+    FaultInjector injector_;
+    EventSink *sink_;
+    Counter read_ = 0;
+    bool truncated_ = false;
+};
+
+/**
+ * Wraps an EventSink and injects transient write failures — the
+ * ENOSPC-style errors the sweep engine's retry policy exists for.
+ */
+class FaultySink : public EventSink
+{
+  public:
+    FaultySink(EventSink *inner, const FaultSpec &spec,
+               std::uint64_t stream);
+
+    void event(const TraceEvent &ev) override;
+    void flush() override;
+
+  private:
+    EventSink *inner_;
+    FaultInjector injector_;
+};
+
+/**
+ * Mix a base seed with a cell index and attempt number into one stream
+ * id (splitmix64-style finalizer, shared by runner and tests).
+ */
+std::uint64_t faultStream(std::uint64_t seed, std::uint64_t cell,
+                          std::uint64_t attempt);
+
+} // namespace vmsim
+
+#endif // VMSIM_FAULT_FAULT_HH

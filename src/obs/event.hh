@@ -40,9 +40,10 @@ enum class EventKind : std::uint8_t
     CtxSwitch,    ///< address-space switch (TLB flush / eviction)
     L2TlbHit,     ///< walk satisfied by the unified L2 TLB
     L2Miss,       ///< user reference missed the L2 cache (went to memory)
+    FaultInjected, ///< FaultInjector fired (level = FaultKind)
 };
 
-constexpr unsigned kNumEventKinds = 10;
+constexpr unsigned kNumEventKinds = 11;
 
 /** Stable lowercase identifier ("itlb_miss", "pte_fetch", ...). */
 const char *eventKindName(EventKind kind);

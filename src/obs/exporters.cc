@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "base/error.hh"
 #include "base/json.hh"
 #include "base/logging.hh"
 
@@ -13,13 +14,22 @@ namespace
 {
 
 std::unique_ptr<std::ofstream>
-openOrDie(const std::string &path)
+openOrThrow(const std::string &path)
 {
     auto f = std::make_unique<std::ofstream>(path,
                                              std::ios::out |
                                                  std::ios::trunc);
-    fatalIf(!f->is_open(), "cannot open '", path, "' for writing");
+    if (!f->is_open())
+        throw VmsimError(errnoError(path, "cannot open for writing"));
     return f;
+}
+
+[[noreturn]] void
+throwWriteError(const std::string &path, const char *what)
+{
+    throw VmsimError(makeError(ErrorCode::IoError,
+                               path.empty() ? "<stream>" : path, what,
+                               path.empty() ? "" : ": ", path));
 }
 
 /** Display name of a handler/PT level for trace slice labels. */
@@ -39,7 +49,7 @@ levelName(std::uint8_t level)
 } // anonymous namespace
 
 JsonlEventWriter::JsonlEventWriter(const std::string &path)
-    : owned_(openOrDie(path)), os_(*owned_)
+    : owned_(openOrThrow(path)), os_(*owned_), path_(path)
 {}
 
 JsonlEventWriter::JsonlEventWriter(std::ostream &os)
@@ -58,6 +68,8 @@ JsonlEventWriter::event(const TraceEvent &ev)
         eventKindName(ev.kind), unsigned{ev.level}, ev.instr, ev.vaddr,
         ev.vpn, ev.cycles);
     os_.write(buf, n);
+    if (!os_)
+        throwWriteError(path_, "short write of JSONL event");
     ++written_;
 }
 
@@ -65,10 +77,12 @@ void
 JsonlEventWriter::flush()
 {
     os_.flush();
+    if (!os_)
+        throwWriteError(path_, "cannot flush JSONL event stream");
 }
 
 ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
-    : owned_(openOrDie(path)), os_(*owned_)
+    : owned_(openOrThrow(path)), os_(*owned_), path_(path)
 {
     writeHeader();
 }
@@ -81,7 +95,17 @@ ChromeTraceWriter::ChromeTraceWriter(std::ostream &os)
 
 ChromeTraceWriter::~ChromeTraceWriter()
 {
-    finish();
+    // Destructors must not throw; a failed close leaves an unparseable
+    // trace, so warn rather than swallow the evidence.
+    try {
+        finish();
+    } catch (const std::exception &e) {
+        warn("ChromeTraceWriter: failed to finish '",
+             path_.empty() ? "<stream>" : path_, "': ", e.what());
+    } catch (...) {
+        warn("ChromeTraceWriter: failed to finish '",
+             path_.empty() ? "<stream>" : path_, "': unknown error");
+    }
 }
 
 void
@@ -180,6 +204,8 @@ ChromeTraceWriter::finish()
            "{\"generator\":\"vmsim\",\"sim_timebase\":"
            "\"1us = 1 user instruction (pid 1)\"}}\n";
     os_.flush();
+    if (!os_)
+        throwWriteError(path_, "cannot finish Chrome trace");
 }
 
 void

@@ -37,12 +37,16 @@ namespace vmsim
 class JsonlEventWriter : public EventSink
 {
   public:
-    /** Write to @p path (truncates); fatal() if it cannot be opened. */
+    /**
+     * Write to @p path (truncates); throws VmsimError (IoError) if it
+     * cannot be opened.
+     */
     explicit JsonlEventWriter(const std::string &path);
 
     /** Write to a borrowed stream (not owned). */
     explicit JsonlEventWriter(std::ostream &os);
 
+    /** Throws VmsimError (IoError) when the stream goes bad. */
     void event(const TraceEvent &ev) override;
     void flush() override;
 
@@ -51,6 +55,7 @@ class JsonlEventWriter : public EventSink
   private:
     std::unique_ptr<std::ofstream> owned_;
     std::ostream &os_;
+    std::string path_;
     Counter written_ = 0;
 };
 
@@ -78,13 +83,19 @@ class ChromeTraceWriter : public EventSink
     /** pid of the wall-clock (sweep) timeline. */
     static constexpr int kWallPid = 0;
 
-    /** Write to @p path (truncates); fatal() if it cannot be opened. */
+    /**
+     * Write to @p path (truncates); throws VmsimError (IoError) if it
+     * cannot be opened.
+     */
     explicit ChromeTraceWriter(const std::string &path);
 
     /** Write to a borrowed stream (not owned). */
     explicit ChromeTraceWriter(std::ostream &os);
 
-    /** Closes the JSON if finish() was not called. */
+    /**
+     * Closes the JSON if finish() was not called; a close failure is
+     * logged (destructors must not throw), never silently swallowed.
+     */
     ~ChromeTraceWriter() override;
 
     ChromeTraceWriter(const ChromeTraceWriter &) = delete;
@@ -113,6 +124,7 @@ class ChromeTraceWriter : public EventSink
 
     std::unique_ptr<std::ofstream> owned_;
     std::ostream &os_;
+    std::string path_;
     bool first_ = true;
     bool finished_ = false;
 };

@@ -49,9 +49,26 @@ getU64(const unsigned char *p)
 } // anonymous namespace
 
 TraceFileWriter::TraceFileWriter(const std::string &path)
-    : file_(std::fopen(path.c_str(), "wb")), path_(path)
 {
-    fatalIf(!file_, "cannot open trace file for writing: ", path);
+    init(path).orThrow();
+}
+
+Expected<std::unique_ptr<TraceFileWriter>>
+TraceFileWriter::open(const std::string &path)
+{
+    std::unique_ptr<TraceFileWriter> w(new TraceFileWriter());
+    if (Status s = w->init(path); !s.ok())
+        return s.error();
+    return w;
+}
+
+Status
+TraceFileWriter::init(const std::string &path)
+{
+    path_ = path;
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        return errnoError(path, "cannot open trace file for writing");
     buf_.reserve(kIoBufRecords * kTraceRecordBytes);
 
     unsigned char header[kTraceHeaderBytes];
@@ -59,16 +76,28 @@ TraceFileWriter::TraceFileWriter(const std::string &path)
     putU32(header + 4, kVersion);
     putU64(header + 8, 0); // patched by close()
     std::size_t n = std::fwrite(header, 1, sizeof(header), file_);
-    fatalIf(n != sizeof(header), "short write of trace header: ", path);
+    if (n != sizeof(header)) {
+        Error err = errnoError(path, "short write of trace header");
+        std::fclose(file_);
+        file_ = nullptr;
+        return err;
+    }
+    return Status();
 }
 
 TraceFileWriter::~TraceFileWriter()
 {
     if (file_) {
-        // Destructor must not throw; best-effort close.
+        // Destructor must not throw; best-effort close, but a failed
+        // close means a corrupt (zero-count) header, so say so.
         try {
             close();
+        } catch (const std::exception &e) {
+            warn("TraceFileWriter: failed to close '", path_,
+                 "': ", e.what());
         } catch (...) {
+            warn("TraceFileWriter: failed to close '", path_,
+                 "': unknown error");
         }
     }
 }
@@ -93,7 +122,8 @@ TraceFileWriter::flushBuffer()
     if (buf_.empty())
         return;
     std::size_t n = std::fwrite(buf_.data(), 1, buf_.size(), file_);
-    fatalIf(n != buf_.size(), "short write to trace file: ", path_);
+    if (n != buf_.size())
+        throw VmsimError(errnoError(path_, "short write to trace file"));
     buf_.clear();
 }
 
@@ -107,28 +137,86 @@ TraceFileWriter::close()
     unsigned char count_bytes[8];
     putU64(count_bytes, count_);
     int rc = std::fseek(file_, 8, SEEK_SET);
-    fatalIf(rc != 0, "cannot seek in trace file: ", path_);
+    if (rc != 0)
+        throw VmsimError(errnoError(path_, "cannot seek in trace file"));
     std::size_t n = std::fwrite(count_bytes, 1, sizeof(count_bytes), file_);
-    fatalIf(n != sizeof(count_bytes), "cannot patch trace header: ", path_);
-    std::fclose(file_);
+    if (n != sizeof(count_bytes))
+        throw VmsimError(errnoError(path_, "cannot patch trace header"));
+    rc = std::fclose(file_);
     file_ = nullptr;
+    if (rc != 0)
+        throw VmsimError(errnoError(path_, "cannot close trace file"));
 }
 
 TraceFileReader::TraceFileReader(const std::string &path)
-    : file_(std::fopen(path.c_str(), "rb"))
 {
-    fatalIf(!file_, "cannot open trace file: ", path);
-    buf_.resize(kIoBufRecords * kTraceRecordBytes);
+    init(path).orThrow();
+}
+
+Expected<std::unique_ptr<TraceFileReader>>
+TraceFileReader::open(const std::string &path)
+{
+    std::unique_ptr<TraceFileReader> r(new TraceFileReader());
+    if (Status s = r->init(path); !s.ok())
+        return s.error();
+    return r;
+}
+
+Status
+TraceFileReader::init(const std::string &path)
+{
+    path_ = path;
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        return errnoError(path, "cannot open trace file");
+
+    auto fail = [&](Error err) {
+        std::fclose(file_);
+        file_ = nullptr;
+        return Status(std::move(err));
+    };
 
     unsigned char header[kTraceHeaderBytes];
     std::size_t n = std::fread(header, 1, sizeof(header), file_);
-    fatalIf(n != sizeof(header), "trace file too short: ", path);
-    fatalIf(std::memcmp(header, kMagic, 4) != 0,
-            "bad trace magic (not a VMT1 file): ", path);
+    if (n != sizeof(header))
+        return fail(makeError(ErrorCode::Truncated, path,
+                              "trace file too short for header: got ", n,
+                              " bytes, need ", sizeof(header)));
+    if (std::memcmp(header, kMagic, 4) != 0)
+        return fail(makeError(ErrorCode::ParseError, path,
+                              "bad trace magic (not a VMT1 file)"));
     std::uint32_t version = getU32(header + 4);
-    fatalIf(version != kVersion, "unsupported trace version ", version,
-            ": ", path);
+    if (version != kVersion)
+        return fail(makeError(ErrorCode::Unsupported, path,
+                              "unsupported trace version ", version,
+                              " (expected ", kVersion, ")"));
     total_ = getU64(header + 8);
+
+    // Cross-check the header's promise against the actual file size:
+    // a truncated copy or trailing garbage silently corrupts results,
+    // so reject both with a byte-exact diagnostic.
+    if (std::fseek(file_, 0, SEEK_END) != 0)
+        return fail(errnoError(path, "cannot seek to end of trace file"));
+    long end = std::ftell(file_);
+    if (end < 0)
+        return fail(errnoError(path, "cannot tell trace file size"));
+    std::uint64_t actual = static_cast<std::uint64_t>(end);
+    std::uint64_t expected =
+        kTraceHeaderBytes + total_ * std::uint64_t{kTraceRecordBytes};
+    if (actual != expected) {
+        ErrorCode code = actual < expected ? ErrorCode::Truncated
+                                           : ErrorCode::ParseError;
+        return fail(makeError(
+            code, path, "trace file '", path, "' is ",
+            actual < expected ? "truncated" : "oversized",
+            ": header promises ", total_, " records (", expected,
+            " bytes) but the file is ", actual, " bytes"));
+    }
+    if (std::fseek(file_, kTraceHeaderBytes, SEEK_SET) != 0)
+        return fail(errnoError(path, "cannot seek past trace header"));
+
+    buf_.resize(kIoBufRecords * kTraceRecordBytes);
+    return Status();
 }
 
 TraceFileReader::~TraceFileReader()
@@ -142,8 +230,9 @@ TraceFileReader::fillBuffer()
 {
     bufLen_ = std::fread(buf_.data(), 1, buf_.size(), file_);
     bufPos_ = 0;
-    fatalIf(bufLen_ % kTraceRecordBytes != 0,
-            "trace file truncated mid-record");
+    if (bufLen_ % kTraceRecordBytes != 0)
+        throw VmsimError(makeError(ErrorCode::Truncated, path_,
+                                   "trace file truncated mid-record"));
     return bufLen_ > 0;
 }
 
@@ -158,7 +247,10 @@ TraceFileReader::next(TraceRecord &rec)
     rec.pc = getU32(p);
     rec.daddr = getU32(p + 4);
     unsigned char op = p[8];
-    fatalIf(op > 2, "corrupt trace record: op=", unsigned{op});
+    if (op > 2)
+        throw VmsimError(makeError(ErrorCode::ParseError, path_,
+                                   "corrupt trace record ", read_,
+                                   ": op=", unsigned{op}));
     rec.op = static_cast<MemOp>(op);
     bufPos_ += kTraceRecordBytes;
     ++read_;
@@ -169,7 +261,8 @@ void
 TraceFileReader::rewind()
 {
     int rc = std::fseek(file_, kTraceHeaderBytes, SEEK_SET);
-    fatalIf(rc != 0, "cannot rewind trace file");
+    if (rc != 0)
+        throw VmsimError(errnoError(path_, "cannot rewind trace file"));
     read_ = 0;
     bufPos_ = bufLen_ = 0;
 }

@@ -20,9 +20,11 @@
 #define VMSIM_TRACE_TRACE_FILE_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "base/error.hh"
 #include "trace/trace.hh"
 
 namespace vmsim
@@ -32,14 +34,18 @@ namespace vmsim
 class TraceFileWriter
 {
   public:
-    /** Open @p path for writing; fatal() on failure. */
+    /** Open @p path for writing; throws VmsimError on failure. */
     explicit TraceFileWriter(const std::string &path);
     ~TraceFileWriter();
 
     TraceFileWriter(const TraceFileWriter &) = delete;
     TraceFileWriter &operator=(const TraceFileWriter &) = delete;
 
-    /** Append one record. */
+    /** Non-throwing open, for callers that isolate failures. */
+    static Expected<std::unique_ptr<TraceFileWriter>>
+    open(const std::string &path);
+
+    /** Append one record; throws VmsimError on write failure. */
     void write(const TraceRecord &rec);
 
     /** Patch the header's record count and close. Idempotent. */
@@ -48,25 +54,38 @@ class TraceFileWriter
     Counter recordsWritten() const { return count_; }
 
   private:
+    TraceFileWriter() = default;
+
+    Status init(const std::string &path);
     void flushBuffer();
 
-    std::FILE *file_;
+    std::FILE *file_ = nullptr;
     std::string path_;
     Counter count_ = 0;
     std::vector<unsigned char> buf_;
 };
 
-/** Streaming reader for "VMT1" trace files. */
+/**
+ * Streaming reader for "VMT1" trace files. On open, the header's
+ * record count is cross-checked against the actual file size, so a
+ * truncated copy or a file with trailing garbage is rejected with a
+ * byte-exact diagnostic instead of silently yielding wrong records.
+ */
 class TraceFileReader : public TraceSource
 {
   public:
-    /** Open and validate @p path; fatal() on malformed files. */
+    /** Open and validate @p path; throws VmsimError when malformed. */
     explicit TraceFileReader(const std::string &path);
     ~TraceFileReader() override;
 
     TraceFileReader(const TraceFileReader &) = delete;
     TraceFileReader &operator=(const TraceFileReader &) = delete;
 
+    /** Non-throwing open, for callers that isolate failures. */
+    static Expected<std::unique_ptr<TraceFileReader>>
+    open(const std::string &path);
+
+    /** Throws VmsimError on a corrupt record. */
     bool next(TraceRecord &rec) override;
 
     /** Total records the header promises. */
@@ -79,9 +98,13 @@ class TraceFileReader : public TraceSource
     void rewind();
 
   private:
+    TraceFileReader() = default;
+
+    Status init(const std::string &path);
     bool fillBuffer();
 
-    std::FILE *file_;
+    std::FILE *file_ = nullptr;
+    std::string path_;
     Counter total_ = 0;
     Counter read_ = 0;
     std::vector<unsigned char> buf_;

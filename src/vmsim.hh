@@ -16,6 +16,7 @@
 #define VMSIM_VMSIM_HH
 
 #include "base/bitfield.hh"
+#include "base/error.hh"
 #include "base/intmath.hh"
 #include "base/json.hh"
 #include "base/logging.hh"
@@ -26,6 +27,7 @@
 #include "base/types.hh"
 #include "base/units.hh"
 #include "core/factory.hh"
+#include "fault/fault.hh"
 #include "core/results.hh"
 #include "core/sim_config.hh"
 #include "core/simulator.hh"

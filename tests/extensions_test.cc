@@ -113,9 +113,10 @@ TEST(HwWalkOverlap, OutOfRangeRejected)
     setQuiet(true);
     SimConfig cfg;
     cfg.costs.hwWalkOverlap = 1.5;
-    EXPECT_THROW(cfg.validate(), FatalError);
+    EXPECT_FALSE(cfg.validate().ok());
+    EXPECT_THROW(System{cfg}, FatalError);
     cfg.costs.hwWalkOverlap = -0.1;
-    EXPECT_THROW(cfg.validate(), FatalError);
+    EXPECT_FALSE(cfg.validate().ok());
     setQuiet(false);
 }
 

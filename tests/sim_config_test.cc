@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for SimConfig::validate(): one case per rule, each asserting
+ * that the diagnostic names the offending field (so a failed sweep
+ * cell's error message pinpoints the bad knob), plus the happy path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/error.hh"
+#include "base/logging.hh"
+#include "core/sim_config.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+/** Expect validate() to fail with InvalidConfig naming @p field. */
+void
+expectRejects(const SimConfig &cfg, const std::string &field)
+{
+    Status s = cfg.validate();
+    ASSERT_FALSE(s.ok()) << "expected rejection of " << field;
+    EXPECT_EQ(s.error().code, ErrorCode::InvalidConfig);
+    EXPECT_EQ(s.error().context, field);
+    EXPECT_NE(s.error().message.find(field), std::string::npos)
+        << "message does not name the field: " << s.error().message;
+}
+
+TEST(SimConfigValidate, DefaultConfigIsValid)
+{
+    EXPECT_TRUE(SimConfig{}.validate().ok());
+}
+
+TEST(SimConfigValidate, AllPaperSystemsValidate)
+{
+    for (SystemKind kind : kPaperSystems) {
+        SimConfig cfg;
+        cfg.kind = kind;
+        EXPECT_TRUE(cfg.validate().ok()) << kindName(kind);
+    }
+}
+
+TEST(SimConfigValidate, L1SizeMustBePowerOfTwo)
+{
+    SimConfig cfg;
+    cfg.l1.sizeBytes = 0;
+    expectRejects(cfg, "l1.sizeBytes");
+    cfg.l1.sizeBytes = 3000;
+    expectRejects(cfg, "l1.sizeBytes");
+}
+
+TEST(SimConfigValidate, L2MustBeAtLeastL1)
+{
+    SimConfig cfg;
+    cfg.l1.sizeBytes = 64 * 1024;
+    cfg.l2.sizeBytes = 32 * 1024;
+    expectRejects(cfg, "l2.sizeBytes");
+}
+
+TEST(SimConfigValidate, L2LineMustBeAtLeastL1Line)
+{
+    SimConfig cfg;
+    cfg.l1.lineSize = 64;
+    cfg.l2.lineSize = 32;
+    expectRejects(cfg, "l2.lineSize");
+}
+
+TEST(SimConfigValidate, TlbEntriesRequiredForTlbSystems)
+{
+    SimConfig cfg;
+    cfg.kind = SystemKind::Ultrix;
+    cfg.tlbEntries = 0;
+    cfg.tlbProtectedSlots = 0;
+    expectRejects(cfg, "tlbEntries");
+
+    // ...but TLB-less organizations don't care.
+    cfg.kind = SystemKind::Notlb;
+    EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(SimConfigValidate, ProtectedSlotsMustLeaveCapacity)
+{
+    SimConfig cfg;
+    cfg.tlbEntries = 16;
+    cfg.tlbProtectedSlots = 16;
+    expectRejects(cfg, "tlbProtectedSlots");
+}
+
+TEST(SimConfigValidate, PageBitsRange)
+{
+    SimConfig cfg;
+    cfg.pageBits = 9;
+    expectRejects(cfg, "pageBits");
+    cfg.pageBits = 21;
+    expectRejects(cfg, "pageBits");
+    cfg.pageBits = 12;
+    EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(SimConfigValidate, PhysMemMustBePowerOfTwo)
+{
+    SimConfig cfg;
+    cfg.physMemBytes = 0;
+    expectRejects(cfg, "physMemBytes");
+    cfg.physMemBytes = 10'000'000;
+    expectRejects(cfg, "physMemBytes");
+}
+
+TEST(SimConfigValidate, HptRatioMustBePositive)
+{
+    SimConfig cfg;
+    cfg.hptRatio = 0;
+    expectRejects(cfg, "hptRatio");
+}
+
+TEST(SimConfigValidate, L1MissCyclesMustBeNonzero)
+{
+    SimConfig cfg;
+    cfg.costs.l1MissCycles = 0;
+    expectRejects(cfg, "costs.l1MissCycles");
+}
+
+TEST(SimConfigValidate, L2MissCyclesMustBeNonzero)
+{
+    SimConfig cfg;
+    cfg.costs.l2MissCycles = 0;
+    expectRejects(cfg, "costs.l2MissCycles");
+}
+
+TEST(SimConfigValidate, HwWalkOverlapRange)
+{
+    SimConfig cfg;
+    cfg.costs.hwWalkOverlap = -0.1;
+    expectRejects(cfg, "costs.hwWalkOverlap");
+    cfg.costs.hwWalkOverlap = 1.1;
+    expectRejects(cfg, "costs.hwWalkOverlap");
+    cfg.costs.hwWalkOverlap = 1.0;
+    EXPECT_TRUE(cfg.validate().ok());
+}
+
+TEST(SimConfigValidate, OrThrowBridgesToVmsimError)
+{
+    setQuiet(true);
+    SimConfig cfg;
+    cfg.hptRatio = 0;
+    try {
+        cfg.validate().orThrow();
+        FAIL() << "orThrow did not throw";
+    } catch (const VmsimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidConfig);
+        EXPECT_EQ(e.error().context, "hptRatio");
+    }
+    setQuiet(false);
+}
+
+} // anonymous namespace
+} // namespace vmsim

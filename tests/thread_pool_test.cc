@@ -74,6 +74,59 @@ TEST(ThreadPool, SurvivingTasksStillRunAfterError)
     EXPECT_EQ(count.load(), 19);
 }
 
+TEST(ThreadPool, ReusableAfterException)
+{
+    // A throwing task must not wedge the pool: after wait() reports
+    // the error, new work runs normally.
+    std::atomic<int> count{0};
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("first batch failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&count] { ++count; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, MultipleThrowersReportOne)
+{
+    // Several tasks throwing concurrently is still one orderly error
+    // from wait(), not a terminate() or a deadlock.
+    ThreadPool pool(4);
+    for (int i = 0; i < 16; ++i)
+        pool.submit([] { throw std::runtime_error("everybody fails"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // And the pool is still healthy.
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, NonStandardExceptionPropagates)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw 42; });
+    EXPECT_THROW(pool.wait(), int);
+}
+
+TEST(ThreadPool, DestructorDrainsThrowingTasks)
+{
+    // Destroying a pool with throwing tasks still in flight must not
+    // call std::terminate; the stored exception is simply dropped.
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 8; ++i)
+            pool.submit([&count] {
+                ++count;
+                throw std::runtime_error("unobserved failure");
+            });
+        // no wait(): destructor joins.
+    }
+    EXPECT_EQ(count.load(), 8);
+}
+
 TEST(ThreadPool, DefaultThreadsIsPositive)
 {
     EXPECT_GE(ThreadPool::defaultThreads(), 1u);

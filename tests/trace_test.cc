@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "base/error.hh"
 #include "base/logging.hh"
 #include "trace/trace.hh"
 #include "trace/trace_file.hh"
@@ -248,10 +251,11 @@ TEST(TraceFile, UnwritablePathIsFatal)
     setQuiet(false);
 }
 
-TEST(TraceFile, HeaderCountBeatsTrailingGarbage)
+TEST(TraceFile, TrailingGarbageIsRejected)
 {
-    // Extra bytes appended after the promised records are ignored
-    // (the header count is authoritative).
+    // A file larger than the header promises means the header and the
+    // data disagree — refuse it rather than silently trusting either.
+    setQuiet(true);
     TempFile tf;
     {
         TraceFileWriter w(tf.path());
@@ -265,11 +269,108 @@ TEST(TraceFile, HeaderCountBeatsTrailingGarbage)
             std::fputc(0, f);
         std::fclose(f);
     }
-    TraceFileReader r(tf.path());
+    try {
+        TraceFileReader r(tf.path());
+        FAIL() << "oversized trace file was accepted";
+    } catch (const VmsimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::ParseError);
+        // The diagnostic must name the file and both byte counts.
+        EXPECT_NE(e.error().message.find(tf.path()), std::string::npos);
+        EXPECT_NE(e.error().message.find("25"), std::string::npos)
+            << e.error().message; // expected: 16 + 1*9
+        EXPECT_NE(e.error().message.find("34"), std::string::npos)
+            << e.error().message; // actual: 25 + 9 trailing
+    }
+    setQuiet(false);
+}
+
+TEST(TraceFile, TruncatedFileIsRejectedOnOpen)
+{
+    // A truncated copy (say, an interrupted download) is caught at
+    // open, before any record is consumed.
+    setQuiet(true);
+    TempFile tf;
+    {
+        TraceFileWriter w(tf.path());
+        for (int i = 0; i < 4; ++i)
+            w.write(TraceRecord{static_cast<std::uint32_t>(4 * i), 0,
+                                MemOp::None});
+        w.close();
+    }
+    ASSERT_EQ(::truncate(tf.path().c_str(),
+                         kTraceHeaderBytes + 2 * kTraceRecordBytes),
+              0);
+    try {
+        TraceFileReader r(tf.path());
+        FAIL() << "truncated trace file was accepted";
+    } catch (const VmsimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Truncated);
+        EXPECT_NE(e.error().message.find("truncated"),
+                  std::string::npos);
+        EXPECT_NE(e.error().message.find(tf.path()), std::string::npos);
+    }
+    setQuiet(false);
+}
+
+TEST(TraceFile, OpenFactoryReturnsErrorNotThrow)
+{
+    auto r = TraceFileReader::open("/nonexistent/vmsim.trace");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::IoError);
+    // The path travels in the context field and so reaches toString().
+    EXPECT_EQ(r.error().context, "/nonexistent/vmsim.trace");
+    EXPECT_NE(r.error().toString().find("/nonexistent/vmsim.trace"),
+              std::string::npos);
+
+    auto w = TraceFileWriter::open("/nonexistent_dir/trace.vmt");
+    ASSERT_FALSE(w.ok());
+    EXPECT_EQ(w.error().code, ErrorCode::IoError);
+}
+
+TEST(TraceFile, OpenFactoryYieldsWorkingReader)
+{
+    TempFile tf;
+    {
+        auto w = TraceFileWriter::open(tf.path());
+        ASSERT_TRUE(w.ok());
+        w.value()->write(TraceRecord{4, 0, MemOp::Load});
+        w.value()->close();
+    }
+    auto r = TraceFileReader::open(tf.path());
+    ASSERT_TRUE(r.ok());
     TraceRecord rec;
-    EXPECT_TRUE(r.next(rec));
-    EXPECT_FALSE(r.next(rec));
-    EXPECT_EQ(r.recordsRead(), 1u);
+    ASSERT_TRUE(r.value()->next(rec));
+    EXPECT_EQ(rec.pc, 4u);
+}
+
+TEST(TraceFile, WriterDestructorWarnsOnFailedClose)
+{
+    // /dev/full accepts buffered writes but fails them at flush time
+    // with ENOSPC, so the destructor's implicit close() fails after
+    // every write() call has already "succeeded". The destructor must
+    // not throw; it must warn with the path instead.
+    if (::access("/dev/full", W_OK) != 0)
+        GTEST_SKIP() << "/dev/full not available";
+    testing::internal::CaptureStderr();
+    {
+        TraceFileWriter w("/dev/full");
+        w.write(TraceRecord{4, 0, MemOp::None});
+        // no close(): destructor takes the failing path.
+    }
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("/dev/full"), std::string::npos) << err;
+    EXPECT_NE(err.find("failed to close"), std::string::npos) << err;
+}
+
+TEST(TraceFile, WriterDestructorSilentOnCleanClose)
+{
+    TempFile tf;
+    testing::internal::CaptureStderr();
+    {
+        TraceFileWriter w(tf.path());
+        w.write(TraceRecord{4, 0, MemOp::None});
+    }
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 }
 
 } // anonymous namespace
