@@ -65,9 +65,10 @@ paperSweep(const BenchOptions &opts)
 }
 
 /** The sweep executor configured by --jobs, the --trace-events /
- *  --chrome-trace / --stats-json / --interval observability flags, and
- *  the --retries / --cell-timeout / --journal / --resume /
- *  --inject-faults robustness flags. */
+ *  --chrome-trace / --stats-json / --interval observability flags, the
+ *  --retries / --cell-timeout / --journal / --resume / --inject-faults
+ *  robustness flags, and the --batch / --trace-cache-mb pipeline
+ *  flags. */
 inline SweepRunner
 makeRunner(const BenchOptions &opts)
 {
@@ -79,6 +80,8 @@ makeRunner(const BenchOptions &opts)
         runner.journal(opts.journal);
     runner.resume(opts.resume);
     runner.injectFaults(opts.faults);
+    runner.batchSize(opts.batch);
+    runner.traceCache(opts.traceCacheMb);
     return runner;
 }
 

@@ -11,7 +11,9 @@
  *   --workload=NAME       gcc|vortex|ijpeg              [gcc]
  *   --trace=PATH          VMT1 trace file (overrides --workload)
  *   --instructions=N      measured instructions         [2000000]
- *   --warmup=N            warmup instructions           [instructions/2]
+ *   --warmup=N            warmup instructions           [instructions/4]
+ *   --batch=N             trace-fetch batch size
+ *                         (1 = scalar loop)             [4096]
  *   --l1=BYTES            L1 size per side              [65536]
  *   --l1-line=BYTES       L1 line size                  [64]
  *   --l2=BYTES            L2 size per side              [1048576]
@@ -91,6 +93,7 @@ runCli(int argc, char **argv)
     std::string stats_json_path;
     Counter interval = 0;
     FaultSpec faults;
+    std::size_t batch = 0;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -157,11 +160,15 @@ runCli(int argc, char **argv)
             interval = numArg(arg, "--interval=");
         else if (matches(arg, "--inject-faults="))
             faults = FaultSpec::parse(arg + 16).orThrow();
-        else
+        else if (matches(arg, "--batch=")) {
+            batch = numArg(arg, "--batch=");
+            fatalIf(batch == 0,
+                    "--batch must be positive (1 = scalar loop)");
+        } else
             fatal("unknown argument '", arg,
                   "' (see the header of examples/vmsim_cli.cc)");
     }
-    Counter warmup_instrs = warmup.value_or(instrs / 2);
+    Counter warmup_instrs = warmup.value_or(defaultWarmup(instrs));
 
     // Assemble the observability attachments: every requested exporter
     // sees the same event stream through one fan-out sink.
@@ -205,6 +212,8 @@ runCli(int argc, char **argv)
         };
     }
 
+    hooks.batch = batch;
+
     Results r = [&] {
         if (!trace_path.empty()) {
             auto trace = TraceFileReader::open(trace_path).orThrow();
@@ -214,6 +223,7 @@ runCli(int argc, char **argv)
             System sys(cfg);
             sys.attachEventSink(hooks.sink);
             sys.attachSampler(hooks.sampler);
+            sys.setBatchSize(batch);
             return sys.run(*source, instrs, trace_path, warmup_instrs);
         }
         return runOnce(cfg, workload, instrs, warmup_instrs, hooks);

@@ -15,7 +15,7 @@ cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target base_test obs_test simulator_test error_test fault_test \
-    sweep_resume_test vmsim_cli
+    sweep_resume_test batch_test vmsim_cli
 
 "$BUILD_DIR"/tests/base_test
 "$BUILD_DIR"/tests/obs_test
@@ -23,6 +23,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 "$BUILD_DIR"/tests/error_test
 "$BUILD_DIR"/tests/fault_test
 "$BUILD_DIR"/tests/sweep_resume_test
+# Lifetime checks on the zero-copy replay path: lent record
+# pointers must stay inside the shared recording.
+"$BUILD_DIR"/tests/batch_test
 
 # Smoke test: a fully-instrumented CLI run whose Chrome trace must be
 # valid JSON (python3 json.tool is the arbiter when available).

@@ -14,7 +14,7 @@ cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target thread_pool_test sweep_test fault_test sweep_resume_test \
-    bench_mcpi_sweep
+    batch_test bench_mcpi_sweep
 
 "$BUILD_DIR"/tests/thread_pool_test
 "$BUILD_DIR"/tests/sweep_test
@@ -22,6 +22,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 # atomics, and the journal mutex — the racy-by-construction paths.
 "$BUILD_DIR"/tests/fault_test
 "$BUILD_DIR"/tests/sweep_resume_test
+# batch_test hammers the TraceCache from concurrent sweep workers
+# (promise/shared_future publication, budget accounting under the
+# mutex) — the shared-recording paths TSan exists to check.
+"$BUILD_DIR"/tests/batch_test
 "$BUILD_DIR"/bench/bench_mcpi_sweep --instructions=20000 \
     --warmup=5000 --jobs=4 > /dev/null
 

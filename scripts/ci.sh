@@ -1,8 +1,9 @@
 #!/bin/sh
-# The full local gate: the tier-1 build + unit-test suite, then the
-# three sanitizer builds (ASan, TSan, UBSan). Run this before merging
-# anything that touches src/. Each stage uses its own build directory,
-# so incremental reruns are cheap.
+# The full local gate: the tier-1 build + unit-test suite, a smoke run
+# of every bench binary, the batched-pipeline determinism check, then
+# the three sanitizer builds (ASan, TSan, UBSan). Run this before
+# merging anything that touches src/. Each stage uses its own build
+# directory, so incremental reruns are cheap.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 set -eu
@@ -14,6 +15,44 @@ echo "== tier-1: build + ctest =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== bench smoke =="
+# One tiny sweep per bench binary: a flag or engine regression fails
+# here in seconds, not in a user's hour-long reproduction run.
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+for bench in build/bench/bench_*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    case "$name" in
+    bench_micro)
+        # Pipeline artifact only; the full microbench suite is manual.
+        "$bench" --benchmark_filter=BM_TlbLookupHit \
+            --pipeline-json="$SMOKE_DIR/BENCH_pipeline.json" \
+            > /dev/null 2>&1
+        test -s "$SMOKE_DIR/BENCH_pipeline.json"
+        ;;
+    *)
+        "$bench" --instructions=5000 --warmup=1000 --jobs=2 --csv \
+            > "$SMOKE_DIR/$name.csv"
+        ;;
+    esac
+done
+
+echo "== batched pipeline determinism =="
+# The trace cache and batched loop must not change a single output
+# byte: the same grid with the cache off (and once more scalar+serial)
+# must reproduce the cached parallel CSV exactly.
+build/bench/bench_fig6_vmcpi_gcc --csv --instructions=20000 \
+    --warmup=5000 --jobs=2 > "$SMOKE_DIR/fig6_cached.csv"
+build/bench/bench_fig6_vmcpi_gcc --csv --instructions=20000 \
+    --warmup=5000 --jobs=2 --trace-cache-mb=0 \
+    > "$SMOKE_DIR/fig6_uncached.csv"
+build/bench/bench_fig6_vmcpi_gcc --csv --instructions=20000 \
+    --warmup=5000 --jobs=1 --trace-cache-mb=0 --batch=1 \
+    > "$SMOKE_DIR/fig6_scalar.csv"
+cmp "$SMOKE_DIR/fig6_cached.csv" "$SMOKE_DIR/fig6_uncached.csv"
+cmp "$SMOKE_DIR/fig6_cached.csv" "$SMOKE_DIR/fig6_scalar.csv"
 
 echo "== sanitizers =="
 scripts/check_asan.sh

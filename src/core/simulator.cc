@@ -14,6 +14,12 @@ Simulator::Simulator(VmSystem &vm, TraceSource &trace,
 Counter
 Simulator::run(Counter max_instrs)
 {
+    return batch_ <= 1 ? runScalar(max_instrs) : runBatched(max_instrs);
+}
+
+Counter
+Simulator::runScalar(Counter max_instrs)
+{
     TraceRecord rec;
     Counter n = 0;
     // One extra branch per instruction when anything observes the run;
@@ -50,6 +56,91 @@ Simulator::run(Counter max_instrs)
     return n;
 }
 
+Counter
+Simulator::runBatched(Counter max_instrs)
+{
+    Counter n = 0;
+    const bool observing = sampler_ || vm_.tracing();
+    while (n < max_instrs) {
+        // Hoisted cancel poll: once per batch instead of every 2K
+        // instructions.
+        if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+            executed_ += n;
+            throwError(ErrorCode::Canceled, "simulator",
+                       "run canceled after ", executed_,
+                       " instructions");
+        }
+        // Split the batch at the end of the run and at the exact
+        // instruction whose scalar `++sinceSwitch_ >= interval` check
+        // would fire, so a context switch can only ever be due at the
+        // head of a batch. The scalar loop's first quantum is
+        // interval-1 instructions (pre-increment), later ones exactly
+        // interval; `due` reproduces that off-by-one.
+        Counter room = max_instrs - n;
+        bool due = false;
+        if (ctxSwitchInterval_) {
+            due = sinceSwitch_ + 1 >= ctxSwitchInterval_;
+            Counter free = due ? ctxSwitchInterval_
+                               : ctxSwitchInterval_ - sinceSwitch_ - 1;
+            if (free < room)
+                room = free;
+        }
+        std::size_t want = batch_;
+        if (Counter{want} > room)
+            want = static_cast<std::size_t>(room);
+        // Fetch before switching: like the scalar loop, a switch fires
+        // only when a next instruction actually exists, so a trace
+        // that ends on a quantum boundary ends the run switch-free.
+        // Sources with contiguous storage (replay cursors) lend their
+        // buffer directly; everything else fills the staging buffer.
+        std::size_t got = 0;
+        const TraceRecord *recs = trace_.lendBatch(want, got);
+        if (!recs) {
+            if (buf_.size() < batch_)
+                buf_.resize(batch_);
+            got = trace_.nextBatch(buf_.data(), want);
+            recs = buf_.data();
+        }
+        if (got == 0)
+            break;
+        if (observing) {
+            // Observed runs replicate the scalar per-instruction
+            // ordering — tick before switch at coinciding boundaries —
+            // so event streams and interval samples stay bit-identical.
+            for (std::size_t i = 0; i < got; ++i) {
+                vm_.setCurrentInstr(executed_ + n + i);
+                if (sampler_)
+                    sampler_->tick(executed_ + n + i, vm_);
+                if (ctxSwitchInterval_ &&
+                    ++sinceSwitch_ >= ctxSwitchInterval_) {
+                    sinceSwitch_ = 0;
+                    vm_.contextSwitch();
+                }
+                const TraceRecord &rec = recs[i];
+                vm_.instRef(rec.pc);
+                if (rec.isMemOp())
+                    vm_.dataRef(rec.daddr, rec.isStore());
+            }
+        } else {
+            if (due) {
+                vm_.contextSwitch();
+                // The triggering instruction restarts the count at 0;
+                // the rest of the batch advances it (clamped above to
+                // at most interval instructions, so no second switch).
+                sinceSwitch_ = got - 1;
+            } else if (ctxSwitchInterval_) {
+                sinceSwitch_ += got;
+            }
+            // One virtual dispatch per block; the organization's
+            // devirtualized refBlock() inlines its own handlers.
+            vm_.refBlock(recs, got);
+        }
+        n += got;
+    }
+    executed_ += n;
+    return n;
+}
+
 System::System(const SimConfig &config)
     : config_(config)
 {
@@ -69,6 +160,8 @@ System::run(TraceSource &trace, Counter max_instrs,
 {
     Simulator sim(*vm_, trace, config_.ctxSwitchInterval);
     sim.setCancel(cancel_);
+    if (batch_)
+        sim.setBatchSize(batch_);
     // Observe only the measured region: events and intervals from
     // warmup would not reconcile with the (reset) counters.
     vm_->attachEventSink(nullptr);
@@ -103,19 +196,30 @@ runOnce(const SimConfig &config, const std::string &workload,
         Counter instrs, std::optional<Counter> warmup_instrs,
         const RunHooks &hooks)
 {
-    auto trace = makeWorkload(workload, config.seed);
-    // Capture the display name before any wrapping: wrappers are
-    // plain TraceSources with no name of their own.
-    std::string name = trace->name();
-    std::unique_ptr<TraceSource> source = std::move(trace);
+    // The trace cache substitutes a replay cursor here; otherwise
+    // generate the named workload. Either way, capture the display
+    // name before any wrapping: wrappers are plain TraceSources with
+    // no name of their own.
+    std::unique_ptr<TraceSource> source;
+    std::string name;
+    if (hooks.makeTrace) {
+        NamedTraceSource named = hooks.makeTrace();
+        source = std::move(named.source);
+        name = std::move(named.name);
+    } else {
+        auto trace = makeWorkload(workload, config.seed);
+        name = trace->name();
+        source = std::move(trace);
+    }
     if (hooks.wrapTrace)
         source = hooks.wrapTrace(std::move(source));
     System system(config);
     system.attachEventSink(hooks.sink);
     system.attachSampler(hooks.sampler);
     system.attachCancel(hooks.cancel);
+    system.setBatchSize(hooks.batch);
     return system.run(*source, instrs, name,
-                      warmup_instrs.value_or(instrs / 4));
+                      warmup_instrs.value_or(defaultWarmup(instrs)));
 }
 
 } // namespace vmsim

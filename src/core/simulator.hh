@@ -8,10 +8,12 @@
 #define VMSIM_CORE_SIMULATOR_HH
 
 #include <atomic>
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/results.hh"
 #include "core/sim_config.hh"
@@ -25,13 +27,33 @@ namespace vmsim
 {
 
 /**
- * Drives a VmSystem from a TraceSource, one instruction at a time,
- * exactly as the paper's pseudocode: the VM system interposes its TLB
- * lookups and page-table walks around the cache accesses.
+ * The default warmup length for a measured run of @p instrs
+ * instructions: one quarter. Every layer that resolves an unspecified
+ * warmup (runOnce(), BenchOptions, the CLI) uses this single helper so
+ * the default cannot drift between entry points again.
+ */
+constexpr Counter
+defaultWarmup(Counter instrs)
+{
+    return instrs / 4;
+}
+
+/**
+ * Drives a VmSystem from a TraceSource, exactly as the paper's
+ * pseudocode: the VM system interposes its TLB lookups and page-table
+ * walks around the cache accesses. Instructions are fetched from the
+ * source in batches (one virtual call per batch instead of per
+ * instruction); batches are split at run ends and context-switch
+ * points so the executed stream — including every event, interval
+ * sample, and statistic — is bit-identical to the one-at-a-time loop,
+ * which remains available via setBatchSize(1).
  */
 class Simulator
 {
   public:
+    /** Default trace-fetch batch size (records; 48 KiB of buffer). */
+    static constexpr std::size_t kDefaultBatch = 4096;
+
     /**
      * @param ctx_switch_interval flush translation state (via
      *        VmSystem::contextSwitch()) every this many instructions;
@@ -59,14 +81,27 @@ class Simulator
     void attachSampler(IntervalSampler *sampler) { sampler_ = sampler; }
 
     /**
-     * Cooperative cancellation: run() polls @p token every ~2K
-     * instructions and throws VmsimError(Canceled) when it becomes
-     * true. The watchdog in SweepRunner uses this to reclaim runaway
-     * cells. Not owned; nullptr detaches.
+     * Cooperative cancellation: run() polls @p token at batch
+     * boundaries (every ~2K instructions on the scalar path) and
+     * throws VmsimError(Canceled) when it becomes true. The watchdog
+     * in SweepRunner uses this to reclaim runaway cells. Not owned;
+     * nullptr detaches.
      */
     void setCancel(const std::atomic<bool> *token) { cancel_ = token; }
 
+    /**
+     * Records fetched per TraceSource::nextBatch() call. @p n <= 1
+     * selects the reference one-instruction-at-a-time loop; results
+     * are identical either way.
+     */
+    void setBatchSize(std::size_t n) { batch_ = n; }
+
+    std::size_t batchSize() const { return batch_; }
+
   private:
+    Counter runScalar(Counter max_instrs);
+    Counter runBatched(Counter max_instrs);
+
     VmSystem &vm_;
     TraceSource &trace_;
     Counter ctxSwitchInterval_;
@@ -74,6 +109,8 @@ class Simulator
     Counter executed_ = 0;
     IntervalSampler *sampler_ = nullptr;
     const std::atomic<bool> *cancel_ = nullptr;
+    std::size_t batch_ = kDefaultBatch;
+    std::vector<TraceRecord> buf_; ///< batch staging (lazily sized)
 };
 
 /**
@@ -140,6 +177,12 @@ class System
      */
     void attachCancel(const std::atomic<bool> *token) { cancel_ = token; }
 
+    /**
+     * Trace-fetch batch size for every subsequent run(); 0 keeps the
+     * Simulator default (kDefaultBatch), 1 forces the scalar loop.
+     */
+    void setBatchSize(std::size_t n) { batch_ = n; }
+
   private:
     SimConfig config_;
     std::unique_ptr<PhysMem> physMem_;
@@ -149,18 +192,26 @@ class System
     EventSink *sink_ = nullptr;
     IntervalSampler *sampler_ = nullptr;
     const std::atomic<bool> *cancel_ = nullptr;
+    std::size_t batch_ = 0;
 };
 
 /**
  * Convenience one-shot: build the named synthetic workload and a
  * System from @p config, run @p instrs instructions, return Results.
  * @param warmup_instrs warmup length (statistics from warmup are
- *        discarded); nullopt selects the default of one quarter of
- *        @p instrs. Pass an explicit 0 to skip warmup entirely.
+ *        discarded); nullopt selects defaultWarmup(@p instrs), i.e.
+ *        one quarter. Pass an explicit 0 to skip warmup entirely.
  */
 Results runOnce(const SimConfig &config, const std::string &workload,
                 Counter instrs,
                 std::optional<Counter> warmup_instrs = std::nullopt);
+
+/** A trace source together with the display name for its Results. */
+struct NamedTraceSource
+{
+    std::unique_ptr<TraceSource> source;
+    std::string name;
+};
 
 /** Observability / robustness attachments for runOnce(); all optional. */
 struct RunHooks
@@ -174,9 +225,21 @@ struct RunHooks
     /**
      * Wrap the workload's trace source before the run — the fault
      * injector hooks in here. Receives ownership, returns ownership.
+     * Applied on top of makeTrace when both are set.
      */
     std::function<std::unique_ptr<TraceSource>(
         std::unique_ptr<TraceSource>)> wrapTrace;
+
+    /**
+     * Supply the trace source instead of generating the named workload
+     * — the sweep trace cache hooks in here to hand out a ReplayCursor
+     * over a shared recording. The returned name must match what the
+     * generated source would report so Results stay identical.
+     */
+    std::function<NamedTraceSource()> makeTrace;
+
+    /** Trace-fetch batch size; 0 = default, 1 = scalar loop. */
+    std::size_t batch = 0;
 };
 
 /** runOnce() with observability hooks attached to the measured run. */

@@ -21,6 +21,8 @@
 #include "obs/exporters.hh"
 #include "obs/interval.hh"
 #include "obs/stats_registry.hh"
+#include "trace/recorded.hh"
+#include "trace/synthetic/workloads.hh"
 
 namespace vmsim
 {
@@ -122,6 +124,12 @@ BenchOptions::parse(int argc, char **argv)
             opts.resume = true;
         } else if (std::strncmp(arg, "--inject-faults=", 16) == 0) {
             opts.faults = FaultSpec::parse(arg + 16).orThrow();
+        } else if (std::strncmp(arg, "--batch=", 8) == 0) {
+            opts.batch = std::strtoull(arg + 8, nullptr, 10);
+            fatalIf(opts.batch == 0,
+                    "--batch must be positive (1 = scalar loop)");
+        } else if (std::strncmp(arg, "--trace-cache-mb=", 17) == 0) {
+            opts.traceCacheMb = std::strtoull(arg + 17, nullptr, 10);
         } else {
             fatal("unknown argument '", arg,
                   "' (expected --full, --csv, --instructions=N, "
@@ -129,7 +137,8 @@ BenchOptions::parse(int argc, char **argv)
                   "--trace-events=F, --chrome-trace=F, --stats-json=F, "
                   "--interval=N, --retries=N, --retry-backoff=S, "
                   "--cell-timeout=S, --journal=F, --resume, "
-                  "--inject-faults=SPEC)");
+                  "--inject-faults=SPEC, --batch=N, "
+                  "--trace-cache-mb=N)");
         }
     }
     fatalIf(opts.resume && opts.journal.empty(),
@@ -609,9 +618,19 @@ SweepRunner::run(const SweepSpec &spec) const
 {
     const std::size_t n = spec.numCells();
     const Counter instrs = spec.instructionCount();
-    // What each cell actually executes (runOnce's warmup default).
-    const Counter executed =
-        instrs + spec.warmupCount().value_or(instrs / 4);
+    // What each cell actually executes (warmup included).
+    const Counter warmupInstrs =
+        spec.warmupCount().value_or(defaultWarmup(instrs));
+    const Counter executed = instrs + warmupInstrs;
+
+    // Shared recorded-trace cache: every cell consumes exactly
+    // `executed` records of its (workload, seed) trace, so one
+    // recording of that length serves all of them. Cells whose trace
+    // exceeds the remaining budget transparently regenerate instead.
+    std::unique_ptr<TraceCache> traceCache;
+    if (traceCacheMb_ > 0)
+        traceCache = std::make_unique<TraceCache>(traceCacheMb_ *
+                                                  std::size_t{1} << 20);
 
     std::vector<Results> results(n);
     std::vector<CellTiming> timings(n);
@@ -743,6 +762,30 @@ SweepRunner::run(const SweepSpec &spec) const
                                       cellTimeoutSeconds_ * 1e9),
                         std::memory_order_release);
                     hooks.cancel = &cancels[i];
+                }
+                hooks.batch = batchSize_;
+                if (traceCache) {
+                    // Replay the shared recording when it fits; the
+                    // cursor carries the workload's own name so
+                    // Results are indistinguishable from a generated
+                    // run. Fault wrapping (wrapTrace) still applies on
+                    // top of whatever source this returns.
+                    TraceCache *cache = traceCache.get();
+                    hooks.makeTrace =
+                        [cache, &cell, executed]() -> NamedTraceSource {
+                        auto recorded = cache->acquire(
+                            cell.workload, cell.config.seed, executed);
+                        if (recorded) {
+                            std::string name = recorded->name();
+                            return {std::make_unique<ReplayCursor>(
+                                        std::move(recorded)),
+                                    std::move(name)};
+                        }
+                        auto gen =
+                            makeWorkload(cell.workload, cell.config.seed);
+                        std::string name = gen->name();
+                        return {std::move(gen), std::move(name)};
+                    };
                 }
 
                 Results r = runOnce(cell.config, cell.workload, instrs,

@@ -39,6 +39,7 @@
 #include "base/thread_pool.hh"
 #include "core/results.hh"
 #include "core/sim_config.hh"
+#include "core/simulator.hh"
 #include "fault/fault.hh"
 
 namespace vmsim
@@ -101,7 +102,8 @@ struct ObsOptions
  *   --csv              emit CSV instead of aligned text
  *   --instructions=N   instructions per simulation point
  *   --warmup=N         warmup instructions (stats discarded);
- *                      defaults to half the measured instructions
+ *                      defaults to one quarter of the measured
+ *                      instructions (defaultWarmup())
  *   --seed=N           workload/replacement base seed
  *   --seeds=N          seed replications per cell (seed, seed+1, ...)
  *   --jobs=N           worker threads for the sweep (default: all
@@ -116,6 +118,9 @@ struct ObsOptions
  *   --journal=F        checkpoint completed cells to JSONL file F
  *   --resume           skip cells already completed in the journal
  *   --inject-faults=S  fault spec, e.g. corrupt=0.01,throw=0.01,seed=7
+ *   --batch=N          trace-fetch batch size (1 = scalar loop)
+ *   --trace-cache-mb=N shared recorded-trace cache budget in MiB
+ *                      (default 256; 0 disables the cache)
  * Unknown arguments are fatal() so typos don't silently run the
  * wrong experiment.
  */
@@ -124,7 +129,7 @@ struct BenchOptions
     bool full = false;
     bool csv = false;
     Counter instructions = 2'000'000;
-    std::optional<Counter> warmup; ///< unset = instructions/2
+    std::optional<Counter> warmup; ///< unset = defaultWarmup(instructions)
     std::uint64_t seed = 12345;
     unsigned seeds = 1;
     unsigned jobs = 0; ///< 0 = hardware_concurrency
@@ -135,12 +140,17 @@ struct BenchOptions
     std::string journal;       ///< checkpoint path; empty = off
     bool resume = false;       ///< load the journal before running
     FaultSpec faults;          ///< inactive unless --inject-faults
+    std::size_t batch = 0;     ///< trace-fetch batch; 0 = default
+    std::size_t traceCacheMb = 256; ///< trace-cache budget; 0 = off
 
-    /** The effective warmup length: --warmup=N or instructions/2. */
+    /**
+     * The effective warmup length: --warmup=N or the project-wide
+     * default of one quarter of the measured instructions.
+     */
     Counter
     resolvedWarmup() const
     {
-        return warmup.value_or(instructions / 2);
+        return warmup.value_or(defaultWarmup(instructions));
     }
 
     static BenchOptions parse(int argc, char **argv);
@@ -285,7 +295,7 @@ class SweepSpec
         return *this;
     }
 
-    /** Warmup per cell; nullopt = instructions/4 (runOnce default). */
+    /** Warmup per cell; nullopt = defaultWarmup(instructions). */
     SweepSpec &
     warmup(std::optional<Counter> n)
     {
@@ -584,6 +594,32 @@ class SweepRunner
     }
 
     /**
+     * Trace-fetch batch size for every cell's simulation loop;
+     * 0 = Simulator default, 1 = the scalar reference loop. Results
+     * are identical either way.
+     */
+    SweepRunner &
+    batchSize(std::size_t n)
+    {
+        batchSize_ = n;
+        return *this;
+    }
+
+    /**
+     * Budget (MiB) for the shared recorded-trace cache: each distinct
+     * (workload, seed) trace in the sweep is generated once and every
+     * cell replays the shared in-memory recording. Traces that don't
+     * fit fall back to per-cell generation, so results never depend on
+     * the budget. 0 disables the cache (every cell regenerates).
+     */
+    SweepRunner &
+    traceCache(std::size_t mb)
+    {
+        traceCacheMb_ = mb;
+        return *this;
+    }
+
+    /**
      * Run every cell of @p spec. Cell failures land in the outcomes
      * table, never propagate out of run(); only infrastructure errors
      * (an unwritable journal, a resume-fingerprint mismatch) throw.
@@ -610,6 +646,8 @@ class SweepRunner
     std::string journalPath_;
     bool resume_ = false;
     FaultSpec faults_;
+    std::size_t batchSize_ = 0;     ///< 0 = Simulator default
+    std::size_t traceCacheMb_ = 256; ///< 0 = cache disabled
 };
 
 /**

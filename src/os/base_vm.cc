@@ -19,4 +19,10 @@ BaseVm::dataRef(Addr addr, bool store)
     userDataAccess(addr, store);
 }
 
+void
+BaseVm::refBlock(const TraceRecord *recs, std::size_t n)
+{
+    refBlockFor(*this, recs, n);
+}
+
 } // namespace vmsim

@@ -27,6 +27,7 @@ class BaseVm : public VmSystem
 
     void instRef(Addr pc) override;
     void dataRef(Addr addr, bool store) override;
+    void refBlock(const TraceRecord *recs, std::size_t n) override;
 };
 
 } // namespace vmsim

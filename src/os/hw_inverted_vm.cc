@@ -56,4 +56,10 @@ HwInvertedVm::walk(Addr vaddr, Tlb &target)
     target.insert(v);
 }
 
+void
+HwInvertedVm::refBlock(const TraceRecord *recs, std::size_t n)
+{
+    refBlockFor(*this, recs, n);
+}
+
 } // namespace vmsim

@@ -61,4 +61,10 @@ HwMipsVm::walk(Addr vaddr, Tlb &target)
     target.insert(v);
 }
 
+void
+HwMipsVm::refBlock(const TraceRecord *recs, std::size_t n)
+{
+    refBlockFor(*this, recs, n);
+}
+
 } // namespace vmsim

@@ -55,4 +55,10 @@ IntelVm::walk(Addr vaddr, Tlb &target)
     target.insert(v);
 }
 
+void
+IntelVm::refBlock(const TraceRecord *recs, std::size_t n)
+{
+    refBlockFor(*this, recs, n);
+}
+
 } // namespace vmsim

@@ -35,6 +35,7 @@ class IntelVm : public VmSystem
 
     void instRef(Addr pc) override;
     void dataRef(Addr addr, bool store) override;
+    void refBlock(const TraceRecord *recs, std::size_t n) override;
 
     const Tlb *itlb() const override { return &itlb_; }
     const Tlb *dtlb() const override { return &dtlb_; }

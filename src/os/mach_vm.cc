@@ -82,4 +82,10 @@ MachVm::walk(Addr vaddr, Tlb &target)
     target.insert(v);
 }
 
+void
+MachVm::refBlock(const TraceRecord *recs, std::size_t n)
+{
+    refBlockFor(*this, recs, n);
+}
+
 } // namespace vmsim

@@ -48,4 +48,10 @@ NotlbVm::missHandler(Addr vaddr)
     }
 }
 
+void
+NotlbVm::refBlock(const TraceRecord *recs, std::size_t n)
+{
+    refBlockFor(*this, recs, n);
+}
+
 } // namespace vmsim

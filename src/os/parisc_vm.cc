@@ -63,4 +63,10 @@ PariscVm::walk(Addr vaddr, Tlb &target)
     target.insert(v);
 }
 
+void
+PariscVm::refBlock(const TraceRecord *recs, std::size_t n)
+{
+    refBlockFor(*this, recs, n);
+}
+
 } // namespace vmsim

@@ -41,4 +41,10 @@ SpurVm::hwMissWalk(Addr vaddr)
     }
 }
 
+void
+SpurVm::refBlock(const TraceRecord *recs, std::size_t n)
+{
+    refBlockFor(*this, recs, n);
+}
+
 } // namespace vmsim

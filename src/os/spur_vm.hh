@@ -32,6 +32,7 @@ class SpurVm : public VmSystem
 
     void instRef(Addr pc) override;
     void dataRef(Addr addr, bool store) override;
+    void refBlock(const TraceRecord *recs, std::size_t n) override;
 
     const DisjunctPageTable &pageTable() const { return pt_; }
 

@@ -65,4 +65,10 @@ UltrixVm::walk(Addr vaddr, Tlb &target)
     target.insert(v);
 }
 
+void
+UltrixVm::refBlock(const TraceRecord *recs, std::size_t n)
+{
+    refBlockFor(*this, recs, n);
+}
+
 } // namespace vmsim

@@ -48,6 +48,7 @@ class UltrixVm : public VmSystem
 
     void instRef(Addr pc) override;
     void dataRef(Addr addr, bool store) override;
+    void refBlock(const TraceRecord *recs, std::size_t n) override;
 
     const Tlb *itlb() const override { return &itlb_; }
     const Tlb *dtlb() const override { return &dtlb_; }

@@ -12,6 +12,18 @@ VmSystem::VmSystem(std::string name, MemSystem &mem)
 VmSystem::~VmSystem() = default;
 
 void
+VmSystem::refBlock(const TraceRecord *recs, std::size_t n)
+{
+    // Fallback for organizations without a devirtualized override:
+    // same order as the scalar loop, through the vtable.
+    for (std::size_t i = 0; i < n; ++i) {
+        instRef(recs[i].pc);
+        if (recs[i].isMemOp())
+            dataRef(recs[i].daddr, recs[i].isStore());
+    }
+}
+
+void
 VmSystem::attachL2Tlb(const TlbParams &params, Cycles hit_cycles,
                       std::uint64_t seed)
 {

@@ -41,6 +41,7 @@
 #include "mem/mem_system.hh"
 #include "obs/event.hh"
 #include "tlb/tlb.hh"
+#include "trace/trace.hh"
 
 namespace vmsim
 {
@@ -124,6 +125,17 @@ class VmSystem
 
     /** Process one application load/store of a word at @p addr. */
     virtual void dataRef(Addr addr, bool store) = 0;
+
+    /**
+     * Process @p n application instructions from @p recs: the fetch,
+     * then the data access for loads/stores — exactly the sequence of
+     * scalar instRef()/dataRef() calls, so counters and events are
+     * bit-identical. The default loops over the virtual calls;
+     * concrete organizations override with refBlockFor() so the
+     * batched simulator pays vtable dispatch once per block instead
+     * of twice per instruction.
+     */
+    virtual void refBlock(const TraceRecord *recs, std::size_t n);
 
     /** The I-TLB, or nullptr for TLB-less organizations. */
     virtual const Tlb *itlb() const { return nullptr; }
@@ -340,6 +352,24 @@ class VmSystem
     EventSink *sink_ = nullptr;
     Counter curInstr_ = 0;
 };
+
+/**
+ * Devirtualized block-reference loop: @p VM is the concrete
+ * organization, so the qualified VM::instRef / VM::dataRef calls are
+ * non-virtual and inline into the loop. Each organization's
+ * refBlock() override is a one-line call to this helper from its own
+ * translation unit, where the reference handlers are visible.
+ */
+template <class VM>
+inline void
+refBlockFor(VM &vm, const TraceRecord *recs, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        vm.VM::instRef(recs[i].pc);
+        if (recs[i].isMemOp())
+            vm.VM::dataRef(recs[i].daddr, recs[i].isStore());
+    }
+}
 
 } // namespace vmsim
 

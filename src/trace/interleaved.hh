@@ -63,6 +63,36 @@ class InterleavedTrace : public TraceSource
         return false; // every source exhausted
     }
 
+    std::size_t
+    nextBatch(TraceRecord *out, std::size_t n) override
+    {
+        std::size_t done = 0;
+        std::size_t dry = 0; // consecutive zero-yield sources
+        while (done < n && dry <= sources_.size()) {
+            if (inQuantum_ >= quantum_) {
+                inQuantum_ = 0;
+                cur_ = (cur_ + 1) % sources_.size();
+            }
+            // One chunk: the rest of the current source's quantum.
+            Counter room = quantum_ - inQuantum_;
+            std::size_t want = n - done;
+            if (Counter{want} > room)
+                want = static_cast<std::size_t>(room);
+            std::size_t got = sources_[cur_]->nextBatch(out + done, want);
+            done += got;
+            inQuantum_ += got;
+            if (got < want) {
+                // Source dry: forfeit the rest of its quantum so the
+                // next iteration rotates, as the scalar path does.
+                inQuantum_ = quantum_;
+                dry = got ? 1 : dry + 1;
+            } else {
+                dry = 0;
+            }
+        }
+        return done;
+    }
+
     /** Index of the source the next record will come from. */
     std::size_t currentSource() const { return cur_; }
 

@@ -1,0 +1,156 @@
+#include "trace/recorded.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.hh"
+#include "trace/synthetic/workloads.hh"
+
+namespace vmsim
+{
+
+RecordedTrace::RecordedTrace(std::vector<TraceRecord> records,
+                             std::string name)
+    : records_(std::move(records)), name_(std::move(name))
+{}
+
+RecordedTrace
+RecordedTrace::record(TraceSource &source, Counter max_records,
+                      std::string name)
+{
+    std::vector<TraceRecord> records;
+    records.resize(max_records);
+    std::size_t filled = 0;
+    while (filled < max_records) {
+        std::size_t got =
+            source.nextBatch(records.data() + filled, max_records - filled);
+        if (got == 0)
+            break;
+        filled += got;
+    }
+    records.resize(filled);
+    return RecordedTrace(std::move(records), std::move(name));
+}
+
+ReplayCursor::ReplayCursor(std::shared_ptr<const RecordedTrace> trace)
+    : trace_(std::move(trace))
+{
+    panicIf(!trace_, "ReplayCursor over a null RecordedTrace");
+}
+
+bool
+ReplayCursor::next(TraceRecord &rec)
+{
+    if (pos_ >= trace_->size())
+        return false;
+    rec = trace_->at(pos_++);
+    return true;
+}
+
+std::size_t
+ReplayCursor::nextBatch(TraceRecord *out, std::size_t n)
+{
+    std::size_t avail = trace_->size() - pos_;
+    std::size_t take = std::min(n, avail);
+    const TraceRecord *src = trace_->records().data() + pos_;
+    std::copy(src, src + take, out);
+    pos_ += take;
+    return take;
+}
+
+const TraceRecord *
+ReplayCursor::lendBatch(std::size_t n, std::size_t &got)
+{
+    // The recording is immutable and outlives the cursor, so the
+    // simulator can consume records in place — no staging copy.
+    std::size_t avail = trace_->size() - pos_;
+    got = std::min(n, avail);
+    const TraceRecord *src = trace_->records().data() + pos_;
+    pos_ += got;
+    return src;
+}
+
+std::size_t
+TraceCache::KeyHash::operator()(const Key &k) const
+{
+    // FNV-1a over the workload name, then splitmix-style mixing of the
+    // integer fields.
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : k.workload) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(k.seed);
+    mix(k.records);
+    return h;
+}
+
+TraceCache::TraceCache(std::size_t budget_bytes)
+    : budget_(budget_bytes)
+{}
+
+std::shared_ptr<const RecordedTrace>
+TraceCache::acquire(const std::string &workload, std::uint64_t seed,
+                    Counter records)
+{
+    const Key key{workload, seed, records};
+    const std::size_t bytes = records * sizeof(TraceRecord);
+    std::promise<std::shared_ptr<const RecordedTrace>> promise;
+    Future future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++stats_.hits;
+            future = it->second;
+        } else if (used_ + bytes > budget_) {
+            // Would not fit: the caller regenerates directly. Not an
+            // error — the cache only ever trades memory for speed.
+            ++stats_.fallbacks;
+            return nullptr;
+        } else {
+            // Charge the budget up front (the size is exact) and
+            // publish the future so concurrent acquires of the same
+            // key wait for this thread's recording instead of racing
+            // their own.
+            used_ += bytes;
+            stats_.bytes = used_;
+            ++stats_.misses;
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+            builder = true;
+        }
+    }
+    if (builder) {
+        try {
+            auto source = makeWorkload(workload, seed);
+            auto recorded = std::make_shared<const RecordedTrace>(
+                RecordedTrace::record(*source, records, source->name()));
+            promise.set_value(std::move(recorded));
+        } catch (...) {
+            // Generation failed (e.g. an unknown workload name): fail
+            // every waiter with the same exception and release the
+            // slot so the bad key doesn't pin budget forever.
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mutex_);
+            entries_.erase(key);
+            used_ -= bytes;
+            stats_.bytes = used_;
+            throw;
+        }
+    }
+    return future.get();
+}
+
+TraceCacheStats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace vmsim

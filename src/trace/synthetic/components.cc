@@ -245,10 +245,9 @@ SyntheticWorkload::addData(std::unique_ptr<AddressGenerator> gen,
     weightCdf_.push_back(prev + weight);
 }
 
-bool
-SyntheticWorkload::next(TraceRecord &rec)
+inline void
+SyntheticWorkload::generate(TraceRecord &rec)
 {
-    panicIf(code_.empty(), "SyntheticWorkload without a CodeModel");
     rec.pc = static_cast<std::uint32_t>(code_[0].nextPc(rng_));
     if (!gens_.empty() && rng_.chance(memOpRate_)) {
         // Pick a generator by weight.
@@ -263,7 +262,23 @@ SyntheticWorkload::next(TraceRecord &rec)
         rec.daddr = 0;
         rec.op = MemOp::None;
     }
+}
+
+bool
+SyntheticWorkload::next(TraceRecord &rec)
+{
+    panicIf(code_.empty(), "SyntheticWorkload without a CodeModel");
+    generate(rec);
     return true;
+}
+
+std::size_t
+SyntheticWorkload::nextBatch(TraceRecord *out, std::size_t n)
+{
+    panicIf(code_.empty(), "SyntheticWorkload without a CodeModel");
+    for (std::size_t i = 0; i < n; ++i)
+        generate(out[i]);
+    return n;
 }
 
 } // namespace vmsim

@@ -262,6 +262,13 @@ class SyntheticWorkload : public TraceSource
   public:
     bool next(TraceRecord &rec) override;
 
+    /**
+     * Bulk generation: one virtual call fills @p n records (always
+     * @p n — synthetic sources are unbounded). Draws from the same
+     * RNG stream as next(), so the sequence is identical.
+     */
+    std::size_t nextBatch(TraceRecord *out, std::size_t n) override;
+
     /** Human-readable workload name ("gcc-like", ...). */
     const std::string &name() const { return name_; }
 
@@ -286,6 +293,8 @@ class SyntheticWorkload : public TraceSource
     Random rng_;
 
   private:
+    void generate(TraceRecord &rec);
+
     std::string name_;
     std::vector<std::unique_ptr<AddressGenerator>> gens_;
     std::vector<double> weightCdf_;

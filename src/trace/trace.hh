@@ -12,6 +12,7 @@
 #ifndef VMSIM_TRACE_TRACE_HH
 #define VMSIM_TRACE_TRACE_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "base/types.hh"
@@ -60,6 +61,45 @@ class TraceSource
      *         typically unbounded and always return true).
      */
     virtual bool next(TraceRecord &rec) = 0;
+
+    /**
+     * Produce up to @p n instructions into @p out. Returns the number
+     * produced; fewer than @p n (possibly 0) means the trace is
+     * exhausted. Record-for-record identical to n calls of next() —
+     * the batched simulation loop depends on that equivalence.
+     *
+     * The default walks next(); sources with a cheaper bulk path
+     * (synthetic generators, file readers, replay cursors) override it
+     * to skip the per-record virtual dispatch.
+     */
+    virtual std::size_t
+    nextBatch(TraceRecord *out, std::size_t n)
+    {
+        std::size_t i = 0;
+        while (i < n && next(out[i]))
+            ++i;
+        return i;
+    }
+
+    /**
+     * Zero-copy variant of nextBatch() for sources that own contiguous
+     * record storage: lend the caller a pointer to up to @p n records
+     * and advance past them, setting @p got to the count (0 at
+     * exhaustion). The pointer stays valid until the source is
+     * destroyed or rewound.
+     *
+     * Returns nullptr when the source cannot lend (the default) — the
+     * caller must then fall back to nextBatch() into its own buffer.
+     * Sources that do lend must yield the exact record sequence
+     * nextBatch() would.
+     */
+    virtual const TraceRecord *
+    lendBatch(std::size_t n, std::size_t &got)
+    {
+        (void)n;
+        got = 0;
+        return nullptr;
+    }
 };
 
 } // namespace vmsim

@@ -257,6 +257,49 @@ TraceFileReader::next(TraceRecord &rec)
     return true;
 }
 
+std::size_t
+TraceFileReader::nextBatch(TraceRecord *out, std::size_t n)
+{
+    std::size_t done = 0;
+    while (done < n) {
+        if (read_ >= total_)
+            break;
+        if (bufPos_ >= bufLen_ && !fillBuffer())
+            break;
+        // Decode a run of records directly from the I/O buffer: bounded
+        // by the caller's remaining space, the buffered bytes, and the
+        // header's record count.
+        std::size_t avail = (bufLen_ - bufPos_) / kTraceRecordBytes;
+        std::size_t want = n - done;
+        if (want > avail)
+            want = avail;
+        Counter left = total_ - read_;
+        if (Counter{want} > left)
+            want = static_cast<std::size_t>(left);
+        const unsigned char *p = buf_.data() + bufPos_;
+        for (std::size_t i = 0; i < want; ++i, p += kTraceRecordBytes) {
+            unsigned char op = p[8];
+            if (op > 2) {
+                // Commit the good prefix so the error message names the
+                // exact record, matching the scalar path.
+                bufPos_ += i * kTraceRecordBytes;
+                read_ += i;
+                throw VmsimError(makeError(ErrorCode::ParseError, path_,
+                                           "corrupt trace record ", read_,
+                                           ": op=", unsigned{op}));
+            }
+            TraceRecord &rec = out[done + i];
+            rec.pc = getU32(p);
+            rec.daddr = getU32(p + 4);
+            rec.op = static_cast<MemOp>(op);
+        }
+        bufPos_ += want * kTraceRecordBytes;
+        read_ += want;
+        done += want;
+    }
+    return done;
+}
+
 void
 TraceFileReader::rewind()
 {

@@ -88,6 +88,12 @@ class TraceFileReader : public TraceSource
     /** Throws VmsimError on a corrupt record. */
     bool next(TraceRecord &rec) override;
 
+    /**
+     * Bulk decode straight out of the I/O buffer, refilling as needed.
+     * Same records, bounds checks, and error behavior as next().
+     */
+    std::size_t nextBatch(TraceRecord *out, std::size_t n) override;
+
     /** Total records the header promises. */
     Counter recordCount() const { return total_; }
 

@@ -57,6 +57,7 @@
 #include "pt/ultrix_page_table.hh"
 #include "tlb/tlb.hh"
 #include "trace/interleaved.hh"
+#include "trace/recorded.hh"
 #include "trace/trace.hh"
 #include "trace/trace_file.hh"
 #include "trace/synthetic/components.hh"

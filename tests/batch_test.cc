@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Tests for the batched trace pipeline: nextBatch() equivalence with
+ * next() across every source, recorded traces and replay cursors, the
+ * shared trace cache, and — most importantly — bit-identical results,
+ * event streams, and interval samples between the scalar and batched
+ * simulation loops for all nine VM organizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "obs/event.hh"
+#include "obs/interval.hh"
+#include "trace/interleaved.hh"
+#include "trace/recorded.hh"
+#include "trace/synthetic/workloads.hh"
+#include "trace/trace_file.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+/** Temp-file helper that cleans up after itself. */
+class TempFile
+{
+  public:
+    TempFile()
+    {
+        char tmpl[] = "/tmp/vmsim_batch_XXXXXX";
+        int fd = mkstemp(tmpl);
+        if (fd >= 0)
+            ::close(fd);
+        path_ = tmpl;
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Deterministic bounded source that only implements next(). */
+class CountedSource : public TraceSource
+{
+  public:
+    explicit CountedSource(Counter total) : total_(total) {}
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (emitted_ >= total_)
+            return false;
+        rec.pc = static_cast<std::uint32_t>(0x1000 + emitted_ * 4);
+        rec.daddr = static_cast<std::uint32_t>(0x80000 + emitted_ * 8);
+        rec.op = emitted_ % 3 == 0   ? MemOp::None
+                 : emitted_ % 3 == 1 ? MemOp::Load
+                                     : MemOp::Store;
+        ++emitted_;
+        return true;
+    }
+
+  private:
+    Counter total_;
+    Counter emitted_ = 0;
+};
+
+/** Drain @p source one record at a time. */
+std::vector<TraceRecord>
+drainScalar(TraceSource &source)
+{
+    std::vector<TraceRecord> out;
+    TraceRecord rec;
+    while (source.next(rec))
+        out.push_back(rec);
+    return out;
+}
+
+/** Drain @p source via nextBatch() in chunks of @p chunk. */
+std::vector<TraceRecord>
+drainBatched(TraceSource &source, std::size_t chunk)
+{
+    std::vector<TraceRecord> out;
+    std::vector<TraceRecord> buf(chunk);
+    while (true) {
+        std::size_t got = source.nextBatch(buf.data(), chunk);
+        out.insert(out.end(), buf.begin(), buf.begin() + got);
+        if (got < chunk)
+            break;
+    }
+    return out;
+}
+
+TEST(NextBatch, DefaultFallbackMatchesScalar)
+{
+    CountedSource a(1000), b(1000);
+    std::vector<TraceRecord> scalar = drainScalar(a);
+    std::vector<TraceRecord> batched = drainBatched(b, 37);
+    EXPECT_EQ(scalar, batched);
+    EXPECT_EQ(scalar.size(), 1000u);
+
+    // A drained source keeps returning 0, not garbage.
+    TraceRecord rec;
+    EXPECT_EQ(b.nextBatch(&rec, 1), 0u);
+}
+
+TEST(NextBatch, SyntheticMatchesScalarForAllWorkloads)
+{
+    for (const std::string name :
+         {"gcc", "vortex", "ijpeg", "stream", "chase", "uniform"}) {
+        auto scalarSrc = makeWorkload(name, 42);
+        auto batchSrc = makeWorkload(name, 42);
+        std::vector<TraceRecord> scalar(5000), batched(5000);
+        for (auto &rec : scalar)
+            ASSERT_TRUE(scalarSrc->next(rec));
+        // Odd chunk size so batches never align with anything.
+        std::size_t filled = 0;
+        while (filled < batched.size()) {
+            std::size_t want = std::min<std::size_t>(
+                997, batched.size() - filled);
+            ASSERT_EQ(batchSrc->nextBatch(batched.data() + filled, want),
+                      want);
+            filled += want;
+        }
+        EXPECT_EQ(scalar, batched) << name;
+    }
+}
+
+TEST(NextBatch, TraceFileReaderMatchesScalar)
+{
+    TempFile file;
+    // More records than one 4096-record I/O buffer, plus a remainder,
+    // so batches cross refill boundaries.
+    const Counter total = 2 * 4096 + 37;
+    {
+        TraceFileWriter writer(file.path());
+        CountedSource src(total);
+        TraceRecord rec;
+        while (src.next(rec))
+            writer.write(rec);
+        writer.close();
+    }
+
+    TraceFileReader scalarReader(file.path());
+    std::vector<TraceRecord> scalar = drainScalar(scalarReader);
+    ASSERT_EQ(scalar.size(), total);
+
+    TraceFileReader batchReader(file.path());
+    std::vector<TraceRecord> batched = drainBatched(batchReader, 1000);
+    EXPECT_EQ(scalar, batched);
+    EXPECT_EQ(batchReader.recordsRead(), total);
+
+    // rewind() resets the batch path too.
+    batchReader.rewind();
+    std::vector<TraceRecord> again = drainBatched(batchReader, 512);
+    EXPECT_EQ(scalar, again);
+}
+
+TEST(NextBatch, TraceFileReaderCorruptOpThrowsAtExactRecord)
+{
+    TempFile file;
+    const Counter total = 100;
+    {
+        TraceFileWriter writer(file.path());
+        CountedSource src(total);
+        TraceRecord rec;
+        while (src.next(rec))
+            writer.write(rec);
+        writer.close();
+    }
+    // Corrupt record 60's op byte in place.
+    {
+        std::FILE *f = std::fopen(file.path().c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        long off = static_cast<long>(kTraceHeaderBytes +
+                                     60 * kTraceRecordBytes + 8);
+        ASSERT_EQ(std::fseek(f, off, SEEK_SET), 0);
+        unsigned char bad = 9;
+        ASSERT_EQ(std::fwrite(&bad, 1, 1, f), 1u);
+        std::fclose(f);
+    }
+
+    TraceFileReader reader(file.path());
+    std::vector<TraceRecord> buf(total);
+    // The good prefix decodes; the corrupt record throws with its
+    // exact index, matching the scalar reader.
+    EXPECT_EQ(reader.nextBatch(buf.data(), 50), 50u);
+    try {
+        reader.nextBatch(buf.data() + 50, 50);
+        FAIL() << "corrupt record did not throw";
+    } catch (const VmsimError &e) {
+        EXPECT_EQ(e.error().code, ErrorCode::ParseError);
+        EXPECT_NE(e.error().message.find("record 60"), std::string::npos)
+            << e.error().message;
+    }
+    EXPECT_EQ(reader.recordsRead(), 60u);
+}
+
+TEST(NextBatch, InterleavedMatchesScalarIncludingExhaustion)
+{
+    // Shared recordings so both instances see identical streams; the
+    // shorter source exercises mid-quantum exhaustion and the rotation
+    // over a dry source.
+    auto gcc = makeWorkload("gcc", 7);
+    auto ijpeg = makeWorkload("ijpeg", 7);
+    auto recA = std::make_shared<const RecordedTrace>(
+        RecordedTrace::record(*gcc, 500, "a"));
+    auto recB = std::make_shared<const RecordedTrace>(
+        RecordedTrace::record(*ijpeg, 213, "b"));
+
+    ReplayCursor sa(recA), sb(recB);
+    InterleavedTrace scalarMix({&sa, &sb}, 17);
+    std::vector<TraceRecord> scalar = drainScalar(scalarMix);
+    EXPECT_EQ(scalar.size(), 713u);
+
+    ReplayCursor ba(recA), bb(recB);
+    InterleavedTrace batchMix({&ba, &bb}, 17);
+    std::vector<TraceRecord> batched = drainBatched(batchMix, 23);
+    EXPECT_EQ(scalar, batched);
+}
+
+TEST(RecordedTrace, RecordReplayRewind)
+{
+    auto src = makeWorkload("gcc", 3);
+    RecordedTrace rec = RecordedTrace::record(*src, 1234, src->name());
+    EXPECT_EQ(rec.size(), 1234u);
+    EXPECT_EQ(rec.bytes(), 1234 * sizeof(TraceRecord));
+    EXPECT_EQ(rec.name(), "gcc-like");
+    EXPECT_FALSE(rec.empty());
+
+    // A replay matches a fresh generator record-for-record.
+    auto fresh = makeWorkload("gcc", 3);
+    ReplayCursor cursor(
+        std::make_shared<const RecordedTrace>(std::move(rec)));
+    TraceRecord a, b;
+    for (int i = 0; i < 1234; ++i) {
+        ASSERT_TRUE(fresh->next(a));
+        ASSERT_TRUE(cursor.next(b));
+        ASSERT_EQ(a, b) << "record " << i;
+    }
+    // Exhaustion, then rewind restarts from the first record.
+    EXPECT_FALSE(cursor.next(b));
+    EXPECT_EQ(cursor.nextBatch(&b, 1), 0u);
+    cursor.rewind();
+    ASSERT_TRUE(cursor.next(b));
+    EXPECT_EQ(b, cursor.trace().at(0));
+
+    // A bounded source yields a short recording, not an error.
+    CountedSource short_src(10);
+    RecordedTrace short_rec = RecordedTrace::record(short_src, 100);
+    EXPECT_EQ(short_rec.size(), 10u);
+}
+
+TEST(RecordedTrace, LendBatchMatchesNextBatchZeroCopy)
+{
+    auto src = makeWorkload("gcc", 5);
+    auto rec = std::make_shared<const RecordedTrace>(
+        RecordedTrace::record(*src, 500, src->name()));
+
+    // Sources without contiguous storage decline to lend.
+    CountedSource counted(10);
+    std::size_t got = 99;
+    EXPECT_EQ(counted.lendBatch(4, got), nullptr);
+    EXPECT_EQ(got, 0u);
+
+    // The lent pointers walk the recording itself — same records as
+    // nextBatch(), no copy — and exhaustion yields got == 0.
+    ReplayCursor lender(rec), copier(rec);
+    std::vector<TraceRecord> buf(96);
+    std::size_t pos = 0;
+    while (true) {
+        const TraceRecord *p = lender.lendBatch(96, got);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p, rec->records().data() + pos);
+        ASSERT_EQ(copier.nextBatch(buf.data(), 96), got);
+        for (std::size_t i = 0; i < got; ++i)
+            ASSERT_EQ(p[i], buf[i]) << "record " << pos + i;
+        pos += got;
+        if (got < 96)
+            break;
+    }
+    EXPECT_EQ(pos, 500u);
+    EXPECT_EQ(lender.lendBatch(96, got), rec->records().data() + 500);
+    EXPECT_EQ(got, 0u);
+}
+
+TEST(TraceCache, SharesOneRecordingPerKey)
+{
+    TraceCache cache(64u << 20);
+    auto first = cache.acquire("gcc", 11, 1000);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->size(), 1000u);
+    EXPECT_EQ(first->name(), "gcc-like");
+
+    auto second = cache.acquire("gcc", 11, 1000);
+    EXPECT_EQ(first.get(), second.get()); // the same buffer, shared
+
+    // Different seed, count, or workload are distinct recordings.
+    auto other = cache.acquire("gcc", 12, 1000);
+    EXPECT_NE(first.get(), other.get());
+
+    TraceCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.fallbacks, 0u);
+    EXPECT_EQ(stats.bytes, 2 * 1000 * sizeof(TraceRecord));
+}
+
+TEST(TraceCache, OverBudgetFallsBackToNullptr)
+{
+    // Budget fits one 1000-record trace but not two.
+    TraceCache cache(1500 * sizeof(TraceRecord));
+    auto first = cache.acquire("gcc", 1, 1000);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(cache.acquire("vortex", 1, 1000), nullptr);
+    // The cached entry is still served.
+    EXPECT_EQ(cache.acquire("gcc", 1, 1000).get(), first.get());
+
+    TraceCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.fallbacks, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.bytes, 1000 * sizeof(TraceRecord));
+}
+
+SimConfig
+batchTestConfig(SystemKind kind)
+{
+    SimConfig cfg;
+    cfg.kind = kind;
+    cfg.l1 = CacheParams{16_KiB, 32};
+    cfg.l2 = CacheParams{1_MiB, 64};
+    cfg.seed = 777;
+    // Prime interval so context switches land mid-batch for any
+    // power-of-two-ish batch size.
+    cfg.ctxSwitchInterval = 997;
+    return cfg;
+}
+
+/** Everything one observed run produced, in comparable form. */
+struct ObservedRun
+{
+    std::string results;
+    std::vector<TraceEvent> events;
+    std::string intervals;
+};
+
+ObservedRun
+observedRun(SystemKind kind, std::size_t batch)
+{
+    CollectingSink sink;
+    IntervalSampler sampler(1000);
+    RunHooks hooks;
+    hooks.sink = &sink;
+    hooks.sampler = &sampler;
+    hooks.batch = batch;
+    Results r = runOnce(batchTestConfig(kind), "gcc", 20000, 5000, hooks);
+    return {r.serialize().dump(), sink.events(),
+            intervalsToJson(sampler.intervals()).dump()};
+}
+
+TEST(BatchedSimulator, BitIdenticalToScalarForAllSystems)
+{
+    for (SystemKind kind :
+         {SystemKind::Ultrix, SystemKind::Mach, SystemKind::Intel,
+          SystemKind::Parisc, SystemKind::Notlb, SystemKind::Base,
+          SystemKind::HwInverted, SystemKind::HwMips, SystemKind::Spur}) {
+        ObservedRun scalar = observedRun(kind, 1);
+        // 256 divides neither the 997-instruction quantum nor the
+        // 1000-instruction sampling interval, so switches and interval
+        // boundaries land mid-batch.
+        ObservedRun batched = observedRun(kind, 256);
+
+        EXPECT_EQ(scalar.results, batched.results) << kindName(kind);
+        EXPECT_EQ(scalar.intervals, batched.intervals) << kindName(kind);
+        ASSERT_EQ(scalar.events.size(), batched.events.size())
+            << kindName(kind);
+        for (std::size_t i = 0; i < scalar.events.size(); ++i) {
+            const TraceEvent &a = scalar.events[i];
+            const TraceEvent &b = batched.events[i];
+            ASSERT_TRUE(a.kind == b.kind && a.level == b.level &&
+                        a.instr == b.instr && a.vaddr == b.vaddr &&
+                        a.vpn == b.vpn && a.cycles == b.cycles)
+                << kindName(kind) << " event " << i;
+        }
+    }
+}
+
+TEST(BatchedSimulator, UnobservedResultsIdenticalAcrossBatchSizes)
+{
+    for (SystemKind kind : {SystemKind::Ultrix, SystemKind::HwMips}) {
+        std::string baseline;
+        for (std::size_t batch : {std::size_t{1}, std::size_t{97},
+                                  Simulator::kDefaultBatch}) {
+            RunHooks hooks;
+            hooks.batch = batch;
+            Results r = runOnce(batchTestConfig(kind), "vortex", 30000,
+                                3000, hooks);
+            std::string dump = r.serialize().dump();
+            if (baseline.empty())
+                baseline = dump;
+            else
+                EXPECT_EQ(baseline, dump)
+                    << kindName(kind) << " batch " << batch;
+        }
+    }
+}
+
+TEST(BatchedSimulator, ReplayedTraceMatchesGeneratedTrace)
+{
+    // A cell fed by a ReplayCursor over a recording must be
+    // indistinguishable from one that generated the workload itself —
+    // this is the contract the sweep trace cache relies on.
+    const Counter instrs = 20000, warmup = 5000;
+    RunHooks genHooks;
+    Results generated =
+        runOnce(batchTestConfig(SystemKind::Ultrix), "gcc", instrs,
+                warmup, genHooks);
+
+    TraceCache cache(64u << 20);
+    RunHooks replayHooks;
+    replayHooks.makeTrace = [&]() -> NamedTraceSource {
+        auto rec = cache.acquire("gcc", 777, instrs + warmup);
+        EXPECT_NE(rec, nullptr);
+        std::string name = rec->name();
+        return {std::make_unique<ReplayCursor>(std::move(rec)),
+                std::move(name)};
+    };
+    Results replayed =
+        runOnce(batchTestConfig(SystemKind::Ultrix), "gcc", instrs,
+                warmup, replayHooks);
+
+    EXPECT_EQ(generated.serialize().dump(), replayed.serialize().dump());
+}
+
+TEST(SweepTraceCache, CsvByteIdenticalCacheOnVsOff)
+{
+    SweepSpec spec;
+    SimConfig base;
+    base.l1 = CacheParams{16_KiB, 32};
+    base.l2 = CacheParams{1_MiB, 64};
+    base.seed = 777;
+    spec.base(base)
+        .systems({SystemKind::Ultrix, SystemKind::Mach})
+        .workloads({"gcc", "ijpeg"})
+        .l1Sizes({8_KiB, 32_KiB})
+        .instructions(15000)
+        .warmup(3000);
+
+    std::ostringstream cached, uncached, scalar;
+    {
+        SweepRunner runner(2);
+        runner.traceCache(64); // cache on, parallel, batched
+        runner.run(spec).writeCsv(cached);
+    }
+    {
+        SweepRunner runner(1);
+        runner.traceCache(0); // cache off: every cell regenerates
+        runner.run(spec).writeCsv(uncached);
+    }
+    {
+        SweepRunner runner(1);
+        runner.traceCache(0);
+        runner.batchSize(1); // the scalar reference loop
+        runner.run(spec).writeCsv(scalar);
+    }
+    EXPECT_EQ(cached.str(), uncached.str());
+    EXPECT_EQ(cached.str(), scalar.str());
+    EXPECT_FALSE(cached.str().empty());
+}
+
+TEST(SweepTraceCache, ComposesWithFaultInjection)
+{
+    // wrapTrace applies on top of whatever makeTrace returns, so a
+    // fault campaign must hit the exact same records — and fail the
+    // exact same cells — whether cells replay the shared recording or
+    // regenerate their traces.
+    SweepSpec spec;
+    SimConfig base;
+    base.seed = 777;
+    spec.base(base)
+        .systems({SystemKind::Ultrix})
+        .l1Sizes({8_KiB, 16_KiB})
+        .seeds(2)
+        .instructions(10000)
+        .warmup(2000);
+    FaultSpec faults =
+        FaultSpec::parse("corrupt=0.00005,throw=0.0001,seed=9")
+            .orThrow();
+
+    std::ostringstream cached, uncached;
+    SweepRunner a(1), b(1);
+    a.traceCache(64).injectFaults(faults);
+    a.run(spec).writeCsv(cached);
+    b.traceCache(0).injectFaults(faults);
+    b.run(spec).writeCsv(uncached);
+    EXPECT_EQ(cached.str(), uncached.str());
+}
+
+} // anonymous namespace
+} // namespace vmsim

@@ -199,13 +199,18 @@ TEST(BenchOptions, ParsesJobsSeedsAndWarmup)
     EXPECT_EQ(opts.resolvedWarmup(), 100u);
 }
 
-TEST(BenchOptions, WarmupDefaultsToHalfInstructions)
+TEST(BenchOptions, WarmupDefaultsToQuarterInstructions)
 {
+    // Every layer resolves an unspecified warmup through the single
+    // defaultWarmup() helper: one quarter of the measured run, the
+    // same default runOnce() applies. (It was instructions/2 here and
+    // instructions/4 in runOnce once — this pins the unification.)
     const char *argv[] = {"prog", "--instructions=5000"};
     BenchOptions opts =
         BenchOptions::parse(2, const_cast<char **>(argv));
     EXPECT_FALSE(opts.warmup.has_value());
-    EXPECT_EQ(opts.resolvedWarmup(), 2500u);
+    EXPECT_EQ(opts.resolvedWarmup(), defaultWarmup(5000));
+    EXPECT_EQ(opts.resolvedWarmup(), 1250u);
 
     setQuiet(true);
     const char *bad[] = {"prog", "--seeds=0"};
