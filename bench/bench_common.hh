@@ -67,8 +67,8 @@ paperSweep(const BenchOptions &opts)
 /** The sweep executor configured by --jobs, the --trace-events /
  *  --chrome-trace / --stats-json / --interval observability flags, the
  *  --retries / --cell-timeout / --journal / --resume / --inject-faults
- *  robustness flags, and the --batch / --trace-cache-mb pipeline
- *  flags. */
+ *  robustness flags, the --batch / --trace-cache-mb pipeline flags,
+ *  and the --check invariant audit. */
 inline SweepRunner
 makeRunner(const BenchOptions &opts)
 {
@@ -82,6 +82,7 @@ makeRunner(const BenchOptions &opts)
     runner.injectFaults(opts.faults);
     runner.batchSize(opts.batch);
     runner.traceCache(opts.traceCacheMb);
+    runner.verify(opts.check);
     return runner;
 }
 
@@ -117,6 +118,17 @@ reportFailures(const SweepResults &res)
 inline SweepResults
 runSweep(const BenchOptions &opts, const SweepSpec &spec)
 {
+    if (opts.fuzz) {
+        // Differential self-check before spending time on the sweep:
+        // a bench whose execution strategies disagree has no business
+        // printing tables.
+        DiffOptions dopts;
+        dopts.seed = opts.seed;
+        FuzzReport fuzz = DiffRunner(dopts).run(opts.fuzz);
+        std::cerr << fuzz.toString() << '\n';
+        fatalIf(!fuzz.ok(), "differential fuzz found ",
+                fuzz.failures.size(), " failing tuples");
+    }
     SweepResults res = makeRunner(opts).run(spec);
     reportFailures(res);
     return res;

@@ -28,6 +28,7 @@
  *   --ctx-switch=N        flush TLBs every N instrs     [0 = never]
  *   --asid-bits=N         ASID tag bits (switches evict
  *                         instead of flushing)          [0]
+ *   --l2-tlb=N            unified L2 TLB entries        [0 = none]
  *   --unified-l2          share one L2 of 2x capacity
  *   --json                emit machine-readable JSON
  *
@@ -43,6 +44,17 @@
  *   --inject-faults=SPEC  deterministic fault injection on the trace
  *                         and event-sink paths, e.g.
  *                         corrupt=0.01,throw=0.01,seed=7
+ *
+ * Checking (see docs/checking.md):
+ *   --check               audit the run with the invariant checker
+ *                         (conservation + Table-4 laws + event and
+ *                         interval reconciliation); violations print
+ *                         to stderr and exit 1
+ *   --fuzz=N              instead of simulating, run N differential
+ *                         fuzz cases seeded from --seed and print the
+ *                         JSON report; exit 1 on any failing tuple
+ *   --fuzz-report=FILE    write the fuzz report JSON to FILE instead
+ *                         of stdout
  *
  * All errors — bad flags, unreadable traces, injected faults — exit
  * with status 1 and a one-line [code] diagnostic on stderr.
@@ -94,6 +106,9 @@ runCli(int argc, char **argv)
     Counter interval = 0;
     FaultSpec faults;
     std::size_t batch = 0;
+    bool check = false;
+    unsigned fuzz_cases = 0;
+    std::string fuzz_report_path;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -143,6 +158,9 @@ runCli(int argc, char **argv)
             cfg.seed = numArg(arg, "--seed=");
         else if (matches(arg, "--ctx-switch="))
             cfg.ctxSwitchInterval = numArg(arg, "--ctx-switch=");
+        else if (matches(arg, "--l2-tlb="))
+            cfg.l2TlbEntries = static_cast<unsigned>(
+                numArg(arg, "--l2-tlb="));
         else if (matches(arg, "--asid-bits="))
             cfg.tlbAsidBits = static_cast<unsigned>(
                 numArg(arg, "--asid-bits="));
@@ -164,10 +182,40 @@ runCli(int argc, char **argv)
             batch = numArg(arg, "--batch=");
             fatalIf(batch == 0,
                     "--batch must be positive (1 = scalar loop)");
-        } else
+        } else if (std::strcmp(arg, "--check") == 0)
+            check = true;
+        else if (matches(arg, "--fuzz=")) {
+            fuzz_cases = static_cast<unsigned>(numArg(arg, "--fuzz="));
+            fatalIf(fuzz_cases == 0, "--fuzz must be positive");
+        } else if (matches(arg, "--fuzz-report="))
+            fuzz_report_path = arg + 14;
+        else
             fatal("unknown argument '", arg,
                   "' (see the header of examples/vmsim_cli.cc)");
     }
+    // Fuzz mode replaces the simulation entirely: run the seeded
+    // differential campaign and report. The JSON artifact is
+    // byte-stable for a given seed (CI compares two runs with cmp).
+    if (fuzz_cases > 0) {
+        DiffOptions dopts;
+        dopts.seed = cfg.seed;
+        FuzzReport report = DiffRunner(dopts).run(fuzz_cases);
+        std::string dumped = report.toJson().dump(2);
+        if (!fuzz_report_path.empty()) {
+            std::ofstream os(fuzz_report_path,
+                             std::ios::out | std::ios::trunc);
+            if (!os.is_open())
+                throw VmsimError(errnoError(fuzz_report_path,
+                                            "cannot open fuzz report "
+                                            "for writing"));
+            os << dumped << '\n';
+        } else {
+            std::cout << dumped << '\n';
+        }
+        std::cerr << report.toString() << '\n';
+        return report.ok() ? 0 : 1;
+    }
+
     Counter warmup_instrs = warmup.value_or(defaultWarmup(instrs));
 
     // Assemble the observability attachments: every requested exporter
@@ -192,6 +240,13 @@ runCli(int argc, char **argv)
     std::unique_ptr<IntervalSampler> sampler;
     if (interval > 0)
         sampler = std::make_unique<IntervalSampler>(interval);
+    // --check reconciles the event stream against the counters, so it
+    // always collects events (alongside any exporters).
+    std::unique_ptr<CollectingSink> collector;
+    if (check) {
+        collector = std::make_unique<CollectingSink>();
+        sinks.add(collector.get());
+    }
 
     RunHooks hooks;
     hooks.sink = sinks.empty() ? nullptr : &sinks;
@@ -228,6 +283,16 @@ runCli(int argc, char **argv)
         }
         return runOnce(cfg, workload, instrs, warmup_instrs, hooks);
     }();
+
+    if (check) {
+        InvariantChecker checker(cfg);
+        CheckReport rep = checker.checkAll(
+            r, &collector->events(),
+            sampler ? &sampler->intervals() : nullptr);
+        std::cerr << "check: " << rep.toString() << '\n';
+        if (!rep.ok())
+            return 1;
+    }
 
     if (chrome)
         chrome->finish();

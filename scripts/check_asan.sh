@@ -15,7 +15,7 @@ cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target base_test obs_test simulator_test error_test fault_test \
-    sweep_resume_test batch_test vmsim_cli
+    sweep_resume_test batch_test check_test check_fuzz vmsim_cli
 
 "$BUILD_DIR"/tests/base_test
 "$BUILD_DIR"/tests/obs_test
@@ -26,6 +26,11 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 # Lifetime checks on the zero-copy replay path: lent record
 # pointers must stay inside the shared recording.
 "$BUILD_DIR"/tests/batch_test
+# The checker walks event/interval vectors owned by the run's sinks
+# and the fuzzer churns trace-cache recordings across four legs per
+# tuple — prime heap-lifetime territory.
+"$BUILD_DIR"/tests/check_test
+"$BUILD_DIR"/tests/check_fuzz
 
 # Smoke test: a fully-instrumented CLI run whose Chrome trace must be
 # valid JSON (python3 json.tool is the arbiter when available).

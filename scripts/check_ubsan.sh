@@ -15,7 +15,7 @@ cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target error_test fault_test sweep_resume_test trace_test \
-    sim_config_test vmsim_cli
+    sim_config_test check_fuzz vmsim_cli
 
 # halt_on_error turns any UB report into a nonzero exit so set -eu
 # fails the script instead of scrolling past a diagnostic.
@@ -27,6 +27,9 @@ export UBSAN_OPTIONS
 "$BUILD_DIR"/tests/sweep_resume_test
 "$BUILD_DIR"/tests/trace_test
 "$BUILD_DIR"/tests/sim_config_test
+# The fuzzer's counter arithmetic and the fault tuples' error paths
+# run under the same integer/enum strictness.
+"$BUILD_DIR"/tests/check_fuzz
 
 # Smoke test: a fault-injected CLI run must fail cleanly (exit 1 with
 # a structured diagnostic), not trip UBSan or abort.

@@ -54,6 +54,21 @@ build/bench/bench_fig6_vmcpi_gcc --csv --instructions=20000 \
 cmp "$SMOKE_DIR/fig6_cached.csv" "$SMOKE_DIR/fig6_uncached.csv"
 cmp "$SMOKE_DIR/fig6_cached.csv" "$SMOKE_DIR/fig6_scalar.csv"
 
+echo "== invariant checks + differential fuzz =="
+# Every organization must satisfy its conservation and Table-4 laws
+# (docs/checking.md); exit 1 on any violation fails the gate.
+for sys in ULTRIX MACH INTEL PA-RISC NOTLB BASE HW-INVERTED HW-MIPS SPUR; do
+    build/examples/vmsim_cli --system="$sys" --instructions=50000 \
+        --warmup=10000 --interval=10000 --check > /dev/null
+done
+# Seeded fuzz campaign: scalar/batched/observed/cached legs must agree
+# on every counter, and the report must be byte-stable across reruns.
+build/examples/vmsim_cli --fuzz=200 --seed=12345 \
+    --fuzz-report="$SMOKE_DIR/fuzz_a.json" > /dev/null
+build/examples/vmsim_cli --fuzz=200 --seed=12345 \
+    --fuzz-report="$SMOKE_DIR/fuzz_b.json" > /dev/null
+cmp "$SMOKE_DIR/fuzz_a.json" "$SMOKE_DIR/fuzz_b.json"
+
 echo "== sanitizers =="
 scripts/check_asan.sh
 scripts/check_tsan.sh

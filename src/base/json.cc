@@ -97,8 +97,15 @@ Json::dumpTo(std::string &out, int indent, int depth) const
         if (isInt_) {
             out += std::to_string(int_);
         } else if (std::isfinite(num_)) {
+            // Shortest representation that parses back to the exact
+            // same double: 15 digits suffice for most values, 17 for
+            // the rest (DBL_DECIMAL_DIG).
             char buf[32];
-            std::snprintf(buf, sizeof(buf), "%.10g", num_);
+            for (int prec = 15; prec <= 17; ++prec) {
+                std::snprintf(buf, sizeof(buf), "%.*g", prec, num_);
+                if (std::strtod(buf, nullptr) == num_)
+                    break;
+            }
             out += buf;
         } else {
             out += "null"; // JSON has no inf/nan

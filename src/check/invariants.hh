@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Post-run invariant auditing: conservation laws over Results.
+ *
+ * The paper's argument is an exercise in cost *attribution* — every
+ * cycle of MCPI/VMCPI must be conserved and assigned to the right
+ * Table-2/3 tag. The InvariantChecker re-derives those sums from the
+ * raw counters of a finished run and cross-checks them against the
+ * published breakdowns, against the per-organization page-table laws
+ * of Table 4 (e.g. an ULTRIX cold miss costs exactly two PTE loads
+ * and two interrupts, an INTEL walk two PTE loads and none), and —
+ * when an event stream or interval series was collected — against
+ * the observability layer's own view of the same run.
+ *
+ * Checks accumulate into a CheckReport rather than asserting, so one
+ * audit surfaces every broken law at once; orThrow() converts a
+ * failed report into a structured Internal error for callers (sweep
+ * cells, CLI --check) that need to fail closed.
+ */
+
+#ifndef VMSIM_CHECK_INVARIANTS_HH
+#define VMSIM_CHECK_INVARIANTS_HH
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "core/results.hh"
+#include "core/sim_config.hh"
+#include "obs/event.hh"
+#include "obs/interval.hh"
+
+namespace vmsim
+{
+
+class Tlb;
+class VmSystem;
+
+/** One broken law: which invariant, and the numbers that broke it. */
+struct CheckViolation
+{
+    std::string law;     ///< short law identifier, e.g. "ultrix.pte-loads"
+    std::string message; ///< expected-vs-actual detail
+
+    std::string toString() const { return law + ": " + message; }
+};
+
+/**
+ * Accumulator for one audit: counts every law evaluated and records
+ * the ones that failed.
+ */
+class CheckReport
+{
+  public:
+    /** Evaluate one law; on failure record `parts...` as the detail. */
+    template <typename... Args>
+    bool check(bool condition, const char *law, Args &&...parts)
+    {
+        ++checked_;
+        if (!condition) {
+            std::ostringstream oss;
+            (oss << ... << parts);
+            violations_.push_back({law, oss.str()});
+        }
+        return condition;
+    }
+
+    bool ok() const { return violations_.empty(); }
+    std::size_t lawsChecked() const { return checked_; }
+    const std::vector<CheckViolation> &violations() const
+    {
+        return violations_;
+    }
+
+    void merge(const CheckReport &other);
+
+    /** merge() with @p prefix prepended to every violation's law —
+     *  used by the fuzzer to tag which leg broke. */
+    void mergePrefixed(const CheckReport &other,
+                       const std::string &prefix);
+
+    /** "N laws checked, M violations" plus one line per violation. */
+    std::string toString() const;
+    Json toJson() const;
+
+    /** Throw ErrorCode::Internal listing every violation if !ok(). */
+    void orThrow() const;
+
+  private:
+    std::size_t checked_ = 0;
+    std::vector<CheckViolation> violations_;
+};
+
+/**
+ * Audits a finished run against the configuration that produced it.
+ *
+ * check() covers the counter-only laws (always available); the
+ * event/interval variants additionally reconcile the observability
+ * layer's streams with the aggregate counters. checkAll() is the
+ * one-call form used by --check and the sweep audit hook.
+ */
+class InvariantChecker
+{
+  public:
+    explicit InvariantChecker(const SimConfig &config);
+
+    /** Counter conservation + CPI reconstruction + Table-4 org laws. */
+    CheckReport check(const Results &r) const;
+    void check(const Results &r, CheckReport &rep) const;
+
+    /** Event stream totals must match the run's counters exactly. */
+    void checkEvents(const Results &r,
+                     const std::vector<TraceEvent> &events,
+                     CheckReport &rep) const;
+
+    /** Interval deltas must partition the run and sum to aggregate. */
+    void checkIntervals(const Results &r,
+                        const std::vector<IntervalRecord> &intervals,
+                        CheckReport &rep) const;
+
+    /** All of the above; pass nullptr for streams not collected. */
+    CheckReport
+    checkAll(const Results &r,
+             const std::vector<TraceEvent> *events = nullptr,
+             const std::vector<IntervalRecord> *intervals = nullptr) const;
+
+    /** Handler costs as the organization under audit resolved them. */
+    const HandlerCosts &resolvedCosts() const { return costs_; }
+
+  private:
+    SimConfig config_;
+    HandlerCosts costs_;
+};
+
+/**
+ * Exact counter-vector diff between two runs that must agree
+ * (scalar vs batched, cached vs generated, observed vs unobserved).
+ * Every mismatching field becomes one violation naming both sides.
+ */
+CheckReport diffResults(const Results &a, const Results &b,
+                        const std::string &label_a,
+                        const std::string &label_b);
+
+/**
+ * Conservation law for partial (canceled) runs: the simulator's
+ * executed-instruction count must equal the user instruction fetches
+ * the memory system actually saw — no instruction half-retired.
+ */
+CheckReport checkExecutedConservation(Counter executed,
+                                      const MemSystemStats &mem);
+
+/**
+ * Live-TLB laws, valid only for a warmup-free run on a fresh System
+ * (warmup resets VM/memory counters but never the TLBs' own): every
+ * instruction probes the I-TLB once, and TLB hits + misses must equal
+ * translations performed.
+ */
+void checkLiveTlb(const VmSystem &vm, Counter instrs, CheckReport &rep);
+
+} // namespace vmsim
+
+#endif // VMSIM_CHECK_INVARIANTS_HH

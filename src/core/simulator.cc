@@ -218,8 +218,11 @@ runOnce(const SimConfig &config, const std::string &workload,
     system.attachSampler(hooks.sampler);
     system.attachCancel(hooks.cancel);
     system.setBatchSize(hooks.batch);
-    return system.run(*source, instrs, name,
-                      warmup_instrs.value_or(defaultWarmup(instrs)));
+    Results r = system.run(*source, instrs, name,
+                           warmup_instrs.value_or(defaultWarmup(instrs)));
+    if (hooks.audit)
+        hooks.audit(r);
+    return r;
 }
 
 } // namespace vmsim

@@ -238,6 +238,13 @@ struct RunHooks
      */
     std::function<NamedTraceSource()> makeTrace;
 
+    /**
+     * Post-run audit point: called with the finished Results before
+     * runOnce() returns — the sweep runner installs the invariant
+     * checker here so every cell self-verifies. Throw to fail the run.
+     */
+    std::function<void(const Results &)> audit;
+
     /** Trace-fetch batch size; 0 = default, 1 = scalar loop. */
     std::size_t batch = 0;
 };

@@ -17,6 +17,7 @@
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "base/stats.hh"
+#include "check/invariants.hh"
 #include "core/simulator.hh"
 #include "obs/exporters.hh"
 #include "obs/interval.hh"
@@ -130,6 +131,12 @@ BenchOptions::parse(int argc, char **argv)
                     "--batch must be positive (1 = scalar loop)");
         } else if (std::strncmp(arg, "--trace-cache-mb=", 17) == 0) {
             opts.traceCacheMb = std::strtoull(arg + 17, nullptr, 10);
+        } else if (std::strcmp(arg, "--check") == 0) {
+            opts.check = true;
+        } else if (std::strncmp(arg, "--fuzz=", 7) == 0) {
+            opts.fuzz = static_cast<unsigned>(
+                std::strtoul(arg + 7, nullptr, 10));
+            fatalIf(opts.fuzz == 0, "--fuzz must be positive");
         } else {
             fatal("unknown argument '", arg,
                   "' (expected --full, --csv, --instructions=N, "
@@ -138,7 +145,7 @@ BenchOptions::parse(int argc, char **argv)
                   "--interval=N, --retries=N, --retry-backoff=S, "
                   "--cell-timeout=S, --journal=F, --resume, "
                   "--inject-faults=SPEC, --batch=N, "
-                  "--trace-cache-mb=N)");
+                  "--trace-cache-mb=N, --check, --fuzz=N)");
         }
     }
     fatalIf(opts.resume && opts.journal.empty(),
@@ -785,6 +792,15 @@ SweepRunner::run(const SweepSpec &spec) const
                             makeWorkload(cell.workload, cell.config.seed);
                         std::string name = gen->name();
                         return {std::move(gen), std::move(name)};
+                    };
+                }
+
+                if (verify_) {
+                    // A broken law throws Internal out of runOnce and
+                    // lands in the cell's failure outcome below.
+                    InvariantChecker checker(cell.config);
+                    hooks.audit = [checker](const Results &res) {
+                        checker.check(res).orThrow();
                     };
                 }
 

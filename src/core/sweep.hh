@@ -121,6 +121,10 @@ struct ObsOptions
  *   --batch=N          trace-fetch batch size (1 = scalar loop)
  *   --trace-cache-mb=N shared recorded-trace cache budget in MiB
  *                      (default 256; 0 disables the cache)
+ *   --check            audit every cell's Results with the
+ *                      invariant checker (failures mark the cell)
+ *   --fuzz=N           run N differential-fuzz cases (seeded from
+ *                      --seed) before the sweep; failures are fatal
  * Unknown arguments are fatal() so typos don't silently run the
  * wrong experiment.
  */
@@ -142,6 +146,8 @@ struct BenchOptions
     FaultSpec faults;          ///< inactive unless --inject-faults
     std::size_t batch = 0;     ///< trace-fetch batch; 0 = default
     std::size_t traceCacheMb = 256; ///< trace-cache budget; 0 = off
+    bool check = false;        ///< audit every cell's Results
+    unsigned fuzz = 0;         ///< differential-fuzz cases; 0 = off
 
     /**
      * The effective warmup length: --warmup=N or the project-wide
@@ -620,6 +626,19 @@ class SweepRunner
     }
 
     /**
+     * Audit every cell's Results with the InvariantChecker before
+     * accepting it: a cell whose counters break a conservation or
+     * Table-4 law is marked failed (ErrorCode::Internal) instead of
+     * silently contributing wrong numbers to the sweep.
+     */
+    SweepRunner &
+    verify(bool on)
+    {
+        verify_ = on;
+        return *this;
+    }
+
+    /**
      * Run every cell of @p spec. Cell failures land in the outcomes
      * table, never propagate out of run(); only infrastructure errors
      * (an unwritable journal, a resume-fingerprint mismatch) throw.
@@ -648,6 +667,7 @@ class SweepRunner
     FaultSpec faults_;
     std::size_t batchSize_ = 0;     ///< 0 = Simulator default
     std::size_t traceCacheMb_ = 256; ///< 0 = cache disabled
+    bool verify_ = false;           ///< audit each cell's Results
 };
 
 /**

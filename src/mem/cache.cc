@@ -12,10 +12,14 @@ std::string
 CacheParams::toString() const
 {
     std::ostringstream oss;
+    // Render exactly: sub-1KB and non-multiple sizes in bytes (512B,
+    // 1536B), never truncated to "0KB"/"1KB".
     if (sizeBytes >= 1024 * 1024 && sizeBytes % (1024 * 1024) == 0)
         oss << (sizeBytes >> 20) << "MB";
-    else
+    else if (sizeBytes >= 1024 && sizeBytes % 1024 == 0)
         oss << (sizeBytes >> 10) << "KB";
+    else
+        oss << sizeBytes << "B";
     oss << "/" << lineSize << "B/";
     if (assoc == 1)
         oss << "direct";

@@ -60,54 +60,14 @@ Tlb::setRange(Vpn vpn, unsigned &lo, unsigned &hi) const
     hi = lo + params_.assoc;
 }
 
-bool
-Tlb::probeFa(std::uint64_t key) const
-{
-    return index_.find(key) != index_.end();
-}
-
-bool
-Tlb::lookup(Vpn vpn)
+unsigned
+Tlb::findSlot(Vpn vpn) const
 {
     if (params_.fullyAssociative()) {
         auto it = index_.find(keyOf(vpn, tagAsid()));
         if (it == index_.end() && params_.tagged())
             it = index_.find(keyOf(vpn, kGlobalAsid));
-        if (it != index_.end()) {
-            ++hits_;
-            if (params_.repl == TlbRepl::LRU)
-                slots_[it->second].stamp = ++stamp_;
-            return true;
-        }
-        ++misses_;
-        return false;
-    }
-
-    unsigned lo, hi;
-    setRange(vpn, lo, hi);
-    std::uint64_t key = keyOf(vpn, tagAsid());
-    std::uint64_t gkey = keyOf(vpn, kGlobalAsid);
-    for (unsigned s = lo; s < hi; ++s) {
-        if (slots_[s].valid &&
-            (slots_[s].key == key ||
-             (params_.tagged() && slots_[s].key == gkey))) {
-            ++hits_;
-            if (params_.repl == TlbRepl::LRU)
-                slots_[s].stamp = ++stamp_;
-            return true;
-        }
-    }
-    ++misses_;
-    return false;
-}
-
-bool
-Tlb::contains(Vpn vpn) const
-{
-    if (params_.fullyAssociative()) {
-        if (probeFa(keyOf(vpn, tagAsid())))
-            return true;
-        return params_.tagged() && probeFa(keyOf(vpn, kGlobalAsid));
+        return it != index_.end() ? it->second : params_.entries;
     }
     unsigned lo, hi;
     setRange(vpn, lo, hi);
@@ -117,8 +77,28 @@ Tlb::contains(Vpn vpn) const
         if (slots_[s].valid &&
             (slots_[s].key == key ||
              (params_.tagged() && slots_[s].key == gkey)))
-            return true;
-    return false;
+            return s;
+    return params_.entries;
+}
+
+bool
+Tlb::lookup(Vpn vpn)
+{
+    unsigned s = findSlot(vpn);
+    if (s == params_.entries) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    if (params_.repl == TlbRepl::LRU)
+        slots_[s].stamp = ++stamp_;
+    return true;
+}
+
+bool
+Tlb::contains(Vpn vpn) const
+{
+    return findSlot(vpn) != params_.entries;
 }
 
 void
@@ -173,6 +153,14 @@ Tlb::insertInRegion(std::uint64_t key, unsigned lo, unsigned hi)
 void
 Tlb::insert(Vpn vpn)
 {
+    // Residency check with lookup()'s dual-key rule: re-inserting a
+    // VPN that already hits as a global/protected entry must refresh
+    // that entry, not create a duplicate under the current ASID.
+    unsigned resident = findSlot(vpn);
+    if (resident != params_.entries) {
+        slots_[resident].stamp = ++stamp_;
+        return;
+    }
     std::uint64_t key = keyOf(vpn, tagAsid());
     if (params_.fullyAssociative()) {
         insertInRegion(key, params_.protectedSlots, params_.entries);
@@ -204,20 +192,28 @@ Tlb::invalidateAll()
 void
 Tlb::invalidate(Vpn vpn)
 {
-    std::uint64_t key = keyOf(vpn, tagAsid());
+    // Mirror lookup()'s dual-key rule: dropping a VPN must also drop
+    // a global/protected entry, or the mapping keeps hitting after
+    // invalidation.
+    std::uint64_t keys[2] = {keyOf(vpn, tagAsid()),
+                             keyOf(vpn, kGlobalAsid)};
+    unsigned nkeys = params_.tagged() ? 2 : 1;
     if (params_.fullyAssociative()) {
-        auto it = index_.find(key);
-        if (it != index_.end()) {
-            slots_[it->second].valid = false;
-            index_.erase(it);
+        for (unsigned k = 0; k < nkeys; ++k) {
+            auto it = index_.find(keys[k]);
+            if (it != index_.end()) {
+                slots_[it->second].valid = false;
+                index_.erase(it);
+            }
         }
         return;
     }
     unsigned lo, hi;
     setRange(vpn, lo, hi);
     for (unsigned s = lo; s < hi; ++s)
-        if (slots_[s].valid && slots_[s].key == key)
-            slots_[s].valid = false;
+        for (unsigned k = 0; k < nkeys; ++k)
+            if (slots_[s].valid && slots_[s].key == keys[k])
+                slots_[s].valid = false;
 }
 
 void

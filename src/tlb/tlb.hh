@@ -179,8 +179,13 @@ class Tlb
     /** Insert @p key into slot region [lo, hi). */
     void insertInRegion(std::uint64_t key, unsigned lo, unsigned hi);
 
-    /** Fully-associative probe (no stats). */
-    bool probeFa(std::uint64_t key) const;
+    /**
+     * The slot holding @p vpn under the current ASID *or* the global
+     * tag, or params_.entries if absent (no stats). The single probe
+     * shared by lookup/contains/insert/invalidate so every path sees
+     * the same dual-key residency rule.
+     */
+    unsigned findSlot(Vpn vpn) const;
 
     /** Set-associative region bounds for @p vpn. */
     void setRange(Vpn vpn, unsigned &lo, unsigned &hi) const;

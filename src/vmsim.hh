@@ -26,6 +26,8 @@
 #include "base/thread_pool.hh"
 #include "base/types.hh"
 #include "base/units.hh"
+#include "check/diff.hh"
+#include "check/invariants.hh"
 #include "core/factory.hh"
 #include "fault/fault.hh"
 #include "core/results.hh"
@@ -45,6 +47,7 @@
 #include "os/intel_vm.hh"
 #include "os/mach_vm.hh"
 #include "os/notlb_vm.hh"
+#include "os/org_laws.hh"
 #include "os/parisc_vm.hh"
 #include "os/spur_vm.hh"
 #include "os/ultrix_vm.hh"

@@ -715,5 +715,27 @@ TEST(LogLevel, QuietOverridesLevel)
     setLogLevel(original);
 }
 
+
+TEST(Json, DoubleDumpParsesBackExactly)
+{
+    // Regression: numbers were emitted with %.10g, so doubles needing
+    // more than 10 significant digits did not survive a dump/parse
+    // round trip. The writer now picks the shortest round-trippable
+    // precision.
+    const double values[] = {
+        0.1, 1.0 / 3.0, 2.0 / 3.0, 1e-17, 1e300, -2.5e-8,
+        123456789.123456789, 3.141592653589793, 0.30000000000000004,
+    };
+    for (double v : values) {
+        std::string text = Json(v).dump();
+        auto parsed = Json::parse(text);
+        ASSERT_TRUE(parsed.ok()) << text;
+        EXPECT_EQ(parsed.value().asDouble(), v) << text;
+    }
+    // Short representations stay short.
+    EXPECT_EQ(Json(1.5).dump(), "1.5");
+    EXPECT_EQ(Json(0.25).dump(), "0.25");
+}
+
 } // anonymous namespace
 } // namespace vmsim

@@ -298,5 +298,16 @@ TEST(Cache, InvalidateMissingLineIsHarmless)
     EXPECT_TRUE(c.probe(0x40));
 }
 
+
+TEST(CacheParams, ToStringSubKilobyteAndOddSizes)
+{
+    // Regression: sizes below 1 KB rendered as "0KB" and non-multiples
+    // truncated (1536 B -> "1KB"); render exact bytes instead.
+    EXPECT_EQ(params(512, 16).toString(), "512B/16B/direct");
+    CacheParams odd{1536, 16};
+    EXPECT_EQ(odd.toString(), "1536B/16B/direct");
+    EXPECT_EQ(params(1_KiB, 16).toString(), "1KB/16B/direct");
+}
+
 } // anonymous namespace
 } // namespace vmsim

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the invariant-checking layer: CheckReport mechanics, the
+ * InvariantChecker's counter/event/interval audits across all nine
+ * organizations, counter-vector diffing, the partial-run conservation
+ * law under cancellation, and the live-TLB laws.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "base/intmath.hh"
+#include "check/invariants.hh"
+#include "core/simulator.hh"
+#include "obs/event.hh"
+#include "obs/interval.hh"
+#include "os/ultrix_vm.hh"
+#include "trace/synthetic/workloads.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+SimConfig
+cfg(SystemKind kind)
+{
+    SimConfig c;
+    c.kind = kind;
+    c.l1 = CacheParams{16_KiB, 32};
+    c.l2 = CacheParams{1_MiB, 64};
+    return c;
+}
+
+constexpr SystemKind kAllKinds[] = {
+    SystemKind::Ultrix, SystemKind::Mach,       SystemKind::Intel,
+    SystemKind::Parisc, SystemKind::Notlb,      SystemKind::Base,
+    SystemKind::HwInverted, SystemKind::HwMips, SystemKind::Spur,
+};
+
+// ------------------------------------------------------------ CheckReport
+
+TEST(CheckReport, RecordsViolationsAndCounts)
+{
+    CheckReport rep;
+    EXPECT_TRUE(rep.check(true, "law.pass", "unused"));
+    EXPECT_FALSE(rep.check(false, "law.fail", "got ", 3, " want ", 4));
+    EXPECT_EQ(rep.lawsChecked(), 2u);
+    EXPECT_FALSE(rep.ok());
+    ASSERT_EQ(rep.violations().size(), 1u);
+    EXPECT_EQ(rep.violations()[0].law, "law.fail");
+    EXPECT_EQ(rep.violations()[0].message, "got 3 want 4");
+}
+
+TEST(CheckReport, MergePrefixedTagsLeg)
+{
+    CheckReport inner;
+    inner.check(false, "counter.mismatch", "detail");
+    CheckReport outer;
+    outer.mergePrefixed(inner, "batched.");
+    ASSERT_EQ(outer.violations().size(), 1u);
+    EXPECT_EQ(outer.violations()[0].law, "batched.counter.mismatch");
+    EXPECT_EQ(outer.lawsChecked(), 1u);
+}
+
+TEST(CheckReport, OrThrowRaisesInternal)
+{
+    CheckReport rep;
+    rep.check(true, "ok", "");
+    EXPECT_NO_THROW(rep.orThrow());
+    rep.check(false, "broken", "x != y");
+    try {
+        rep.orThrow();
+        FAIL() << "orThrow did not throw";
+    } catch (const VmsimError &e) {
+        EXPECT_EQ(e.error().code, ErrorCode::Internal);
+    }
+}
+
+// ------------------------------------------------------ InvariantChecker
+
+TEST(InvariantChecker, AllNineOrganizationsPassCounterAudit)
+{
+    for (SystemKind kind : kAllKinds) {
+        SimConfig c = cfg(kind);
+        Results r = runOnce(c, "gcc", 20000, 5000);
+        CheckReport rep = InvariantChecker(c).check(r);
+        EXPECT_TRUE(rep.ok()) << kindName(kind) << ": "
+                              << rep.toString();
+        EXPECT_GT(rep.lawsChecked(), 20u);
+    }
+}
+
+TEST(InvariantChecker, FullAuditWithEventsAndIntervals)
+{
+    SimConfig c = cfg(SystemKind::Mach);
+    c.ctxSwitchInterval = 997;
+    c.tlbAsidBits = 6;
+    c.l2TlbEntries = 256;
+    CollectingSink sink;
+    IntervalSampler sampler(3000);
+    RunHooks hooks;
+    hooks.sink = &sink;
+    hooks.sampler = &sampler;
+    Results r = runOnce(c, "vortex", 24000, 6000, hooks);
+    CheckReport rep = InvariantChecker(c).checkAll(
+        r, &sink.events(), &sampler.intervals());
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+    // The event and interval laws actually ran.
+    EXPECT_GT(rep.lawsChecked(),
+              InvariantChecker(c).check(r).lawsChecked());
+}
+
+TEST(InvariantChecker, DetectsCorruptedVmCounter)
+{
+    SimConfig c = cfg(SystemKind::Ultrix);
+    Results r = runOnce(c, "gcc", 20000, 5000);
+    VmStats vm = r.vmStats();
+    ++vm.pteLoads; // conservation now broken
+    Results bad(r.system(), r.workload(), r.userInstrs(), r.memStats(),
+                vm, r.costs());
+    EXPECT_FALSE(InvariantChecker(c).check(bad).ok());
+}
+
+TEST(InvariantChecker, DetectsCorruptedMemCounter)
+{
+    SimConfig c = cfg(SystemKind::Intel);
+    Results r = runOnce(c, "ijpeg", 20000, 5000);
+    MemSystemStats mem = r.memStats();
+    // One phantom fetch breaks accesses == userInstrs.
+    ++mem.inst[static_cast<unsigned>(AccessClass::User)].accesses;
+    Results bad(r.system(), r.workload(), r.userInstrs(), mem,
+                r.vmStats(), r.costs());
+    EXPECT_FALSE(InvariantChecker(c).check(bad).ok());
+}
+
+// ------------------------------------------------------------ diffResults
+
+TEST(DiffResults, IdenticalRunsAgree)
+{
+    SimConfig c = cfg(SystemKind::Parisc);
+    Results a = runOnce(c, "gcc", 15000, 3000);
+    Results b = runOnce(c, "gcc", 15000, 3000);
+    CheckReport rep = diffResults(a, b, "first", "second");
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+}
+
+TEST(DiffResults, DetectsDivergence)
+{
+    SimConfig c = cfg(SystemKind::Parisc);
+    Results a = runOnce(c, "gcc", 15000, 3000);
+    SimConfig c2 = c;
+    c2.seed = c.seed + 1; // different trace → different counters
+    Results b = runOnce(c2, "gcc", 15000, 3000);
+    EXPECT_FALSE(diffResults(a, b, "first", "second").ok());
+}
+
+// ------------------------------------- cancellation conservation (partial)
+
+/**
+ * Forwards an inner trace and trips @p token after @p after records,
+ * so the simulator's next cancel poll fires mid-run deterministically.
+ */
+class TripwireTrace : public TraceSource
+{
+  public:
+    TripwireTrace(TraceSource &inner, std::atomic<bool> &token,
+                  Counter after)
+        : inner_(inner), token_(token), after_(after)
+    {}
+
+    bool
+    next(TraceRecord &rec) override
+    {
+        if (++seen_ > after_)
+            token_.store(true, std::memory_order_relaxed);
+        return inner_.next(rec);
+    }
+
+  private:
+    TraceSource &inner_;
+    std::atomic<bool> &token_;
+    Counter after_;
+    Counter seen_ = 0;
+};
+
+TEST(Cancellation, ScalarPollAtZeroRetiresNothing)
+{
+    System sys(cfg(SystemKind::Ultrix));
+    GccLikeWorkload trace(9);
+    std::atomic<bool> token{true}; // canceled before the first poll
+    Simulator sim(sys.vm(), trace, 0);
+    sim.setBatchSize(1);
+    sim.setCancel(&token);
+    EXPECT_THROW(sim.run(10000), VmsimError);
+    EXPECT_EQ(sim.instructionsExecuted(), 0u);
+    // The record the loop condition consumed was never executed: the
+    // memory system saw zero instruction fetches.
+    CheckReport rep = checkExecutedConservation(
+        sim.instructionsExecuted(), sys.mem().stats());
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+    EXPECT_EQ(sys.mem().stats().instOf(AccessClass::User).accesses, 0u);
+}
+
+TEST(Cancellation, ScalarMidRunConservesExecuted)
+{
+    System sys(cfg(SystemKind::Ultrix));
+    GccLikeWorkload inner(9);
+    std::atomic<bool> token{false};
+    TripwireTrace trace(inner, token, 100);
+    Simulator sim(sys.vm(), trace, 0);
+    sim.setBatchSize(1);
+    sim.setCancel(&token);
+    EXPECT_THROW(sim.run(10000), VmsimError);
+    // Tripped at record 100; the scalar loop polls every 2048
+    // instructions, so exactly 2048 retired.
+    EXPECT_EQ(sim.instructionsExecuted(), 2048u);
+    CheckReport rep = checkExecutedConservation(
+        sim.instructionsExecuted(), sys.mem().stats());
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+}
+
+TEST(Cancellation, BatchedMidRunConservesExecuted)
+{
+    System sys(cfg(SystemKind::Mach));
+    GccLikeWorkload inner(9);
+    std::atomic<bool> token{false};
+    TripwireTrace trace(inner, token, 100);
+    Simulator sim(sys.vm(), trace, 0);
+    sim.setBatchSize(64);
+    sim.setCancel(&token);
+    EXPECT_THROW(sim.run(10000), VmsimError);
+    // Tripped inside the second batch (record 100 of 64-record
+    // batches); the poll at the third batch head cancels with every
+    // fetched-and-executed batch fully retired.
+    EXPECT_EQ(sim.instructionsExecuted(), 128u);
+    CheckReport rep = checkExecutedConservation(
+        sim.instructionsExecuted(), sys.mem().stats());
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+}
+
+// --------------------------------------------------------------- live TLB
+
+TEST(LiveTlb, FreshWarmupFreeRunSatisfiesTlbLaws)
+{
+    SimConfig c = cfg(SystemKind::Ultrix);
+    System sys(c);
+    GccLikeWorkload trace(c.seed);
+    Results r = sys.run(trace, 20000, "gcc", 0);
+    CheckReport rep;
+    checkLiveTlb(sys.vm(), r.userInstrs(), rep);
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+    EXPECT_GT(rep.lawsChecked(), 0u);
+}
+
+} // anonymous namespace
+} // namespace vmsim

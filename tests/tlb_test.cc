@@ -452,5 +452,50 @@ TEST(TlbEvictRandom, BoundedWhenMostlyEmpty)
     EXPECT_LE(evicted, 1u);
 }
 
+
+// Regression: re-inserting a VPN that is resident as a *global*
+// (protected) entry must refresh that entry, not create a duplicate
+// normal entry under the current ASID — and invalidate() must drop
+// the global entry too, or the mapping keeps hitting after being
+// torn down.
+
+TEST(TlbGlobalResidency, InsertRefreshesGlobalEntryInstead)
+{
+    TlbParams p = tp(16, 4);
+    p.asidBits = 4;
+    Tlb t(p);
+    t.setCurrentAsid(3);
+    t.insertProtected(100);
+    EXPECT_EQ(t.validEntries(), 1u);
+    t.insert(100); // already hits via the global entry
+    EXPECT_EQ(t.validEntries(), 1u)
+        << "insert duplicated a VPN resident as a global entry";
+}
+
+TEST(TlbGlobalResidency, InvalidateDropsGlobalEntry)
+{
+    TlbParams p = tp(16, 4);
+    p.asidBits = 4;
+    Tlb t(p);
+    t.setCurrentAsid(3);
+    t.insertProtected(200);
+    ASSERT_TRUE(t.contains(200));
+    t.invalidate(200);
+    EXPECT_FALSE(t.contains(200))
+        << "global entry survived invalidate()";
+}
+
+TEST(TlbGlobalResidency, UntaggedProtectedInsertAndInvalidate)
+{
+    // Untagged TLBs key everything with ASID 0, so the single-key
+    // paths must behave identically.
+    Tlb t(tp(16, 4));
+    t.insertProtected(300);
+    t.insert(300);
+    EXPECT_EQ(t.validEntries(), 1u);
+    t.invalidate(300);
+    EXPECT_FALSE(t.contains(300));
+}
+
 } // anonymous namespace
 } // namespace vmsim
