@@ -29,6 +29,17 @@ paperVmSystems()
     return kinds;
 }
 
+/** Copy the --cores / --core-quantum / --private-l2tlb settings into a
+ *  config; a no-op at the default single core. */
+inline void
+applyMulticore(SimConfig &cfg, const BenchOptions &opts)
+{
+    cfg.cores = opts.cores;
+    if (opts.coreQuantum)
+        cfg.coreQuantum = opts.coreQuantum;
+    cfg.sharedL2Tlb = opts.sharedL2Tlb;
+}
+
 /** Paper defaults: 128x2 TLB, 16 protected slots, 4 KB pages, 8 MB. */
 inline SimConfig
 paperConfig(SystemKind kind, std::uint64_t l1_size, unsigned l1_line,
@@ -40,6 +51,7 @@ paperConfig(SystemKind kind, std::uint64_t l1_size, unsigned l1_line,
     cfg.l1 = CacheParams{l1_size, l1_line};
     cfg.l2 = CacheParams{l2_size, l2_line};
     cfg.seed = opts.seed;
+    applyMulticore(cfg, opts);
     return cfg;
 }
 
@@ -56,6 +68,7 @@ paperSweep(const BenchOptions &opts)
     base.l1 = CacheParams{64_KiB, 64};
     base.l2 = CacheParams{1_MiB, 128};
     base.seed = opts.seed;
+    applyMulticore(base, opts);
     SweepSpec spec;
     spec.base(base)
         .instructions(opts.instructions)
@@ -124,6 +137,8 @@ runSweep(const BenchOptions &opts, const SweepSpec &spec)
         // printing tables.
         DiffOptions dopts;
         dopts.seed = opts.seed;
+        if (opts.cores > 1)
+            dopts.forceCores = opts.cores;
         FuzzReport fuzz = DiffRunner(dopts).run(opts.fuzz);
         std::cerr << fuzz.toString() << '\n';
         fatalIf(!fuzz.ok(), "differential fuzz found ",

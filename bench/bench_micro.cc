@@ -11,7 +11,10 @@
  * batched replay of a shared recording — and writes the instrs/sec
  * comparison to a JSON artifact (--pipeline-json=PATH, default
  * BENCH_pipeline.json) so the batched-pipeline speedup is tracked as
- * a number, not an anecdote.
+ * a number, not an anecdote. A second artifact (--multicore-json=PATH,
+ * default BENCH_multicore.json) runs the same cell quantum-scheduled
+ * on 1, 2, and 4 cores and records throughput plus the shootdown CPI
+ * component at each point.
  */
 
 #include <benchmark/benchmark.h>
@@ -20,7 +23,9 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "vmsim.hh"
@@ -265,19 +270,100 @@ writePipelineReport(const std::string &path)
               << batchedReplay / scalarGen << "x) -> " << path << '\n';
 }
 
+/**
+ * Time one quantum-scheduled multicore System::run() and return
+ * (instrs/sec, Results). Batched loop; the trace is recorded once
+ * inside runMulticore and fanned out to the per-core cursors.
+ */
+std::pair<double, Results>
+multicoreRun(unsigned cores, Counter instrs)
+{
+    SimConfig cfg;
+    cfg.kind = SystemKind::Ultrix;
+    cfg.l1 = CacheParams{64_KiB, 64};
+    cfg.l2 = CacheParams{1_MiB, 128};
+    cfg.cores = cores;
+    cfg.ctxSwitchInterval = 50'000;
+    System sys(cfg);
+    auto source = makeWorkload("gcc", cfg.seed);
+    const auto t0 = std::chrono::steady_clock::now();
+    Results r = sys.run(*source, instrs, "gcc", 0);
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return {dt > 0 ? static_cast<double>(instrs) / dt : 0.0,
+            std::move(r)};
+}
+
+/**
+ * The multicore scaling artifact: the same Ultrix cell scheduled on
+ * 1, 2, and 4 cores, reporting simulation throughput and the
+ * shootdown CPI component at each point. Written to @p path and
+ * summarized on stderr.
+ */
+void
+writeMulticoreReport(const std::string &path)
+{
+    const Counter instrs = 500'000;
+    multicoreRun(1, instrs); // warm allocator/branch predictors
+
+    Json points = Json::array();
+    std::ostringstream summary;
+    for (unsigned cores : {1u, 2u, 4u}) {
+        double ips = 0;
+        Results r;
+        for (int i = 0; i < 3; ++i) {
+            auto [this_ips, this_r] = multicoreRun(cores, instrs);
+            if (this_ips > ips) {
+                ips = this_ips;
+                r = std::move(this_r);
+            }
+        }
+        Json p = Json::object();
+        p.set("cores", cores);
+        p.set("instrs_per_sec", Json(ips));
+        p.set("total_cpi", Json(r.totalCpi()));
+        p.set("shootdown_cpi", Json(r.shootdownCpi()));
+        points.push(std::move(p));
+        summary << (cores == 1 ? "" : ", ") << cores << "-core "
+                << static_cast<long>(ips / 1000) << "K instrs/s (sdCPI "
+                << r.shootdownCpi() << ")";
+    }
+
+    Json out = Json::object();
+    out.set("benchmark", Json("multicore"));
+    out.set("system", Json("ULTRIX"));
+    out.set("workload", Json("gcc"));
+    out.set("instructions", Json(static_cast<double>(instrs)));
+    out.set("points", std::move(points));
+
+    std::ofstream os(path, std::ios::out | std::ios::trunc);
+    if (!os.is_open()) {
+        std::cerr << "bench_micro: cannot write " << path << '\n';
+        return;
+    }
+    os << out.dump(2) << '\n';
+    std::cerr << "multicore: " << summary.str() << " -> " << path
+              << '\n';
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    // Peel off our own --pipeline-json flag before google-benchmark
-    // sees (and rejects) it.
+    // Peel off our own --pipeline-json / --multicore-json flags before
+    // google-benchmark sees (and rejects) them.
     std::string pipeline_path = "BENCH_pipeline.json";
+    std::string multicore_path = "BENCH_multicore.json";
     std::vector<char *> args;
     args.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--pipeline-json=", 16) == 0)
             pipeline_path = argv[i] + 16;
+        else if (std::strncmp(argv[i], "--multicore-json=", 17) == 0)
+            multicore_path = argv[i] + 17;
         else
             args.push_back(argv[i]);
     }
@@ -286,6 +372,7 @@ main(int argc, char **argv)
     if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
         return 1;
     writePipelineReport(pipeline_path);
+    writeMulticoreReport(multicore_path);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     return 0;

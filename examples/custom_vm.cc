@@ -50,24 +50,28 @@ class TwoLevelHashedVm : public VmSystem
         walkBuf_.reserve(16);
     }
 
+    using VmSystem::dataRef;
+    using VmSystem::instRef;
+    using VmSystem::refBlock;
+
     void
-    instRef(Addr pc) override
+    instRef(const Access &a) override
     {
-        if (!itlb_.lookup(pt_.vpnOf(pc)))
-            walk(pc, itlb_);
-        mem_.instFetch(pc, AccessClass::User);
+        if (!itlb_.lookup(pt_.vpnOf(a.addr)))
+            walk(a.addr, itlb_);
+        mem_.instFetch(a.addr, AccessClass::User);
     }
 
     void
-    dataRef(Addr addr, bool store) override
+    dataRef(const Access &a) override
     {
-        if (!dtlb_.lookup(pt_.vpnOf(addr)))
-            walk(addr, dtlb_);
-        mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
+        if (!dtlb_.lookup(pt_.vpnOf(a.addr)))
+            walk(a.addr, dtlb_);
+        mem_.dataAccess(a.addr, kDataBytes, a.store, AccessClass::User);
     }
 
-    const Tlb *itlb() const override { return &itlb_; }
-    const Tlb *dtlb() const override { return &dtlb_; }
+    const Tlb *itlb(CoreId) const override { return &itlb_; }
+    const Tlb *dtlb(CoreId) const override { return &dtlb_; }
 
     Counter tcHits() const { return tcHits_; }
 

@@ -32,6 +32,13 @@
  *   --unified-l2          share one L2 of 2x capacity
  *   --json                emit machine-readable JSON
  *
+ * Multicore (see docs/multicore.md):
+ *   --cores=N             simulated cores sharing the page
+ *                         table and memory hierarchy     [1]
+ *   --core-quantum=N      round-robin quantum in instrs  [50000]
+ *   --private-l2tlb       per-core L2 TLBs instead of one
+ *                         shared L2 TLB
+ *
  * Observability (see docs/observability.md):
  *   --trace-events=FILE   JSONL event log of the measured run
  *   --chrome-trace=FILE   Chrome-trace/Perfetto timeline (open at
@@ -158,6 +165,15 @@ runCli(int argc, char **argv)
             cfg.seed = numArg(arg, "--seed=");
         else if (matches(arg, "--ctx-switch="))
             cfg.ctxSwitchInterval = numArg(arg, "--ctx-switch=");
+        else if (matches(arg, "--cores=")) {
+            cfg.cores = static_cast<unsigned>(numArg(arg, "--cores="));
+            fatalIf(cfg.cores == 0, "--cores must be positive");
+        } else if (matches(arg, "--core-quantum=")) {
+            cfg.coreQuantum = numArg(arg, "--core-quantum=");
+            fatalIf(cfg.coreQuantum == 0,
+                    "--core-quantum must be positive");
+        } else if (std::strcmp(arg, "--private-l2tlb") == 0)
+            cfg.sharedL2Tlb = false;
         else if (matches(arg, "--l2-tlb="))
             cfg.l2TlbEntries = static_cast<unsigned>(
                 numArg(arg, "--l2-tlb="));
@@ -199,6 +215,8 @@ runCli(int argc, char **argv)
     if (fuzz_cases > 0) {
         DiffOptions dopts;
         dopts.seed = cfg.seed;
+        if (cfg.cores > 1)
+            dopts.forceCores = cfg.cores;
         FuzzReport report = DiffRunner(dopts).run(fuzz_cases);
         std::string dumped = report.toJson().dump(2);
         if (!fuzz_report_path.empty()) {

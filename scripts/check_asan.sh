@@ -15,7 +15,8 @@ cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target base_test obs_test simulator_test error_test fault_test \
-    sweep_resume_test batch_test check_test check_fuzz vmsim_cli
+    sweep_resume_test batch_test check_test check_fuzz multicore_test \
+    vmsim_cli
 
 "$BUILD_DIR"/tests/base_test
 "$BUILD_DIR"/tests/obs_test
@@ -31,6 +32,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 # tuple — prime heap-lifetime territory.
 "$BUILD_DIR"/tests/check_test
 "$BUILD_DIR"/tests/check_fuzz
+# Per-core TLB/cursor arrays and the shootdown broadcast walk across
+# cores — exactly where an off-by-one core index would scribble.
+"$BUILD_DIR"/tests/multicore_test
 
 # Smoke test: a fully-instrumented CLI run whose Chrome trace must be
 # valid JSON (python3 json.tool is the arbiter when available).

@@ -14,7 +14,7 @@ cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target thread_pool_test sweep_test fault_test sweep_resume_test \
-    batch_test check_fuzz bench_mcpi_sweep
+    batch_test check_fuzz multicore_test bench_mcpi_sweep
 
 "$BUILD_DIR"/tests/thread_pool_test
 "$BUILD_DIR"/tests/sweep_test
@@ -29,6 +29,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 # The fuzzer's cached leg shares TraceCache recordings exactly like
 # parallel sweep workers do.
 "$BUILD_DIR"/tests/check_fuzz
+# Multicore cells run inside parallel sweep workers; simulated cores
+# share one VmSystem per worker, so TSan proves the sharing stops at
+# the cell boundary.
+"$BUILD_DIR"/tests/multicore_test
 "$BUILD_DIR"/bench/bench_mcpi_sweep --instructions=20000 \
     --warmup=5000 --jobs=4 --check > /dev/null
 

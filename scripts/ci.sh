@@ -26,11 +26,14 @@ for bench in build/bench/bench_*; do
     name=$(basename "$bench")
     case "$name" in
     bench_micro)
-        # Pipeline artifact only; the full microbench suite is manual.
+        # Pipeline + multicore artifacts only; the full microbench
+        # suite is manual.
         "$bench" --benchmark_filter=BM_TlbLookupHit \
             --pipeline-json="$SMOKE_DIR/BENCH_pipeline.json" \
+            --multicore-json="$SMOKE_DIR/BENCH_multicore.json" \
             > /dev/null 2>&1
         test -s "$SMOKE_DIR/BENCH_pipeline.json"
+        test -s "$SMOKE_DIR/BENCH_multicore.json"
         ;;
     *)
         "$bench" --instructions=5000 --warmup=1000 --jobs=2 --csv \
@@ -54,6 +57,17 @@ build/bench/bench_fig6_vmcpi_gcc --csv --instructions=20000 \
 cmp "$SMOKE_DIR/fig6_cached.csv" "$SMOKE_DIR/fig6_uncached.csv"
 cmp "$SMOKE_DIR/fig6_cached.csv" "$SMOKE_DIR/fig6_scalar.csv"
 
+echo "== multicore determinism =="
+# The quantum scheduler keeps scalar/batched and serial/parallel runs
+# bit-identical at four cores, and bench_micro's multicore report must
+# materialize alongside the pipeline artifact.
+build/bench/bench_multicore --csv --instructions=20000 --warmup=5000 \
+    --core-quantum=2000 --jobs=2 > "$SMOKE_DIR/mc_parallel.csv"
+build/bench/bench_multicore --csv --instructions=20000 --warmup=5000 \
+    --core-quantum=2000 --jobs=1 --batch=1 \
+    > "$SMOKE_DIR/mc_scalar.csv"
+cmp "$SMOKE_DIR/mc_parallel.csv" "$SMOKE_DIR/mc_scalar.csv"
+
 echo "== invariant checks + differential fuzz =="
 # Every organization must satisfy its conservation and Table-4 laws
 # (docs/checking.md); exit 1 on any violation fails the gate.
@@ -68,6 +82,9 @@ build/examples/vmsim_cli --fuzz=200 --seed=12345 \
 build/examples/vmsim_cli --fuzz=200 --seed=12345 \
     --fuzz-report="$SMOKE_DIR/fuzz_b.json" > /dev/null
 cmp "$SMOKE_DIR/fuzz_a.json" "$SMOKE_DIR/fuzz_b.json"
+# Multicore leg: every tuple pinned to four cores so the shootdown
+# books and per-core conservation laws get fuzzed on every gate run.
+build/examples/vmsim_cli --fuzz=50 --seed=12345 --cores=4 > /dev/null
 
 echo "== sanitizers =="
 scripts/check_asan.sh

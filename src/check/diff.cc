@@ -55,6 +55,10 @@ FuzzTuple::toConfig() const
     cfg.l2TlbEntries = l2TlbEntries;
     cfg.ctxSwitchInterval = ctxSwitch;
     cfg.seed = seed;
+    cfg.cores = cores;
+    if (coreQuantum)
+        cfg.coreQuantum = coreQuantum;
+    cfg.sharedL2Tlb = sharedL2Tlb;
     return cfg;
 }
 
@@ -77,6 +81,9 @@ FuzzTuple::toJson() const
     j.set("l2Line", l2Line);
     j.set("batch", static_cast<std::uint64_t>(batch));
     j.set("faults", faults);
+    j.set("cores", cores);
+    j.set("coreQuantum", coreQuantum);
+    j.set("sharedL2Tlb", sharedL2Tlb);
     return j;
 }
 
@@ -89,6 +96,9 @@ FuzzTuple::toString() const
         << warmup << " ctx=" << ctxSwitch << " asid=" << asidBits
         << " l2tlb=" << l2TlbEntries << " batch=" << batch
         << (faults ? " faults" : "");
+    if (cores > 1)
+        oss << " cores=" << cores << " quantum=" << coreQuantum
+            << (sharedL2Tlb ? " shared-l2tlb" : " private-l2tlb");
     return oss.str();
 }
 
@@ -177,6 +187,12 @@ DiffRunner::generate(std::uint64_t index) const
     static constexpr std::size_t kBatches[] = {2, 64, 1000, 4096};
     t.batch = kBatches[rng.uniform(std::size(kBatches))];
     t.faults = opts_.includeFaults && rng.chance(0.15);
+    static constexpr unsigned kCores[] = {1, 1, 2, 4};
+    t.cores = opts_.forceCores ? opts_.forceCores
+                               : kCores[rng.uniform(std::size(kCores))];
+    static constexpr Counter kQuantum[] = {500, 2000, 8192};
+    t.coreQuantum = kQuantum[rng.uniform(std::size(kQuantum))];
+    t.sharedL2Tlb = rng.chance(0.5);
     return t;
 }
 
@@ -301,6 +317,11 @@ DiffRunner::minimize(FuzzTuple t) const
     if (t.faults) {
         FuzzTuple c = t;
         c.faults = false;
+        tryApply(c);
+    }
+    if (t.cores > 1) {
+        FuzzTuple c = t;
+        c.cores = 1;
         tryApply(c);
     }
     if (t.ctxSwitch) {

@@ -46,6 +46,9 @@ struct FuzzTuple
     unsigned l2Line = 0;
     std::size_t batch = 0;    ///< batched-leg fetch size
     bool faults = false;      ///< inject trace-read faults in all legs
+    unsigned cores = 1;       ///< simulated cores (1 = legacy loop)
+    Counter coreQuantum = 0;  ///< scheduler slot length (0 = default)
+    bool sharedL2Tlb = true;  ///< share one L2 TLB across cores
 
     SimConfig toConfig() const;
     Json toJson() const;
@@ -58,6 +61,8 @@ struct DiffOptions
     std::uint64_t seed = 12345;
     Counter maxInstrs = 20000;  ///< cap on per-case instruction count
     bool includeFaults = true;  ///< draw fault-injection tuples too
+    unsigned forceCores = 0;    ///< pin every tuple's core count
+                                ///< (0 = draw from {1, 1, 2, 4})
 };
 
 /** One failing tuple, with its shrunk reproducer and broken laws. */

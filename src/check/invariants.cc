@@ -40,6 +40,27 @@ constexpr VmFieldDef kVmFieldDefs[] = {
     {"l2TlbHits", &VmStats::l2TlbHits},
     {"itlbMisses", &VmStats::itlbMisses},
     {"dtlbMisses", &VmStats::dtlbMisses},
+    {"shootdownsSent", &VmStats::shootdownsSent},
+    {"shootdownsRecv", &VmStats::shootdownsRecv},
+    {"shootdownCycles", &VmStats::shootdownCycles},
+};
+
+/** CoreStats counters by name, for the per-core conservation laws. */
+struct CoreFieldDef
+{
+    const char *name;
+    Counter CoreStats::*coreField;
+    Counter VmStats::*aggField;
+};
+
+constexpr CoreFieldDef kCoreFieldDefs[] = {
+    {"itlbMisses", &CoreStats::itlbMisses, &VmStats::itlbMisses},
+    {"dtlbMisses", &CoreStats::dtlbMisses, &VmStats::dtlbMisses},
+    {"ctxSwitches", &CoreStats::ctxSwitches, &VmStats::ctxSwitches},
+    {"shootdownsSent", &CoreStats::shootdownsSent,
+     &VmStats::shootdownsSent},
+    {"shootdownsRecv", &CoreStats::shootdownsRecv,
+     &VmStats::shootdownsRecv},
 };
 
 /** |a - b| within a relative epsilon (both derived from the same
@@ -205,9 +226,50 @@ InvariantChecker::check(const Results &r, CheckReport &rep) const
     rep.check(near(icpi, r.interruptCpi()), "cpi.interrupt",
               "raw-counter interrupt CPI ", icpi, " != ",
               r.interruptCpi());
-    rep.check(near(1.0 + mcpi + vmcpi + icpi, r.totalCpi()), "cpi.total",
-              "raw-counter total CPI ", 1.0 + mcpi + vmcpi + icpi,
-              " != ", r.totalCpi());
+    const double sdcpi = double(vm.shootdownCycles) / dn;
+    rep.check(near(sdcpi, r.shootdownCpi()), "cpi.shootdown",
+              "raw-counter shootdown CPI ", sdcpi, " != ",
+              r.shootdownCpi());
+    rep.check(near(1.0 + mcpi + vmcpi + icpi + sdcpi, r.totalCpi()),
+              "cpi.total", "raw-counter total CPI ",
+              1.0 + mcpi + vmcpi + icpi + sdcpi, " != ", r.totalCpi());
+
+    // --- multicore conservation ---------------------------------------
+    if (!vm.perCore.empty()) {
+        for (const CoreFieldDef &def : kCoreFieldDefs) {
+            Counter sum = 0;
+            for (const CoreStats &cs : vm.perCore)
+                sum += cs.*def.coreField;
+            rep.check(sum == vm.*def.aggField, "cores.sum", def.name,
+                      ": per-core sum ", sum, " != aggregate ",
+                      vm.*def.aggField);
+        }
+        const Counter peers =
+            static_cast<Counter>(vm.perCore.size()) - 1;
+        rep.check(vm.shootdownsRecv == vm.shootdownsSent * peers,
+                  "cores.shootdown-fanout", "received ",
+                  vm.shootdownsRecv, " shootdowns, expected sent (",
+                  vm.shootdownsSent, ") x peers (", peers, ")");
+        const Counter per_recv =
+            Counter{config_.shootdownIpiCycles} +
+            Counter{config_.shootdownHandlerCycles};
+        rep.check(vm.shootdownCycles == vm.shootdownsRecv * per_recv,
+                  "cores.shootdown-cycles", "shootdown cycles ",
+                  vm.shootdownCycles, " != receipts (",
+                  vm.shootdownsRecv, ") x per-receipt cost (", per_recv,
+                  ")");
+        // Legacy single-core simulator loops never credit per-core
+        // instruction slices, so the partition law applies only to
+        // quantum-scheduled (cores > 1) runs.
+        if (config_.cores > 1) {
+            Counter instr_sum = 0;
+            for (const CoreStats &cs : vm.perCore)
+                instr_sum += cs.instrs;
+            rep.check(instr_sum == n, "cores.instr-sum",
+                      "per-core instruction sum ", instr_sum,
+                      " != measured instructions ", n);
+        }
+    }
 
     // --- Table-4 organization laws ------------------------------------
     checkOrgLaws(config_, costs_, r, rep);
@@ -221,7 +283,7 @@ InvariantChecker::checkEvents(const Results &r,
     const VmStats &vm = r.vmStats();
     const MemSystemStats &m = r.memStats();
 
-    Counter kinds[12] = {};
+    Counter kinds[kNumEventKinds] = {};
     Counter enters[3] = {};
     Counter l2miss[2] = {};
     bool ordered = true;
@@ -257,6 +319,8 @@ InvariantChecker::checkEvents(const Results &r,
     match(EventKind::HwWalk, vm.hwWalks, "events.hw-walk", "HwWalk");
     match(EventKind::L2TlbHit, vm.l2TlbHits, "events.l2tlb-hit",
           "L2TlbHit");
+    match(EventKind::Shootdown, vm.shootdownsRecv, "events.shootdown",
+          "Shootdown");
 
     const Counter calls =
         vm.uhandlerCalls + vm.khandlerCalls + vm.rhandlerCalls;
@@ -400,6 +464,29 @@ diffResults(const Results &a, const Results &b,
                   "diff.vm-counter", def.name, ": ", label_a, "=",
                   a.vmStats().*def.field, " ", label_b, "=",
                   b.vmStats().*def.field);
+    if (rep.check(a.vmStats().perCore.size() ==
+                      b.vmStats().perCore.size(),
+                  "diff.core-count", label_a, " tracked ",
+                  a.vmStats().perCore.size(), " cores, ", label_b, " ",
+                  b.vmStats().perCore.size())) {
+        for (std::size_t c = 0; c < a.vmStats().perCore.size(); ++c) {
+            const CoreStats &ca = a.vmStats().perCore[c];
+            const CoreStats &cb = b.vmStats().perCore[c];
+            rep.check(ca.instrs == cb.instrs &&
+                          ca.itlbMisses == cb.itlbMisses &&
+                          ca.dtlbMisses == cb.dtlbMisses &&
+                          ca.ctxSwitches == cb.ctxSwitches &&
+                          ca.shootdownsSent == cb.shootdownsSent &&
+                          ca.shootdownsRecv == cb.shootdownsRecv,
+                      "diff.core-counter", "core ", c, ": ", label_a,
+                      "=(", ca.instrs, ", ", ca.itlbMisses, ", ",
+                      ca.dtlbMisses, ", ", ca.ctxSwitches, ", ",
+                      ca.shootdownsSent, ", ", ca.shootdownsRecv, ") ",
+                      label_b, "=(", cb.instrs, ", ", cb.itlbMisses,
+                      ", ", cb.dtlbMisses, ", ", cb.ctxSwitches, ", ",
+                      cb.shootdownsSent, ", ", cb.shootdownsRecv, ")");
+        }
+    }
     for (unsigned c = 0; c < kNumAccessClasses; ++c) {
         for (int side = 0; side < 2; ++side) {
             const ClassCounters &ca =
@@ -437,21 +524,32 @@ checkExecutedConservation(Counter executed, const MemSystemStats &mem)
 void
 checkLiveTlb(const VmSystem &vm, Counter instrs, CheckReport &rep)
 {
-    const Tlb *itlb = vm.itlb();
-    const Tlb *dtlb = vm.dtlb();
-    if (!itlb || !dtlb)
+    if (!vm.itlb() || !vm.dtlb())
         return;
-    rep.check(itlb->accesses() == instrs, "tlb.itlb-probes",
-              "I-TLB saw ", itlb->accesses(), " probes for ", instrs,
+    // Every instruction probes exactly one core's I-TLB, so the laws
+    // hold on the sums across cores (which, on one core, are the
+    // single TLB's own counters).
+    Counter iprobes = 0, imisses = 0, dmisses = 0;
+    for (CoreId c = 0; c < vm.cores(); ++c) {
+        const Tlb *itlb = vm.itlb(c);
+        const Tlb *dtlb = vm.dtlb(c);
+        if (!itlb || !dtlb)
+            return;
+        iprobes += itlb->accesses();
+        imisses += itlb->misses();
+        dmisses += dtlb->misses();
+    }
+    rep.check(iprobes == instrs, "tlb.itlb-probes",
+              "I-TLBs saw ", iprobes, " probes for ", instrs,
               " instructions");
-    rep.check(itlb->misses() == vm.vmStats().itlbMisses,
-              "tlb.itlb-misses", "I-TLB counted ", itlb->misses(),
+    rep.check(imisses == vm.vmStats().itlbMisses,
+              "tlb.itlb-misses", "I-TLBs counted ", imisses,
               " misses, VM stats say ", vm.vmStats().itlbMisses);
     // Nested walks probe the D-TLB for page-table pages without
     // counting a user-level miss, so the TLB's own counter bounds
     // the VM's from above.
-    rep.check(dtlb->misses() >= vm.vmStats().dtlbMisses,
-              "tlb.dtlb-misses", "D-TLB counted ", dtlb->misses(),
+    rep.check(dmisses >= vm.vmStats().dtlbMisses,
+              "tlb.dtlb-misses", "D-TLBs counted ", dmisses,
               " misses, below the VM's ", vm.vmStats().dtlbMisses);
 }
 

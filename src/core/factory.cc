@@ -57,13 +57,17 @@ std::unique_ptr<VmSystem>
 finish(std::unique_ptr<VmSystem> vm, const SimConfig &config)
 {
     vm->setCtxSwitchEvictions(config.ctxSwitchEvictions);
+    vm->setShootdownCosts(config.shootdownIpiCycles,
+                          config.shootdownHandlerCycles,
+                          config.shootdownEvictions);
     if (config.l2TlbEntries != 0 && kindHasTlb(config.kind)) {
         TlbParams l2;
         l2.entries = config.l2TlbEntries;
         l2.protectedSlots = 0;
         l2.repl = config.tlbRepl;
         l2.asidBits = config.tlbAsidBits;
-        vm->attachL2Tlb(l2, config.l2TlbHitCycles, config.seed ^ 0x77);
+        vm->attachL2Tlb(l2, config.l2TlbHitCycles, config.seed ^ 0x77,
+                        config.sharedL2Tlb);
     }
     return vm;
 }
@@ -79,20 +83,24 @@ makeVmSystem(const SimConfig &config, MemSystem &mem, PhysMem &phys_mem)
     TlbParams tlb = tlbParamsFor(config.kind, config);
     unsigned pb = config.pageBits;
     std::uint64_t seed = config.seed;
+    // TLB-less organizations stay single-instance: a "core" there is
+    // purely a trace-scheduling notion with no private state to split.
+    unsigned cores = kindHasTlb(config.kind) ? config.cores : 1;
 
     switch (config.kind) {
       case SystemKind::Ultrix:
         return finish(std::make_unique<UltrixVm>(mem, phys_mem, tlb, tlb, costs,
-                                          pb, seed), config);
+                                          pb, seed, cores), config);
       case SystemKind::Mach:
         return finish(std::make_unique<MachVm>(mem, phys_mem, tlb, tlb, costs,
-                                        pb, seed), config);
+                                        pb, seed, cores), config);
       case SystemKind::Intel:
         return finish(std::make_unique<IntelVm>(mem, phys_mem, tlb, tlb, costs,
-                                         pb, seed), config);
+                                         pb, seed, cores), config);
       case SystemKind::Parisc:
         return finish(std::make_unique<PariscVm>(mem, phys_mem, tlb, tlb, costs,
-                                          pb, seed, config.hptRatio), config);
+                                          pb, seed, config.hptRatio, cores),
+                      config);
       case SystemKind::Notlb:
         return finish(std::make_unique<NotlbVm>(mem, phys_mem, costs, pb), config);
       case SystemKind::Base:
@@ -100,10 +108,10 @@ makeVmSystem(const SimConfig &config, MemSystem &mem, PhysMem &phys_mem)
       case SystemKind::HwInverted:
         return finish(std::make_unique<HwInvertedVm>(mem, phys_mem, tlb, tlb,
                                               costs, pb, seed,
-                                              config.hptRatio), config);
+                                              config.hptRatio, cores), config);
       case SystemKind::HwMips:
         return finish(std::make_unique<HwMipsVm>(mem, phys_mem, tlb, tlb, costs,
-                                          pb, seed), config);
+                                          pb, seed, cores), config);
       case SystemKind::Spur:
         return finish(std::make_unique<SpurVm>(mem, phys_mem, costs, pb), config);
     }

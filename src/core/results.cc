@@ -92,6 +92,12 @@ Results::interruptCpiAt(Cycles interrupt_cycles) const
     return perInstr(vm_.interrupts) * static_cast<double>(interrupt_cycles);
 }
 
+double
+Results::shootdownCpi() const
+{
+    return perInstr(vm_.shootdownCycles);
+}
+
 Json
 Results::toJson() const
 {
@@ -110,7 +116,26 @@ Results::toJson() const
     events.set("itlb_misses", vm_.itlbMisses);
     events.set("dtlb_misses", vm_.dtlbMisses);
     events.set("ctx_switches", vm_.ctxSwitches);
+    events.set("shootdowns_sent", vm_.shootdownsSent);
+    events.set("shootdowns_recv", vm_.shootdownsRecv);
+    events.set("shootdown_cycles", vm_.shootdownCycles);
     j.set("events", std::move(events));
+
+    if (vm_.perCore.size() > 1) {
+        Json cores_j = Json::array();
+        for (const CoreStats &cs : vm_.perCore) {
+            Json cj = Json::object();
+            cj.set("instrs", cs.instrs);
+            cj.set("itlb_misses", cs.itlbMisses);
+            cj.set("dtlb_misses", cs.dtlbMisses);
+            cj.set("ctx_switches", cs.ctxSwitches);
+            cj.set("shootdowns_sent", cs.shootdownsSent);
+            cj.set("shootdowns_recv", cs.shootdownsRecv);
+            cores_j.push(std::move(cj));
+        }
+        j.set("per_core", std::move(cores_j));
+        j.set("shootdown_cpi", shootdownCpi());
+    }
 
     McpiBreakdown m = mcpiBreakdown();
     Json mcpi_j = Json::object();
@@ -172,13 +197,14 @@ countersFromJson(const Json &j, ClassCounters &c)
     return Status();
 }
 
-/** The 14 VmStats counters, in declaration order. */
+/** The 17 scalar VmStats counters, in declaration order. */
 constexpr const char *kVmFields[] = {
     "uhandler_calls",  "khandler_calls",  "rhandler_calls",
     "uhandler_instrs", "khandler_instrs", "rhandler_instrs",
     "hw_walks",        "hw_walk_cycles",  "interrupts",
     "pte_loads",       "ctx_switches",    "l2tlb_hits",
-    "itlb_misses",     "dtlb_misses",
+    "itlb_misses",     "dtlb_misses",     "shootdowns_sent",
+    "shootdowns_recv", "shootdown_cycles",
 };
 
 Counter *
@@ -189,9 +215,45 @@ vmField(VmStats &vm, std::size_t i)
         &vm.uhandlerInstrs, &vm.khandlerInstrs, &vm.rhandlerInstrs,
         &vm.hwWalks,        &vm.hwWalkCycles,   &vm.interrupts,
         &vm.pteLoads,       &vm.ctxSwitches,    &vm.l2TlbHits,
-        &vm.itlbMisses,     &vm.dtlbMisses,
+        &vm.itlbMisses,     &vm.dtlbMisses,     &vm.shootdownsSent,
+        &vm.shootdownsRecv, &vm.shootdownCycles,
     };
     return fields[i];
+}
+
+/** Per-core slice fields, in CoreStats declaration order. */
+Json
+coreStatsToJson(const CoreStats &cs)
+{
+    Json j = Json::array();
+    j.push(cs.instrs);
+    j.push(cs.itlbMisses);
+    j.push(cs.dtlbMisses);
+    j.push(cs.ctxSwitches);
+    j.push(cs.shootdownsSent);
+    j.push(cs.shootdownsRecv);
+    return j;
+}
+
+Status
+coreStatsFromJson(const Json &j, CoreStats &cs)
+{
+    if (!j.isArray() || j.size() != 6)
+        return Status(makeError(ErrorCode::ParseError, "results",
+                                "per-core counters must be a 6-element "
+                                "array"));
+    for (std::size_t i = 0; i < 6; ++i)
+        if (!j.at(i).isNumber())
+            return Status(makeError(ErrorCode::ParseError, "results",
+                                    "per-core counter ", i,
+                                    " is not a number"));
+    cs.instrs = j.at(0).asUint();
+    cs.itlbMisses = j.at(1).asUint();
+    cs.dtlbMisses = j.at(2).asUint();
+    cs.ctxSwitches = j.at(3).asUint();
+    cs.shootdownsSent = j.at(4).asUint();
+    cs.shootdownsRecv = j.at(5).asUint();
+    return Status();
 }
 
 constexpr std::size_t kNumVmFields =
@@ -221,6 +283,12 @@ Results::serialize() const
     VmStats copy = vm_;
     for (std::size_t i = 0; i < kNumVmFields; ++i)
         vm.set(kVmFields[i], *vmField(copy, i));
+    if (!vm_.perCore.empty()) {
+        Json cores_j = Json::array();
+        for (const CoreStats &cs : vm_.perCore)
+            cores_j.push(coreStatsToJson(cs));
+        vm.set("per_core", std::move(cores_j));
+    }
     j.set("vm", std::move(vm));
     return j;
 }
@@ -269,6 +337,18 @@ Results::deserialize(const Json &j, const CostModel &costs)
                        "'");
         *vmField(vm, i) = f->asUint();
     }
+    // Optional for compatibility with pre-multicore journals, which
+    // have no per-core slices.
+    if (const Json *cores_j = vmj->find("per_core")) {
+        if (!cores_j->isArray() || cores_j->size() == 0)
+            return bad("'per_core' must be a nonempty array");
+        vm.perCore.resize(cores_j->size());
+        for (std::size_t c = 0; c < cores_j->size(); ++c)
+            if (Status s = coreStatsFromJson(cores_j->at(c),
+                                             vm.perCore[c]);
+                !s.ok())
+                return s.error();
+    }
 
     return Results(system->asString(), workload->asString(),
                    instrs->asUint(), mem, vm, costs);
@@ -296,6 +376,10 @@ Results::printSummary(std::ostream &os) const
     }
     os << "  intCPI = " << interruptCpi() << "  (" << vm_.interrupts
        << " interrupts @ " << costs_.interruptCycles << " cycles)\n";
+    if (vm_.shootdownCycles > 0)
+        os << "  sdCPI  = " << shootdownCpi() << "  ("
+           << vm_.shootdownsRecv << " shootdowns received, "
+           << vm_.shootdownCycles << " cycles)\n";
     os << "  CPI    = " << totalCpi() << '\n';
     os.flags(flags);
 }

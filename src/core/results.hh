@@ -110,11 +110,18 @@ class Results
     /** Interrupt overhead under an alternative per-interrupt cost. */
     double interruptCpiAt(Cycles interrupt_cycles) const;
 
+    /**
+     * Inter-core TLB shootdown overhead per user instruction (IPI
+     * delivery + invalidate-handler cycles). Exactly zero on
+     * single-core runs, so every pre-multicore metric is unchanged.
+     */
+    double shootdownCpi() const;
+
     /** Total CPI on the 1-CPI core. */
     double
     totalCpi() const
     {
-        return 1.0 + mcpi() + vmcpi() + interruptCpi();
+        return 1.0 + mcpi() + vmcpi() + interruptCpi() + shootdownCpi();
     }
 
     /**

@@ -130,6 +130,11 @@ SimConfig::validate() const
         return bad("costs.hwWalkOverlap",
                    "costs.hwWalkOverlap must be in [0, 1], got ",
                    costs.hwWalkOverlap);
+    if (cores == 0)
+        return bad("cores", "cores must be >= 1");
+    if (cores > 1 && coreQuantum == 0)
+        return bad("coreQuantum",
+                   "coreQuantum must be nonzero when cores > 1");
     return Status();
 }
 
@@ -142,6 +147,13 @@ SimConfig::toString() const
     if (kindHasTlb(kind))
         oss << " TLB=" << tlbEntries << "x2";
     oss << " int=" << costs.interruptCycles;
+    // Appended only for multicore runs so every single-core string (and
+    // thus every existing CSV fingerprint) is byte-identical.
+    if (cores > 1) {
+        oss << " cores=" << cores << " quantum=" << coreQuantum;
+        if (l2TlbEntries > 0)
+            oss << (sharedL2Tlb ? " l2tlb=shared" : " l2tlb=private");
+    }
     return oss.str();
 }
 

@@ -159,6 +159,33 @@ struct SimConfig
      */
     Counter ctxSwitchInterval = 0;
 
+    /**
+     * Simulated cores. 1 (the paper) = the classic uniprocessor runs;
+     * >1 gives each core a private I/D TLB pair fed round-robin from
+     * per-core trace cursors, with inter-core TLB shootdowns on
+     * address-space switches.
+     */
+    unsigned cores = 1;
+
+    /** User instructions a core runs before the scheduler rotates. */
+    Counter coreQuantum = 50'000;
+
+    /**
+     * When an L2 TLB is configured (l2TlbEntries > 0) on a multicore
+     * run: one L2 TLB shared by all cores (true) or a private slice
+     * per core (false). Irrelevant at cores == 1.
+     */
+    bool sharedL2Tlb = true;
+
+    /** Cycles to deliver one shootdown IPI to one core. */
+    Cycles shootdownIpiCycles = 100;
+
+    /** Cycles the receiving core spends in the invalidate handler. */
+    Cycles shootdownHandlerCycles = 50;
+
+    /** TLB entries dropped per side on the receiving core. */
+    unsigned shootdownEvictions = 8;
+
     CostModel costs{};
     std::uint64_t seed = 12345;
 

@@ -1,6 +1,7 @@
 #include "core/simulator.hh"
 
 #include "core/factory.hh"
+#include "trace/recorded.hh"
 #include "trace/synthetic/workloads.hh"
 
 namespace vmsim
@@ -8,12 +9,31 @@ namespace vmsim
 
 Simulator::Simulator(VmSystem &vm, TraceSource &trace,
                      Counter ctx_switch_interval)
-    : vm_(vm), trace_(trace), ctxSwitchInterval_(ctx_switch_interval)
+    : vm_(vm), sources_{&trace}, ctxSwitchInterval_(ctx_switch_interval)
 {}
+
+Simulator::Simulator(VmSystem &vm,
+                     const std::vector<TraceSource *> &sources,
+                     Counter ctx_switch_interval, Counter core_quantum)
+    : vm_(vm), sources_(sources),
+      ctxSwitchInterval_(ctx_switch_interval), coreQuantum_(core_quantum)
+{
+    panicIf(sources_.empty(), "Simulator needs at least one source");
+    for (TraceSource *src : sources_)
+        panicIf(!src, "Simulator given a null trace source");
+    panicIf(sources_.size() > 1 && coreQuantum_ == 0,
+            "multicore Simulator needs a nonzero core quantum");
+}
 
 Counter
 Simulator::run(Counter max_instrs)
 {
+    // A single source follows the legacy loops untouched (and thus
+    // byte-identical to the pre-multicore simulator); multiple sources
+    // take the quantum-scheduled loops.
+    if (sources_.size() > 1)
+        return batch_ <= 1 ? runScalarMc(max_instrs)
+                           : runBatchedMc(max_instrs);
     return batch_ <= 1 ? runScalar(max_instrs) : runBatched(max_instrs);
 }
 
@@ -22,13 +42,14 @@ Simulator::runScalar(Counter max_instrs)
 {
     TraceRecord rec;
     Counter n = 0;
+    TraceSource &trace = *sources_.front();
     // One extra branch per instruction when anything observes the run;
     // a plain simulation pays only the `observing` test itself.
     const bool observing = sampler_ || vm_.tracing();
     // The paper's fundamental algorithm: translate + fetch every
     // instruction; translate + access data for loads/stores. All TLB
     // probing and page-table walking happens inside the VmSystem.
-    while (n < max_instrs && trace_.next(rec)) {
+    while (n < max_instrs && trace.next(rec)) {
         // Cooperative cancellation: one relaxed load every 2K
         // instructions is noise next to the TLB/cache probes.
         if (cancel_ && (n & 0x7ff) == 0 &&
@@ -60,6 +81,7 @@ Counter
 Simulator::runBatched(Counter max_instrs)
 {
     Counter n = 0;
+    TraceSource &trace = *sources_.front();
     const bool observing = sampler_ || vm_.tracing();
     while (n < max_instrs) {
         // Hoisted cancel poll: once per batch instead of every 2K
@@ -94,11 +116,11 @@ Simulator::runBatched(Counter max_instrs)
         // Sources with contiguous storage (replay cursors) lend their
         // buffer directly; everything else fills the staging buffer.
         std::size_t got = 0;
-        const TraceRecord *recs = trace_.lendBatch(want, got);
+        const TraceRecord *recs = trace.lendBatch(want, got);
         if (!recs) {
             if (buf_.size() < batch_)
                 buf_.resize(batch_);
-            got = trace_.nextBatch(buf_.data(), want);
+            got = trace.nextBatch(buf_.data(), want);
             recs = buf_.data();
         }
         if (got == 0)
@@ -141,6 +163,151 @@ Simulator::runBatched(Counter max_instrs)
     return n;
 }
 
+Counter
+Simulator::runScalarMc(Counter max_instrs)
+{
+    TraceRecord rec;
+    Counter n = 0;
+    const bool observing = sampler_ || vm_.tracing();
+    const CoreId ncores = static_cast<CoreId>(sources_.size());
+    Access a;
+    while (n < max_instrs && sources_[curCore_]->next(rec)) {
+        if (cancel_ && (n & 0x7ff) == 0 &&
+            cancel_->load(std::memory_order_relaxed)) {
+            flushQuantum();
+            executed_ += n;
+            throwError(ErrorCode::Canceled, "simulator",
+                       "run canceled after ", executed_,
+                       " instructions");
+        }
+        if (observing) {
+            vm_.setCurrentInstr(executed_ + n);
+            if (sampler_)
+                sampler_->tick(executed_ + n, vm_);
+        }
+        if (ctxSwitchInterval_ && ++sinceSwitch_ >= ctxSwitchInterval_) {
+            sinceSwitch_ = 0;
+            vm_.contextSwitch(curCore_);
+        }
+        a.addr = rec.pc;
+        a.core = curCore_;
+        a.store = false;
+        vm_.instRef(a);
+        if (rec.isMemOp()) {
+            a.addr = rec.daddr;
+            a.store = rec.isStore();
+            vm_.dataRef(a);
+        }
+        ++n;
+        // Post-increment rotation: the instruction that fills the
+        // quantum is the last one its core runs before the scheduler
+        // moves on.
+        if (++quantumUsed_ >= coreQuantum_) {
+            flushQuantum();
+            quantumUsed_ = 0;
+            quantumCredited_ = 0;
+            curCore_ = (curCore_ + 1) % ncores;
+        }
+    }
+    flushQuantum();
+    executed_ += n;
+    return n;
+}
+
+Counter
+Simulator::runBatchedMc(Counter max_instrs)
+{
+    Counter n = 0;
+    const bool observing = sampler_ || vm_.tracing();
+    const CoreId ncores = static_cast<CoreId>(sources_.size());
+    while (n < max_instrs) {
+        if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+            flushQuantum();
+            executed_ += n;
+            throwError(ErrorCode::Canceled, "simulator",
+                       "run canceled after ", executed_,
+                       " instructions");
+        }
+        // Split at run end and context-switch points exactly as the
+        // single-core batched loop, and additionally at the current
+        // core's quantum boundary, so the rotation points — and hence
+        // the global interleaved stream — match the scalar loop
+        // instruction for instruction.
+        Counter room = max_instrs - n;
+        bool due = false;
+        if (ctxSwitchInterval_) {
+            due = sinceSwitch_ + 1 >= ctxSwitchInterval_;
+            Counter free = due ? ctxSwitchInterval_
+                               : ctxSwitchInterval_ - sinceSwitch_ - 1;
+            if (free < room)
+                room = free;
+        }
+        Counter qroom = coreQuantum_ - quantumUsed_;
+        if (qroom < room)
+            room = qroom;
+        std::size_t want = batch_;
+        if (Counter{want} > room)
+            want = static_cast<std::size_t>(room);
+        TraceSource &src = *sources_[curCore_];
+        std::size_t got = 0;
+        const TraceRecord *recs = src.lendBatch(want, got);
+        if (!recs) {
+            if (buf_.size() < batch_)
+                buf_.resize(batch_);
+            got = src.nextBatch(buf_.data(), want);
+            recs = buf_.data();
+        }
+        if (got == 0)
+            break;
+        if (observing) {
+            Access a;
+            a.core = curCore_;
+            for (std::size_t i = 0; i < got; ++i) {
+                vm_.setCurrentInstr(executed_ + n + i);
+                if (sampler_)
+                    sampler_->tick(executed_ + n + i, vm_);
+                if (ctxSwitchInterval_ &&
+                    ++sinceSwitch_ >= ctxSwitchInterval_) {
+                    sinceSwitch_ = 0;
+                    vm_.contextSwitch(curCore_);
+                }
+                const TraceRecord &rec = recs[i];
+                a.addr = rec.pc;
+                a.store = false;
+                vm_.instRef(a);
+                if (rec.isMemOp()) {
+                    a.addr = rec.daddr;
+                    a.store = rec.isStore();
+                    vm_.dataRef(a);
+                }
+            }
+        } else {
+            if (due) {
+                vm_.contextSwitch(curCore_);
+                sinceSwitch_ = got - 1;
+            } else if (ctxSwitchInterval_) {
+                sinceSwitch_ += got;
+            }
+            AccessBlock blk;
+            blk.recs = recs;
+            blk.n = got;
+            blk.core = curCore_;
+            vm_.refBlock(blk);
+        }
+        n += got;
+        quantumUsed_ += got;
+        if (quantumUsed_ >= coreQuantum_) {
+            flushQuantum();
+            quantumUsed_ = 0;
+            quantumCredited_ = 0;
+            curCore_ = (curCore_ + 1) % ncores;
+        }
+    }
+    flushQuantum();
+    executed_ += n;
+    return n;
+}
+
 System::System(const SimConfig &config)
     : config_(config)
 {
@@ -158,7 +325,55 @@ Results
 System::run(TraceSource &trace, Counter max_instrs,
             const std::string &workload_name, Counter warmup_instrs)
 {
+    if (config_.cores > 1)
+        return runMulticore(trace, max_instrs, workload_name,
+                            warmup_instrs);
     Simulator sim(*vm_, trace, config_.ctxSwitchInterval);
+    return finishRun(sim, max_instrs, workload_name, warmup_instrs);
+}
+
+Results
+System::runMulticore(TraceSource &trace, Counter max_instrs,
+                     const std::string &workload_name,
+                     Counter warmup_instrs)
+{
+    const Counter total = warmup_instrs + max_instrs;
+    // One recording feeds every core. When the caller already hands us
+    // a fresh full-length replay cursor (the sweep trace cache does),
+    // share its buffer instead of copying it record by record.
+    std::shared_ptr<const RecordedTrace> recording;
+    if (auto *cursor = dynamic_cast<ReplayCursor *>(&trace);
+        cursor && cursor->position() == 0 &&
+        cursor->trace().size() == total) {
+        recording = cursor->shared();
+    } else {
+        recording = std::make_shared<const RecordedTrace>(
+            RecordedTrace::record(trace, total, workload_name));
+    }
+    // Staggered wrapping cursors approximate independent address
+    // spaces: each core replays the same workload from a different
+    // phase, so the cores' working sets are disjoint in time while
+    // total instruction volume stays exactly `total`.
+    const std::size_t sz = recording->size();
+    std::vector<std::unique_ptr<ReplayCursor>> cursors;
+    std::vector<TraceSource *> sources;
+    cursors.reserve(config_.cores);
+    sources.reserve(config_.cores);
+    for (unsigned c = 0; c < config_.cores; ++c) {
+        const std::size_t start = sz ? (sz / config_.cores) * c : 0;
+        cursors.push_back(
+            std::make_unique<ReplayCursor>(recording, start, true));
+        sources.push_back(cursors.back().get());
+    }
+    Simulator sim(*vm_, sources, config_.ctxSwitchInterval,
+                  config_.coreQuantum);
+    return finishRun(sim, max_instrs, workload_name, warmup_instrs);
+}
+
+Results
+System::finishRun(Simulator &sim, Counter max_instrs,
+                  const std::string &workload_name, Counter warmup_instrs)
+{
     sim.setCancel(cancel_);
     if (batch_)
         sim.setBatchSize(batch_);

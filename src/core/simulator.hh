@@ -47,6 +47,14 @@ defaultWarmup(Counter instrs)
  * points so the executed stream — including every event, interval
  * sample, and statistic — is bit-identical to the one-at-a-time loop,
  * which remains available via setBatchSize(1).
+ *
+ * The multicore form takes one TraceSource per simulated core and
+ * interleaves them round-robin: each core runs core_quantum
+ * instructions, then the scheduler rotates. Batches are additionally
+ * split at quantum boundaries, so the scalar and batched multicore
+ * paths execute the identical global instruction stream. Interval
+ * samples and event stamps use the global instruction timebase, never
+ * a core-local count.
  */
 class Simulator
 {
@@ -62,6 +70,17 @@ class Simulator
      */
     Simulator(VmSystem &vm, TraceSource &trace,
               Counter ctx_switch_interval = 0);
+
+    /**
+     * Multicore form: @p sources holds one trace source per core
+     * (all non-null, one or more entries; not owned). The scheduler
+     * runs @p core_quantum instructions per core before rotating to
+     * the next. With a single source this is exactly the single-core
+     * simulator. Context switches fire on the global timebase and
+     * target whichever core is current.
+     */
+    Simulator(VmSystem &vm, const std::vector<TraceSource *> &sources,
+              Counter ctx_switch_interval, Counter core_quantum);
 
     /**
      * Execute up to @p max_instrs user instructions (or until the
@@ -98,15 +117,34 @@ class Simulator
 
     std::size_t batchSize() const { return batch_; }
 
+    /** The core the round-robin scheduler runs next. */
+    CoreId currentCore() const { return curCore_; }
+
   private:
     Counter runScalar(Counter max_instrs);
     Counter runBatched(Counter max_instrs);
+    Counter runScalarMc(Counter max_instrs);
+    Counter runBatchedMc(Counter max_instrs);
+
+    /** Credit the uncredited part of the running quantum to its core. */
+    void
+    flushQuantum()
+    {
+        if (quantumUsed_ > quantumCredited_) {
+            vm_.addCoreInstrs(curCore_, quantumUsed_ - quantumCredited_);
+            quantumCredited_ = quantumUsed_;
+        }
+    }
 
     VmSystem &vm_;
-    TraceSource &trace_;
+    std::vector<TraceSource *> sources_; ///< one per core (not owned)
     Counter ctxSwitchInterval_;
     Counter sinceSwitch_ = 0;
     Counter executed_ = 0;
+    CoreId curCore_ = 0;
+    Counter coreQuantum_ = 0;      ///< instructions per scheduling slot
+    Counter quantumUsed_ = 0;      ///< used within the current slot
+    Counter quantumCredited_ = 0;  ///< part already in per-core stats
     IntervalSampler *sampler_ = nullptr;
     const std::atomic<bool> *cancel_ = nullptr;
     std::size_t batch_ = kDefaultBatch;
@@ -184,6 +222,22 @@ class System
     void setBatchSize(std::size_t n) { batch_ = n; }
 
   private:
+    /**
+     * The cores > 1 path of run(): records the incoming trace (or
+     * reuses an already-shared recording when the source is a fresh
+     * full-length ReplayCursor), fans it out to one wrapping per-core
+     * cursor at staggered offsets, and drives the quantum-scheduled
+     * multicore simulator loop.
+     */
+    Results runMulticore(TraceSource &trace, Counter max_instrs,
+                         const std::string &workload_name,
+                         Counter warmup_instrs);
+
+    /** The shared tail of run()/runMulticore() after sim construction. */
+    Results finishRun(Simulator &sim, Counter max_instrs,
+                      const std::string &workload_name,
+                      Counter warmup_instrs);
+
     SimConfig config_;
     std::unique_ptr<PhysMem> physMem_;
     std::unique_ptr<MemSystem> mem_;

@@ -131,6 +131,16 @@ BenchOptions::parse(int argc, char **argv)
                     "--batch must be positive (1 = scalar loop)");
         } else if (std::strncmp(arg, "--trace-cache-mb=", 17) == 0) {
             opts.traceCacheMb = std::strtoull(arg + 17, nullptr, 10);
+        } else if (std::strncmp(arg, "--cores=", 8) == 0) {
+            opts.cores = static_cast<unsigned>(
+                std::strtoul(arg + 8, nullptr, 10));
+            fatalIf(opts.cores == 0, "--cores must be positive");
+        } else if (std::strncmp(arg, "--core-quantum=", 15) == 0) {
+            opts.coreQuantum = std::strtoull(arg + 15, nullptr, 10);
+            fatalIf(opts.coreQuantum == 0,
+                    "--core-quantum must be positive");
+        } else if (std::strcmp(arg, "--private-l2tlb") == 0) {
+            opts.sharedL2Tlb = false;
         } else if (std::strcmp(arg, "--check") == 0) {
             opts.check = true;
         } else if (std::strncmp(arg, "--fuzz=", 7) == 0) {
@@ -145,7 +155,8 @@ BenchOptions::parse(int argc, char **argv)
                   "--interval=N, --retries=N, --retry-backoff=S, "
                   "--cell-timeout=S, --journal=F, --resume, "
                   "--inject-faults=SPEC, --batch=N, "
-                  "--trace-cache-mb=N, --check, --fuzz=N)");
+                  "--trace-cache-mb=N, --cores=N, --core-quantum=N, "
+                  "--private-l2tlb, --check, --fuzz=N)");
         }
     }
     fatalIf(opts.resume && opts.journal.empty(),

@@ -121,6 +121,12 @@ struct ObsOptions
  *   --batch=N          trace-fetch batch size (1 = scalar loop)
  *   --trace-cache-mb=N shared recorded-trace cache budget in MiB
  *                      (default 256; 0 disables the cache)
+ *   --cores=N          simulated cores sharing the page table
+ *                      (default 1 = the legacy single-core machine)
+ *   --core-quantum=N   instructions per core scheduling slot
+ *                      (default: SimConfig's 50,000)
+ *   --private-l2tlb    give each core a private L2 TLB slice instead
+ *                      of the default single shared L2 TLB
  *   --check            audit every cell's Results with the
  *                      invariant checker (failures mark the cell)
  *   --fuzz=N           run N differential-fuzz cases (seeded from
@@ -148,6 +154,9 @@ struct BenchOptions
     std::size_t traceCacheMb = 256; ///< trace-cache budget; 0 = off
     bool check = false;        ///< audit every cell's Results
     unsigned fuzz = 0;         ///< differential-fuzz cases; 0 = off
+    unsigned cores = 1;        ///< simulated cores (1 = legacy machine)
+    Counter coreQuantum = 0;   ///< scheduler slot; 0 = SimConfig default
+    bool sharedL2Tlb = true;   ///< one shared L2 TLB vs per-core slices
 
     /**
      * The effective warmup length: --warmup=N or the project-wide

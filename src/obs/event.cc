@@ -29,6 +29,8 @@ eventKindName(EventKind kind)
         return "l2tlb_hit";
       case EventKind::L2Miss:
         return "l2_miss";
+      case EventKind::Shootdown:
+        return "shootdown";
       case EventKind::FaultInjected:
         return "fault_injected";
     }

@@ -40,10 +40,11 @@ enum class EventKind : std::uint8_t
     CtxSwitch,    ///< address-space switch (TLB flush / eviction)
     L2TlbHit,     ///< walk satisfied by the unified L2 TLB
     L2Miss,       ///< user reference missed the L2 cache (went to memory)
+    Shootdown,    ///< inter-core TLB shootdown delivered (vpn = receiver)
     FaultInjected, ///< FaultInjector fired (level = FaultKind)
 };
 
-constexpr unsigned kNumEventKinds = 11;
+constexpr unsigned kNumEventKinds = 12;
 
 /** Stable lowercase identifier ("itlb_miss", "pte_fetch", ...). */
 const char *eventKindName(EventKind kind);

@@ -48,6 +48,23 @@ diffVm(const VmStats &cur, const VmStats &prev)
     d.l2TlbHits = cur.l2TlbHits - prev.l2TlbHits;
     d.itlbMisses = cur.itlbMisses - prev.itlbMisses;
     d.dtlbMisses = cur.dtlbMisses - prev.dtlbMisses;
+    d.shootdownsSent = cur.shootdownsSent - prev.shootdownsSent;
+    d.shootdownsRecv = cur.shootdownsRecv - prev.shootdownsRecv;
+    d.shootdownCycles = cur.shootdownCycles - prev.shootdownCycles;
+    if (cur.perCore.size() == prev.perCore.size()) {
+        d.perCore.resize(cur.perCore.size());
+        for (std::size_t c = 0; c < cur.perCore.size(); ++c) {
+            const CoreStats &cc = cur.perCore[c];
+            const CoreStats &pc = prev.perCore[c];
+            CoreStats &dc = d.perCore[c];
+            dc.instrs = cc.instrs - pc.instrs;
+            dc.itlbMisses = cc.itlbMisses - pc.itlbMisses;
+            dc.dtlbMisses = cc.dtlbMisses - pc.dtlbMisses;
+            dc.ctxSwitches = cc.ctxSwitches - pc.ctxSwitches;
+            dc.shootdownsSent = cc.shootdownsSent - pc.shootdownsSent;
+            dc.shootdownsRecv = cc.shootdownsRecv - pc.shootdownsRecv;
+        }
+    }
     return d;
 }
 

@@ -8,21 +8,21 @@ BaseVm::BaseVm(MemSystem &mem)
 {}
 
 void
-BaseVm::instRef(Addr pc)
+BaseVm::instRef(const Access &a)
 {
-    userInstFetch(pc);
+    userInstFetch(a.addr);
 }
 
 void
-BaseVm::dataRef(Addr addr, bool store)
+BaseVm::dataRef(const Access &a)
 {
-    userDataAccess(addr, store);
+    userDataAccess(a.addr, a.store);
 }
 
 void
-BaseVm::refBlock(const TraceRecord *recs, std::size_t n)
+BaseVm::refBlock(const AccessBlock &blk)
 {
-    refBlockFor(*this, recs, n);
+    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

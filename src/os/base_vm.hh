@@ -25,9 +25,13 @@ class BaseVm : public VmSystem
   public:
     explicit BaseVm(MemSystem &mem);
 
-    void instRef(Addr pc) override;
-    void dataRef(Addr addr, bool store) override;
-    void refBlock(const TraceRecord *recs, std::size_t n) override;
+    using VmSystem::dataRef;
+    using VmSystem::instRef;
+    using VmSystem::refBlock;
+
+    void instRef(const Access &a) override;
+    void dataRef(const Access &a) override;
+    void refBlock(const AccessBlock &blk) override;
 };
 
 } // namespace vmsim

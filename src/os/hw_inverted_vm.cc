@@ -7,40 +7,47 @@ HwInvertedVm::HwInvertedVm(MemSystem &mem, PhysMem &phys_mem,
                            const TlbParams &itlb_params,
                            const TlbParams &dtlb_params,
                            const HandlerCosts &costs, unsigned page_bits,
-                           std::uint64_t seed, unsigned hpt_ratio)
-    : VmSystem("HW-INVERTED", mem), pt_(phys_mem, hpt_ratio, page_bits),
-      itlb_(itlb_params, seed ^ 0x39), dtlb_(dtlb_params, seed ^ 0x4A),
+                           std::uint64_t seed, unsigned hpt_ratio,
+                           unsigned cores)
+    : VmSystem("HW-INVERTED", mem, cores),
+      pt_(phys_mem, hpt_ratio, page_bits),
+      tlbs_(this->cores(), itlb_params, dtlb_params, seed ^ 0x39,
+            seed ^ 0x4A),
       costs_(costs)
 {
     walkBuf_.reserve(16);
 }
 
 void
-HwInvertedVm::instRef(Addr pc)
+HwInvertedVm::instRef(const Access &a)
 {
-    if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        noteItlbMiss(pc, pt_.vpnOf(pc));
-        walk(pc, itlb_);
+    const Addr pc = a.addr;
+    Tlb &itlb = tlbs_.itlb(a.core);
+    if (!itlb.lookup(pt_.vpnOf(pc))) {
+        noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
+        walk(pc, a.core, itlb);
     }
     userInstFetch(pc);
 }
 
 void
-HwInvertedVm::dataRef(Addr addr, bool store)
+HwInvertedVm::dataRef(const Access &a)
 {
-    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        noteDtlbMiss(addr, pt_.vpnOf(addr));
-        walk(addr, dtlb_);
+    const Addr addr = a.addr;
+    Tlb &dtlb = tlbs_.dtlb(a.core);
+    if (!dtlb.lookup(pt_.vpnOf(addr))) {
+        noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
+        walk(addr, a.core, dtlb);
     }
-    userDataAccess(addr, store);
+    userDataAccess(addr, a.store);
 }
 
 void
-HwInvertedVm::walk(Addr vaddr, Tlb &target)
+HwInvertedVm::walk(Addr vaddr, CoreId core, Tlb &target)
 {
     Vpn v = pt_.vpnOf(vaddr);
 
-    if (l2TlbLookup(v, target))
+    if (l2TlbLookup(v, target, core))
         return;
 
     walkBuf_.clear();
@@ -52,14 +59,14 @@ HwInvertedVm::walk(Addr vaddr, Tlb &target)
     for (Addr entry : walkBuf_)
         pteFetch(entry, kHashedPteSize, AccessClass::PteUser, v);
 
-    l2TlbFill(v);
+    l2TlbFill(v, core);
     target.insert(v);
 }
 
 void
-HwInvertedVm::refBlock(const TraceRecord *recs, std::size_t n)
+HwInvertedVm::refBlock(const AccessBlock &blk)
 {
-    refBlockFor(*this, recs, n);
+    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

@@ -36,26 +36,32 @@ class HwInvertedVm : public VmSystem
                  const TlbParams &dtlb_params,
                  const HandlerCosts &costs = HandlerCosts{},
                  unsigned page_bits = 12, std::uint64_t seed = 1,
-                 unsigned hpt_ratio = 2);
+                 unsigned hpt_ratio = 2, unsigned cores = 1);
 
-    void instRef(Addr pc) override;
-    void dataRef(Addr addr, bool store) override;
-    void refBlock(const TraceRecord *recs, std::size_t n) override;
+    using VmSystem::contextSwitch;
+    using VmSystem::dataRef;
+    using VmSystem::dtlb;
+    using VmSystem::instRef;
+    using VmSystem::itlb;
+    using VmSystem::refBlock;
 
-    const Tlb *itlb() const override { return &itlb_; }
-    const Tlb *dtlb() const override { return &dtlb_; }
+    void instRef(const Access &a) override;
+    void dataRef(const Access &a) override;
+    void refBlock(const AccessBlock &blk) override;
+
+    const Tlb *itlb(CoreId core) const override { return &tlbs_.itlb(core); }
+    const Tlb *dtlb(CoreId core) const override { return &tlbs_.dtlb(core); }
 
     /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
-    void contextSwitch() override { switchTlbs(itlb_, dtlb_); }
+    void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
 
     const HashedPageTable &pageTable() const { return pt_; }
 
   private:
-    void walk(Addr vaddr, Tlb &target);
+    void walk(Addr vaddr, CoreId core, Tlb &target);
 
     HashedPageTable pt_;
-    Tlb itlb_;
-    Tlb dtlb_;
+    CoreTlbs tlbs_;
     HandlerCosts costs_;
     std::vector<Addr> walkBuf_;
 };

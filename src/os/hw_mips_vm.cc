@@ -6,65 +6,71 @@ namespace vmsim
 HwMipsVm::HwMipsVm(MemSystem &mem, PhysMem &phys_mem,
                    const TlbParams &itlb_params,
                    const TlbParams &dtlb_params, const HandlerCosts &costs,
-                   unsigned page_bits, std::uint64_t seed)
-    : VmSystem("HW-MIPS", mem), pt_(phys_mem, page_bits),
-      itlb_(itlb_params, seed ^ 0x5B), dtlb_(dtlb_params, seed ^ 0x6C),
+                   unsigned page_bits, std::uint64_t seed, unsigned cores)
+    : VmSystem("HW-MIPS", mem, cores), pt_(phys_mem, page_bits),
+      tlbs_(this->cores(), itlb_params, dtlb_params, seed ^ 0x5B,
+            seed ^ 0x6C),
       costs_(costs)
 {
 }
 
 void
-HwMipsVm::instRef(Addr pc)
+HwMipsVm::instRef(const Access &a)
 {
-    if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        noteItlbMiss(pc, pt_.vpnOf(pc));
-        walk(pc, itlb_);
+    const Addr pc = a.addr;
+    Tlb &itlb = tlbs_.itlb(a.core);
+    if (!itlb.lookup(pt_.vpnOf(pc))) {
+        noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
+        walk(pc, a.core, itlb);
     }
     userInstFetch(pc);
 }
 
 void
-HwMipsVm::dataRef(Addr addr, bool store)
+HwMipsVm::dataRef(const Access &a)
 {
-    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        noteDtlbMiss(addr, pt_.vpnOf(addr));
-        walk(addr, dtlb_);
+    const Addr addr = a.addr;
+    Tlb &dtlb = tlbs_.dtlb(a.core);
+    if (!dtlb.lookup(pt_.vpnOf(addr))) {
+        noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
+        walk(addr, a.core, dtlb);
     }
-    userDataAccess(addr, store);
+    userDataAccess(addr, a.store);
 }
 
 void
-HwMipsVm::walk(Addr vaddr, Tlb &target)
+HwMipsVm::walk(Addr vaddr, CoreId core, Tlb &target)
 {
     Vpn v = pt_.vpnOf(vaddr);
 
-    if (l2TlbLookup(v, target))
+    if (l2TlbLookup(v, target, core))
         return;
 
     beginHwWalk(v, costs_.hwWalkCycles);
 
     Addr upte = pt_.uptEntryAddr(v);
+    Tlb &dtlb = tlbs_.dtlb(core);
 
-    if (!dtlb_.lookup(pt_.uptPageVpn(v))) {
+    if (!dtlb.lookup(pt_.uptPageVpn(v))) {
         // Nested: the FSM falls back to the physical root table.
         stats_.hwWalkCycles += kNestedWalkCycles;
         pteFetch(pt_.rptEntryAddr(v), kHierPteSize, AccessClass::PteRoot,
                  v);
-        if (dtlb_.params().protectedSlots > 0)
-            dtlb_.insertProtected(pt_.uptPageVpn(v));
+        if (dtlb.params().protectedSlots > 0)
+            dtlb.insertProtected(pt_.uptPageVpn(v));
         else
-            dtlb_.insert(pt_.uptPageVpn(v));
+            dtlb.insert(pt_.uptPageVpn(v));
     }
 
     pteFetch(upte, kHierPteSize, AccessClass::PteUser, v);
-    l2TlbFill(v);
+    l2TlbFill(v, core);
     target.insert(v);
 }
 
 void
-HwMipsVm::refBlock(const TraceRecord *recs, std::size_t n)
+HwMipsVm::refBlock(const AccessBlock &blk)
 {
-    refBlockFor(*this, recs, n);
+    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

@@ -32,17 +32,25 @@ class HwMipsVm : public VmSystem
     HwMipsVm(MemSystem &mem, PhysMem &phys_mem,
              const TlbParams &itlb_params, const TlbParams &dtlb_params,
              const HandlerCosts &costs = HandlerCosts{},
-             unsigned page_bits = 12, std::uint64_t seed = 1);
+             unsigned page_bits = 12, std::uint64_t seed = 1,
+             unsigned cores = 1);
 
-    void instRef(Addr pc) override;
-    void dataRef(Addr addr, bool store) override;
-    void refBlock(const TraceRecord *recs, std::size_t n) override;
+    using VmSystem::contextSwitch;
+    using VmSystem::dataRef;
+    using VmSystem::dtlb;
+    using VmSystem::instRef;
+    using VmSystem::itlb;
+    using VmSystem::refBlock;
 
-    const Tlb *itlb() const override { return &itlb_; }
-    const Tlb *dtlb() const override { return &dtlb_; }
+    void instRef(const Access &a) override;
+    void dataRef(const Access &a) override;
+    void refBlock(const AccessBlock &blk) override;
+
+    const Tlb *itlb(CoreId core) const override { return &tlbs_.itlb(core); }
+    const Tlb *dtlb(CoreId core) const override { return &tlbs_.dtlb(core); }
 
     /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
-    void contextSwitch() override { switchTlbs(itlb_, dtlb_); }
+    void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
 
     const UltrixPageTable &pageTable() const { return pt_; }
 
@@ -50,11 +58,10 @@ class HwMipsVm : public VmSystem
     static constexpr unsigned kNestedWalkCycles = 4;
 
   private:
-    void walk(Addr vaddr, Tlb &target);
+    void walk(Addr vaddr, CoreId core, Tlb &target);
 
     UltrixPageTable pt_;
-    Tlb itlb_;
-    Tlb dtlb_;
+    CoreTlbs tlbs_;
     HandlerCosts costs_;
 };
 

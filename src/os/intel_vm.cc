@@ -6,9 +6,10 @@ namespace vmsim
 IntelVm::IntelVm(MemSystem &mem, PhysMem &phys_mem,
                  const TlbParams &itlb_params,
                  const TlbParams &dtlb_params, const HandlerCosts &costs,
-                 unsigned page_bits, std::uint64_t seed)
-    : VmSystem("INTEL", mem), pt_(phys_mem, page_bits),
-      itlb_(itlb_params, seed ^ 0xE5), dtlb_(dtlb_params, seed ^ 0xF6),
+                 unsigned page_bits, std::uint64_t seed, unsigned cores)
+    : VmSystem("INTEL", mem, cores), pt_(phys_mem, page_bits),
+      tlbs_(this->cores(), itlb_params, dtlb_params, seed ^ 0xE5,
+            seed ^ 0xF6),
       costs_(costs)
 {
     fatalIf(itlb_params.protectedSlots != 0 ||
@@ -17,31 +18,35 @@ IntelVm::IntelVm(MemSystem &mem, PhysMem &phys_mem,
 }
 
 void
-IntelVm::instRef(Addr pc)
+IntelVm::instRef(const Access &a)
 {
-    if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        noteItlbMiss(pc, pt_.vpnOf(pc));
-        walk(pc, itlb_);
+    const Addr pc = a.addr;
+    Tlb &itlb = tlbs_.itlb(a.core);
+    if (!itlb.lookup(pt_.vpnOf(pc))) {
+        noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
+        walk(pc, a.core, itlb);
     }
     userInstFetch(pc);
 }
 
 void
-IntelVm::dataRef(Addr addr, bool store)
+IntelVm::dataRef(const Access &a)
 {
-    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        noteDtlbMiss(addr, pt_.vpnOf(addr));
-        walk(addr, dtlb_);
+    const Addr addr = a.addr;
+    Tlb &dtlb = tlbs_.dtlb(a.core);
+    if (!dtlb.lookup(pt_.vpnOf(addr))) {
+        noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
+        walk(addr, a.core, dtlb);
     }
-    userDataAccess(addr, store);
+    userDataAccess(addr, a.store);
 }
 
 void
-IntelVm::walk(Addr vaddr, Tlb &target)
+IntelVm::walk(Addr vaddr, CoreId core, Tlb &target)
 {
     Vpn v = pt_.vpnOf(vaddr);
 
-    if (l2TlbLookup(v, target))
+    if (l2TlbLookup(v, target, core))
         return;
 
     // Hardware state machine: no interrupt, no instruction fetches,
@@ -51,14 +56,14 @@ IntelVm::walk(Addr vaddr, Tlb &target)
     pteFetch(pt_.rootEntryAddr(v), kHierPteSize, AccessClass::PteRoot, v);
     pteFetch(pt_.leafEntryAddr(v), kHierPteSize, AccessClass::PteUser, v);
 
-    l2TlbFill(v);
+    l2TlbFill(v, core);
     target.insert(v);
 }
 
 void
-IntelVm::refBlock(const TraceRecord *recs, std::size_t n)
+IntelVm::refBlock(const AccessBlock &blk)
 {
-    refBlockFor(*this, recs, n);
+    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

@@ -6,39 +6,44 @@ namespace vmsim
 MachVm::MachVm(MemSystem &mem, PhysMem &phys_mem,
                const TlbParams &itlb_params, const TlbParams &dtlb_params,
                const HandlerCosts &costs, unsigned page_bits,
-               std::uint64_t seed)
-    : VmSystem("MACH", mem), pt_(phys_mem, page_bits),
-      itlb_(itlb_params, seed ^ 0xC3), dtlb_(dtlb_params, seed ^ 0xD4),
+               std::uint64_t seed, unsigned cores)
+    : VmSystem("MACH", mem, cores), pt_(phys_mem, page_bits),
+      tlbs_(this->cores(), itlb_params, dtlb_params, seed ^ 0xC3,
+            seed ^ 0xD4),
       costs_(costs)
 {
 }
 
 void
-MachVm::instRef(Addr pc)
+MachVm::instRef(const Access &a)
 {
-    if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        noteItlbMiss(pc, pt_.vpnOf(pc));
-        walk(pc, itlb_);
+    const Addr pc = a.addr;
+    Tlb &itlb = tlbs_.itlb(a.core);
+    if (!itlb.lookup(pt_.vpnOf(pc))) {
+        noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
+        walk(pc, a.core, itlb);
     }
     userInstFetch(pc);
 }
 
 void
-MachVm::dataRef(Addr addr, bool store)
+MachVm::dataRef(const Access &a)
 {
-    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        noteDtlbMiss(addr, pt_.vpnOf(addr));
-        walk(addr, dtlb_);
+    const Addr addr = a.addr;
+    Tlb &dtlb = tlbs_.dtlb(a.core);
+    if (!dtlb.lookup(pt_.vpnOf(addr))) {
+        noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
+        walk(addr, a.core, dtlb);
     }
-    userDataAccess(addr, store);
+    userDataAccess(addr, a.store);
 }
 
 void
-MachVm::walk(Addr vaddr, Tlb &target)
+MachVm::walk(Addr vaddr, CoreId core, Tlb &target)
 {
     Vpn v = pt_.vpnOf(vaddr);
 
-    if (l2TlbLookup(v, target))
+    if (l2TlbLookup(v, target, core))
         return;
 
     // User-level miss: dedicated vector, 10 instructions.
@@ -47,8 +52,9 @@ MachVm::walk(Addr vaddr, Tlb &target)
 
     Addr upte = pt_.uptEntryAddr(v);
     Vpn upte_page = pt_.uptPageVpn(v);
+    Tlb &dtlb = tlbs_.dtlb(core);
 
-    if (!dtlb_.lookup(upte_page)) {
+    if (!dtlb.lookup(upte_page)) {
         // Kernel-level miss on the user-page-table page: dedicated
         // kernel vector, 20 instructions.
         takeInterrupt();
@@ -58,7 +64,7 @@ MachVm::walk(Addr vaddr, Tlb &target)
         Addr kpte = pt_.kptEntryAddr(upte_page);
         Vpn kpte_page = pt_.kptPageVpn(upte_page);
 
-        if (!dtlb_.lookup(kpte_page)) {
+        if (!dtlb.lookup(kpte_page)) {
             // Root-level miss: the long administrative path (500
             // instructions + 10 bookkeeping loads) plus the RPTE load
             // from wired physical memory.
@@ -70,22 +76,22 @@ MachVm::walk(Addr vaddr, Tlb &target)
                                 AccessClass::PteRoot);
             pteFetch(pt_.rptEntryAddr(kpte_page), kHierPteSize,
                      AccessClass::PteRoot, kpte_page);
-            insertKernelMapping(kpte_page);
+            insertKernelMapping(kpte_page, core);
         }
 
         pteFetch(kpte, kHierPteSize, AccessClass::PteKernel, upte_page);
-        insertKernelMapping(upte_page);
+        insertKernelMapping(upte_page, core);
     }
 
     pteFetch(upte, kHierPteSize, AccessClass::PteUser, v);
-    l2TlbFill(v);
+    l2TlbFill(v, core);
     target.insert(v);
 }
 
 void
-MachVm::refBlock(const TraceRecord *recs, std::size_t n)
+MachVm::refBlock(const AccessBlock &blk)
 {
-    refBlockFor(*this, recs, n);
+    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

@@ -33,7 +33,8 @@ class MachVm : public VmSystem
     MachVm(MemSystem &mem, PhysMem &phys_mem,
            const TlbParams &itlb_params, const TlbParams &dtlb_params,
            const HandlerCosts &costs = machDefaultCosts(),
-           unsigned page_bits = 12, std::uint64_t seed = 1);
+           unsigned page_bits = 12, std::uint64_t seed = 1,
+           unsigned cores = 1);
 
     /** The paper's Table 4 costs for MACH. */
     static HandlerCosts
@@ -47,20 +48,27 @@ class MachVm : public VmSystem
         return c;
     }
 
-    void instRef(Addr pc) override;
-    void dataRef(Addr addr, bool store) override;
-    void refBlock(const TraceRecord *recs, std::size_t n) override;
+    using VmSystem::contextSwitch;
+    using VmSystem::dataRef;
+    using VmSystem::dtlb;
+    using VmSystem::instRef;
+    using VmSystem::itlb;
+    using VmSystem::refBlock;
 
-    const Tlb *itlb() const override { return &itlb_; }
-    const Tlb *dtlb() const override { return &dtlb_; }
+    void instRef(const Access &a) override;
+    void dataRef(const Access &a) override;
+    void refBlock(const AccessBlock &blk) override;
+
+    const Tlb *itlb(CoreId core) const override { return &tlbs_.itlb(core); }
+    const Tlb *dtlb(CoreId core) const override { return &tlbs_.dtlb(core); }
 
     /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
-    void contextSwitch() override { switchTlbs(itlb_, dtlb_); }
+    void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
 
     const MachPageTable &pageTable() const { return pt_; }
 
   private:
-    void walk(Addr vaddr, Tlb &target);
+    void walk(Addr vaddr, CoreId core, Tlb &target);
 
     /**
      * Install a kernel/root-level mapping: protected slots when the
@@ -68,17 +76,17 @@ class MachVm : public VmSystem
      * the protected-slot ablation.
      */
     void
-    insertKernelMapping(Vpn vpn)
+    insertKernelMapping(Vpn vpn, CoreId core)
     {
-        if (dtlb_.params().protectedSlots > 0)
-            dtlb_.insertProtected(vpn);
+        Tlb &dtlb = tlbs_.dtlb(core);
+        if (dtlb.params().protectedSlots > 0)
+            dtlb.insertProtected(vpn);
         else
-            dtlb_.insert(vpn);
+            dtlb.insert(vpn);
     }
 
     MachPageTable pt_;
-    Tlb itlb_;
-    Tlb dtlb_;
+    CoreTlbs tlbs_;
     HandlerCosts costs_;
 };
 

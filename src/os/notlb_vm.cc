@@ -9,19 +9,19 @@ NotlbVm::NotlbVm(MemSystem &mem, PhysMem &phys_mem,
 {}
 
 void
-NotlbVm::instRef(Addr pc)
+NotlbVm::instRef(const Access &a)
 {
-    MemLevel lvl = userInstFetch(pc);
+    MemLevel lvl = userInstFetch(a.addr);
     if (lvl == MemLevel::Memory)
-        missHandler(pc);
+        missHandler(a.addr);
 }
 
 void
-NotlbVm::dataRef(Addr addr, bool store)
+NotlbVm::dataRef(const Access &a)
 {
-    MemLevel lvl = userDataAccess(addr, store);
+    MemLevel lvl = userDataAccess(a.addr, a.store);
     if (lvl == MemLevel::Memory)
-        missHandler(addr);
+        missHandler(a.addr);
 }
 
 void
@@ -49,9 +49,9 @@ NotlbVm::missHandler(Addr vaddr)
 }
 
 void
-NotlbVm::refBlock(const TraceRecord *recs, std::size_t n)
+NotlbVm::refBlock(const AccessBlock &blk)
 {
-    refBlockFor(*this, recs, n);
+    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

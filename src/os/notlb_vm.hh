@@ -30,9 +30,13 @@ class NotlbVm : public VmSystem
             const HandlerCosts &costs = HandlerCosts{},
             unsigned page_bits = 12);
 
-    void instRef(Addr pc) override;
-    void dataRef(Addr addr, bool store) override;
-    void refBlock(const TraceRecord *recs, std::size_t n) override;
+    using VmSystem::dataRef;
+    using VmSystem::instRef;
+    using VmSystem::refBlock;
+
+    void instRef(const Access &a) override;
+    void dataRef(const Access &a) override;
+    void refBlock(const AccessBlock &blk) override;
 
     const DisjunctPageTable &pageTable() const { return pt_; }
 

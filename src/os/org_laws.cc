@@ -79,6 +79,15 @@ checkOrgLaws(const SimConfig &config, const HandlerCosts &costs,
         rep.check(H == 0, "org.no-l2tlb",
                   r.system(), " has no TLB but counted ", H,
                   " L2-TLB hits");
+        // With no TLB state to invalidate there is nothing to shoot
+        // down; the factory builds these organizations single-instance
+        // even under a multicore schedule.
+        rep.check(vm.shootdownsSent == 0 && vm.shootdownsRecv == 0 &&
+                      vm.shootdownCycles == 0,
+                  "org.no-shootdowns", r.system(),
+                  " has no TLB but counted shootdowns: sent=",
+                  vm.shootdownsSent, " recv=", vm.shootdownsRecv,
+                  " cycles=", vm.shootdownCycles);
     }
     if (!laws.usesUhandler)
         rep.check(U == 0, "org.no-uhandler",

@@ -7,9 +7,10 @@ PariscVm::PariscVm(MemSystem &mem, PhysMem &phys_mem,
                    const TlbParams &itlb_params,
                    const TlbParams &dtlb_params, const HandlerCosts &costs,
                    unsigned page_bits, std::uint64_t seed,
-                   unsigned hpt_ratio)
-    : VmSystem("PA-RISC", mem), pt_(phys_mem, hpt_ratio, page_bits),
-      itlb_(itlb_params, seed ^ 0x17), dtlb_(dtlb_params, seed ^ 0x28),
+                   unsigned hpt_ratio, unsigned cores)
+    : VmSystem("PA-RISC", mem, cores), pt_(phys_mem, hpt_ratio, page_bits),
+      tlbs_(this->cores(), itlb_params, dtlb_params, seed ^ 0x17,
+            seed ^ 0x28),
       costs_(costs)
 {
     fatalIf(itlb_params.protectedSlots != 0 ||
@@ -19,31 +20,35 @@ PariscVm::PariscVm(MemSystem &mem, PhysMem &phys_mem,
 }
 
 void
-PariscVm::instRef(Addr pc)
+PariscVm::instRef(const Access &a)
 {
-    if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        noteItlbMiss(pc, pt_.vpnOf(pc));
-        walk(pc, itlb_);
+    const Addr pc = a.addr;
+    Tlb &itlb = tlbs_.itlb(a.core);
+    if (!itlb.lookup(pt_.vpnOf(pc))) {
+        noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
+        walk(pc, a.core, itlb);
     }
     userInstFetch(pc);
 }
 
 void
-PariscVm::dataRef(Addr addr, bool store)
+PariscVm::dataRef(const Access &a)
 {
-    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        noteDtlbMiss(addr, pt_.vpnOf(addr));
-        walk(addr, dtlb_);
+    const Addr addr = a.addr;
+    Tlb &dtlb = tlbs_.dtlb(a.core);
+    if (!dtlb.lookup(pt_.vpnOf(addr))) {
+        noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
+        walk(addr, a.core, dtlb);
     }
-    userDataAccess(addr, store);
+    userDataAccess(addr, a.store);
 }
 
 void
-PariscVm::walk(Addr vaddr, Tlb &target)
+PariscVm::walk(Addr vaddr, CoreId core, Tlb &target)
 {
     Vpn v = pt_.vpnOf(vaddr);
 
-    if (l2TlbLookup(v, target))
+    if (l2TlbLookup(v, target, core))
         return;
 
     // Single handler: interrupt, 20 instructions, then the chain walk.
@@ -59,14 +64,14 @@ PariscVm::walk(Addr vaddr, Tlb &target)
         pteFetch(entry, kHashedPteSize, AccessClass::PteUser, v);
     }
 
-    l2TlbFill(v);
+    l2TlbFill(v, core);
     target.insert(v);
 }
 
 void
-PariscVm::refBlock(const TraceRecord *recs, std::size_t n)
+PariscVm::refBlock(const AccessBlock &blk)
 {
-    refBlockFor(*this, recs, n);
+    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

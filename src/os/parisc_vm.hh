@@ -36,7 +36,7 @@ class PariscVm : public VmSystem
              const TlbParams &itlb_params, const TlbParams &dtlb_params,
              const HandlerCosts &costs = pariscDefaultCosts(),
              unsigned page_bits = 12, std::uint64_t seed = 1,
-             unsigned hpt_ratio = 2);
+             unsigned hpt_ratio = 2, unsigned cores = 1);
 
     /** The paper's Table 4 costs for PA-RISC (20-instruction handler). */
     static HandlerCosts
@@ -47,24 +47,30 @@ class PariscVm : public VmSystem
         return c;
     }
 
-    void instRef(Addr pc) override;
-    void dataRef(Addr addr, bool store) override;
-    void refBlock(const TraceRecord *recs, std::size_t n) override;
+    using VmSystem::contextSwitch;
+    using VmSystem::dataRef;
+    using VmSystem::dtlb;
+    using VmSystem::instRef;
+    using VmSystem::itlb;
+    using VmSystem::refBlock;
 
-    const Tlb *itlb() const override { return &itlb_; }
-    const Tlb *dtlb() const override { return &dtlb_; }
+    void instRef(const Access &a) override;
+    void dataRef(const Access &a) override;
+    void refBlock(const AccessBlock &blk) override;
+
+    const Tlb *itlb(CoreId core) const override { return &tlbs_.itlb(core); }
+    const Tlb *dtlb(CoreId core) const override { return &tlbs_.dtlb(core); }
 
     /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
-    void contextSwitch() override { switchTlbs(itlb_, dtlb_); }
+    void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
 
     const HashedPageTable &pageTable() const { return pt_; }
 
   private:
-    void walk(Addr vaddr, Tlb &target);
+    void walk(Addr vaddr, CoreId core, Tlb &target);
 
     HashedPageTable pt_;
-    Tlb itlb_;
-    Tlb dtlb_;
+    CoreTlbs tlbs_;
     HandlerCosts costs_;
     std::vector<Addr> walkBuf_; ///< reused chain-walk scratch
 };

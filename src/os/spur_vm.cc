@@ -9,19 +9,19 @@ SpurVm::SpurVm(MemSystem &mem, PhysMem &phys_mem,
 {}
 
 void
-SpurVm::instRef(Addr pc)
+SpurVm::instRef(const Access &a)
 {
-    MemLevel lvl = userInstFetch(pc);
+    MemLevel lvl = userInstFetch(a.addr);
     if (lvl == MemLevel::Memory)
-        hwMissWalk(pc);
+        hwMissWalk(a.addr);
 }
 
 void
-SpurVm::dataRef(Addr addr, bool store)
+SpurVm::dataRef(const Access &a)
 {
-    MemLevel lvl = userDataAccess(addr, store);
+    MemLevel lvl = userDataAccess(a.addr, a.store);
     if (lvl == MemLevel::Memory)
-        hwMissWalk(addr);
+        hwMissWalk(a.addr);
 }
 
 void
@@ -42,9 +42,9 @@ SpurVm::hwMissWalk(Addr vaddr)
 }
 
 void
-SpurVm::refBlock(const TraceRecord *recs, std::size_t n)
+SpurVm::refBlock(const AccessBlock &blk)
 {
-    refBlockFor(*this, recs, n);
+    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

@@ -6,39 +6,44 @@ namespace vmsim
 UltrixVm::UltrixVm(MemSystem &mem, PhysMem &phys_mem,
                    const TlbParams &itlb_params,
                    const TlbParams &dtlb_params, const HandlerCosts &costs,
-                   unsigned page_bits, std::uint64_t seed)
-    : VmSystem("ULTRIX", mem), pt_(phys_mem, page_bits),
-      itlb_(itlb_params, seed ^ 0xA1), dtlb_(dtlb_params, seed ^ 0xB2),
+                   unsigned page_bits, std::uint64_t seed, unsigned cores)
+    : VmSystem("ULTRIX", mem, cores), pt_(phys_mem, page_bits),
+      tlbs_(this->cores(), itlb_params, dtlb_params, seed ^ 0xA1,
+            seed ^ 0xB2),
       costs_(costs)
 {
 }
 
 void
-UltrixVm::instRef(Addr pc)
+UltrixVm::instRef(const Access &a)
 {
-    if (!itlb_.lookup(pt_.vpnOf(pc))) {
-        noteItlbMiss(pc, pt_.vpnOf(pc));
-        walk(pc, itlb_);
+    const Addr pc = a.addr;
+    Tlb &itlb = tlbs_.itlb(a.core);
+    if (!itlb.lookup(pt_.vpnOf(pc))) {
+        noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
+        walk(pc, a.core, itlb);
     }
     userInstFetch(pc);
 }
 
 void
-UltrixVm::dataRef(Addr addr, bool store)
+UltrixVm::dataRef(const Access &a)
 {
-    if (!dtlb_.lookup(pt_.vpnOf(addr))) {
-        noteDtlbMiss(addr, pt_.vpnOf(addr));
-        walk(addr, dtlb_);
+    const Addr addr = a.addr;
+    Tlb &dtlb = tlbs_.dtlb(a.core);
+    if (!dtlb.lookup(pt_.vpnOf(addr))) {
+        noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
+        walk(addr, a.core, dtlb);
     }
-    userDataAccess(addr, store);
+    userDataAccess(addr, a.store);
 }
 
 void
-UltrixVm::walk(Addr vaddr, Tlb &target)
+UltrixVm::walk(Addr vaddr, CoreId core, Tlb &target)
 {
     Vpn v = pt_.vpnOf(vaddr);
 
-    if (l2TlbLookup(v, target))
+    if (l2TlbLookup(v, target, core))
         return;
 
     // User-level miss handler (interrupt + 10 instructions).
@@ -51,24 +56,24 @@ UltrixVm::walk(Addr vaddr, Tlb &target)
     // is not in the D-TLB the root-level handler runs first (nested
     // interrupt), loads the RPTE from wired physical memory, and
     // installs the UPT-page mapping in the protected slots.
-    if (!dtlb_.lookup(pt_.uptPageVpn(v))) {
+    if (!tlbs_.dtlb(core).lookup(pt_.uptPageVpn(v))) {
         takeInterrupt();
         fetchHandler(EventLevel::Root, kRootHandlerBase,
                      costs_.rootInstrs, v);
         pteFetch(pt_.rptEntryAddr(v), kHierPteSize, AccessClass::PteRoot,
                  v);
-        insertKernelMapping(pt_.uptPageVpn(v));
+        insertKernelMapping(pt_.uptPageVpn(v), core);
     }
 
     pteFetch(upte, kHierPteSize, AccessClass::PteUser, v);
-    l2TlbFill(v);
+    l2TlbFill(v, core);
     target.insert(v);
 }
 
 void
-UltrixVm::refBlock(const TraceRecord *recs, std::size_t n)
+UltrixVm::refBlock(const AccessBlock &blk)
 {
-    refBlockFor(*this, recs, n);
+    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

@@ -40,27 +40,36 @@ class UltrixVm : public VmSystem
      * @param costs handler lengths (paper Table 4 defaults)
      * @param page_bits log2 page size
      * @param seed randomness seed (TLB replacement)
+     * @param cores simulated cores (one I/D TLB pair each)
      */
     UltrixVm(MemSystem &mem, PhysMem &phys_mem,
              const TlbParams &itlb_params, const TlbParams &dtlb_params,
              const HandlerCosts &costs = HandlerCosts{},
-             unsigned page_bits = 12, std::uint64_t seed = 1);
+             unsigned page_bits = 12, std::uint64_t seed = 1,
+             unsigned cores = 1);
 
-    void instRef(Addr pc) override;
-    void dataRef(Addr addr, bool store) override;
-    void refBlock(const TraceRecord *recs, std::size_t n) override;
+    using VmSystem::contextSwitch;
+    using VmSystem::dataRef;
+    using VmSystem::dtlb;
+    using VmSystem::instRef;
+    using VmSystem::itlb;
+    using VmSystem::refBlock;
 
-    const Tlb *itlb() const override { return &itlb_; }
-    const Tlb *dtlb() const override { return &dtlb_; }
+    void instRef(const Access &a) override;
+    void dataRef(const Access &a) override;
+    void refBlock(const AccessBlock &blk) override;
+
+    const Tlb *itlb(CoreId core) const override { return &tlbs_.itlb(core); }
+    const Tlb *dtlb(CoreId core) const override { return &tlbs_.dtlb(core); }
 
     /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
-    void contextSwitch() override { switchTlbs(itlb_, dtlb_); }
+    void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
 
     const UltrixPageTable &pageTable() const { return pt_; }
 
   private:
-    /** Software TLB refill for @p vaddr; inserts into @p target. */
-    void walk(Addr vaddr, Tlb &target);
+    /** Software TLB refill for @p vaddr on @p core; inserts into @p target. */
+    void walk(Addr vaddr, CoreId core, Tlb &target);
 
     /**
      * Install a root-level (UPT page) mapping: into the protected
@@ -68,17 +77,17 @@ class UltrixVm : public VmSystem
      * else into the normal slots (the protected-slot ablation).
      */
     void
-    insertKernelMapping(Vpn vpn)
+    insertKernelMapping(Vpn vpn, CoreId core)
     {
-        if (dtlb_.params().protectedSlots > 0)
-            dtlb_.insertProtected(vpn);
+        Tlb &dtlb = tlbs_.dtlb(core);
+        if (dtlb.params().protectedSlots > 0)
+            dtlb.insertProtected(vpn);
         else
-            dtlb_.insert(vpn);
+            dtlb.insert(vpn);
     }
 
     UltrixPageTable pt_;
-    Tlb itlb_;
-    Tlb dtlb_;
+    CoreTlbs tlbs_;
     HandlerCosts costs_;
 };
 

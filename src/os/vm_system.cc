@@ -5,38 +5,54 @@
 namespace vmsim
 {
 
-VmSystem::VmSystem(std::string name, MemSystem &mem)
-    : name_(std::move(name)), mem_(mem)
-{}
+VmSystem::VmSystem(std::string name, MemSystem &mem, unsigned cores)
+    : name_(std::move(name)), mem_(mem), cores_(cores ? cores : 1)
+{
+    stats_.perCore.assign(cores_, CoreStats{});
+}
 
 VmSystem::~VmSystem() = default;
 
 void
-VmSystem::refBlock(const TraceRecord *recs, std::size_t n)
+VmSystem::refBlock(const AccessBlock &blk)
 {
     // Fallback for organizations without a devirtualized override:
     // same order as the scalar loop, through the vtable.
-    for (std::size_t i = 0; i < n; ++i) {
-        instRef(recs[i].pc);
-        if (recs[i].isMemOp())
-            dataRef(recs[i].daddr, recs[i].isStore());
+    Access a;
+    a.core = blk.core;
+    for (std::size_t i = 0; i < blk.n; ++i) {
+        const TraceRecord &r = blk.recs[i];
+        a.addr = r.pc;
+        a.store = false;
+        instRef(a);
+        if (r.isMemOp()) {
+            a.addr = r.daddr;
+            a.store = r.isStore();
+            dataRef(a);
+        }
     }
 }
 
 void
 VmSystem::attachL2Tlb(const TlbParams &params, Cycles hit_cycles,
-                      std::uint64_t seed)
+                      std::uint64_t seed, bool shared)
 {
-    l2Tlb_ = std::make_unique<Tlb>(params, seed);
+    l2Tlbs_.clear();
+    const unsigned slots = (shared || cores_ == 1) ? 1 : cores_;
+    l2Tlbs_.reserve(slots);
+    for (unsigned c = 0; c < slots; ++c)
+        l2Tlbs_.push_back(std::make_unique<Tlb>(
+            params, CoreTlbs::coreSeed(seed, c)));
     l2TlbHitCycles_ = hit_cycles;
 }
 
 bool
-VmSystem::l2TlbLookup(Vpn v, Tlb &target)
+VmSystem::l2TlbLookup(Vpn v, Tlb &target, CoreId core)
 {
-    if (!l2Tlb_)
+    Tlb *l2 = l2SlotFor(core);
+    if (!l2)
         return false;
-    if (!l2Tlb_->lookup(v))
+    if (!l2->lookup(v))
         return false;
     // Hardware refill from the second level: no interrupt, no
     // handler, no page-table reference.
@@ -49,10 +65,58 @@ VmSystem::l2TlbLookup(Vpn v, Tlb &target)
 }
 
 void
-VmSystem::l2TlbFill(Vpn v)
+VmSystem::l2TlbFill(Vpn v, CoreId core)
 {
-    if (l2Tlb_)
-        l2Tlb_->insert(v);
+    if (Tlb *l2 = l2SlotFor(core))
+        l2->insert(v);
+}
+
+void
+VmSystem::switchTlbs(CoreId core, CoreTlbs &tlbs)
+{
+    noteContextSwitch(core);
+    Tlb &itlb = tlbs.itlb(core);
+    Tlb &dtlb = tlbs.dtlb(core);
+    Tlb *l2 = l2SlotFor(core);
+    if (itlb.params().tagged()) {
+        itlb.evictRandom(ctxSwitchEvictions_);
+        dtlb.evictRandom(ctxSwitchEvictions_);
+        if (l2)
+            l2->evictRandom(ctxSwitchEvictions_);
+    } else {
+        itlb.invalidateAll();
+        dtlb.invalidateAll();
+        if (l2)
+            l2->invalidateAll();
+    }
+    if (cores_ > 1)
+        shootdownBroadcast(core, tlbs);
+}
+
+void
+VmSystem::shootdownBroadcast(CoreId from, CoreTlbs &tlbs)
+{
+    // The departing address space's mappings may be unmapped or its
+    // ASID reused, so every other core must drop potentially stale
+    // entries. Each receiver pays the IPI delivery plus the
+    // invalidate-handler execution; the cycles land in a dedicated
+    // counter so the paper's single-core cost taxonomy is untouched.
+    ++stats_.shootdownsSent;
+    ++stats_.perCore[from].shootdownsSent;
+    const Cycles perRecv = shootdownIpiCycles_ + shootdownHandlerCycles_;
+    const bool sharedL2 = l2Tlbs_.size() <= 1;
+    for (CoreId c = 0; c < cores_; ++c) {
+        if (c == from)
+            continue;
+        ++stats_.shootdownsRecv;
+        ++stats_.perCore[c].shootdownsRecv;
+        stats_.shootdownCycles += perRecv;
+        tlbs.itlb(c).evictRandom(shootdownEvictions_);
+        tlbs.dtlb(c).evictRandom(shootdownEvictions_);
+        if (!sharedL2)
+            l2Tlbs_[c]->evictRandom(shootdownEvictions_);
+        emitEvent(EventKind::Shootdown, EventLevel::User, 0, c, perRecv);
+    }
 }
 
 void

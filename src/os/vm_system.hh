@@ -4,8 +4,8 @@
  * organizations, plus the handler-layout constants and event counters
  * shared by all of them.
  *
- * A VmSystem receives the application's reference stream — instRef()
- * for every instruction fetch and dataRef() for every load/store — and
+ * A VmSystem receives the application's reference stream — an Access
+ * per instruction fetch (instRef) and per load/store (dataRef) — and
  * performs whatever TLB lookups, page-table walks, handler executions
  * and cache accesses its organization requires, mirroring the paper's
  * fundamental simulator algorithm (Section 3.1):
@@ -25,6 +25,14 @@
  *         }
  *     }
  *
+ * The access API is core-indexed: every Access carries the id of the
+ * core issuing it, organizations keep one I/D TLB pair per core
+ * (CoreTlbs), and an address-space switch on one core broadcasts TLB
+ * shootdowns to the others (see docs/multicore.md). A single-core
+ * system (the paper's configuration, and the default) reduces exactly
+ * to the original model: one TLB pair, no shootdowns, identical
+ * counters and replacement RNG streams.
+ *
  * Handler code lives in unmapped cacheable space: executing it probes
  * the I-caches (displacing user code — the pollution the paper
  * measures) but can never itself cause an I-TLB miss. Each handler's
@@ -36,6 +44,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "base/types.hh"
 #include "mem/mem_system.hh"
@@ -64,6 +73,34 @@ constexpr unsigned kInstrBytes = 4;
 /** Bytes per simulated user-level load/store. */
 constexpr unsigned kDataBytes = 4;
 
+/** Index of one simulated core (0-based, dense). */
+using CoreId = unsigned;
+
+/**
+ * One application memory reference, tagged with the core that issues
+ * it. For an instruction fetch `addr` is the PC and `store` is unused;
+ * for a data reference `addr` is the effective address.
+ */
+struct Access
+{
+    Addr addr = 0;
+    CoreId core = 0;
+    bool store = false;
+};
+
+/**
+ * A block of consecutive instructions from one core's stream — the
+ * unit of the devirtualized batched dispatch path. The records are
+ * borrowed, not owned; the whole block belongs to a single core (the
+ * simulator splits blocks at scheduling boundaries).
+ */
+struct AccessBlock
+{
+    const TraceRecord *recs = nullptr;
+    std::size_t n = 0;
+    CoreId core = 0;
+};
+
 /**
  * Handler lengths and hardware-walk costs (paper Table 4).
  * All instruction counts double as base cycle counts on the 1-CPI core.
@@ -78,9 +115,24 @@ struct HandlerCosts
 };
 
 /**
+ * Per-core slice of the VM event counters. The sums across cores must
+ * equal the matching aggregate VmStats fields — a conservation law the
+ * InvariantChecker audits on every multicore run.
+ */
+struct CoreStats
+{
+    Counter instrs = 0;         ///< user instructions retired on this core
+    Counter itlbMisses = 0;     ///< this core's I-TLB misses
+    Counter dtlbMisses = 0;     ///< this core's D-TLB misses
+    Counter ctxSwitches = 0;    ///< address-space switches on this core
+    Counter shootdownsSent = 0; ///< shootdown broadcasts initiated here
+    Counter shootdownsRecv = 0; ///< shootdown IPIs received here
+};
+
+/**
  * Raw VM-mechanism event counts. Together with the per-class cache-miss
  * counters kept by MemSystem, these determine every VMCPI component of
- * the paper's Table 3.
+ * the paper's Table 3 (plus the multicore shootdown extension).
  */
 struct VmStats
 {
@@ -101,69 +153,168 @@ struct VmStats
                                 ///  (nested PTE-reference misses are
                                 ///  counted by the k/r handler calls,
                                 ///  not here)
+    Counter shootdownsSent = 0;   ///< inter-core invalidate broadcasts
+    Counter shootdownsRecv = 0;   ///< shootdown IPIs delivered
+    Counter shootdownCycles = 0;  ///< IPI + handler cycles they cost
+
+    /**
+     * Per-core counter slices; one entry per simulated core (always
+     * one entry on single-core systems). Sums equal the aggregates.
+     */
+    std::vector<CoreStats> perCore;
 
     void reset() { *this = VmStats{}; }
 };
 
 /**
+ * The per-core first-level TLBs of an organization: one I/D pair per
+ * simulated core. Core 0's seeds are exactly the pre-multicore TLB
+ * seeds, so a one-core system replays the original replacement RNG
+ * streams byte for byte; further cores mix the core id in.
+ */
+class CoreTlbs
+{
+  public:
+    CoreTlbs(unsigned cores, const TlbParams &iparams,
+             const TlbParams &dparams, std::uint64_t iseed,
+             std::uint64_t dseed)
+    {
+        itlbs_.reserve(cores);
+        dtlbs_.reserve(cores);
+        for (unsigned c = 0; c < cores; ++c) {
+            itlbs_.emplace_back(iparams, coreSeed(iseed, c));
+            dtlbs_.emplace_back(dparams, coreSeed(dseed, c));
+        }
+    }
+
+    Tlb &itlb(CoreId c) { return itlbs_[c]; }
+    Tlb &dtlb(CoreId c) { return dtlbs_[c]; }
+    const Tlb &itlb(CoreId c) const { return itlbs_[c]; }
+    const Tlb &dtlb(CoreId c) const { return dtlbs_[c]; }
+
+    unsigned cores() const { return static_cast<unsigned>(itlbs_.size()); }
+
+    /** Core 0 keeps @p seed verbatim; others mix the core id in. */
+    static std::uint64_t
+    coreSeed(std::uint64_t seed, unsigned core)
+    {
+        return core == 0 ? seed
+                         : seed + 0x9E3779B97F4A7C15ull * core;
+    }
+
+  private:
+    std::vector<Tlb> itlbs_;
+    std::vector<Tlb> dtlbs_;
+};
+
+/**
  * Abstract memory-management organization. Concrete subclasses own
- * their TLBs and page table; the cache hierarchy is shared (passed in)
- * so that handler and PTE traffic pollutes the same caches the
- * application uses.
+ * their per-core TLBs and one shared page table; the cache hierarchy
+ * is shared (passed in) so that handler and PTE traffic pollutes the
+ * same caches the application uses.
+ *
+ * The primary entry points take core-indexed Access records. The bare
+ * single-address overloads (instRef(Addr), dataRef(Addr, bool),
+ * refBlock(recs, n), contextSwitch()) are deprecated compatibility
+ * wrappers that forward to the Access path as core 0; new callers
+ * should construct Access/AccessBlock values directly.
  */
 class VmSystem
 {
   public:
-    VmSystem(std::string name, MemSystem &mem);
+    VmSystem(std::string name, MemSystem &mem, unsigned cores = 1);
     virtual ~VmSystem();
 
     VmSystem(const VmSystem &) = delete;
     VmSystem &operator=(const VmSystem &) = delete;
 
-    /** Process one application instruction fetch at @p pc. */
-    virtual void instRef(Addr pc) = 0;
+    /** Process one application instruction fetch (a.addr is the PC). */
+    virtual void instRef(const Access &a) = 0;
 
-    /** Process one application load/store of a word at @p addr. */
-    virtual void dataRef(Addr addr, bool store) = 0;
+    /** Process one application load/store described by @p a. */
+    virtual void dataRef(const Access &a) = 0;
 
     /**
-     * Process @p n application instructions from @p recs: the fetch,
-     * then the data access for loads/stores — exactly the sequence of
-     * scalar instRef()/dataRef() calls, so counters and events are
-     * bit-identical. The default loops over the virtual calls;
-     * concrete organizations override with refBlockFor() so the
+     * Process one block of application instructions: for each record,
+     * the fetch, then the data access for loads/stores — exactly the
+     * sequence of scalar instRef()/dataRef() calls, so counters and
+     * events are bit-identical. The default loops over the virtual
+     * calls; concrete organizations override with refBlockFor() so the
      * batched simulator pays vtable dispatch once per block instead
      * of twice per instruction.
      */
-    virtual void refBlock(const TraceRecord *recs, std::size_t n);
+    virtual void refBlock(const AccessBlock &blk);
 
-    /** The I-TLB, or nullptr for TLB-less organizations. */
-    virtual const Tlb *itlb() const { return nullptr; }
+    /** Core @p core's I-TLB, or nullptr for TLB-less organizations. */
+    virtual const Tlb *
+    itlb(CoreId core) const
+    {
+        (void)core;
+        return nullptr;
+    }
 
-    /** The D-TLB, or nullptr for TLB-less organizations. */
-    virtual const Tlb *dtlb() const { return nullptr; }
+    /** Core @p core's D-TLB, or nullptr for TLB-less organizations. */
+    virtual const Tlb *
+    dtlb(CoreId core) const
+    {
+        (void)core;
+        return nullptr;
+    }
 
     /**
-     * React to an address-space switch. The simulated MMUs carry no
-     * ASIDs, so TLB-based organizations flush both TLBs; the
-     * organizations built on a flat global space (NOTLB, SPUR — whose
-     * disjunct segments are process-independent) and BASE have no
-     * translation state and are immune, which is one of the global
-     * virtual-address-space design's selling points.
+     * React to an address-space switch on @p core. The simulated MMUs
+     * carry no ASIDs, so TLB-based organizations flush that core's
+     * TLBs (and, on a multicore, broadcast shootdowns — the departing
+     * process's mappings may be unmapped or its ASID reused, so every
+     * other core must drop stale entries); the organizations built on
+     * a flat global space (NOTLB, SPUR — whose disjunct segments are
+     * process-independent) and BASE have no translation state and are
+     * immune, which is one of the global virtual-address-space
+     * design's selling points.
      */
-    virtual void contextSwitch() { noteContextSwitch(); }
+    virtual void contextSwitch(CoreId core) { noteContextSwitch(core); }
+
+    /** @name Deprecated single-core entry points
+     *  Thin wrappers over the core-indexed Access path (core 0) kept
+     *  for single-core callers and tests; do not add new callers that
+     *  construct raw address pairs. @{ */
+    void instRef(Addr pc) { instRef(Access{pc, 0, false}); }
+    void dataRef(Addr addr, bool store) { dataRef(Access{addr, 0, store}); }
+    void
+    refBlock(const TraceRecord *recs, std::size_t n)
+    {
+        refBlock(AccessBlock{recs, n, 0});
+    }
+    void contextSwitch() { contextSwitch(CoreId{0}); }
+    const Tlb *itlb() const { return itlb(CoreId{0}); }
+    const Tlb *dtlb() const { return dtlb(CoreId{0}); }
+    /** @} */
 
     const std::string &name() const { return name_; }
     const VmStats &vmStats() const { return stats_; }
     MemSystem &mem() { return mem_; }
     const MemSystem &mem() const { return mem_; }
 
+    /** Number of simulated cores sharing this organization. */
+    unsigned cores() const { return cores_; }
+
+    /**
+     * Credit @p n retired user instructions to @p core's per-core
+     * slice (the driving Simulator knows the schedule; the VM system
+     * does not).
+     */
+    void
+    addCoreInstrs(CoreId core, Counter n)
+    {
+        stats_.perCore[coreSlot(core)].instrs += n;
+    }
+
     /**
      * Attach an event sink (not owned; nullptr detaches). While a sink
      * is attached every TLB miss, handler execution, PTE fetch,
-     * interrupt, context switch and user L2-cache miss is reported to
-     * it; with none attached each potential emission costs one
-     * predictable branch.
+     * interrupt, context switch, shootdown and user L2-cache miss is
+     * reported to it; with none attached each potential emission costs
+     * one predictable branch.
      */
     void attachEventSink(EventSink *sink) { sink_ = sink; }
     EventSink *eventSink() const { return sink_; }
@@ -172,7 +323,8 @@ class VmSystem
     /**
      * Timebase for emitted events: the driving Simulator stamps the
      * current user-instruction number here before each instruction
-     * (only while a sink is attached).
+     * (only while a sink is attached). On a multicore this is the
+     * global instruction timebase, not any core's local count.
      */
     void setCurrentInstr(Counter n) { curInstr_ = n; }
     Counter currentInstr() const { return curInstr_; }
@@ -180,27 +332,56 @@ class VmSystem
     /**
      * Clear the VM event counters (used after warmup). Cache, TLB and
      * page-table *state* is intentionally preserved — only statistics
-     * reset.
+     * reset. The per-core slices are re-sized to the core count.
      */
-    void resetVmStats() { stats_.reset(); }
+    void
+    resetVmStats()
+    {
+        stats_.reset();
+        stats_.perCore.assign(cores_, CoreStats{});
+    }
 
     /** Competitor pressure per switch for ASID-tagged TLBs. */
     void setCtxSwitchEvictions(unsigned n) { ctxSwitchEvictions_ = n; }
     unsigned ctxSwitchEvictions() const { return ctxSwitchEvictions_; }
 
     /**
-     * Attach a unified second-level TLB: a hardware structure probed
-     * (in @p hit_cycles) before the organization's refill mechanism
-     * runs. A hit refills the first-level TLB without an interrupt,
-     * handler, or page-table reference — the two-level TLB design
-     * that followed the paper's era (e.g. later x86 and Alpha parts).
-     * Applies only to TLB-based organizations; call before simulating.
+     * Shootdown cost model: one broadcast costs each *receiving* core
+     * @p ipi_cycles of interrupt delivery plus @p handler_cycles of
+     * invalidate-handler execution, and evicts @p evictions entries
+     * from each of the receiver's TLB sides. No-ops on one core.
+     */
+    void
+    setShootdownCosts(Cycles ipi_cycles, Cycles handler_cycles,
+                      unsigned evictions)
+    {
+        shootdownIpiCycles_ = ipi_cycles;
+        shootdownHandlerCycles_ = handler_cycles;
+        shootdownEvictions_ = evictions;
+    }
+
+    /**
+     * Attach a second-level TLB: a hardware structure probed (in
+     * @p hit_cycles) before the organization's refill mechanism runs.
+     * A hit refills the first-level TLB without an interrupt, handler,
+     * or page-table reference — the two-level TLB design that followed
+     * the paper's era (e.g. later x86 and Alpha parts). On a
+     * multicore the L2 TLB is shared by default; pass @p shared =
+     * false for one private L2 slice per core. Applies only to
+     * TLB-based organizations; call before simulating.
      */
     void attachL2Tlb(const TlbParams &params, Cycles hit_cycles = 2,
-                     std::uint64_t seed = 1);
+                     std::uint64_t seed = 1, bool shared = true);
 
-    /** The unified L2 TLB, or nullptr if none is attached. */
-    const Tlb *l2tlb() const { return l2Tlb_.get(); }
+    /** The L2 TLB (shared, or core 0's), or nullptr if none. */
+    const Tlb *
+    l2tlb() const
+    {
+        return l2Tlbs_.empty() ? nullptr : l2Tlbs_.front().get();
+    }
+
+    /** Core @p core's L2 TLB slice, or nullptr if none is attached. */
+    const Tlb *l2tlb(CoreId core) const { return l2SlotFor(core); }
 
   protected:
     /**
@@ -216,27 +397,39 @@ class VmSystem
             doEmit(kind, level, vaddr, vpn, cycles);
     }
 
-    /** Record one address-space switch. */
+    /**
+     * The per-core slice @p core accounts to. A TLB-less organization
+     * is built single-instance even under a multicore schedule (a
+     * "core" is purely a trace-scheduling notion there), so out-of-
+     * range ids collapse onto slice 0 instead of indexing past the
+     * vector.
+     */
+    CoreId coreSlot(CoreId core) const { return core < cores_ ? core : 0; }
+
+    /** Record one address-space switch on @p core. */
     void
-    noteContextSwitch()
+    noteContextSwitch(CoreId core)
     {
         ++stats_.ctxSwitches;
+        ++stats_.perCore[coreSlot(core)].ctxSwitches;
         emitEvent(EventKind::CtxSwitch, EventLevel::User, 0, 0);
     }
 
     /** Record a user instruction-fetch TLB miss on @p pc. */
     void
-    noteItlbMiss(Addr pc, Vpn v)
+    noteItlbMiss(Addr pc, Vpn v, CoreId core)
     {
         ++stats_.itlbMisses;
+        ++stats_.perCore[coreSlot(core)].itlbMisses;
         emitEvent(EventKind::ItlbMiss, EventLevel::User, pc, v);
     }
 
     /** Record a user load/store TLB miss on @p addr. */
     void
-    noteDtlbMiss(Addr addr, Vpn v)
+    noteDtlbMiss(Addr addr, Vpn v, CoreId core)
     {
         ++stats_.dtlbMisses;
+        ++stats_.perCore[coreSlot(core)].dtlbMisses;
         emitEvent(EventKind::DtlbMiss, EventLevel::User, addr, v);
     }
 
@@ -274,27 +467,17 @@ class VmSystem
                       Vpn v);
 
     /**
-     * Standard TLB reaction to an address-space switch: untagged TLBs
-     * flush (no ASIDs — the paper's machines); ASID-tagged TLBs keep
-     * their entries and instead lose ctxSwitchEvictions() random
-     * entries per side to the competing processes' usage.
+     * Standard TLB reaction to an address-space switch on @p core:
+     * untagged TLBs flush (no ASIDs — the paper's machines);
+     * ASID-tagged TLBs keep their entries and instead lose
+     * ctxSwitchEvictions() random entries per side to the competing
+     * processes' usage. On a multicore the switch then broadcasts a
+     * TLB shootdown to every other core (the outgoing address space's
+     * mappings may be recycled), charging the configured IPI + handler
+     * cycles per receiver and evicting entries from the receivers'
+     * TLBs.
      */
-    void
-    switchTlbs(Tlb &itlb, Tlb &dtlb)
-    {
-        noteContextSwitch();
-        if (itlb.params().tagged()) {
-            itlb.evictRandom(ctxSwitchEvictions_);
-            dtlb.evictRandom(ctxSwitchEvictions_);
-            if (l2Tlb_)
-                l2Tlb_->evictRandom(ctxSwitchEvictions_);
-        } else {
-            itlb.invalidateAll();
-            dtlb.invalidateAll();
-            if (l2Tlb_)
-                l2Tlb_->invalidateAll();
-        }
-    }
+    void switchTlbs(CoreId core, CoreTlbs &tlbs);
 
     /**
      * Simulate execution of the @p level miss handler: fetch @p n
@@ -326,16 +509,17 @@ class VmSystem
     }
 
     /**
-     * Probe the optional L2 TLB for @p v at the top of a walk. On a
-     * hit, charges the probe cycles, installs @p v into @p target,
-     * and returns true — the caller skips its refill entirely. On a
-     * miss (or with no L2 TLB attached) returns false; the caller
-     * must call l2TlbFill() once its walk completes.
+     * Probe the optional L2 TLB (core @p core's slice when private)
+     * for @p v at the top of a walk. On a hit, charges the probe
+     * cycles, installs @p v into @p target, and returns true — the
+     * caller skips its refill entirely. On a miss (or with no L2 TLB
+     * attached) returns false; the caller must call l2TlbFill() once
+     * its walk completes.
      */
-    bool l2TlbLookup(Vpn v, Tlb &target);
+    bool l2TlbLookup(Vpn v, Tlb &target, CoreId core = 0);
 
     /** Install @p v into the L2 TLB after a completed walk. */
-    void l2TlbFill(Vpn v);
+    void l2TlbFill(Vpn v, CoreId core = 0);
 
     std::string name_;
     MemSystem &mem_;
@@ -346,9 +530,25 @@ class VmSystem
     void doEmit(EventKind kind, EventLevel level, Addr vaddr, Vpn vpn,
                 Cycles cycles);
 
+    /** The L2 slot core @p core probes (slot 0 when shared). */
+    Tlb *
+    l2SlotFor(CoreId core) const
+    {
+        if (l2Tlbs_.empty())
+            return nullptr;
+        return l2Tlbs_[l2Tlbs_.size() == 1 ? 0 : core].get();
+    }
+
+    /** Deliver one invalidate broadcast from @p from to every peer. */
+    void shootdownBroadcast(CoreId from, CoreTlbs &tlbs);
+
+    unsigned cores_ = 1;
     unsigned ctxSwitchEvictions_ = 16;
-    std::unique_ptr<Tlb> l2Tlb_;
+    std::vector<std::unique_ptr<Tlb>> l2Tlbs_; ///< 1 slot, or 1/core
     Cycles l2TlbHitCycles_ = 2;
+    Cycles shootdownIpiCycles_ = 100;
+    Cycles shootdownHandlerCycles_ = 50;
+    unsigned shootdownEvictions_ = 8;
     EventSink *sink_ = nullptr;
     Counter curInstr_ = 0;
 };
@@ -362,12 +562,20 @@ class VmSystem
  */
 template <class VM>
 inline void
-refBlockFor(VM &vm, const TraceRecord *recs, std::size_t n)
+refBlockFor(VM &vm, const AccessBlock &blk)
 {
-    for (std::size_t i = 0; i < n; ++i) {
-        vm.VM::instRef(recs[i].pc);
-        if (recs[i].isMemOp())
-            vm.VM::dataRef(recs[i].daddr, recs[i].isStore());
+    Access a;
+    a.core = blk.core;
+    for (std::size_t i = 0; i < blk.n; ++i) {
+        const TraceRecord &r = blk.recs[i];
+        a.addr = r.pc;
+        a.store = false;
+        vm.VM::instRef(a);
+        if (r.isMemOp()) {
+            a.addr = r.daddr;
+            a.store = r.isStore();
+            vm.VM::dataRef(a);
+        }
     }
 }
 

@@ -38,11 +38,23 @@ ReplayCursor::ReplayCursor(std::shared_ptr<const RecordedTrace> trace)
     panicIf(!trace_, "ReplayCursor over a null RecordedTrace");
 }
 
+ReplayCursor::ReplayCursor(std::shared_ptr<const RecordedTrace> trace,
+                           std::size_t start, bool wrap)
+    : trace_(std::move(trace)), wrap_(wrap)
+{
+    panicIf(!trace_, "ReplayCursor over a null RecordedTrace");
+    start_ = trace_->empty() ? 0 : start % trace_->size();
+    pos_ = start_;
+}
+
 bool
 ReplayCursor::next(TraceRecord &rec)
 {
-    if (pos_ >= trace_->size())
-        return false;
+    if (pos_ >= trace_->size()) {
+        if (!wrap_ || trace_->empty())
+            return false;
+        pos_ = 0;
+    }
     rec = trace_->at(pos_++);
     return true;
 }
@@ -50,19 +62,35 @@ ReplayCursor::next(TraceRecord &rec)
 std::size_t
 ReplayCursor::nextBatch(TraceRecord *out, std::size_t n)
 {
-    std::size_t avail = trace_->size() - pos_;
-    std::size_t take = std::min(n, avail);
-    const TraceRecord *src = trace_->records().data() + pos_;
-    std::copy(src, src + take, out);
-    pos_ += take;
-    return take;
+    std::size_t filled = 0;
+    while (filled < n) {
+        std::size_t avail = trace_->size() - pos_;
+        if (avail == 0) {
+            if (!wrap_ || trace_->empty())
+                break;
+            pos_ = 0;
+            continue;
+        }
+        std::size_t take = std::min(n - filled, avail);
+        const TraceRecord *src = trace_->records().data() + pos_;
+        std::copy(src, src + take, out + filled);
+        pos_ += take;
+        filled += take;
+    }
+    return filled;
 }
 
 const TraceRecord *
 ReplayCursor::lendBatch(std::size_t n, std::size_t &got)
 {
     // The recording is immutable and outlives the cursor, so the
-    // simulator can consume records in place — no staging copy.
+    // simulator can consume records in place — no staging copy. A
+    // wrapping cursor lends only up to the end of the buffer (the
+    // records must stay contiguous) and resumes at the front on the
+    // next call, so callers see a short-but-nonempty batch, never a
+    // spurious end-of-trace.
+    if (wrap_ && pos_ >= trace_->size() && !trace_->empty())
+        pos_ = 0;
     std::size_t avail = trace_->size() - pos_;
     got = std::min(n, avail);
     const TraceRecord *src = trace_->records().data() + pos_;

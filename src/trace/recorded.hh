@@ -68,28 +68,49 @@ class RecordedTrace
 };
 
 /**
- * A TraceSource that replays a shared RecordedTrace from the start.
- * Each cursor carries only its read position, so every sweep cell
- * gets its own cursor over the one shared buffer. Ends (returns
- * false / a short batch) when the recording is exhausted.
+ * A TraceSource that replays a shared RecordedTrace. Each cursor
+ * carries only its read position, so every sweep cell (or simulated
+ * core) gets its own cursor over the one shared buffer.
+ *
+ * A plain cursor starts at record 0 and ends (returns false / a short
+ * batch) when the recording is exhausted. The offset form starts at
+ * @p start and, when @p wrap is set, cycles through the buffer
+ * indefinitely — the multicore scheduler uses one wrapping cursor per
+ * core at staggered offsets to model independent address spaces from
+ * one recording.
  */
 class ReplayCursor : public TraceSource
 {
   public:
     explicit ReplayCursor(std::shared_ptr<const RecordedTrace> trace);
 
+    /** Start at record @p start (clamped); wrap around when @p wrap. */
+    ReplayCursor(std::shared_ptr<const RecordedTrace> trace,
+                 std::size_t start, bool wrap);
+
     bool next(TraceRecord &rec) override;
     std::size_t nextBatch(TraceRecord *out, std::size_t n) override;
     const TraceRecord *lendBatch(std::size_t n, std::size_t &got) override;
 
-    /** Restart the replay from the first record. */
-    void rewind() { pos_ = 0; }
+    /** Restart the replay from the cursor's start record. */
+    void rewind() { pos_ = start_; }
+
+    /** Current read position within the recording. */
+    std::size_t position() const { return pos_; }
 
     const RecordedTrace &trace() const { return *trace_; }
 
+    /** The shared recording this cursor replays. */
+    const std::shared_ptr<const RecordedTrace> &shared() const
+    {
+        return trace_;
+    }
+
   private:
     std::shared_ptr<const RecordedTrace> trace_;
+    std::size_t start_ = 0;
     std::size_t pos_ = 0;
+    bool wrap_ = false;
 };
 
 /** Hit/miss accounting for a TraceCache. */

@@ -35,9 +35,11 @@ TEST(DiffRunner, GenerateCoversOrganizationsAndFeatures)
     bool sawFaults = false, sawCtx = false, sawAsid = false,
          sawL2Tlb = false, sawWarmup = false;
     std::set<SystemKind> kinds;
+    std::set<unsigned> cores;
     for (std::uint64_t i = 0; i < 200; ++i) {
         FuzzTuple t = runner.generate(i);
         kinds.insert(t.kind);
+        cores.insert(t.cores);
         sawFaults |= t.faults;
         sawCtx |= t.ctxSwitch != 0;
         sawAsid |= t.asidBits != 0;
@@ -45,13 +47,25 @@ TEST(DiffRunner, GenerateCoversOrganizationsAndFeatures)
         sawWarmup |= t.warmup != 0;
         EXPECT_GT(t.instrs, 0u);
         EXPECT_LE(t.instrs, opts.maxInstrs);
+        EXPECT_GT(t.coreQuantum, 0u);
     }
     EXPECT_EQ(kinds.size(), 9u);
+    EXPECT_EQ(cores, (std::set<unsigned>{1, 2, 4}));
     EXPECT_TRUE(sawFaults);
     EXPECT_TRUE(sawCtx);
     EXPECT_TRUE(sawAsid);
     EXPECT_TRUE(sawL2Tlb);
     EXPECT_TRUE(sawWarmup);
+}
+
+TEST(DiffRunner, ForceCoresPinsEveryTuple)
+{
+    DiffOptions opts;
+    opts.seed = 4242;
+    opts.forceCores = 4;
+    DiffRunner runner(opts);
+    for (std::uint64_t i = 0; i < 50; ++i)
+        EXPECT_EQ(runner.generate(i).cores, 4u);
 }
 
 TEST(DiffRunner, SeededCampaignFindsNoDivergence)

@@ -350,6 +350,42 @@ TEST(ObsInterval, ZeroIntervalIsFatal)
     EXPECT_THROW(IntervalSampler(0), FatalError);
 }
 
+/**
+ * Regression for the multicore stamp interaction: the quantum
+ * scheduler rotates cores every 1K instructions, so a sampler fed
+ * core-local instruction counts would see its timebase jump backward
+ * at every rotation and close ragged (or no) intervals. On the global
+ * timebase — which the multicore loops must use for setCurrentInstr
+ * and tick alike, warmup included — the partition is exact and the
+ * series still reconstructs the aggregate metrics.
+ */
+TEST(ObsInterval, MulticorePartitionsOnGlobalTimebase)
+{
+    SimConfig cfg = ultrixConfig();
+    cfg.cores = 4;
+    cfg.coreQuantum = 1'000;
+    IntervalSampler sampler(10'000);
+    RunHooks hooks;
+    hooks.sampler = &sampler;
+    Results r = runOnce(cfg, "gcc", kInstrs, 25'000, hooks);
+
+    ASSERT_EQ(sampler.intervals().size(), kInstrs / 10'000);
+    Counter covered = 0;
+    for (const IntervalRecord &iv : sampler.intervals()) {
+        EXPECT_EQ(iv.instrs(), 10'000u);
+        covered += iv.instrs();
+    }
+    EXPECT_EQ(covered, kInstrs);
+
+    auto vmcpi = [](const Results &res) { return res.vmcpi(); };
+    auto total = [](const Results &res) { return res.totalCpi(); };
+    EXPECT_NEAR(sampler.weightedMetric(vmcpi), r.vmcpi(), 1e-9);
+    // totalCpi includes the shootdown component, so this also checks
+    // that the per-interval VmStats deltas carry the new counters.
+    EXPECT_NEAR(sampler.weightedMetric(total), r.totalCpi(), 1e-9);
+    EXPECT_GT(r.vmStats().shootdownCycles, 0u);
+}
+
 TEST(ObsChromeTrace, TracedRunEmitsValidJson)
 {
     std::ostringstream out;
