@@ -46,6 +46,17 @@
  *   --stats-json=FILE     results + stats registry + interval series
  *   --interval=N          sample MCPI/VMCPI every N instructions and
  *                         print the series as CSV after the summary
+ *   --progress[=S]        live heartbeat every S seconds (default 2)
+ *                         while the run executes; goes to stderr
+ *                         unless --progress-out redirects it
+ *   --progress-out=FILE   append JSONL telemetry heartbeats to FILE
+ *   --metrics-out=FILE    rewrite a Prometheus text exposition at
+ *                         FILE on every heartbeat (atomic rename)
+ *
+ * --stats-json and --check additionally attach a LatencyCollector, so
+ * the stats dump carries per-episode miss/walk/shootdown latency and
+ * TLB-residency histograms (with p50/p90/p99), and --check reconciles
+ * their totals against the run's counters.
  *
  * Robustness (see docs/robustness.md):
  *   --inject-faults=SPEC  deterministic fault injection on the trace
@@ -116,6 +127,9 @@ runCli(int argc, char **argv)
     bool check = false;
     unsigned fuzz_cases = 0;
     std::string fuzz_report_path;
+    double progress_seconds = 0;
+    std::string progress_out_path;
+    std::string metrics_out_path;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -192,6 +206,16 @@ runCli(int argc, char **argv)
             stats_json_path = arg + 13;
         else if (matches(arg, "--interval="))
             interval = numArg(arg, "--interval=");
+        else if (std::strcmp(arg, "--progress") == 0)
+            progress_seconds = 2.0;
+        else if (matches(arg, "--progress=")) {
+            progress_seconds = std::strtod(arg + 11, nullptr);
+            fatalIf(progress_seconds <= 0,
+                    "--progress period must be positive seconds");
+        } else if (matches(arg, "--progress-out="))
+            progress_out_path = arg + 15;
+        else if (matches(arg, "--metrics-out="))
+            metrics_out_path = arg + 14;
         else if (matches(arg, "--inject-faults="))
             faults = FaultSpec::parse(arg + 16).orThrow();
         else if (matches(arg, "--batch=")) {
@@ -265,10 +289,33 @@ runCli(int argc, char **argv)
         collector = std::make_unique<CollectingSink>();
         sinks.add(collector.get());
     }
+    // Distribution-level attribution rides along whenever a stats dump
+    // or the checker wants it.
+    std::unique_ptr<LatencyCollector> latency;
+    if (!stats_json_path.empty() || check)
+        latency = std::make_unique<LatencyCollector>();
+    // Live telemetry for the single "cell" this run is.
+    std::unique_ptr<SweepTelemetry> telemetry;
+    if (progress_seconds > 0 || !progress_out_path.empty() ||
+        !metrics_out_path.empty()) {
+        TelemetryOptions topts;
+        topts.periodSeconds =
+            progress_seconds > 0 ? progress_seconds : 2.0;
+        topts.progressPath = progress_out_path;
+        topts.metricsPath = metrics_out_path;
+        topts.toStderr =
+            progress_seconds > 0 && progress_out_path.empty();
+        telemetry = std::make_unique<SweepTelemetry>(topts, 1, 1);
+        telemetry->beginCell(0, 0);
+        telemetry->start();
+    }
 
     RunHooks hooks;
     hooks.sink = sinks.empty() ? nullptr : &sinks;
     hooks.sampler = sampler.get();
+    hooks.latency = latency.get();
+    if (telemetry)
+        hooks.progress = telemetry->progressCounter(0);
     std::unique_ptr<FaultySink> faulty_sink;
     if (faults.writeFail > 0) {
         faulty_sink = std::make_unique<FaultySink>(
@@ -296,17 +343,26 @@ runCli(int argc, char **argv)
             System sys(cfg);
             sys.attachEventSink(hooks.sink);
             sys.attachSampler(hooks.sampler);
+            sys.attachLatency(hooks.latency);
+            sys.attachProgress(hooks.progress);
             sys.setBatchSize(batch);
             return sys.run(*source, instrs, trace_path, warmup_instrs);
         }
         return runOnce(cfg, workload, instrs, warmup_instrs, hooks);
     }();
 
+    if (telemetry) {
+        telemetry->endCell(0, true);
+        telemetry->stop();
+    }
+
     if (check) {
         InvariantChecker checker(cfg);
         CheckReport rep = checker.checkAll(
             r, &collector->events(),
-            sampler ? &sampler->intervals() : nullptr);
+            sampler ? &sampler->intervals() : nullptr, latency.get());
+        if (telemetry)
+            checkTelemetry(telemetry->snapshot(), true, rep);
         std::cerr << "check: " << rep.toString() << '\n';
         if (!rep.ok())
             return 1;
@@ -317,6 +373,8 @@ runCli(int argc, char **argv)
     if (!stats_json_path.empty()) {
         Json out = Json::object();
         out.set("results", r.toJson());
+        if (latency)
+            exportLatency(*latency, registry);
         out.set("stats", registry.toJson());
         if (sampler)
             out.set("intervals", intervalsToJson(sampler->intervals()));

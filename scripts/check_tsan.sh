@@ -14,7 +14,7 @@ cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target thread_pool_test sweep_test fault_test sweep_resume_test \
-    batch_test check_fuzz multicore_test bench_mcpi_sweep
+    batch_test check_fuzz multicore_test obs_test bench_mcpi_sweep
 
 "$BUILD_DIR"/tests/thread_pool_test
 "$BUILD_DIR"/tests/sweep_test
@@ -33,7 +33,14 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 # share one VmSystem per worker, so TSan proves the sharing stops at
 # the cell boundary.
 "$BUILD_DIR"/tests/multicore_test
+# obs_test spins up the SweepTelemetry emitter thread against the
+# per-worker atomic progress slots.
+"$BUILD_DIR"/tests/obs_test
+# --progress runs the telemetry thread concurrently with real sweep
+# workers publishing through their slots.
 "$BUILD_DIR"/bench/bench_mcpi_sweep --instructions=20000 \
-    --warmup=5000 --jobs=4 --check > /dev/null
+    --warmup=5000 --jobs=4 --check --progress=0.1 \
+    --progress-out="$BUILD_DIR/tsan_progress.jsonl" \
+    --metrics-out="$BUILD_DIR/tsan_metrics.prom" > /dev/null
 
 echo "TSan checks passed."

@@ -86,6 +86,75 @@ cmp "$SMOKE_DIR/fuzz_a.json" "$SMOKE_DIR/fuzz_b.json"
 # books and per-core conservation laws get fuzzed on every gate run.
 build/examples/vmsim_cli --fuzz=50 --seed=12345 --cores=4 > /dev/null
 
+echo "== sweep telemetry =="
+# A telemetry-enabled sweep must produce a valid Prometheus exposition
+# and well-formed JSONL heartbeats whose final record accounts for the
+# whole grid — and must not change a single byte of the sweep CSV.
+build/bench/bench_fig6_vmcpi_gcc --csv --instructions=20000 \
+    --warmup=5000 --jobs=2 --progress=0.2 \
+    --progress-out="$SMOKE_DIR/fig6_progress.jsonl" \
+    --metrics-out="$SMOKE_DIR/fig6_metrics.prom" \
+    > "$SMOKE_DIR/fig6_telemetry.csv"
+cmp "$SMOKE_DIR/fig6_cached.csv" "$SMOKE_DIR/fig6_telemetry.csv"
+python3 - "$SMOKE_DIR/fig6_progress.jsonl" "$SMOKE_DIR/fig6_metrics.prom" <<'EOF'
+import json, sys
+
+jsonl_path, prom_path = sys.argv[1], sys.argv[2]
+
+# Every heartbeat is one JSON object per line; the final one must
+# account for the whole grid (done + failed == total, pending == 0).
+records = []
+with open(jsonl_path) as f:
+    for n, line in enumerate(f, 1):
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        for key in ("ts", "elapsed_s", "cells_total", "done", "failed",
+                    "retried", "pending", "instrs", "instrs_per_sec",
+                    "workers"):
+            assert key in rec, f"line {n}: missing {key!r}"
+        records.append(rec)
+assert records, "no heartbeat records"
+last = records[-1]
+assert last["done"] + last["failed"] == last["cells_total"], last
+assert last["pending"] == 0, last
+
+# Tiny Prometheus text-format parser: every sample line must be
+# "name[{labels}] value" with a float value, and every metric family
+# must carry # HELP and # TYPE headers.
+helped, typed, samples = set(), set(), 0
+with open(prom_path) as f:
+    for n, line in enumerate(f, 1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            assert parts[3] == "gauge", f"line {n}: {line!r}"
+            typed.add(parts[2])
+            continue
+        assert not line.startswith("#"), f"line {n}: {line!r}"
+        name_part, _, value = line.rpartition(" ")
+        float(value)
+        name = name_part.split("{", 1)[0]
+        base = name
+        assert base in typed, f"line {n}: sample for untyped {base!r}"
+        assert base in helped, f"line {n}: sample for unhelped {base!r}"
+        samples += 1
+expected = {"vmsim_sweep_cells_total", "vmsim_sweep_cells_done",
+            "vmsim_sweep_cells_failed", "vmsim_sweep_cells_pending",
+            "vmsim_sweep_instrs_total", "vmsim_sweep_eta_seconds"}
+missing = expected - typed
+assert not missing, f"missing metrics: {sorted(missing)}"
+assert samples >= len(typed), "fewer samples than metric families"
+print(f"telemetry ok: {len(records)} heartbeats, "
+      f"{samples} prometheus samples")
+EOF
+
 echo "== sanitizers =="
 scripts/check_asan.sh
 scripts/check_tsan.sh

@@ -15,12 +15,18 @@ namespace
 
 std::atomic<bool> quiet_flag{false};
 
-/** Parse VMSIM_LOG_LEVEL; unset or unrecognized means Info. */
+/**
+ * Parse VMSIM_LOG_LEVEL, case-insensitively; unset, empty, or
+ * unrecognized means Info. An unrecognized value earns exactly one
+ * stderr line naming it and the accepted set — emitted with a raw
+ * fprintf because this runs inside levelFlag()'s static-local
+ * initialization, where calling warn() would re-enter it.
+ */
 LogLevel
 levelFromEnv()
 {
     const char *env = std::getenv("VMSIM_LOG_LEVEL");
-    if (!env)
+    if (!env || !*env)
         return LogLevel::Info;
     std::string s(env);
     for (auto &c : s)
@@ -29,6 +35,13 @@ levelFromEnv()
         return LogLevel::Silent;
     if (s == "warn" || s == "warning" || s == "1")
         return LogLevel::Warn;
+    if (s == "info" || s == "verbose" || s == "2")
+        return LogLevel::Info;
+    std::fprintf(stderr,
+                 "warn: VMSIM_LOG_LEVEL=\"%s\" not recognized "
+                 "(accepted: silent|quiet|none|0, warn|warning|1, "
+                 "info|verbose|2); defaulting to info\n",
+                 env);
     return LogLevel::Info;
 }
 

@@ -23,6 +23,16 @@ Histogram::Histogram(double lo, double hi, unsigned nbuckets)
     buckets_.assign(nbuckets, 0);
 }
 
+Histogram
+Histogram::logSpaced(double lo, double hi, unsigned nbuckets)
+{
+    fatalIf(lo <= 0.0, "log-spaced Histogram needs lo > 0, got ", lo);
+    Histogram h(lo, hi, nbuckets);
+    h.log_ = true;
+    h.logRatio_ = std::log(hi / lo) / nbuckets;
+    return h;
+}
+
 void
 Histogram::sample(double v)
 {
@@ -32,7 +42,9 @@ Histogram::sample(double v)
     } else if (v >= hi_) {
         ++overflow_;
     } else {
-        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        auto idx = log_ ? static_cast<std::size_t>(
+                              std::log(v / lo_) / logRatio_)
+                        : static_cast<std::size_t>((v - lo_) / width_);
         if (idx >= buckets_.size())
             idx = buckets_.size() - 1; // fp rounding at the top edge
         ++buckets_[idx];
@@ -47,10 +59,81 @@ Histogram::reset()
         b = 0;
 }
 
+bool
+Histogram::sameGeometry(const Histogram &other) const
+{
+    return log_ == other.log_ && lo_ == other.lo_ && hi_ == other.hi_ &&
+           buckets_.size() == other.buckets_.size();
+}
+
+std::string
+Histogram::geometryString() const
+{
+    std::ostringstream oss;
+    oss << "[" << lo_ << ", " << hi_ << ") x " << buckets_.size()
+        << (log_ ? " log" : " uniform");
+    return oss.str();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    fatalIf(!sameGeometry(other), "Histogram::merge geometry mismatch: ",
+            geometryString(), " vs ", other.geometryString());
+    count_ += other.count_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+}
+
+void
+Histogram::subtract(const Histogram &other)
+{
+    fatalIf(!sameGeometry(other),
+            "Histogram::subtract geometry mismatch: ", geometryString(),
+            " vs ", other.geometryString());
+    fatalIf(count_ < other.count_ || underflow_ < other.underflow_ ||
+                overflow_ < other.overflow_,
+            "Histogram::subtract would go negative");
+    count_ -= other.count_;
+    underflow_ -= other.underflow_;
+    overflow_ -= other.overflow_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        fatalIf(buckets_[i] < other.buckets_[i],
+                "Histogram::subtract would go negative in bucket ", i);
+        buckets_[i] -= other.buckets_[i];
+    }
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    double target = p * static_cast<double>(count_);
+    double cum = static_cast<double>(underflow_);
+    if (target <= cum)
+        return lo_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double n = static_cast<double>(buckets_[i]);
+        if (target <= cum + n && n > 0.0) {
+            double frac = (target - cum) / n;
+            double b_lo = bucketLo((unsigned)i);
+            double b_hi = bucketLo((unsigned)i + 1);
+            return b_lo + frac * (b_hi - b_lo);
+        }
+        cum += n;
+    }
+    return hi_;
+}
+
 double
 Histogram::bucketLo(unsigned i) const
 {
-    return lo_ + width_ * i;
+    if (i >= buckets_.size())
+        return hi_;
+    return log_ ? lo_ * std::exp(logRatio_ * i) : lo_ + width_ * i;
 }
 
 std::string

@@ -78,8 +78,10 @@ class Distribution
 };
 
 /**
- * Histogram with uniform buckets over [lo, hi); out-of-range samples
- * land in underflow/overflow bins.
+ * Histogram with uniform or log-spaced buckets over [lo, hi);
+ * out-of-range samples land in underflow/overflow bins. Log spacing
+ * (via logSpaced()) suits latency-style data whose interesting
+ * structure spans several orders of magnitude.
  */
 class Histogram
 {
@@ -91,19 +93,52 @@ class Histogram
      */
     Histogram(double lo, double hi, unsigned nbuckets);
 
+    /**
+     * Histogram whose bucket edges grow geometrically from @p lo to
+     * @p hi (each bucket (hi/lo)^(1/nbuckets) wider than the last).
+     * Requires lo > 0.
+     */
+    static Histogram logSpaced(double lo, double hi, unsigned nbuckets);
+
     /** Record one sample. */
     void sample(double v);
 
     /** Clear all buckets. */
     void reset();
 
+    /** Fold @p other into this one; geometries must match exactly. */
+    void merge(const Histogram &other);
+
+    /**
+     * Remove @p other's counts from this one (for interval deltas
+     * against an earlier snapshot); geometries must match and every
+     * bin of @p other must be <= the corresponding bin here.
+     */
+    void subtract(const Histogram &other);
+
+    /**
+     * Value at percentile @p p in [0, 1], linearly interpolated inside
+     * its bucket. Underflow samples report lo, overflow samples hi; an
+     * empty histogram reports 0.
+     */
+    double percentile(double p) const;
+
+    /** True when bounds, bucket count and spacing all match. */
+    bool sameGeometry(const Histogram &other) const;
+
+    /** "[lo, hi) x N uniform|log" — for mismatch diagnostics. */
+    std::string geometryString() const;
+
     Counter count() const { return count_; }
     Counter underflow() const { return underflow_; }
     Counter overflow() const { return overflow_; }
     unsigned numBuckets() const { return (unsigned)buckets_.size(); }
     Counter bucket(unsigned i) const { return buckets_.at(i); }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    bool isLog() const { return log_; }
 
-    /** Lower edge of bucket @p i. */
+    /** Lower edge of bucket @p i; bucketLo(numBuckets()) == hi. */
     double bucketLo(unsigned i) const;
 
     /** Render as a one-line summary plus per-bucket counts. */
@@ -113,6 +148,8 @@ class Histogram
     double lo_;
     double hi_;
     double width_;
+    bool log_ = false;
+    double logRatio_ = 0.0; // ln of the per-bucket growth factor
     Counter count_;
     Counter underflow_;
     Counter overflow_;

@@ -5,12 +5,15 @@
 #include <memory>
 #include <utility>
 
+#include <atomic>
+
 #include "base/error.hh"
 #include "base/random.hh"
 #include "core/simulator.hh"
 #include "fault/fault.hh"
 #include "obs/event.hh"
 #include "obs/interval.hh"
+#include "obs/latency.hh"
 #include "trace/recorded.hh"
 #include "trace/synthetic/workloads.hh"
 
@@ -283,6 +286,16 @@ DiffRunner::runCase(const FuzzTuple &t) const
         compareLegs(scalar, cached, "cached");
     }
 
+    // Latency histograms and a live progress counter must be invisible
+    // to the simulation: counters bit-identical to the bare scalar leg.
+    LatencyCollector lat;
+    std::atomic<Counter> progress{0};
+    RunHooks lat_hooks;
+    lat_hooks.latency = &lat;
+    lat_hooks.progress = &progress;
+    const Leg instrumented = runLeg(1, lat_hooks);
+    compareLegs(scalar, instrumented, "latency");
+
     InvariantChecker checker(cfg);
     if (scalar.ok)
         rep.mergePrefixed(checker.check(scalar.r), "audit.");
@@ -290,6 +303,16 @@ DiffRunner::runCase(const FuzzTuple &t) const
         rep.mergePrefixed(checker.checkAll(observed.r, &sink.events(),
                                            &sampler.intervals()),
                           "observed.");
+    if (instrumented.ok) {
+        CheckReport sub;
+        checker.checkLatency(instrumented.r, lat, sub);
+        sub.check(progress.load() ==
+                      t.warmup + instrumented.r.userInstrs(),
+                  "progress-final", "final progress counter ",
+                  progress.load(), " != warmup ", t.warmup,
+                  " + measured ", instrumented.r.userInstrs());
+        rep.mergePrefixed(sub, "latency.");
+    }
 
     if (t.warmup == 0 && !t.faults && scalar.ok) {
         auto trace = makeWorkload(t.workload, cfg.seed);

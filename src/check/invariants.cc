@@ -5,6 +5,7 @@
 
 #include "base/error.hh"
 #include "core/factory.hh"
+#include "obs/telemetry.hh"
 #include "os/org_laws.hh"
 #include "tlb/tlb.hh"
 
@@ -432,11 +433,40 @@ InvariantChecker::checkIntervals(
               " != aggregate ", r.vmcpi());
 }
 
+void
+InvariantChecker::checkLatency(const Results &r,
+                               const LatencyCollector &lat,
+                               CheckReport &rep) const
+{
+    const VmStats &vm = r.vmStats();
+    const Counter misses = vm.itlbMisses + vm.dtlbMisses;
+    const Counter missSamples = lat.mergedMissService().count();
+    rep.check(missSamples == misses, "latency.miss-episodes",
+              "miss-service histogram holds ", missSamples,
+              " episodes but the run counted ", misses, " TLB misses");
+    const Counter walkSamples = lat.mergedHwWalk().count();
+    rep.check(walkSamples == vm.hwWalks, "latency.walk-episodes",
+              "hw-walk histogram holds ", walkSamples,
+              " episodes but the run counted ", vm.hwWalks, " walks");
+    const Counter sdSamples = lat.mergedShootdown().count();
+    rep.check(sdSamples == vm.shootdownsRecv, "latency.shootdowns",
+              "shootdown histogram holds ", sdSamples,
+              " samples but the run counted ", vm.shootdownsRecv,
+              " received shootdowns");
+    // Per-core slices must sum to the merges they were folded into.
+    Counter perCore = 0;
+    for (unsigned c = 0; c < lat.cores(); ++c)
+        perCore += lat.missService(c).count();
+    rep.check(perCore == missSamples, "latency.per-core-sum",
+              "per-core miss-service counts sum to ", perCore,
+              " but the merged histogram holds ", missSamples);
+}
+
 CheckReport
 InvariantChecker::checkAll(const Results &r,
                            const std::vector<TraceEvent> *events,
-                           const std::vector<IntervalRecord> *intervals)
-    const
+                           const std::vector<IntervalRecord> *intervals,
+                           const LatencyCollector *latency) const
 {
     CheckReport rep;
     check(r, rep);
@@ -444,7 +474,32 @@ InvariantChecker::checkAll(const Results &r,
         checkEvents(r, *events, rep);
     if (intervals)
         checkIntervals(r, *intervals, rep);
+    if (latency)
+        checkLatency(r, *latency, rep);
     return rep;
+}
+
+void
+checkTelemetry(const TelemetrySnapshot &snap, bool final,
+               CheckReport &rep)
+{
+    rep.check(snap.done + snap.failed + snap.pending == snap.totalCells,
+              "telemetry.cell-accounting",
+              "done ", snap.done, " + failed ", snap.failed,
+              " + pending ", snap.pending, " != total ",
+              snap.totalCells);
+    if (final)
+        rep.check(snap.pending == 0, "telemetry.final-pending",
+                  "final heartbeat still reports ", snap.pending,
+                  " pending cells");
+    for (std::size_t w = 0; w < snap.workers.size(); ++w) {
+        const std::int64_t cell = snap.workers[w].cell;
+        rep.check(cell >= -1 &&
+                      cell < static_cast<std::int64_t>(snap.totalCells),
+                  "telemetry.worker-cell", "worker ", w,
+                  " reports cell ", cell, " outside grid of ",
+                  snap.totalCells);
+    }
 }
 
 CheckReport

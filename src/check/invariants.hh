@@ -36,6 +36,7 @@ namespace vmsim
 
 class Tlb;
 class VmSystem;
+struct TelemetrySnapshot;
 
 /** One broken law: which invariant, and the numbers that broke it. */
 struct CheckViolation
@@ -119,11 +120,20 @@ class InvariantChecker
                         const std::vector<IntervalRecord> &intervals,
                         CheckReport &rep) const;
 
+    /**
+     * Latency-histogram totals must reconcile exactly with the run's
+     * counters: one miss-service episode per TLB miss, one walk sample
+     * per hardware walk, one shootdown sample per received IPI.
+     */
+    void checkLatency(const Results &r, const LatencyCollector &lat,
+                      CheckReport &rep) const;
+
     /** All of the above; pass nullptr for streams not collected. */
     CheckReport
     checkAll(const Results &r,
              const std::vector<TraceEvent> *events = nullptr,
-             const std::vector<IntervalRecord> *intervals = nullptr) const;
+             const std::vector<IntervalRecord> *intervals = nullptr,
+             const LatencyCollector *latency = nullptr) const;
 
     /** Handler costs as the organization under audit resolved them. */
     const HandlerCosts &resolvedCosts() const { return costs_; }
@@ -157,6 +167,15 @@ CheckReport checkExecutedConservation(Counter executed,
  * translations performed.
  */
 void checkLiveTlb(const VmSystem &vm, Counter instrs, CheckReport &rep);
+
+/**
+ * Telemetry accounting laws over one snapshot: done + failed + pending
+ * must cover the grid exactly, and every worker's current cell must
+ * lie inside it (or be -1 idle). The sweep's final heartbeat must
+ * additionally show zero pending — pass @p final for that law.
+ */
+void checkTelemetry(const TelemetrySnapshot &snap, bool final,
+                    CheckReport &rep);
 
 } // namespace vmsim
 

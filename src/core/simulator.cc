@@ -50,14 +50,17 @@ Simulator::runScalar(Counter max_instrs)
     // instruction; translate + access data for loads/stores. All TLB
     // probing and page-table walking happens inside the VmSystem.
     while (n < max_instrs && trace.next(rec)) {
-        // Cooperative cancellation: one relaxed load every 2K
-        // instructions is noise next to the TLB/cache probes.
-        if (cancel_ && (n & 0x7ff) == 0 &&
-            cancel_->load(std::memory_order_relaxed)) {
-            executed_ += n;
-            throwError(ErrorCode::Canceled, "simulator",
-                       "run canceled after ", executed_,
-                       " instructions");
+        // Cooperative cancellation and progress publication: one
+        // relaxed access every 2K instructions is noise next to the
+        // TLB/cache probes.
+        if ((n & 0x7ff) == 0 && (cancel_ || progress_)) {
+            noteProgress(executed_ + n);
+            if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+                executed_ += n;
+                throwError(ErrorCode::Canceled, "simulator",
+                           "run canceled after ", executed_,
+                           " instructions");
+            }
         }
         if (observing) {
             vm_.setCurrentInstr(executed_ + n);
@@ -74,6 +77,7 @@ Simulator::runScalar(Counter max_instrs)
         ++n;
     }
     executed_ += n;
+    noteProgress(executed_);
     return n;
 }
 
@@ -84,8 +88,9 @@ Simulator::runBatched(Counter max_instrs)
     TraceSource &trace = *sources_.front();
     const bool observing = sampler_ || vm_.tracing();
     while (n < max_instrs) {
-        // Hoisted cancel poll: once per batch instead of every 2K
-        // instructions.
+        // Hoisted cancel poll / progress store: once per batch instead
+        // of every 2K instructions.
+        noteProgress(executed_ + n);
         if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
             executed_ += n;
             throwError(ErrorCode::Canceled, "simulator",
@@ -160,6 +165,7 @@ Simulator::runBatched(Counter max_instrs)
         n += got;
     }
     executed_ += n;
+    noteProgress(executed_);
     return n;
 }
 
@@ -172,13 +178,15 @@ Simulator::runScalarMc(Counter max_instrs)
     const CoreId ncores = static_cast<CoreId>(sources_.size());
     Access a;
     while (n < max_instrs && sources_[curCore_]->next(rec)) {
-        if (cancel_ && (n & 0x7ff) == 0 &&
-            cancel_->load(std::memory_order_relaxed)) {
-            flushQuantum();
-            executed_ += n;
-            throwError(ErrorCode::Canceled, "simulator",
-                       "run canceled after ", executed_,
-                       " instructions");
+        if ((n & 0x7ff) == 0 && (cancel_ || progress_)) {
+            noteProgress(executed_ + n);
+            if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+                flushQuantum();
+                executed_ += n;
+                throwError(ErrorCode::Canceled, "simulator",
+                           "run canceled after ", executed_,
+                           " instructions");
+            }
         }
         if (observing) {
             vm_.setCurrentInstr(executed_ + n);
@@ -211,6 +219,7 @@ Simulator::runScalarMc(Counter max_instrs)
     }
     flushQuantum();
     executed_ += n;
+    noteProgress(executed_);
     return n;
 }
 
@@ -221,6 +230,7 @@ Simulator::runBatchedMc(Counter max_instrs)
     const bool observing = sampler_ || vm_.tracing();
     const CoreId ncores = static_cast<CoreId>(sources_.size());
     while (n < max_instrs) {
+        noteProgress(executed_ + n);
         if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
             flushQuantum();
             executed_ += n;
@@ -305,6 +315,7 @@ Simulator::runBatchedMc(Counter max_instrs)
     }
     flushQuantum();
     executed_ += n;
+    noteProgress(executed_);
     return n;
 }
 
@@ -375,19 +386,30 @@ System::finishRun(Simulator &sim, Counter max_instrs,
                   const std::string &workload_name, Counter warmup_instrs)
 {
     sim.setCancel(cancel_);
+    sim.setProgress(progress_);
     if (batch_)
         sim.setBatchSize(batch_);
-    // Observe only the measured region: events and intervals from
-    // warmup would not reconcile with the (reset) counters.
+    // Observe only the measured region: events, intervals and latency
+    // histograms from warmup would not reconcile with the (reset)
+    // counters.
     vm_->attachEventSink(nullptr);
+    vm_->attachLatency(nullptr);
     if (warmup_instrs > 0) {
         sim.run(warmup_instrs);
         mem_->resetStats();
         vm_->resetVmStats();
     }
     vm_->attachEventSink(sink_);
+    if (latency_) {
+        latency_->configure(config_.cores,
+                            LatencyCosts{config_.costs.l1MissCycles,
+                                         config_.costs.l2MissCycles,
+                                         config_.costs.interruptCycles});
+        vm_->attachLatency(latency_);
+    }
     if (sampler_) {
         sampler_->configure(config_.costs, vm_->name(), workload_name);
+        sampler_->attachLatency(latency_);
         sim.attachSampler(sampler_);
     }
     executed_ += sim.run(max_instrs);
@@ -432,6 +454,8 @@ runOnce(const SimConfig &config, const std::string &workload,
     system.attachEventSink(hooks.sink);
     system.attachSampler(hooks.sampler);
     system.attachCancel(hooks.cancel);
+    system.attachProgress(hooks.progress);
+    system.attachLatency(hooks.latency);
     system.setBatchSize(hooks.batch);
     Results r = system.run(*source, instrs, name,
                            warmup_instrs.value_or(defaultWarmup(instrs)));

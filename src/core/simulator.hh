@@ -109,6 +109,14 @@ class Simulator
     void setCancel(const std::atomic<bool> *token) { cancel_ = token; }
 
     /**
+     * Live progress: run() stores the total instructions executed into
+     * @p counter (relaxed) at the same boundaries the cancel token is
+     * polled, so a telemetry thread can watch a run without touching
+     * simulation state. Not owned; nullptr detaches.
+     */
+    void setProgress(std::atomic<Counter> *counter) { progress_ = counter; }
+
+    /**
      * Records fetched per TraceSource::nextBatch() call. @p n <= 1
      * selects the reference one-instruction-at-a-time loop; results
      * are identical either way.
@@ -125,6 +133,14 @@ class Simulator
     Counter runBatched(Counter max_instrs);
     Counter runScalarMc(Counter max_instrs);
     Counter runBatchedMc(Counter max_instrs);
+
+    /** Publish @p done instructions to the progress counter, if any. */
+    void
+    noteProgress(Counter done)
+    {
+        if (progress_)
+            progress_->store(done, std::memory_order_relaxed);
+    }
 
     /** Credit the uncredited part of the running quantum to its core. */
     void
@@ -147,6 +163,7 @@ class Simulator
     Counter quantumCredited_ = 0;  ///< part already in per-core stats
     IntervalSampler *sampler_ = nullptr;
     const std::atomic<bool> *cancel_ = nullptr;
+    std::atomic<Counter> *progress_ = nullptr;
     std::size_t batch_ = kDefaultBatch;
     std::vector<TraceRecord> buf_; ///< batch staging (lazily sized)
 };
@@ -216,6 +233,26 @@ class System
     void attachCancel(const std::atomic<bool> *token) { cancel_ = token; }
 
     /**
+     * Live progress counter updated by every subsequent run(); see
+     * Simulator::setProgress(). Warmup instructions are included (the
+     * counter reports work done, not statistics kept). Not owned;
+     * nullptr detaches.
+     */
+    void attachProgress(std::atomic<Counter> *counter)
+    {
+        progress_ = counter;
+    }
+
+    /**
+     * Collect per-episode latency and TLB-residency histograms over
+     * the measured region of every subsequent run() (nullptr
+     * detaches). run() configures the collector with the machine's
+     * core count and cost model, so totals reconcile with the
+     * returned Results. Not owned; must outlive the System.
+     */
+    void attachLatency(LatencyCollector *lat) { latency_ = lat; }
+
+    /**
      * Trace-fetch batch size for every subsequent run(); 0 keeps the
      * Simulator default (kDefaultBatch), 1 forces the scalar loop.
      */
@@ -246,6 +283,8 @@ class System
     EventSink *sink_ = nullptr;
     IntervalSampler *sampler_ = nullptr;
     const std::atomic<bool> *cancel_ = nullptr;
+    std::atomic<Counter> *progress_ = nullptr;
+    LatencyCollector *latency_ = nullptr;
     std::size_t batch_ = 0;
 };
 
@@ -275,6 +314,19 @@ struct RunHooks
 
     /** Cancellation token polled by the simulation loop (not owned). */
     const std::atomic<bool> *cancel = nullptr;
+
+    /**
+     * Live progress counter: the loop stores total instructions
+     * executed (warmup included) at its cancel-poll boundaries — the
+     * sweep telemetry thread reads it for throughput/ETA. Not owned.
+     */
+    std::atomic<Counter> *progress = nullptr;
+
+    /**
+     * Per-episode latency and TLB-residency histograms collected over
+     * the measured region; see System::attachLatency(). Not owned.
+     */
+    LatencyCollector *latency = nullptr;
 
     /**
      * Wrap the workload's trace source before the run — the fault

@@ -21,7 +21,9 @@
 #include "core/simulator.hh"
 #include "obs/exporters.hh"
 #include "obs/interval.hh"
+#include "obs/latency.hh"
 #include "obs/stats_registry.hh"
+#include "obs/telemetry.hh"
 #include "trace/recorded.hh"
 #include "trace/synthetic/workloads.hh"
 
@@ -107,6 +109,20 @@ BenchOptions::parse(int argc, char **argv)
             opts.obs.interval = std::strtoull(arg + 11, nullptr, 10);
             fatalIf(opts.obs.interval == 0,
                     "--interval must be positive");
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            opts.obs.progressSeconds = 2.0;
+        } else if (std::strncmp(arg, "--progress=", 11) == 0) {
+            opts.obs.progressSeconds = std::strtod(arg + 11, nullptr);
+            fatalIf(opts.obs.progressSeconds <= 0,
+                    "--progress period must be positive seconds");
+        } else if (std::strncmp(arg, "--progress-out=", 15) == 0) {
+            opts.obs.progressOut = arg + 15;
+            fatalIf(opts.obs.progressOut.empty(),
+                    "--progress-out needs a file path");
+        } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+            opts.obs.metricsOut = arg + 14;
+            fatalIf(opts.obs.metricsOut.empty(),
+                    "--metrics-out needs a file path");
         } else if (std::strncmp(arg, "--retries=", 10) == 0) {
             opts.retries = static_cast<unsigned>(
                 std::strtoul(arg + 10, nullptr, 10));
@@ -152,7 +168,8 @@ BenchOptions::parse(int argc, char **argv)
                   "' (expected --full, --csv, --instructions=N, "
                   "--warmup=N, --seed=N, --seeds=N, --jobs=N, "
                   "--trace-events=F, --chrome-trace=F, --stats-json=F, "
-                  "--interval=N, --retries=N, --retry-backoff=S, "
+                  "--interval=N, --progress[=S], --progress-out=F, "
+                  "--metrics-out=F, --retries=N, --retry-backoff=S, "
                   "--cell-timeout=S, --journal=F, --resume, "
                   "--inject-faults=SPEC, --batch=N, "
                   "--trace-cache-mb=N, --cores=N, --core-quantum=N, "
@@ -409,7 +426,9 @@ writeWallTrace(const std::string &path, const SweepResults &res)
  */
 void
 writeSweepStats(const std::string &path, const SweepResults &res,
-                const std::vector<IntervalSummary> &summaries)
+                const std::vector<IntervalSummary> &summaries,
+                const std::vector<std::unique_ptr<LatencyCollector>>
+                    &lats)
 {
     StatsRegistry registry;
     Distribution &wall = registry.distribution("sweep.wall_seconds");
@@ -448,6 +467,14 @@ writeSweepStats(const std::string &path, const SweepResults &res,
             sj.set("min_vmcpi", s.minVmcpi);
             sj.set("max_vmcpi", s.maxVmcpi);
             row.set("interval_summary", std::move(sj));
+        }
+        if (!lats.empty() && lats[i]) {
+            // Per-cell latency + residency histograms, rendered via a
+            // throwaway registry so the JSON shape matches the CLI's
+            // stats dump (buckets + p50/p90/p99 per histogram).
+            StatsRegistry lreg;
+            exportLatency(*lats[i], lreg);
+            row.set("latency", lreg.toJson());
         }
         cells.push(std::move(row));
     }
@@ -655,6 +682,12 @@ SweepRunner::run(const SweepSpec &spec) const
     std::vector<CellOutcome> outcomes(n);
     std::vector<IntervalSummary> summaries(obs_.interval ? n : 0);
 
+    // Per-cell latency collectors when the stats dump wants
+    // distribution rows or the verifier audits histogram totals.
+    const bool wantLatency = !obs_.statsJson.empty() || verify_;
+    std::vector<std::unique_ptr<LatencyCollector>> lats(
+        wantLatency ? n : 0);
+
     // Checkpoint/resume: reload completed cells, then re-run only the
     // rest. Failed cells are never journaled, so they retry on resume.
     std::unique_ptr<SweepJournal> journal;
@@ -682,6 +715,24 @@ SweepRunner::run(const SweepSpec &spec) const
         for (std::size_t i = 0; i < n; ++i)
             if (!done.count(i))
                 pending.push_back(i);
+    }
+
+    // Live telemetry: journal-resumed cells are already done before
+    // the first heartbeat fires.
+    std::unique_ptr<SweepTelemetry> telemetry;
+    if (obs_.telemetry()) {
+        TelemetryOptions topts;
+        topts.periodSeconds =
+            obs_.progressSeconds > 0 ? obs_.progressSeconds : 2.0;
+        topts.progressPath = obs_.progressOut;
+        topts.metricsPath = obs_.metricsOut;
+        topts.toStderr =
+            obs_.progressSeconds > 0 && obs_.progressOut.empty();
+        telemetry = std::make_unique<SweepTelemetry>(
+            topts, static_cast<std::uint64_t>(n), jobs_);
+        telemetry->preloadDone(
+            static_cast<std::uint64_t>(n - pending.size()));
+        telemetry->start();
     }
 
     // Dense worker indices in order of first appearance, so trace
@@ -733,6 +784,9 @@ SweepRunner::run(const SweepSpec &spec) const
         const SweepCell cell = spec.cell(i);
         const unsigned maxAttempts = 1 + retry_.maxRetries;
         const auto t0 = std::chrono::steady_clock::now();
+        const unsigned worker = workerIndex();
+        if (telemetry)
+            telemetry->beginCell(worker, i);
 
         unsigned attempts = 0;
         while (true) {
@@ -750,6 +804,12 @@ SweepRunner::run(const SweepSpec &spec) const
                     sampler =
                         std::make_unique<IntervalSampler>(obs_.interval);
                     hooks.sampler = sampler.get();
+                }
+                if (telemetry)
+                    hooks.progress = telemetry->progressCounter(worker);
+                if (wantLatency) {
+                    lats[i] = std::make_unique<LatencyCollector>();
+                    hooks.latency = lats[i].get();
                 }
                 // Fault streams are keyed by (cell, attempt): the same
                 // run is deterministic, yet a retried attempt rolls
@@ -808,10 +868,14 @@ SweepRunner::run(const SweepSpec &spec) const
 
                 if (verify_) {
                     // A broken law throws Internal out of runOnce and
-                    // lands in the cell's failure outcome below.
+                    // lands in the cell's failure outcome below. The
+                    // latency collector (when attached) is audited
+                    // against the same Results.
                     InvariantChecker checker(cell.config);
-                    hooks.audit = [checker](const Results &res) {
-                        checker.check(res).orThrow();
+                    const LatencyCollector *lat = hooks.latency;
+                    hooks.audit = [checker, lat](const Results &res) {
+                        checker.checkAll(res, nullptr, nullptr, lat)
+                            .orThrow();
                     };
                 }
 
@@ -842,6 +906,8 @@ SweepRunner::run(const SweepSpec &spec) const
                         "s wall-clock budget and was canceled");
                 }
                 if (err.transient && attempts < maxAttempts) {
+                    if (telemetry)
+                        telemetry->noteRetry(worker);
                     if (retry_.backoffSeconds > 0)
                         std::this_thread::sleep_for(
                             std::chrono::duration<double>(
@@ -856,12 +922,15 @@ SweepRunner::run(const SweepSpec &spec) const
             }
         }
 
+        if (telemetry)
+            telemetry->endCell(worker, outcomes[i].ok);
+
         const auto t1 = std::chrono::steady_clock::now();
         CellTiming &t = timings[i];
         t.startSeconds =
             std::chrono::duration<double>(t0 - sweepStart).count();
         t.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
-        t.worker = workerIndex();
+        t.worker = worker;
         t.instrsPerSec = outcomes[i].ok && t.wallSeconds > 0
                              ? static_cast<double>(executed) /
                                    t.wallSeconds
@@ -886,13 +955,23 @@ SweepRunner::run(const SweepSpec &spec) const
         watchdogStop.store(true, std::memory_order_release);
         watchdog.join();
     }
+    if (telemetry) {
+        // Final heartbeat: every cell ended, so done + failed covers
+        // the grid. Under --check the accounting laws are audited too.
+        telemetry->stop();
+        if (verify_) {
+            CheckReport rep;
+            checkTelemetry(telemetry->snapshot(), true, rep);
+            rep.orThrow();
+        }
+    }
 
     SweepResults res(spec, std::move(results), std::move(timings),
                      std::move(outcomes));
     if (!obs_.chromeTrace.empty())
         writeWallTrace(obs_.chromeTrace, res);
     if (!obs_.statsJson.empty())
-        writeSweepStats(obs_.statsJson, res, summaries);
+        writeSweepStats(obs_.statsJson, res, summaries, lats);
     return res;
 }
 

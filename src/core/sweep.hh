@@ -88,11 +88,33 @@ struct ObsOptions
     /** Interval length in instructions for the sampler; 0 = off. */
     Counter interval = 0;
 
+    /**
+     * Live-telemetry heartbeat period in seconds (--progress[=secs]);
+     * 0 = no progress reporting was requested. With no progressOut
+     * path the heartbeats render as one-line stderr updates.
+     */
+    double progressSeconds = 0;
+
+    /** JSONL heartbeat file for live telemetry (--progress-out). */
+    std::string progressOut;
+
+    /** Prometheus text-exposition file, atomically rewritten every
+     *  heartbeat (--metrics-out). */
+    std::string metricsOut;
+
+    /** True when any live-telemetry output was requested. */
+    bool
+    telemetry() const
+    {
+        return progressSeconds > 0 || !progressOut.empty() ||
+               !metricsOut.empty();
+    }
+
     bool
     any() const
     {
         return !traceEvents.empty() || !chromeTrace.empty() ||
-               !statsJson.empty() || interval != 0;
+               !statsJson.empty() || interval != 0 || telemetry();
     }
 };
 
@@ -112,6 +134,12 @@ struct ObsOptions
  *   --chrome-trace=F   write a Chrome-trace/Perfetto timeline to F
  *   --stats-json=F     write per-cell stats + timing registry to F
  *   --interval=N       sample interval statistics every N instructions
+ *   --progress[=S]     live sweep telemetry every S seconds (default
+ *                      2); heartbeats go to stderr unless
+ *                      --progress-out redirects them
+ *   --progress-out=F   append JSONL telemetry heartbeats to F
+ *   --metrics-out=F    rewrite a Prometheus text exposition at F on
+ *                      every heartbeat (atomic rename)
  *   --retries=N        retry transiently failed cells up to N times
  *   --retry-backoff=S  base backoff seconds between retries
  *   --cell-timeout=S   cancel any cell running longer than S seconds

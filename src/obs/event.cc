@@ -60,6 +60,17 @@ MultiSink::flush()
         s->flush();
 }
 
+void
+CollectingSink::noteDropped()
+{
+    ++dropped_;
+    if (!warned_) {
+        warned_ = true;
+        warn("CollectingSink buffer full (", capacity_,
+             " events); further events are counted but not stored");
+    }
+}
+
 Counter
 CollectingSink::countOf(EventKind kind) const
 {

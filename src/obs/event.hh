@@ -113,13 +113,40 @@ class MultiSink : public EventSink
 /**
  * Test/analysis helper: buffers every event in memory and offers
  * simple counting queries.
+ *
+ * Buffering is capped (default ~16M events, ~512MB) so a long
+ * instrumented run degrades to counting instead of exhausting memory:
+ * events past the cap are counted in droppedEvents() and a single
+ * warning names the cap the first time it is hit. A capped stream no
+ * longer reconciles event-by-event with the run's counters, so audits
+ * should treat droppedEvents() != 0 as "stream incomplete".
  */
 class CollectingSink : public EventSink
 {
   public:
-    void event(const TraceEvent &ev) override { events_.push_back(ev); }
+    /** Default buffer cap, in events. */
+    static constexpr std::size_t kDefaultCapacity = std::size_t(1) << 24;
+
+    explicit CollectingSink(std::size_t capacity = kDefaultCapacity)
+        : capacity_(capacity)
+    {
+    }
+
+    void event(const TraceEvent &ev) override
+    {
+        if (events_.size() >= capacity_) {
+            noteDropped();
+            return;
+        }
+        events_.push_back(ev);
+    }
 
     const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Events discarded after the buffer reached capacity. */
+    Counter droppedEvents() const { return dropped_; }
+
+    std::size_t capacity() const { return capacity_; }
 
     /** Number of buffered events of @p kind (any level). */
     Counter countOf(EventKind kind) const;
@@ -127,10 +154,20 @@ class CollectingSink : public EventSink
     /** Number of buffered events of @p kind at @p level. */
     Counter countOf(EventKind kind, EventLevel level) const;
 
-    void clear() { events_.clear(); }
+    void clear()
+    {
+        events_.clear();
+        dropped_ = 0;
+        warned_ = false;
+    }
 
   private:
+    void noteDropped();
+
     std::vector<TraceEvent> events_;
+    std::size_t capacity_;
+    Counter dropped_ = 0;
+    bool warned_ = false;
 };
 
 } // namespace vmsim

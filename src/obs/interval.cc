@@ -93,6 +93,8 @@ IntervalSampler::begin(Counter instr, const VmSystem &vm)
     start_ = instr;
     prevMem_ = vm.mem().stats();
     prevVm_ = vm.vmStats();
+    if (lat_)
+        prevMiss_ = lat_->mergedMissService();
 }
 
 void
@@ -107,6 +109,13 @@ IntervalSampler::close(Counter instr, const VmSystem &vm)
     rec.results = Results(system_, workload_, instr - start_,
                           diffMem(mem, prevMem_), diffVm(vms, prevVm_),
                           costs_);
+    if (lat_) {
+        Histogram cur = lat_->mergedMissService();
+        Histogram delta = cur;
+        delta.subtract(prevMiss_);
+        rec.missP99 = delta.percentile(0.99);
+        prevMiss_ = std::move(cur);
+    }
     intervals_.push_back(std::move(rec));
 
     start_ = instr;
@@ -153,7 +162,7 @@ IntervalSampler::writeCsv(std::ostream &os) const
              intervals_.front().results.vmcpiBreakdown().components())
             os << ',' << tag;
     os << ",itlb_misses,dtlb_misses,interrupts,pte_loads,ctx_switches,"
-          "l2tlb_hits,hw_walks\n";
+          "l2tlb_hits,hw_walks,miss_p99\n";
 
     for (const IntervalRecord &rec : intervals_) {
         const Results &r = rec.results;
@@ -167,7 +176,8 @@ IntervalSampler::writeCsv(std::ostream &os) const
         const VmStats &s = r.vmStats();
         os << ',' << s.itlbMisses << ',' << s.dtlbMisses << ','
            << s.interrupts << ',' << s.pteLoads << ',' << s.ctxSwitches
-           << ',' << s.l2TlbHits << ',' << s.hwWalks << '\n';
+           << ',' << s.l2TlbHits << ',' << s.hwWalks << ','
+           << rec.missP99 << '\n';
     }
 }
 
@@ -199,6 +209,7 @@ intervalsToJson(const std::vector<IntervalRecord> &intervals)
         row.set("vmcpi", r.vmcpi());
         row.set("interrupt_cpi", r.interruptCpi());
         row.set("total_cpi", r.totalCpi());
+        row.set("miss_p99", rec.missP99);
         arr.push(std::move(row));
     }
     return arr;

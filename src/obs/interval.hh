@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/results.hh"
+#include "obs/latency.hh"
 #include "os/vm_system.hh"
 
 namespace vmsim
@@ -32,6 +33,13 @@ struct IntervalRecord
     Counter startInstr = 0;
     Counter endInstr = 0;
     Results results; ///< userInstrs() == endInstr - startInstr
+
+    /**
+     * p99 of the TLB-miss service latency over this interval alone
+     * (simulated cycles); 0 when no LatencyCollector is attached or
+     * the interval had no misses.
+     */
+    double missP99 = 0;
 
     Counter instrs() const { return endInstr - startInstr; }
 };
@@ -66,6 +74,15 @@ class IntervalSampler
      */
     void configure(const CostModel &costs, std::string system,
                    std::string workload);
+
+    /**
+     * Also sample the per-interval p99 of the miss-service latency
+     * from @p lat (merged over cores, delta'd per interval via
+     * Histogram::subtract). Not owned; nullptr (the default) leaves
+     * IntervalRecord::missP99 at 0. Wired automatically by
+     * System::run() when both a sampler and a collector are attached.
+     */
+    void attachLatency(const LatencyCollector *lat) { lat_ = lat; }
 
     /**
      * Instruction boundary: @p instr is about to execute. Closes the
@@ -113,6 +130,8 @@ class IntervalSampler
     Counter interval_;
     bool started_ = false;
     Counter start_ = 0;
+    const LatencyCollector *lat_ = nullptr;
+    Histogram prevMiss_ = LatencyCollector::cycleHistogram();
     MemSystemStats prevMem_{};
     VmStats prevVm_{};
     CostModel costs_{};

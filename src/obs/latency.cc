@@ -1,0 +1,80 @@
+#include "obs/latency.hh"
+
+#include <string>
+
+#include "obs/stats_registry.hh"
+
+namespace vmsim
+{
+
+void
+LatencyCollector::configure(unsigned cores, const LatencyCosts &costs)
+{
+    cores_ = cores ? cores : 1;
+    costs_ = costs;
+    missService_.assign(cores_, cycleHistogram());
+    hwWalk_.assign(cores_, cycleHistogram());
+    shootdown_.assign(cores_, cycleHistogram());
+    itlbLifetime_.assign(cores_, residencyHistogram());
+    itlbReuse_.assign(cores_, residencyHistogram());
+    dtlbLifetime_.assign(cores_, residencyHistogram());
+    dtlbReuse_.assign(cores_, residencyHistogram());
+}
+
+void
+LatencyCollector::reset()
+{
+    for (auto *v : {&missService_, &hwWalk_, &shootdown_, &itlbLifetime_,
+                    &itlbReuse_, &dtlbLifetime_, &dtlbReuse_})
+        for (Histogram &h : *v)
+            h.reset();
+}
+
+Histogram
+LatencyCollector::mergeAll(const std::vector<Histogram> &per_core)
+{
+    Histogram out = per_core.front();
+    for (std::size_t c = 1; c < per_core.size(); ++c)
+        out.merge(per_core[c]);
+    return out;
+}
+
+namespace
+{
+
+/** Refresh the registry's copy of @p src under @p name. */
+void
+put(StatsRegistry &reg, const std::string &name, const Histogram &src)
+{
+    Histogram &dst = reg.histogram(name, src);
+    dst.reset();
+    dst.merge(src);
+}
+
+} // namespace
+
+void
+exportLatency(const LatencyCollector &lat, StatsRegistry &registry)
+{
+    put(registry, "latency.miss_service", lat.mergedMissService());
+    put(registry, "latency.hw_walk", lat.mergedHwWalk());
+    put(registry, "latency.shootdown", lat.mergedShootdown());
+    put(registry, "tlb.itlb_lifetime", lat.mergedItlbLifetime());
+    put(registry, "tlb.itlb_reuse", lat.mergedItlbReuse());
+    put(registry, "tlb.dtlb_lifetime", lat.mergedDtlbLifetime());
+    put(registry, "tlb.dtlb_reuse", lat.mergedDtlbReuse());
+    if (lat.cores() <= 1)
+        return;
+    for (unsigned c = 0; c < lat.cores(); ++c) {
+        const std::string tag = ".core" + std::to_string(c);
+        put(registry, "latency.miss_service" + tag, lat.missService(c));
+        put(registry, "latency.hw_walk" + tag, lat.hwWalk(c));
+        put(registry, "latency.shootdown" + tag, lat.shootdown(c));
+        put(registry, "tlb.itlb_lifetime" + tag, lat.itlbLifetime(c));
+        put(registry, "tlb.itlb_reuse" + tag, lat.itlbReuse(c));
+        put(registry, "tlb.dtlb_lifetime" + tag, lat.dtlbLifetime(c));
+        put(registry, "tlb.dtlb_reuse" + tag, lat.dtlbReuse(c));
+    }
+}
+
+} // namespace vmsim

@@ -1,5 +1,7 @@
 #include "obs/stats_registry.hh"
 
+#include "base/logging.hh"
+
 namespace vmsim
 {
 
@@ -29,12 +31,30 @@ Histogram &
 StatsRegistry::histogram(const std::string &name, double lo, double hi,
                          unsigned nbuckets)
 {
+    return histogram(name, Histogram(lo, hi, nbuckets));
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name,
+                         const Histogram &prototype)
+{
     auto it = histIndex_.find(name);
-    if (it != histIndex_.end())
-        return *hists_[it->second].second;
+    if (it != histIndex_.end()) {
+        Histogram &existing = *hists_[it->second].second;
+        // A second registration with different geometry is almost
+        // always a bug at one of the two call sites; the first one
+        // wins, but say so rather than silently dropping the request.
+        if (!existing.sameGeometry(prototype))
+            warn("StatsRegistry: histogram '", name,
+                 "' already registered with geometry ",
+                 existing.geometryString(), "; ignoring conflicting ",
+                 prototype.geometryString());
+        return existing;
+    }
     histIndex_.emplace(name, hists_.size());
-    hists_.emplace_back(name,
-                        std::make_unique<Histogram>(lo, hi, nbuckets));
+    auto fresh = std::make_unique<Histogram>(prototype);
+    fresh->reset();
+    hists_.emplace_back(name, std::move(fresh));
     return *hists_.back().second;
 }
 
@@ -84,6 +104,10 @@ StatsRegistry::toJson() const
         hj.set("overflow", h->overflow());
         hj.set("lo", h->bucketLo(0));
         hj.set("hi", h->bucketLo(h->numBuckets()));
+        hj.set("log", h->isLog());
+        hj.set("p50", h->percentile(0.50));
+        hj.set("p90", h->percentile(0.90));
+        hj.set("p99", h->percentile(0.99));
         Json buckets = Json::array();
         for (unsigned i = 0; i < h->numBuckets(); ++i)
             buckets.push(h->bucket(i));

@@ -43,11 +43,22 @@ class StatsRegistry
     Distribution &distribution(const std::string &name);
 
     /**
-     * The histogram named @p name. The geometry arguments apply on
-     * first use; later lookups return the existing instance unchanged.
+     * The histogram named @p name with uniform buckets. The geometry
+     * arguments apply on first use; later lookups return the existing
+     * instance unchanged, logging a warning if the requested geometry
+     * disagrees with the registered one.
      */
     Histogram &histogram(const std::string &name, double lo, double hi,
                          unsigned nbuckets);
+
+    /**
+     * The histogram named @p name, created as an empty copy of
+     * @p prototype's geometry on first use (the way to register
+     * log-spaced histograms). Geometry conflicts on later lookups warn
+     * like the uniform overload.
+     */
+    Histogram &histogram(const std::string &name,
+                         const Histogram &prototype);
 
     bool
     empty() const

@@ -26,6 +26,7 @@ HwInvertedVm::instRef(const Access &a)
     if (!itlb.lookup(pt_.vpnOf(pc))) {
         noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
         walk(pc, a.core, itlb);
+        endMissService();
     }
     userInstFetch(pc);
 }
@@ -38,6 +39,7 @@ HwInvertedVm::dataRef(const Access &a)
     if (!dtlb.lookup(pt_.vpnOf(addr))) {
         noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
         walk(addr, a.core, dtlb);
+        endMissService();
     }
     userDataAccess(addr, a.store);
 }
@@ -54,7 +56,7 @@ HwInvertedVm::walk(Addr vaddr, CoreId core, Tlb &target)
     unsigned depth = pt_.walk(v, walkBuf_);
 
     // FSM sequential work: base cost plus one cycle per extra probe.
-    beginHwWalk(v, costs_.hwWalkCycles + (depth - 1));
+    beginHwWalk(v, costs_.hwWalkCycles + (depth - 1), core);
 
     for (Addr entry : walkBuf_)
         pteFetch(entry, kHashedPteSize, AccessClass::PteUser, v);

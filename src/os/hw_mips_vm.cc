@@ -22,6 +22,7 @@ HwMipsVm::instRef(const Access &a)
     if (!itlb.lookup(pt_.vpnOf(pc))) {
         noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
         walk(pc, a.core, itlb);
+        endMissService();
     }
     userInstFetch(pc);
 }
@@ -34,6 +35,7 @@ HwMipsVm::dataRef(const Access &a)
     if (!dtlb.lookup(pt_.vpnOf(addr))) {
         noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
         walk(addr, a.core, dtlb);
+        endMissService();
     }
     userDataAccess(addr, a.store);
 }
@@ -46,14 +48,14 @@ HwMipsVm::walk(Addr vaddr, CoreId core, Tlb &target)
     if (l2TlbLookup(v, target, core))
         return;
 
-    beginHwWalk(v, costs_.hwWalkCycles);
+    beginHwWalk(v, costs_.hwWalkCycles, core);
 
     Addr upte = pt_.uptEntryAddr(v);
     Tlb &dtlb = tlbs_.dtlb(core);
 
     if (!dtlb.lookup(pt_.uptPageVpn(v))) {
         // Nested: the FSM falls back to the physical root table.
-        stats_.hwWalkCycles += kNestedWalkCycles;
+        noteExtraWalkCycles(kNestedWalkCycles);
         pteFetch(pt_.rptEntryAddr(v), kHierPteSize, AccessClass::PteRoot,
                  v);
         if (dtlb.params().protectedSlots > 0)

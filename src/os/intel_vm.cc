@@ -25,6 +25,7 @@ IntelVm::instRef(const Access &a)
     if (!itlb.lookup(pt_.vpnOf(pc))) {
         noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
         walk(pc, a.core, itlb);
+        endMissService();
     }
     userInstFetch(pc);
 }
@@ -37,6 +38,7 @@ IntelVm::dataRef(const Access &a)
     if (!dtlb.lookup(pt_.vpnOf(addr))) {
         noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
         walk(addr, a.core, dtlb);
+        endMissService();
     }
     userDataAccess(addr, a.store);
 }
@@ -51,7 +53,7 @@ IntelVm::walk(Addr vaddr, CoreId core, Tlb &target)
 
     // Hardware state machine: no interrupt, no instruction fetches,
     // 7 cycles of sequential work, two physical cacheable PTE loads.
-    beginHwWalk(v, costs_.hwWalkCycles);
+    beginHwWalk(v, costs_.hwWalkCycles, core);
 
     pteFetch(pt_.rootEntryAddr(v), kHierPteSize, AccessClass::PteRoot, v);
     pteFetch(pt_.leafEntryAddr(v), kHierPteSize, AccessClass::PteUser, v);

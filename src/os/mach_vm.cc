@@ -22,6 +22,7 @@ MachVm::instRef(const Access &a)
     if (!itlb.lookup(pt_.vpnOf(pc))) {
         noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
         walk(pc, a.core, itlb);
+        endMissService();
     }
     userInstFetch(pc);
 }
@@ -34,6 +35,7 @@ MachVm::dataRef(const Access &a)
     if (!dtlb.lookup(pt_.vpnOf(addr))) {
         noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
         walk(addr, a.core, dtlb);
+        endMissService();
     }
     userDataAccess(addr, a.store);
 }
@@ -72,8 +74,9 @@ MachVm::walk(Addr vaddr, CoreId core, Tlb &target)
             fetchHandler(EventLevel::Root, kRootHandlerBase,
                          costs_.rootInstrs, kpte_page);
             for (unsigned i = 0; i < costs_.adminLoads; ++i)
-                mem_.dataAccess(pt_.adminDataAddr(i), kDataBytes, false,
-                                AccessClass::PteRoot);
+                noteServiceAccess(mem_.dataAccess(pt_.adminDataAddr(i),
+                                                  kDataBytes, false,
+                                                  AccessClass::PteRoot));
             pteFetch(pt_.rptEntryAddr(kpte_page), kHierPteSize,
                      AccessClass::PteRoot, kpte_page);
             insertKernelMapping(kpte_page, core);

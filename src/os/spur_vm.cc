@@ -35,10 +35,14 @@ SpurVm::hwMissWalk(Addr vaddr)
                                 AccessClass::PteUser, v);
 
     if (pte_lvl == MemLevel::Memory) {
-        stats_.hwWalkCycles += kNestedWalkCycles;
+        noteExtraWalkCycles(kNestedWalkCycles);
         pteFetch(pt_.rptEntryAddr(v), kHierPteSize, AccessClass::PteRoot,
                  v);
     }
+
+    // SPUR walks run outside any TLB-miss episode (there is no TLB),
+    // so the walk closes itself.
+    endHwWalk();
 }
 
 void

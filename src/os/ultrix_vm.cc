@@ -22,6 +22,7 @@ UltrixVm::instRef(const Access &a)
     if (!itlb.lookup(pt_.vpnOf(pc))) {
         noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
         walk(pc, a.core, itlb);
+        endMissService();
     }
     userInstFetch(pc);
 }
@@ -34,6 +35,7 @@ UltrixVm::dataRef(const Access &a)
     if (!dtlb.lookup(pt_.vpnOf(addr))) {
         noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
         walk(addr, a.core, dtlb);
+        endMissService();
     }
     userDataAccess(addr, a.store);
 }

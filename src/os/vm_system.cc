@@ -14,6 +14,29 @@ VmSystem::VmSystem(std::string name, MemSystem &mem, unsigned cores)
 VmSystem::~VmSystem() = default;
 
 void
+VmSystem::attachLatency(LatencyCollector *lat)
+{
+    lat_ = lat;
+    svcAcc_ = 0;
+    missOpen_ = walkOpen_ = false;
+    // Wire each TLB's residency histograms through the same collector.
+    // The const accessors are the only virtual handles the base class
+    // has, but the TLBs themselves are mutable members of the concrete
+    // organization, so the const_cast stays within the object's actual
+    // mutability.
+    for (CoreId c = 0; c < cores_; ++c) {
+        auto *i = const_cast<Tlb *>(itlb(c));
+        auto *d = const_cast<Tlb *>(dtlb(c));
+        if (i)
+            i->attachResidency(lat ? &lat->itlbLifetime(c) : nullptr,
+                               lat ? &lat->itlbReuse(c) : nullptr);
+        if (d)
+            d->attachResidency(lat ? &lat->dtlbLifetime(c) : nullptr,
+                               lat ? &lat->dtlbReuse(c) : nullptr);
+    }
+}
+
+void
 VmSystem::refBlock(const AccessBlock &blk)
 {
     // Fallback for organizations without a devirtualized override:
@@ -58,6 +81,8 @@ VmSystem::l2TlbLookup(Vpn v, Tlb &target, CoreId core)
     // handler, no page-table reference.
     ++stats_.l2TlbHits;
     stats_.hwWalkCycles += l2TlbHitCycles_;
+    if (lat_)
+        svcAcc_ += l2TlbHitCycles_;
     emitEvent(EventKind::L2TlbHit, EventLevel::User, 0, v,
               l2TlbHitCycles_);
     target.insert(v);
@@ -111,6 +136,8 @@ VmSystem::shootdownBroadcast(CoreId from, CoreTlbs &tlbs)
         ++stats_.shootdownsRecv;
         ++stats_.perCore[c].shootdownsRecv;
         stats_.shootdownCycles += perRecv;
+        if (lat_)
+            lat_->shootdown(c).sample(static_cast<double>(perRecv));
         tlbs.itlb(c).evictRandom(shootdownEvictions_);
         tlbs.dtlb(c).evictRandom(shootdownEvictions_);
         if (!sharedL2)
@@ -138,6 +165,8 @@ VmSystem::pteFetch(Addr entry_addr, unsigned size, AccessClass cls, Vpn v)
 {
     MemLevel lvl = mem_.dataAccess(entry_addr, size, false, cls);
     ++stats_.pteLoads;
+    if (lat_)
+        svcAcc_ += memPenalty(lvl);
     if (sink_) {
         // AccessClass::PteUser/PteKernel/PteRoot map onto the
         // user/kernel/root page-table levels in declaration order.
@@ -173,9 +202,20 @@ VmSystem::fetchHandler(EventLevel level, Addr base, unsigned n, Vpn v)
     ++*calls;
     *instrs += n;
     emitEvent(EventKind::HandlerEnter, level, base, v, n);
-    for (unsigned k = 0; k < n; ++k)
-        mem_.instFetch(base + std::uint64_t{k} * kInstrBytes,
-                       AccessClass::HandlerFetch);
+    if (lat_) {
+        // Each handler instruction costs its base cycle plus whatever
+        // the fetch's resolution level implies.
+        Cycles cyc = n;
+        for (unsigned k = 0; k < n; ++k)
+            cyc += memPenalty(
+                mem_.instFetch(base + std::uint64_t{k} * kInstrBytes,
+                               AccessClass::HandlerFetch));
+        svcAcc_ += cyc;
+    } else {
+        for (unsigned k = 0; k < n; ++k)
+            mem_.instFetch(base + std::uint64_t{k} * kInstrBytes,
+                           AccessClass::HandlerFetch);
+    }
     emitEvent(EventKind::HandlerExit, level, base, v, n);
 }
 

@@ -49,6 +49,7 @@
 #include "base/types.hh"
 #include "mem/mem_system.hh"
 #include "obs/event.hh"
+#include "obs/latency.hh"
 #include "tlb/tlb.hh"
 #include "trace/trace.hh"
 
@@ -321,6 +322,18 @@ class VmSystem
     bool tracing() const { return sink_ != nullptr; }
 
     /**
+     * Attach a latency collector (not owned; nullptr detaches). While
+     * one is attached the system accrues the simulated cycles of every
+     * miss-service episode, hardware walk and shootdown receipt into
+     * the collector's histograms, and wires each TLB's residency
+     * histograms. The accounting reads the same MemLevel results the
+     * cost model already implies, so simulation state and counters are
+     * bit-identical with or without a collector.
+     */
+    void attachLatency(LatencyCollector *lat);
+    LatencyCollector *latency() const { return lat_; }
+
+    /**
      * Timebase for emitted events: the driving Simulator stamps the
      * current user-instruction number here before each instruction
      * (only while a sink is attached). On a multicore this is the
@@ -421,6 +434,7 @@ class VmSystem
     {
         ++stats_.itlbMisses;
         ++stats_.perCore[coreSlot(core)].itlbMisses;
+        beginMissService(core);
         emitEvent(EventKind::ItlbMiss, EventLevel::User, pc, v);
     }
 
@@ -430,7 +444,56 @@ class VmSystem
     {
         ++stats_.dtlbMisses;
         ++stats_.perCore[coreSlot(core)].dtlbMisses;
+        beginMissService(core);
         emitEvent(EventKind::DtlbMiss, EventLevel::User, addr, v);
+    }
+
+    /**
+     * Open a miss-service latency episode on @p core (no-op without a
+     * collector). note{I,D}tlbMiss call this; the organization closes
+     * the episode with endMissService() once its refill completes.
+     */
+    void
+    beginMissService(CoreId core)
+    {
+        if (!lat_)
+            return;
+        missOpen_ = true;
+        missCore_ = coreSlot(core);
+        missStart_ = svcAcc_;
+    }
+
+    /**
+     * Close the current miss-service episode (and any hardware-walk
+     * sub-episode still open inside it), sampling the accrued cycles.
+     * Safe to call with no collector or no open episode.
+     */
+    void
+    endMissService()
+    {
+        if (!lat_)
+            return;
+        endHwWalk();
+        if (missOpen_) {
+            lat_->missService(missCore_).sample(
+                static_cast<double>(svcAcc_ - missStart_));
+            missOpen_ = false;
+        }
+    }
+
+    /**
+     * Close the current hardware-walk episode, sampling its cycles.
+     * Organizations whose walks run outside a miss episode (SPUR) call
+     * this directly; endMissService() covers the in-episode walks.
+     */
+    void
+    endHwWalk()
+    {
+        if (lat_ && walkOpen_) {
+            lat_->hwWalk(walkCore_).sample(
+                static_cast<double>(svcAcc_ - walkStart_));
+            walkOpen_ = false;
+        }
     }
 
     /**
@@ -493,19 +556,50 @@ class VmSystem
     takeInterrupt()
     {
         ++stats_.interrupts;
+        if (lat_)
+            svcAcc_ += lat_->costs().interruptCycles;
         emitEvent(EventKind::Interrupt, EventLevel::User, 0, 0);
     }
 
     /**
-     * Record the start of a hardware state-machine walk for @p v,
-     * charging @p fsm_cycles of sequential FSM work.
+     * Record the start of a hardware state-machine walk for @p v on
+     * @p core, charging @p fsm_cycles of sequential FSM work.
      */
     void
-    beginHwWalk(Vpn v, Cycles fsm_cycles)
+    beginHwWalk(Vpn v, Cycles fsm_cycles, CoreId core = 0)
     {
         ++stats_.hwWalks;
         stats_.hwWalkCycles += fsm_cycles;
+        if (lat_) {
+            walkOpen_ = true;
+            walkCore_ = coreSlot(core);
+            walkStart_ = svcAcc_;
+            svcAcc_ += fsm_cycles;
+        }
         emitEvent(EventKind::HwWalk, EventLevel::User, 0, v, fsm_cycles);
+    }
+
+    /**
+     * Charge @p n extra cycles of FSM sequential work to the current
+     * walk (the nested root-table fallbacks of HW-MIPS and SPUR).
+     */
+    void
+    noteExtraWalkCycles(Cycles n)
+    {
+        stats_.hwWalkCycles += n;
+        if (lat_)
+            svcAcc_ += n;
+    }
+
+    /**
+     * Accrue the miss penalty of a VM-service memory access performed
+     * outside pteFetch()/fetchHandler() (MACH's administrative loads).
+     */
+    void
+    noteServiceAccess(MemLevel lvl)
+    {
+        if (lat_)
+            svcAcc_ += memPenalty(lvl);
     }
 
     /**
@@ -530,6 +624,21 @@ class VmSystem
     void doEmit(EventKind kind, EventLevel level, Addr vaddr, Vpn vpn,
                 Cycles cycles);
 
+    /**
+     * Cycle penalty the cost model implies for a VM-service access
+     * resolved at @p lvl (only called while a collector is attached).
+     */
+    Cycles
+    memPenalty(MemLevel lvl) const
+    {
+        const LatencyCosts &c = lat_->costs();
+        if (lvl == MemLevel::L1)
+            return 0;
+        if (lvl == MemLevel::L2)
+            return c.l1MissCycles;
+        return c.l1MissCycles + c.l2MissCycles;
+    }
+
     /** The L2 slot core @p core probes (slot 0 when shared). */
     Tlb *
     l2SlotFor(CoreId core) const
@@ -551,6 +660,17 @@ class VmSystem
     unsigned shootdownEvictions_ = 8;
     EventSink *sink_ = nullptr;
     Counter curInstr_ = 0;
+
+    /** @name Latency-episode bookkeeping (inert while lat_ is null). @{ */
+    LatencyCollector *lat_ = nullptr;
+    Cycles svcAcc_ = 0;   ///< running VM-service cycle accumulator
+    bool missOpen_ = false;
+    bool walkOpen_ = false;
+    CoreId missCore_ = 0;
+    CoreId walkCore_ = 0;
+    Cycles missStart_ = 0;
+    Cycles walkStart_ = 0;
+    /** @} */
 };
 
 /**

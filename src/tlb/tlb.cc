@@ -5,6 +5,7 @@
 #include "base/bitfield.hh"
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "base/stats.hh"
 
 namespace vmsim
 {
@@ -84,12 +85,19 @@ Tlb::findSlot(Vpn vpn) const
 bool
 Tlb::lookup(Vpn vpn)
 {
+    if (lifeHist_ || reuseHist_)
+        ++probes_;
     unsigned s = findSlot(vpn);
     if (s == params_.entries) {
         ++misses_;
         return false;
     }
     ++hits_;
+    if (reuseHist_) {
+        reuseHist_->sample(
+            static_cast<double>(probes_ - lastProbe_[s]));
+        lastProbe_[s] = probes_;
+    }
     if (params_.repl == TlbRepl::LRU)
         slots_[s].stamp = ++stamp_;
     return true;
@@ -142,10 +150,12 @@ Tlb::insertInRegion(std::uint64_t key, unsigned lo, unsigned hi)
                     victim = s;
             break;
         }
+        noteEvict(victim);
         if (params_.fullyAssociative())
             index_.erase(slots_[victim].key);
     }
     slots_[victim] = Slot{key, true, ++stamp_};
+    noteFill(victim);
     if (params_.fullyAssociative())
         index_[key] = victim;
 }
@@ -184,6 +194,9 @@ Tlb::insertProtected(Vpn vpn)
 void
 Tlb::invalidateAll()
 {
+    if (lifeHist_)
+        for (unsigned s = 0; s < slots_.size(); ++s)
+            noteEvict(s);
     for (auto &s : slots_)
         s.valid = false;
     index_.clear();
@@ -202,6 +215,7 @@ Tlb::invalidate(Vpn vpn)
         for (unsigned k = 0; k < nkeys; ++k) {
             auto it = index_.find(keys[k]);
             if (it != index_.end()) {
+                noteEvict(it->second);
                 slots_[it->second].valid = false;
                 index_.erase(it);
             }
@@ -212,8 +226,10 @@ Tlb::invalidate(Vpn vpn)
     setRange(vpn, lo, hi);
     for (unsigned s = lo; s < hi; ++s)
         for (unsigned k = 0; k < nkeys; ++k)
-            if (slots_[s].valid && slots_[s].key == keys[k])
+            if (slots_[s].valid && slots_[s].key == keys[k]) {
+                noteEvict(s);
                 slots_[s].valid = false;
+            }
 }
 
 void
@@ -224,6 +240,7 @@ Tlb::invalidateAsid(Asid asid)
                             : std::uint64_t{0};
     for (unsigned s = params_.protectedSlots; s < params_.entries; ++s) {
         if (slots_[s].valid && (slots_[s].key >> 48) == tag) {
+            noteEvict(s);
             if (params_.fullyAssociative())
                 index_.erase(slots_[s].key);
             slots_[s].valid = false;
@@ -241,6 +258,7 @@ Tlb::evictRandom(unsigned n)
     for (unsigned tries = 0; tries < 4 * n && evicted < n; ++tries) {
         unsigned s = lo + static_cast<unsigned>(rng_.uniform(span));
         if (slots_[s].valid) {
+            noteEvict(s);
             if (params_.fullyAssociative())
                 index_.erase(slots_[s].key);
             slots_[s].valid = false;
@@ -254,6 +272,29 @@ void
 Tlb::setCurrentAsid(Asid asid)
 {
     curAsid_ = asid;
+}
+
+void
+Tlb::noteEvict(unsigned s)
+{
+    if (lifeHist_ && slots_[s].valid)
+        lifeHist_->sample(static_cast<double>(probes_ - fillProbe_[s]));
+}
+
+void
+Tlb::attachResidency(Histogram *lifetime, Histogram *reuse)
+{
+    lifeHist_ = lifetime;
+    reuseHist_ = reuse;
+    probes_ = 0;
+    if (lifeHist_ || reuseHist_) {
+        // Entries already resident count as filled "now".
+        fillProbe_.assign(slots_.size(), 0);
+        lastProbe_.assign(slots_.size(), 0);
+    } else {
+        fillProbe_.clear();
+        lastProbe_.clear();
+    }
 }
 
 double

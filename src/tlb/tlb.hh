@@ -42,6 +42,8 @@
 namespace vmsim
 {
 
+class Histogram;
+
 /** Replacement policy for the TLB's slot regions. */
 enum class TlbRepl : std::uint8_t { Random, LRU, FIFO };
 
@@ -149,6 +151,21 @@ class Tlb
 
     void resetStats() { hits_ = misses_ = 0; }
 
+    /**
+     * Attach residency histograms (not owned; nullptr detaches both):
+     * @p lifetime receives each evicted entry's residency and
+     * @p reuse each hit's distance since the entry was last touched,
+     * both measured in lookup probes of this TLB (a deterministic
+     * simulated timebase). Attaching restarts the probe clock;
+     * entries already resident count as filled at attach time.
+     * Purely observational — replacement decisions and statistics are
+     * unaffected.
+     */
+    void attachResidency(Histogram *lifetime, Histogram *reuse);
+
+    /** Lookup probes since attachResidency() (0 when unattached). */
+    Counter residencyProbes() const { return probes_; }
+
   private:
     /**
      * Slot tag: VPN plus ASID. Protected/global entries use
@@ -190,6 +207,19 @@ class Tlb
     /** Set-associative region bounds for @p vpn. */
     void setRange(Vpn vpn, unsigned &lo, unsigned &hi) const;
 
+    /** Sample slot @p s's lifetime into lifeHist_ if it is valid. */
+    void noteEvict(unsigned s);
+
+    /** Stamp slot @p s's fill time on the residency clock. */
+    void
+    noteFill(unsigned s)
+    {
+        if (lifeHist_ || reuseHist_) {
+            fillProbe_[s] = probes_;
+            lastProbe_[s] = probes_;
+        }
+    }
+
     TlbParams params_;
     std::uint64_t asidMask_ = 0;
     Asid curAsid_ = 0;
@@ -200,6 +230,14 @@ class Tlb
     unsigned numSets_ = 1; ///< set-associative only
     Counter hits_ = 0;
     Counter misses_ = 0;
+
+    /** @name Residency observation (inert while lifeHist_ is null). @{ */
+    Histogram *lifeHist_ = nullptr;
+    Histogram *reuseHist_ = nullptr;
+    Counter probes_ = 0; ///< lookup clock for lifetimes / reuse
+    std::vector<Counter> fillProbe_; ///< per-slot fill time
+    std::vector<Counter> lastProbe_; ///< per-slot last-touch time
+    /** @} */
 };
 
 } // namespace vmsim

@@ -40,7 +40,9 @@
 #include "obs/event.hh"
 #include "obs/exporters.hh"
 #include "obs/interval.hh"
+#include "obs/latency.hh"
 #include "obs/stats_registry.hh"
+#include "obs/telemetry.hh"
 #include "os/base_vm.hh"
 #include "os/hw_inverted_vm.hh"
 #include "os/hw_mips_vm.hh"

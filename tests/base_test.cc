@@ -639,6 +639,105 @@ TEST(Histogram, NegativeRange)
     EXPECT_EQ(h.overflow(), 1u);
 }
 
+TEST(Histogram, LogSpacedBucketing)
+{
+    // Edges grow geometrically: [1,10) [10,100) [100,1000).
+    Histogram h = Histogram::logSpaced(1.0, 1000.0, 3);
+    EXPECT_TRUE(h.isLog());
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 1.0);
+    EXPECT_NEAR(h.bucketLo(1), 10.0, 1e-9);
+    EXPECT_NEAR(h.bucketLo(2), 100.0, 1e-9);
+    EXPECT_DOUBLE_EQ(h.bucketLo(3), 1000.0);
+    h.sample(1.0);   // bucket 0
+    h.sample(9.99);  // bucket 0
+    h.sample(10.1);  // bucket 1
+    h.sample(999.0); // bucket 2
+    h.sample(0.5);   // underflow
+    h.sample(1e6);   // overflow
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, LogSpacedRequiresPositiveLo)
+{
+    setQuiet(true);
+    EXPECT_THROW(Histogram::logSpaced(0.0, 100.0, 4), FatalError);
+    EXPECT_THROW(Histogram::logSpaced(-1.0, 100.0, 4), FatalError);
+    setQuiet(false);
+}
+
+TEST(Histogram, MergeFoldsCountsAndChecksGeometry)
+{
+    Histogram a = Histogram::logSpaced(1.0, 100.0, 4);
+    Histogram b = Histogram::logSpaced(1.0, 100.0, 4);
+    a.sample(2.0);
+    a.sample(200.0); // overflow
+    b.sample(2.0);
+    b.sample(0.1); // underflow
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.bucket(0), 2u);
+
+    Histogram uniform(1.0, 100.0, 4);
+    EXPECT_FALSE(a.sameGeometry(uniform));
+    setQuiet(true);
+    EXPECT_THROW(a.merge(uniform), FatalError);
+    setQuiet(false);
+}
+
+TEST(Histogram, SubtractRemovesSnapshot)
+{
+    Histogram cur = Histogram::logSpaced(1.0, 100.0, 4);
+    cur.sample(2.0);
+    Histogram prev = cur; // snapshot
+    cur.sample(50.0);
+    cur.sample(50.0);
+    cur.subtract(prev);
+    EXPECT_EQ(cur.count(), 2u);
+    EXPECT_EQ(cur.bucket(0), 0u);
+}
+
+TEST(Histogram, PercentileEmptyIsZero)
+{
+    Histogram h = Histogram::logSpaced(1.0, 100.0, 4);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+    EXPECT_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(Histogram, PercentileSingleBucket)
+{
+    // All mass in one bucket: every percentile interpolates within it.
+    Histogram h(0.0, 10.0, 5);
+    for (int i = 0; i < 100; ++i)
+        h.sample(3.0); // bucket 1 = [2, 4)
+    const double p50 = h.percentile(0.5);
+    const double p99 = h.percentile(0.99);
+    EXPECT_GE(p50, 2.0);
+    EXPECT_LE(p50, 4.0);
+    EXPECT_GE(p99, p50);
+    EXPECT_LE(p99, 4.0);
+}
+
+TEST(Histogram, PercentileMonotoneAndBounded)
+{
+    Histogram h = Histogram::logSpaced(1.0, 1e6, 24);
+    for (double v : {2.0, 3.0, 17.0, 450.0, 9000.0, 2e6, 0.5})
+        h.sample(v);
+    // Overflow reports hi, underflow reports lo.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1e6);
+    double prev = 0.0;
+    for (double p : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
 TEST(CounterGroup, InsertionOrderSurvivesManyKeys)
 {
     // The hash index must not disturb the reported entry order.

@@ -10,20 +10,25 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstddef>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "base/logging.hh"
+#include "check/invariants.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
 #include "obs/event.hh"
 #include "obs/exporters.hh"
 #include "obs/interval.hh"
+#include "obs/latency.hh"
 #include "obs/stats_registry.hh"
+#include "obs/telemetry.hh"
 
 namespace vmsim
 {
@@ -454,6 +459,141 @@ TEST(ObsStatsRegistry, LookupReturnsSameInstanceAndDumpsInOrder)
     EXPECT_EQ(registry.counterGroup("zeta").get("x"), 0u);
     EXPECT_EQ(registry.distribution("d").count(), 0u);
     EXPECT_EQ(registry.histogram("h", 0, 10, 5).count(), 0u);
+}
+
+TEST(ObsStatsRegistry, HistogramGeometryConflictWarnsAndKeepsFirst)
+{
+    StatsRegistry registry;
+    Histogram &h = registry.histogram("g", 0.0, 10.0, 5);
+    h.sample(1.0);
+    // A later lookup with a different geometry warns and returns the
+    // original histogram untouched.
+    setQuiet(true);
+    Histogram &again = registry.histogram("g", 0.0, 99.0, 7);
+    setQuiet(false);
+    EXPECT_EQ(&h, &again);
+    EXPECT_EQ(again.numBuckets(), 5u);
+    EXPECT_EQ(again.count(), 1u);
+
+    // Prototype overload adopts log spacing.
+    Histogram &lg =
+        registry.histogram("lg", LatencyCollector::cycleHistogram());
+    EXPECT_TRUE(lg.isLog());
+}
+
+TEST(ObsCollectingSink, CapsBufferAndCountsDropped)
+{
+    CollectingSink sink(3);
+    TraceEvent ev;
+    setQuiet(true); // swallow the one capacity warning
+    for (int i = 0; i < 5; ++i)
+        sink.event(ev);
+    setQuiet(false);
+    EXPECT_EQ(sink.events().size(), 3u);
+    EXPECT_EQ(sink.droppedEvents(), 2u);
+    EXPECT_EQ(sink.capacity(), 3u);
+    sink.clear();
+    EXPECT_EQ(sink.droppedEvents(), 0u);
+    sink.event(ev);
+    EXPECT_EQ(sink.events().size(), 1u);
+}
+
+TEST(ObsLatency, HistogramsReconcileWithCounters)
+{
+    LatencyCollector lat;
+    RunHooks hooks;
+    hooks.latency = &lat;
+    Results r = runOnce(ultrixConfig(), "gcc", kInstrs, 0, hooks);
+    const VmStats &vm = r.vmStats();
+    EXPECT_GT(vm.itlbMisses + vm.dtlbMisses, 0u);
+    EXPECT_EQ(lat.mergedMissService().count(),
+              vm.itlbMisses + vm.dtlbMisses);
+    EXPECT_EQ(lat.mergedHwWalk().count(), vm.hwWalks);
+
+    InvariantChecker checker(ultrixConfig());
+    CheckReport rep = checker.checkAll(r, nullptr, nullptr, &lat);
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+
+    StatsRegistry registry;
+    exportLatency(lat, registry);
+    std::string dump = registry.toJson().dump();
+    EXPECT_TRUE(JsonChecker(dump).valid());
+    EXPECT_NE(dump.find("latency.miss_service"), std::string::npos);
+    EXPECT_NE(dump.find("tlb.itlb_lifetime"), std::string::npos);
+}
+
+TEST(ObsTelemetry, AccountingHeartbeatAndChecker)
+{
+    TelemetryOptions opts;
+    opts.periodSeconds = 60.0; // only the final heartbeat will fire
+    opts.progressPath = testing::TempDir() + "telemetry_progress.jsonl";
+    opts.metricsPath = testing::TempDir() + "telemetry_metrics.prom";
+    std::remove(opts.progressPath.c_str());
+
+    SweepTelemetry tel(opts, 3, 2);
+    EXPECT_TRUE(tel.enabled());
+    tel.preloadDone(1); // one cell restored from a resume journal
+    tel.start();
+
+    tel.beginCell(0, 1);
+    std::atomic<Counter> *prog = tel.progressCounter(0);
+    ASSERT_NE(prog, nullptr);
+    prog->store(500);
+
+    TelemetrySnapshot snap = tel.snapshot();
+    EXPECT_EQ(snap.totalCells, 3u);
+    EXPECT_EQ(snap.done, 1u);
+    EXPECT_EQ(snap.pending, 2u);
+    ASSERT_EQ(snap.workers.size(), 2u);
+    EXPECT_EQ(snap.workers[0].cell, 1);
+    EXPECT_EQ(snap.workers[0].instrs, 500u);
+    EXPECT_EQ(snap.workers[1].cell, -1);
+    CheckReport rep;
+    checkTelemetry(snap, false, rep);
+    EXPECT_TRUE(rep.ok()) << rep.toString();
+
+    tel.endCell(0, true);
+    tel.beginCell(1, 2);
+    tel.noteRetry(1);
+    tel.endCell(1, false);
+    tel.stop();
+
+    TelemetrySnapshot fin = tel.snapshot();
+    EXPECT_EQ(fin.done, 2u);
+    EXPECT_EQ(fin.failed, 1u);
+    EXPECT_EQ(fin.retried, 1u);
+    EXPECT_EQ(fin.pending, 0u);
+    CheckReport frep;
+    checkTelemetry(fin, true, frep);
+    EXPECT_TRUE(frep.ok()) << frep.toString();
+    EXPECT_EQ(tel.cellsDone(), 2u);
+    EXPECT_EQ(tel.cellsFailed(), 1u);
+
+    // Final heartbeat: one valid JSON object per line in the JSONL...
+    std::ifstream in(opts.progressPath);
+    ASSERT_TRUE(in.is_open());
+    std::string line, last;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        EXPECT_TRUE(JsonChecker(line).valid()) << line;
+        last = line;
+        ++lines;
+    }
+    EXPECT_GE(lines, 1u);
+    EXPECT_NE(last.find("\"pending\""), std::string::npos);
+
+    // ...and a Prometheus exposition with the headline gauges.
+    std::ifstream prom(opts.metricsPath);
+    ASSERT_TRUE(prom.is_open());
+    std::ostringstream ss;
+    ss << prom.rdbuf();
+    const std::string text = ss.str();
+    EXPECT_NE(text.find("# TYPE vmsim_sweep_cells_done gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("vmsim_sweep_cells_total 3"), std::string::npos);
+    EXPECT_NE(text.find("vmsim_sweep_cells_pending 0"), std::string::npos);
 }
 
 TEST(ObsStatsSink, AggregatesEventStream)
