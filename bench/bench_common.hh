@@ -122,11 +122,44 @@ reportFailures(const SweepResults &res)
 }
 
 /**
+ * Sharded bench execution (--shard-dir): run one worker process over
+ * the shared shard directory, then merge every worker's log into
+ * grid-ordered results. Concurrency comes from launching the binary N
+ * times (or from `vmsim_cli --supervise=N`), not from --jobs; the
+ * merged results are byte-identical to a single-process run of the
+ * same spec.
+ */
+inline SweepResults
+runShardedSweep(const BenchOptions &opts, const SweepSpec &spec)
+{
+    installShutdownHandler();
+    ShardOptions sopts;
+    sopts.dir = opts.shardDir;
+    sopts.owner = opts.shardOwner;
+    sopts.leaseSeconds = opts.leaseSeconds;
+    sopts.retry = {opts.retries, opts.retryBackoff};
+    sopts.faults = opts.faults;
+    sopts.batchSize = opts.batch;
+    sopts.traceCacheMb = opts.traceCacheMb;
+    sopts.verify = opts.check;
+    std::size_t committed = runShardWorker(spec, sopts);
+    if (shutdownRequested()) {
+        inform("shard worker interrupted after committing ", committed,
+               " cells; rerun with the same --shard-dir to resume");
+        std::exit(kExitInterrupted);
+    }
+    ShardMerge merged = mergeShardDir(opts.shardDir, spec).orThrow();
+    reportFailures(merged.results);
+    return std::move(merged.results);
+}
+
+/**
  * The standard bench execution path: run @p spec on a runner built
  * from @p opts, then report any isolated cell failures to stderr.
  * Failed cells render as zero rows in the tables; the stderr report
  * is what tells the reader which zeros are real and which are
- * casualties.
+ * casualties. With --shard-dir the process instead acts as one worker
+ * of a crash-tolerant sharded sweep (see core/shard.hh).
  */
 inline SweepResults
 runSweep(const BenchOptions &opts, const SweepSpec &spec)
@@ -144,7 +177,17 @@ runSweep(const BenchOptions &opts, const SweepSpec &spec)
         fatalIf(!fuzz.ok(), "differential fuzz found ",
                 fuzz.failures.size(), " failing tuples");
     }
-    SweepResults res = makeRunner(opts).run(spec);
+    if (!opts.shardDir.empty())
+        return runShardedSweep(opts, spec);
+    installShutdownHandler();
+    SweepResults res =
+        makeRunner(opts).gracefulShutdown(true).run(spec);
+    if (shutdownRequested()) {
+        reportFailures(res);
+        inform("sweep interrupted; canceled cells were not journaled ",
+               "and rerun on --resume");
+        std::exit(kExitInterrupted);
+    }
     reportFailures(res);
     return res;
 }

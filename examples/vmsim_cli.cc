@@ -74,17 +74,50 @@
  *   --fuzz-report=FILE    write the fuzz report JSON to FILE instead
  *                         of stdout
  *
+ * Sharded sweeps (see docs/robustness.md): with --shard-dir the
+ * process stops being a single run and becomes one worker of a
+ * crash-tolerant sweep over a grid built from the config above plus
+ * --seeds / --sweep-systems. Workers print a one-line summary to
+ * stderr; the merged CSV comes from --shard-merge or --supervise.
+ *   --shard-dir=D         shared shard directory (created if absent)
+ *   --shard-owner=ID      stable worker identity        [pid<pid>]
+ *   --lease-seconds=S     stale-lease reclaim horizon   [30]
+ *   --seeds=N             seed-replicated cells in the grid [4]
+ *   --sweep-systems=A,B   sweep these systems as a second axis
+ *   --heartbeat=S         telemetry heartbeats every S seconds to
+ *                         <dir>/heartbeat-<owner>.jsonl [0 = off]
+ *   --shard-merge         merge the directory and print the CSV;
+ *                         runs no cells; exit 1 if cells are missing
+ *   --supervise=N         spawn N workers of this sweep, restart
+ *                         crashed or stalled ones with bounded
+ *                         exponential backoff, then merge + print CSV
+ *   --max-restarts=N      per-worker restart budget     [8]
+ *   --crash-after=SPEC    test hook: worker crash plan
+ *                         "after=N[,torn=1][,throw=1]"
+ *   --crash-fuzz=N        run N process-level SIGKILL campaigns
+ *                         against sharded sweeps and print the
+ *                         report; exit 1 on any integrity or
+ *                         byte-identity violation
+ *
  * All errors — bad flags, unreadable traces, injected faults — exit
- * with status 1 and a one-line [code] diagnostic on stderr.
+ * with status 1 and a one-line [code] diagnostic on stderr. A worker
+ * interrupted by SIGINT/SIGTERM drains, flushes its log, and exits
+ * with status 75 (kExitInterrupted).
  */
 
+#include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "vmsim.hh"
 
@@ -103,6 +136,160 @@ bool
 matches(const char *arg, const char *prefix)
 {
     return std::strncmp(arg, prefix, std::strlen(prefix)) == 0;
+}
+
+/**
+ * --supervise=N: spawn N shard workers of this very invocation (same
+ * binary, same flags, one --shard-owner each), restart any that crash
+ * with bounded exponential backoff, SIGKILL any whose heartbeat file
+ * goes silent, and print the merged CSV once the grid completes.
+ */
+int
+runSupervisor(int argc, char **argv, const SweepSpec &spec,
+              const std::string &dir, unsigned nWorkers,
+              unsigned maxRestarts, double heartbeatSeconds)
+{
+    namespace fs = std::filesystem;
+    using Clock = std::chrono::steady_clock;
+
+    // Workers re-run our own command line minus the supervision flags;
+    // heartbeats are forced on so stall detection has a signal.
+    std::vector<std::string> base;
+    base.push_back(argv[0]);
+    bool saw_heartbeat = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (matches(arg, "--supervise=") ||
+            matches(arg, "--max-restarts=") ||
+            matches(arg, "--shard-owner="))
+            continue;
+        if (matches(arg, "--heartbeat="))
+            saw_heartbeat = true;
+        base.push_back(arg);
+    }
+    if (!saw_heartbeat) {
+        heartbeatSeconds = 0.5;
+        base.push_back("--heartbeat=0.5");
+    }
+    const double stall_horizon = std::max(10.0 * heartbeatSeconds, 5.0);
+
+    struct Child
+    {
+        std::string owner;
+        std::string heartbeat;
+        pid_t pid = -1;
+        unsigned restarts = 0;
+        double backoff = 0.05; ///< seconds until retry, doubles
+        Clock::time_point spawnedAt{};
+        Clock::time_point restartAt{};
+        bool done = false;   ///< exited cleanly (or drained)
+        bool gaveUp = false; ///< restart budget exhausted
+    };
+
+    auto spawn = [&](Child &c) {
+        std::vector<std::string> cmd = base;
+        cmd.push_back("--shard-owner=" + c.owner);
+        c.pid = spawnProcess(cmd).orThrow();
+        c.spawnedAt = Clock::now();
+    };
+
+    std::vector<Child> children(nWorkers);
+    for (unsigned w = 0; w < nWorkers; ++w) {
+        children[w].owner = "w" + std::to_string(w);
+        children[w].heartbeat =
+            dir + "/heartbeat-" + children[w].owner + ".jsonl";
+    }
+    installShutdownHandler();
+    for (Child &c : children)
+        spawn(c);
+
+    bool forwarded = false;
+    while (true) {
+        if (shutdownRequested() && !forwarded) {
+            // Forward the shutdown once: workers drain, flush their
+            // logs, and exit kExitInterrupted on their own.
+            forwarded = true;
+            for (Child &c : children)
+                if (c.pid > 0)
+                    killProcess(c.pid, SIGTERM);
+        }
+        bool busy = false;
+        const Clock::time_point now = Clock::now();
+        for (Child &c : children) {
+            if (c.done || c.gaveUp)
+                continue;
+            if (c.pid <= 0) { // waiting out a restart backoff
+                if (forwarded) {
+                    c.done = true;
+                    continue;
+                }
+                if (now >= c.restartAt)
+                    spawn(c);
+                busy = true;
+                continue;
+            }
+            ExitStatus st = pollProcess(c.pid).orThrow();
+            if (st.pid == -1) { // still running
+                busy = true;
+                if (!forwarded && heartbeatSeconds > 0 &&
+                    std::chrono::duration<double>(now - c.spawnedAt)
+                            .count() > stall_horizon) {
+                    std::error_code ec;
+                    const auto mtime = fs::last_write_time(
+                        c.heartbeat, ec);
+                    const double age =
+                        ec ? stall_horizon + 1
+                           : std::chrono::duration<double>(
+                                 fs::file_time_type::clock::now() -
+                                 mtime)
+                                 .count();
+                    if (age > stall_horizon) {
+                        warn("supervisor: worker '", c.owner,
+                             "' silent for ", age,
+                             "s; killing for restart");
+                        killProcess(c.pid, SIGKILL);
+                    }
+                }
+                continue;
+            }
+            c.pid = -1;
+            if ((st.exited && st.exitCode == 0) || forwarded) {
+                c.done = true;
+                continue;
+            }
+            warn("supervisor: worker '", c.owner, "' ",
+                 st.toString());
+            if (c.restarts >= maxRestarts) {
+                c.gaveUp = true;
+                warn("supervisor: worker '", c.owner,
+                     "' exhausted its ", maxRestarts,
+                     " restarts; giving up on it");
+                continue;
+            }
+            ++c.restarts;
+            c.restartAt = now + std::chrono::duration_cast<
+                                    Clock::duration>(
+                                    std::chrono::duration<double>(
+                                        c.backoff));
+            c.backoff = std::min(c.backoff * 2, 2.0);
+            busy = true;
+        }
+        if (!busy)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    if (shutdownRequested()) {
+        std::cerr << "supervisor interrupted; rerun with the same "
+                     "--shard-dir to resume\n";
+        return kExitInterrupted;
+    }
+    ShardMerge merged = mergeShardDir(dir, spec).orThrow();
+    merged.results.writeCsv(std::cout);
+    std::cerr << "supervise: " << merged.completed << "/"
+              << spec.numCells() << " cells committed, "
+              << merged.missing << " missing\n";
+    return merged.missing == 0 ? 0 : 1;
 }
 
 int
@@ -130,6 +317,17 @@ runCli(int argc, char **argv)
     double progress_seconds = 0;
     std::string progress_out_path;
     std::string metrics_out_path;
+    std::string shard_dir;
+    std::string shard_owner;
+    double lease_seconds = 30.0;
+    unsigned sweep_seeds = 4;
+    std::vector<SystemKind> sweep_systems;
+    double heartbeat_seconds = 0;
+    bool shard_merge = false;
+    unsigned supervise = 0;
+    unsigned max_restarts = 8;
+    CrashPlan crash_plan;
+    std::size_t crash_fuzz = 0;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -229,7 +427,52 @@ runCli(int argc, char **argv)
             fatalIf(fuzz_cases == 0, "--fuzz must be positive");
         } else if (matches(arg, "--fuzz-report="))
             fuzz_report_path = arg + 14;
-        else
+        else if (matches(arg, "--shard-dir="))
+            shard_dir = arg + 12;
+        else if (matches(arg, "--shard-owner="))
+            shard_owner = arg + 14;
+        else if (matches(arg, "--lease-seconds=")) {
+            lease_seconds = std::strtod(arg + 16, nullptr);
+            fatalIf(lease_seconds <= 0,
+                    "--lease-seconds must be positive");
+        } else if (matches(arg, "--seeds=")) {
+            sweep_seeds = static_cast<unsigned>(numArg(arg, "--seeds="));
+            fatalIf(sweep_seeds == 0, "--seeds must be positive");
+        } else if (matches(arg, "--sweep-systems=")) {
+            std::string list = arg + 16;
+            for (std::size_t pos = 0; pos <= list.size();) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                std::string name = list.substr(pos, comma - pos);
+                std::optional<SystemKind> kind = tryKindFromName(name);
+                if (!kind)
+                    fatal("unknown system '", name,
+                          "' in --sweep-systems");
+                sweep_systems.push_back(*kind);
+                pos = comma + 1;
+            }
+            fatalIf(sweep_systems.empty(),
+                    "--sweep-systems needs at least one system");
+        } else if (matches(arg, "--heartbeat=")) {
+            heartbeat_seconds = std::strtod(arg + 12, nullptr);
+            fatalIf(heartbeat_seconds <= 0,
+                    "--heartbeat period must be positive seconds");
+        } else if (std::strcmp(arg, "--shard-merge") == 0)
+            shard_merge = true;
+        else if (matches(arg, "--supervise=")) {
+            supervise = static_cast<unsigned>(
+                numArg(arg, "--supervise="));
+            fatalIf(supervise == 0, "--supervise must be positive");
+        } else if (matches(arg, "--max-restarts="))
+            max_restarts = static_cast<unsigned>(
+                numArg(arg, "--max-restarts="));
+        else if (matches(arg, "--crash-after="))
+            crash_plan = CrashPlan::parse(arg + 14).orThrow();
+        else if (matches(arg, "--crash-fuzz=")) {
+            crash_fuzz = numArg(arg, "--crash-fuzz=");
+            fatalIf(crash_fuzz == 0, "--crash-fuzz must be positive");
+        } else
             fatal("unknown argument '", arg,
                   "' (see the header of examples/vmsim_cli.cc)");
     }
@@ -256,6 +499,73 @@ runCli(int argc, char **argv)
         }
         std::cerr << report.toString() << '\n';
         return report.ok() ? 0 : 1;
+    }
+
+    // Crash-fuzz mode: hammer sharded sweeps with seeded SIGKILLs and
+    // assert journal integrity plus merge byte-identity.
+    if (crash_fuzz > 0) {
+        CrashFuzzOptions copts;
+        copts.campaigns = crash_fuzz;
+        copts.seed = cfg.seed;
+        copts.dir = shard_dir; // optional scratch override
+        CrashFuzzReport report = runCrashFuzz(copts);
+        std::cout << report.toJson().dump(2) << '\n';
+        std::cerr << report.toString() << '\n';
+        return report.ok() ? 0 : 1;
+    }
+
+    fatalIf(shard_dir.empty() &&
+                (shard_merge || supervise > 0 || !shard_owner.empty() ||
+                 crash_plan.armed()),
+            "--shard-merge/--supervise/--shard-owner/--crash-after "
+            "need --shard-dir=D");
+
+    // Sharded-sweep modes: the grid is the config above crossed with
+    // the --seeds and --sweep-systems axes — every worker, the
+    // supervisor, and the merge must be launched with identical
+    // sweep-defining flags (meta.json fingerprinting enforces it).
+    if (!shard_dir.empty()) {
+        SweepSpec spec;
+        spec.base(cfg).instructions(instrs).warmup(warmup).seeds(
+            sweep_seeds);
+        if (!sweep_systems.empty())
+            spec.systems(sweep_systems);
+        if (shard_merge) {
+            ShardMerge merged =
+                mergeShardDir(shard_dir, spec).orThrow();
+            merged.results.writeCsv(std::cout);
+            std::cerr << "shard-merge: " << merged.completed << "/"
+                      << spec.numCells() << " cells committed, "
+                      << merged.missing << " missing\n";
+            return merged.missing == 0 ? 0 : 1;
+        }
+        if (supervise > 0)
+            return runSupervisor(argc, argv, spec, shard_dir,
+                                 supervise, max_restarts,
+                                 heartbeat_seconds);
+        installShutdownHandler();
+        ShardOptions sopts;
+        sopts.dir = shard_dir;
+        sopts.owner = shard_owner;
+        sopts.leaseSeconds = lease_seconds;
+        sopts.faults = faults;
+        sopts.batchSize = batch;
+        sopts.verify = check;
+        sopts.heartbeatSeconds = heartbeat_seconds;
+        sopts.crash = crash_plan;
+        std::size_t committed = runShardWorker(spec, sopts);
+        if (shutdownRequested()) {
+            std::cerr << "shard worker interrupted after committing "
+                      << committed
+                      << " cells; rerun with the same --shard-dir to "
+                         "resume\n";
+            return kExitInterrupted;
+        }
+        ShardScan scan = scanShardDir(shard_dir, spec).orThrow();
+        std::cerr << "shard worker committed " << committed
+                  << " cells; " << scan.done << "/" << spec.numCells()
+                  << " cells done\n";
+        return 0;
     }
 
     Counter warmup_instrs = warmup.value_or(defaultWarmup(instrs));

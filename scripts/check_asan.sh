@@ -15,8 +15,8 @@ cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target base_test obs_test simulator_test error_test fault_test \
-    sweep_resume_test batch_test check_test check_fuzz multicore_test \
-    vmsim_cli
+    sweep_resume_test shard_test batch_test check_test check_fuzz \
+    multicore_test vmsim_cli
 
 "$BUILD_DIR"/tests/base_test
 "$BUILD_DIR"/tests/obs_test
@@ -24,6 +24,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 "$BUILD_DIR"/tests/error_test
 "$BUILD_DIR"/tests/fault_test
 "$BUILD_DIR"/tests/sweep_resume_test
+# Fork-heavy crash-tolerance suite: stays out of the TSan script
+# (fork + threads is a known TSan blind spot) but is ASan-clean.
+"$BUILD_DIR"/tests/shard_test
 # Lifetime checks on the zero-copy replay path: lent record
 # pointers must stay inside the shared recording.
 "$BUILD_DIR"/tests/batch_test

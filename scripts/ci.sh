@@ -155,6 +155,32 @@ print(f"telemetry ok: {len(records)} heartbeats, "
       f"{samples} prometheus samples")
 EOF
 
+echo "== crash-tolerant sharded sweeps =="
+# Headline guarantee (docs/robustness.md): a supervised 4-worker run
+# of a grid — every worker booby-trapped to SIGKILL itself with a torn
+# final record, restarted by the supervisor with backoff — must merge
+# to a CSV byte-identical to one uninterrupted single-process worker.
+SHARD_ARGS="--instructions=20000 --seeds=8 --sweep-systems=ULTRIX,MACH"
+build/examples/vmsim_cli $SHARD_ARGS \
+    --shard-dir="$SMOKE_DIR/shard_base" > /dev/null 2>&1
+build/examples/vmsim_cli $SHARD_ARGS \
+    --shard-dir="$SMOKE_DIR/shard_base" --shard-merge \
+    > "$SMOKE_DIR/shard_base.csv" 2> /dev/null
+build/examples/vmsim_cli $SHARD_ARGS \
+    --shard-dir="$SMOKE_DIR/shard_crash" --supervise=4 \
+    --lease-seconds=1 --crash-after=after=6,torn=1 \
+    > "$SMOKE_DIR/shard_crash.csv" 2> "$SMOKE_DIR/shard_crash.err"
+# The supervisor must have actually seen kills and restarted workers.
+grep -q "supervisor: worker" "$SMOKE_DIR/shard_crash.err"
+cmp "$SMOKE_DIR/shard_base.csv" "$SMOKE_DIR/shard_crash.csv"
+# Seeded kill campaigns: rounds of random SIGKILLs (torn tails
+# included) against real forked workers; any journal-integrity or
+# merge byte-identity violation exits 1 and fails the gate.
+build/examples/vmsim_cli --crash-fuzz=50 --seed=12345 \
+    --shard-dir="$SMOKE_DIR/crash_fuzz" \
+    > "$SMOKE_DIR/crash_fuzz.json"
+test -s "$SMOKE_DIR/crash_fuzz.json"
+
 echo "== sanitizers =="
 scripts/check_asan.sh
 scripts/check_tsan.sh

@@ -1,0 +1,124 @@
+#include "base/crc.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace vmsim
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // anonymous namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t len, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = makeTable();
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t
+crc32(const std::string &s)
+{
+    return crc32(s.data(), s.size());
+}
+
+std::string
+crc32Hex(std::uint32_t crc)
+{
+    char buf[9];
+    std::snprintf(buf, sizeof(buf), "%08x", crc);
+    return buf;
+}
+
+namespace
+{
+
+// The exact frame prefix/infix crcFrameLine() emits; unframing matches
+// these textually so the checksummed payload bytes are recovered
+// verbatim, independent of any JSON parser's whitespace choices.
+constexpr const char kFramePrefix[] = "{\"crc\":\"";
+constexpr std::size_t kFramePrefixLen = sizeof(kFramePrefix) - 1;
+constexpr const char kFrameInfix[] = "\",\"data\":";
+constexpr std::size_t kFrameInfixLen = sizeof(kFrameInfix) - 1;
+
+} // anonymous namespace
+
+std::string
+crcFrameLine(const std::string &payload)
+{
+    std::string line;
+    line.reserve(payload.size() + kFramePrefixLen + kFrameInfixLen + 9);
+    line += kFramePrefix;
+    line += crc32Hex(crc32(payload));
+    line += kFrameInfix;
+    line += payload;
+    line += '}';
+    return line;
+}
+
+FrameCheck
+crcUnframeLine(const std::string &line, std::string &payload)
+{
+    if (line.compare(0, kFramePrefixLen, kFramePrefix) != 0) {
+        payload = line;
+        return FrameCheck::Legacy;
+    }
+    const std::size_t crcEnd = kFramePrefixLen + 8;
+    if (line.size() < crcEnd + kFrameInfixLen + 1 ||
+        line.compare(crcEnd, kFrameInfixLen, kFrameInfix) != 0 ||
+        line.back() != '}')
+        return FrameCheck::Malformed;
+    std::uint32_t want = 0;
+    if (!parseCrc32Hex(line.substr(kFramePrefixLen, 8), want))
+        return FrameCheck::Malformed;
+    const std::size_t dataBegin = crcEnd + kFrameInfixLen;
+    std::string data =
+        line.substr(dataBegin, line.size() - dataBegin - 1);
+    if (crc32(data) != want)
+        return FrameCheck::Mismatch;
+    payload = std::move(data);
+    return FrameCheck::Ok;
+}
+
+bool
+parseCrc32Hex(const std::string &text, std::uint32_t &out)
+{
+    if (text.size() != 8)
+        return false;
+    std::uint32_t v = 0;
+    for (char ch : text) {
+        std::uint32_t digit;
+        if (ch >= '0' && ch <= '9')
+            digit = static_cast<std::uint32_t>(ch - '0');
+        else if (ch >= 'a' && ch <= 'f')
+            digit = static_cast<std::uint32_t>(ch - 'a' + 10);
+        else if (ch >= 'A' && ch <= 'F')
+            digit = static_cast<std::uint32_t>(ch - 'A' + 10);
+        else
+            return false;
+        v = (v << 4) | digit;
+    }
+    out = v;
+    return true;
+}
+
+} // namespace vmsim

@@ -1,0 +1,69 @@
+#include "base/signals.hh"
+
+#include <csignal>
+
+namespace vmsim
+{
+
+namespace
+{
+
+std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_installed{false};
+
+extern "C" void
+shutdownHandler(int sig)
+{
+    // Everything here is async-signal-safe: atomic stores, sigaction,
+    // raise. A second signal while shutdown is pending means the user
+    // really wants out *now* — fall back to the default disposition.
+    if (g_shutdown.exchange(true)) {
+        std::signal(sig, SIG_DFL);
+        std::raise(sig);
+        return;
+    }
+    g_signal.store(sig);
+}
+
+} // anonymous namespace
+
+void
+installShutdownHandler()
+{
+    if (g_installed.exchange(true))
+        return;
+    struct sigaction sa = {};
+    sa.sa_handler = shutdownHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+shutdownRequested()
+{
+    return g_shutdown.load(std::memory_order_acquire);
+}
+
+int
+shutdownSignal()
+{
+    return g_signal.load(std::memory_order_acquire);
+}
+
+const std::atomic<bool> *
+shutdownToken()
+{
+    return &g_shutdown;
+}
+
+void
+resetShutdownForTest()
+{
+    g_shutdown.store(false);
+    g_signal.store(0);
+}
+
+} // namespace vmsim

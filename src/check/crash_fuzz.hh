@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Process-level crash fuzzing for sharded sweeps: every campaign runs
+ * a small sweep grid through real forked worker processes whose
+ * shard logs are booby-trapped to SIGKILL themselves (optionally
+ * tearing their final record) at a seeded append, then recovers with
+ * clean workers and asserts the two crash-tolerance invariants:
+ *
+ *   1. integrity — scanning the shard directory never reports
+ *      corruption (torn tails are skipped, nothing else survives a
+ *      kill), and
+ *   2. byte-identity — the merged CSV equals a single-process run of
+ *      the same spec, byte for byte.
+ *
+ * This is the harness behind `vmsim_cli --crash-fuzz=N` and the CI
+ * crash stage; see docs/robustness.md.
+ */
+
+#ifndef VMSIM_CHECK_CRASH_FUZZ_HH
+#define VMSIM_CHECK_CRASH_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+
+namespace vmsim
+{
+
+/** Knobs for the crash-fuzz harness. */
+struct CrashFuzzOptions
+{
+    std::size_t campaigns = 50; ///< independent kill campaigns
+    std::uint64_t seed = 1;     ///< master seed (campaign k derives)
+
+    /** Workers forked per campaign, 1..maxWorkers of them. */
+    unsigned maxWorkers = 3;
+
+    /** Grid shape: @p cells seed-replicated cells of @p instructions
+     *  simulated instructions each — small enough that a campaign is
+     *  milliseconds, large enough that kills land mid-sweep. */
+    unsigned cells = 6;
+    std::uint64_t instructions = 20'000;
+
+    /** Scratch root for the per-campaign shard directories; empty
+     *  picks "/tmp/vmsim-crash-fuzz-<pid>". */
+    std::string dir;
+
+    /** Keep scratch directories instead of deleting them. Directories
+     *  of campaigns that produced a violation are always kept. */
+    bool keep = false;
+};
+
+/** Aggregate outcome of a crash-fuzz run. */
+struct CrashFuzzReport
+{
+    std::size_t campaigns = 0;  ///< campaigns executed
+    std::size_t workers = 0;    ///< worker processes forked
+    std::size_t kills = 0;      ///< workers that died by SIGKILL
+    std::size_t tornTails = 0;  ///< kills that tore their final record
+    std::size_t recoveries = 0; ///< clean workers spawned to finish
+
+    /** One human-readable entry per violated invariant; empty = pass. */
+    std::vector<std::string> violations;
+
+    bool ok() const { return violations.empty(); }
+    std::string toString() const;
+    Json toJson() const;
+};
+
+/** Run @p opts.campaigns kill campaigns; never throws for violations
+ *  (they land in the report), only for harness-level failures such as
+ *  an unwritable scratch root. */
+CrashFuzzReport runCrashFuzz(const CrashFuzzOptions &opts);
+
+} // namespace vmsim
+
+#endif // VMSIM_CHECK_CRASH_FUZZ_HH

@@ -1,0 +1,222 @@
+#include "core/journal.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "base/crc.hh"
+#include "base/json.hh"
+
+namespace vmsim
+{
+
+namespace
+{
+
+constexpr const char *kJournalKind = "vmsim-sweep-journal";
+// Version 2 added the CRC32 line frame; version-1 (unframed) lines are
+// still accepted by the loader.
+constexpr std::uint64_t kJournalVersion = 2;
+
+std::string
+headerPayload(const SweepSpec &spec)
+{
+    Json header = Json::object();
+    header.set("kind", kJournalKind);
+    header.set("version", kJournalVersion);
+    header.set("fingerprint", fingerprintHex(specFingerprint(spec)));
+    header.set("cells", static_cast<std::uint64_t>(spec.numCells()));
+    return header.dump();
+}
+
+} // anonymous namespace
+
+std::string
+fingerprintHex(std::uint64_t fp)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
+
+std::string
+encodeCellPayload(std::size_t flat, const Results &results)
+{
+    Json line = Json::object();
+    line.set("cell", static_cast<std::uint64_t>(flat));
+    line.set("results", results.serialize());
+    return line.dump();
+}
+
+Expected<std::pair<std::size_t, Results>>
+decodeCellPayload(const std::string &payload, const SweepSpec &spec)
+{
+    Expected<Json> j = Json::parse(payload);
+    if (!j.ok())
+        return makeError(ErrorCode::ParseError, "journal",
+                         "journal record is not JSON: ",
+                         j.error().message);
+    const Json *cell = j.value().find("cell");
+    const Json *results = j.value().find("results");
+    if (!cell || !cell->isNumber() || !results)
+        return makeError(ErrorCode::ParseError, "journal",
+                         "journal record lacks cell/results fields");
+    std::size_t flat = cell->asUint();
+    if (flat >= spec.numCells())
+        return makeError(ErrorCode::ParseError, "journal",
+                         "journal record cell ", flat,
+                         " is outside the grid (", spec.numCells(),
+                         " cells)");
+    Expected<Results> r =
+        Results::deserialize(*results, spec.cell(flat).config.costs);
+    if (!r.ok())
+        return r.error();
+    return std::make_pair(flat, std::move(r).orThrow());
+}
+
+Expected<JournalLoad>
+loadSweepJournal(const std::string &path, const SweepSpec &spec)
+{
+    JournalLoad load;
+    std::ifstream is(path, std::ios::binary);
+    if (!is.is_open())
+        return load; // nothing to resume from
+
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    const std::size_t size = text.size();
+    bool sawHeader = false;
+
+    // Decode one line: the header first, cell records after. Returns
+    // the reason a line is unusable; ParseErrors on the *final* line
+    // are downgraded to a torn tail below, InvalidArgument (a
+    // well-formed header for the wrong spec) never is.
+    auto interpret = [&](const std::string &line) -> Status {
+        std::string payload;
+        switch (crcUnframeLine(line, payload)) {
+          case FrameCheck::Mismatch:
+            return makeError(ErrorCode::ParseError, path,
+                             "journal record checksum mismatch");
+          case FrameCheck::Malformed:
+            return makeError(ErrorCode::ParseError, path,
+                             "malformed journal checksum frame");
+          case FrameCheck::Legacy:
+          case FrameCheck::Ok:
+            break;
+        }
+        if (!sawHeader) {
+            Expected<Json> header = Json::parse(payload);
+            if (!header.ok())
+                return makeError(ErrorCode::ParseError, path,
+                                 "sweep journal header is not JSON: ",
+                                 header.error().message);
+            const Json *kind = header.value().find("kind");
+            const Json *fp = header.value().find("fingerprint");
+            if (!kind || !kind->isString() ||
+                kind->asString() != kJournalKind || !fp ||
+                !fp->isString())
+                return makeError(ErrorCode::InvalidArgument, path, "'",
+                                 path,
+                                 "' is not a vmsim sweep journal");
+            if (fp->asString() !=
+                fingerprintHex(specFingerprint(spec)))
+                return makeError(
+                    ErrorCode::InvalidArgument, path,
+                    "sweep journal '", path,
+                    "' was written for a different spec (fingerprint ",
+                    fp->asString(), " != ",
+                    fingerprintHex(specFingerprint(spec)),
+                    "); refusing to mix results");
+            sawHeader = true;
+            return Status();
+        }
+        Expected<std::pair<std::size_t, Results>> rec =
+            decodeCellPayload(payload, spec);
+        if (!rec.ok())
+            return rec.error();
+        load.cells.push_back(std::move(rec).orThrow());
+        return Status();
+    };
+
+    std::size_t pos = 0;
+    while (pos < size) {
+        const std::size_t nl = text.find('\n', pos);
+        const bool terminated = nl != std::string::npos;
+        const std::size_t lineStart = pos;
+        const std::size_t lineEnd = terminated ? nl : size;
+        const std::size_t nextPos = terminated ? nl + 1 : size;
+        std::string line = text.substr(lineStart, lineEnd - lineStart);
+        pos = nextPos;
+
+        if (line.empty()) {
+            if (terminated)
+                load.validBytes = nextPos;
+            continue;
+        }
+
+        Status st = interpret(line);
+        if (st.ok()) {
+            load.validBytes = nextPos;
+            load.repairNewline = !terminated;
+            continue;
+        }
+        if (st.error().code == ErrorCode::InvalidArgument)
+            return st.error(); // wrong journal / wrong spec: never torn
+
+        // Is anything but blank space left after this line? Then the
+        // damage is mid-file, not a torn tail — refuse to load rather
+        // than silently re-running interior cells over corruption.
+        bool blankTail = true;
+        for (std::size_t i = nextPos; i < size && blankTail; ++i)
+            blankTail = text[i] == '\n' || text[i] == '\r' ||
+                        text[i] == ' ' || text[i] == '\t';
+        if (!blankTail)
+            return makeError(ErrorCode::ParseError, path,
+                             "sweep journal '", path,
+                             "' is corrupt mid-file at byte ",
+                             lineStart, ": ", st.error().message,
+                             " (followed by further records)");
+
+        // A torn header on a file that never looked like a journal is
+        // more likely a caller mistake than a crash artifact — refuse
+        // instead of truncating someone's file to zero bytes.
+        if (!sawHeader && (line.empty() || line[0] != '{'))
+            return makeError(ErrorCode::InvalidArgument, path, "'",
+                             path, "' is not a vmsim sweep journal");
+
+        load.torn = true;
+        load.validBytes = lineStart;
+        break;
+    }
+    return load;
+}
+
+SweepJournal::SweepJournal(const std::string &path,
+                           const SweepSpec &spec, bool append,
+                           bool repairNewline)
+{
+    if (!append) {
+        // AppendLog never truncates; clear any previous journal here.
+        std::ofstream trunc(path, std::ios::out | std::ios::trunc);
+        if (!trunc.is_open())
+            throw VmsimError(
+                errnoError(path, "cannot open sweep journal"));
+    }
+    log_.open(path, /*durable=*/true).orThrow();
+    if (!append)
+        log_.append(crcFrameLine(headerPayload(spec))).orThrow();
+    else if (repairNewline)
+        log_.append("").orThrow(); // terminate the dangling record
+}
+
+void
+SweepJournal::record(std::size_t flat, const Results &results)
+{
+    const std::string line =
+        crcFrameLine(encodeCellPayload(flat, results));
+    std::lock_guard<std::mutex> lock(mutex_);
+    log_.append(line).orThrow();
+}
+
+} // namespace vmsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Crash-hardened JSONL checkpoint journal for sweeps.
+ *
+ * Every line is CRC32-framed (base/crc.hh) and appended with one
+ * write(2) + fsync (base/fsio.hh AppendLog), so after a kill — even
+ * mid-write, even on power loss — the journal is a valid prefix plus
+ * at most one detectably torn tail line. Recovery semantics:
+ *
+ *  - a torn or checksum-failing *final* line is cut off at the last
+ *    record boundary (the caller truncates to JournalLoad::validBytes
+ *    and warns with the byte offset) and the sweep resumes;
+ *  - an undecodable line *followed by more records* is real mid-file
+ *    corruption and loads fail with ParseError — silently dropping
+ *    interior records would silently re-run cells and mask damage;
+ *  - unframed (pre-CRC) lines are still accepted, so journals written
+ *    before the checksum frame existed remain resumable.
+ *
+ * The cell-record payload codec is exposed separately because the
+ * sharded execution layer (core/shard.hh) commits the *same* payloads
+ * to its per-worker logs: one codec, one byte format, one merge path.
+ */
+
+#ifndef VMSIM_CORE_JOURNAL_HH
+#define VMSIM_CORE_JOURNAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/error.hh"
+#include "base/fsio.hh"
+#include "core/results.hh"
+#include "core/sweep.hh"
+
+namespace vmsim
+{
+
+/** "%016llx" rendering of a specFingerprint() value. */
+std::string fingerprintHex(std::uint64_t fp);
+
+/** The {"cell":N,"results":...} payload for one completed cell. */
+std::string encodeCellPayload(std::size_t flat, const Results &results);
+
+/**
+ * Inverse of encodeCellPayload(). The journal stores only exact
+ * integers; the cost model comes from @p spec so derived doubles
+ * reproduce bit-for-bit. Rejects records whose cell index is outside
+ * the grid.
+ */
+Expected<std::pair<std::size_t, Results>>
+decodeCellPayload(const std::string &payload, const SweepSpec &spec);
+
+/** What loadSweepJournal() recovered, plus tail-repair directives. */
+struct JournalLoad
+{
+    /** Recovered (cell index, Results) pairs in journal order. */
+    std::vector<std::pair<std::size_t, Results>> cells;
+
+    /** Byte length of the valid prefix (ends on a record boundary). */
+    std::uint64_t validBytes = 0;
+
+    /**
+     * The final line was torn or checksum-corrupt: truncate the file
+     * to validBytes before appending, and warn the user.
+     */
+    bool torn = false;
+
+    /**
+     * The final record is intact but its newline never hit the disk;
+     * the appender must emit a bare '\n' before the next record.
+     */
+    bool repairNewline = false;
+};
+
+/**
+ * Load a journal written for @p spec. A missing file loads zero cells
+ * (first run); a fingerprint mismatch or mid-file corruption is an
+ * error; a torn tail is reported via JournalLoad::torn for the caller
+ * to repair (see file comment for the full contract).
+ */
+Expected<JournalLoad> loadSweepJournal(const std::string &path,
+                                       const SweepSpec &spec);
+
+/**
+ * Append-only CRC-framed JSONL checkpoint of completed cells. Line 1
+ * is a header carrying the spec fingerprint; each further line is one
+ * OK cell's serialized Results. Thread-safe: record() serializes
+ * through an internal mutex.
+ */
+class SweepJournal
+{
+  public:
+    /**
+     * Open @p path. Fresh mode (@p append false) truncates and writes
+     * the header; append mode expects the caller to have repaired any
+     * torn tail (loadSweepJournal + truncateFile) first and terminates
+     * an unterminated final record when @p repairNewline. Throws
+     * VmsimError on I/O failure.
+     */
+    SweepJournal(const std::string &path, const SweepSpec &spec,
+                 bool append, bool repairNewline = false);
+
+    /** Record one completed cell; durable once this returns. */
+    void record(std::size_t flat, const Results &results);
+
+  private:
+    AppendLog log_;
+    std::mutex mutex_;
+};
+
+} // namespace vmsim
+
+#endif // VMSIM_CORE_JOURNAL_HH

@@ -14,10 +14,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/fsio.hh"
 #include "base/json.hh"
 #include "base/logging.hh"
+#include "base/signals.hh"
 #include "base/stats.hh"
 #include "check/invariants.hh"
+#include "core/journal.hh"
 #include "core/simulator.hh"
 #include "obs/exporters.hh"
 #include "obs/interval.hh"
@@ -163,6 +166,18 @@ BenchOptions::parse(int argc, char **argv)
             opts.fuzz = static_cast<unsigned>(
                 std::strtoul(arg + 7, nullptr, 10));
             fatalIf(opts.fuzz == 0, "--fuzz must be positive");
+        } else if (std::strncmp(arg, "--shard-dir=", 12) == 0) {
+            opts.shardDir = arg + 12;
+            fatalIf(opts.shardDir.empty(),
+                    "--shard-dir needs a directory path");
+        } else if (std::strncmp(arg, "--shard-owner=", 14) == 0) {
+            opts.shardOwner = arg + 14;
+            fatalIf(opts.shardOwner.empty(),
+                    "--shard-owner needs an identifier");
+        } else if (std::strncmp(arg, "--lease-seconds=", 16) == 0) {
+            opts.leaseSeconds = std::strtod(arg + 16, nullptr);
+            fatalIf(opts.leaseSeconds <= 0,
+                    "--lease-seconds must be positive");
         } else {
             fatal("unknown argument '", arg,
                   "' (expected --full, --csv, --instructions=N, "
@@ -173,11 +188,17 @@ BenchOptions::parse(int argc, char **argv)
                   "--cell-timeout=S, --journal=F, --resume, "
                   "--inject-faults=SPEC, --batch=N, "
                   "--trace-cache-mb=N, --cores=N, --core-quantum=N, "
-                  "--private-l2tlb, --check, --fuzz=N)");
+                  "--private-l2tlb, --check, --fuzz=N, --shard-dir=D, "
+                  "--shard-owner=ID, --lease-seconds=S)");
         }
     }
     fatalIf(opts.resume && opts.journal.empty(),
             "--resume requires --journal=F");
+    fatalIf(!opts.shardOwner.empty() && opts.shardDir.empty(),
+            "--shard-owner requires --shard-dir=D");
+    fatalIf(!opts.shardDir.empty() && !opts.journal.empty(),
+            "--shard-dir and --journal are mutually exclusive (the "
+            "shard directory holds the per-worker journals)");
     return opts;
 }
 
@@ -490,145 +511,6 @@ writeSweepStats(const std::string &path, const SweepResults &res,
     os << doc.dump(2) << '\n';
 }
 
-constexpr const char *kJournalKind = "vmsim-sweep-journal";
-constexpr std::uint64_t kJournalVersion = 1;
-
-std::string
-fingerprintHex(std::uint64_t fp)
-{
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(fp));
-    return buf;
-}
-
-/**
- * Append-only JSONL checkpoint of completed cells. Line 1 is a header
- * carrying the spec fingerprint; each further line is one OK cell's
- * serialized Results. Lines are written whole and flushed, so a kill
- * leaves at worst one truncated tail line — which loadJournal skips.
- */
-class SweepJournal
-{
-  public:
-    /** Open @p path, truncating unless @p append. Throws VmsimError. */
-    SweepJournal(const std::string &path, const SweepSpec &spec,
-                 bool append)
-        : path_(path)
-    {
-        os_.open(path, append ? (std::ios::out | std::ios::app)
-                              : (std::ios::out | std::ios::trunc));
-        if (!os_.is_open())
-            throw VmsimError(errnoError(path,
-                                        "cannot open sweep journal"));
-        if (append) {
-            // Terminate any partial tail line a kill left behind so
-            // our appended records start on a fresh line.
-            os_ << '\n';
-            os_.flush();
-        } else {
-            Json header = Json::object();
-            header.set("kind", kJournalKind);
-            header.set("version", kJournalVersion);
-            header.set("fingerprint",
-                       fingerprintHex(specFingerprint(spec)));
-            header.set("cells",
-                       static_cast<std::uint64_t>(spec.numCells()));
-            writeLine(header);
-        }
-    }
-
-    /** Record one completed cell; serialized by an internal mutex. */
-    void
-    record(std::size_t flat, const Results &results)
-    {
-        Json line = Json::object();
-        line.set("cell", static_cast<std::uint64_t>(flat));
-        line.set("results", results.serialize());
-        std::lock_guard<std::mutex> lock(mutex_);
-        writeLine(line);
-    }
-
-  private:
-    void
-    writeLine(const Json &j)
-    {
-        os_ << j.dump() << '\n';
-        os_.flush();
-        if (!os_)
-            throw VmsimError(errnoError(path_,
-                                        "cannot write sweep journal"));
-    }
-
-    std::string path_;
-    std::ofstream os_;
-    std::mutex mutex_;
-};
-
-/**
- * Load a journal written for @p spec. Returns the recovered cells
- * (index → Results); a missing file loads zero cells (first run), a
- * fingerprint mismatch is an error, and a truncated or garbled tail
- * line — the expected state after a kill — just ends the load early.
- */
-Expected<std::vector<std::pair<std::size_t, Results>>>
-loadJournal(const std::string &path, const SweepSpec &spec)
-{
-    std::vector<std::pair<std::size_t, Results>> loaded;
-    std::ifstream is(path);
-    if (!is.is_open())
-        return loaded; // nothing to resume from
-
-    std::string line;
-    if (!std::getline(is, line))
-        return loaded; // empty file: treat as fresh
-    Expected<Json> header = Json::parse(line);
-    if (!header.ok())
-        return makeError(ErrorCode::ParseError, path,
-                         "sweep journal header is not JSON: ",
-                         header.error().message);
-    const Json *kind = header.value().find("kind");
-    const Json *fp = header.value().find("fingerprint");
-    if (!kind || !kind->isString() ||
-        kind->asString() != kJournalKind || !fp || !fp->isString())
-        return makeError(ErrorCode::ParseError, path,
-                         "'", path, "' is not a vmsim sweep journal");
-    if (fp->asString() != fingerprintHex(specFingerprint(spec)))
-        return makeError(ErrorCode::InvalidArgument, path,
-                         "sweep journal '", path,
-                         "' was written for a different spec "
-                         "(fingerprint ", fp->asString(), " != ",
-                         fingerprintHex(specFingerprint(spec)),
-                         "); refusing to mix results");
-
-    const std::size_t n = spec.numCells();
-    while (std::getline(is, line)) {
-        if (line.empty())
-            continue;
-        // Skip (don't stop at) undecodable lines: a kill mid-write
-        // leaves one truncated line, possibly followed by records a
-        // later resumed run appended after it.
-        Expected<Json> j = Json::parse(line);
-        if (!j.ok())
-            continue;
-        const Json *cell = j.value().find("cell");
-        const Json *results = j.value().find("results");
-        if (!cell || !cell->isNumber() || !results)
-            continue;
-        std::size_t flat = cell->asUint();
-        if (flat >= n)
-            continue;
-        // The journal stores only exact integers; the cost model comes
-        // from the spec so derived doubles reproduce bit-for-bit.
-        Expected<Results> r = Results::deserialize(
-            *results, spec.cell(flat).config.costs);
-        if (!r.ok())
-            continue;
-        loaded.emplace_back(flat, std::move(r).orThrow());
-    }
-    return loaded;
-}
-
 } // anonymous namespace
 
 std::uint64_t
@@ -656,6 +538,159 @@ specFingerprint(const SweepSpec &spec)
         mix(std::to_string(cell.config.physMemBytes));
     }
     return h;
+}
+
+CellRunner::CellRunner(const SweepSpec &spec, const ObsOptions &obs,
+                       RetryPolicy retry, const FaultSpec &faults,
+                       std::size_t batchSize, bool verify,
+                       bool wantLatency, TraceCache *cache)
+    : spec_(spec), obs_(obs), retry_(retry), faults_(faults),
+      batchSize_(batchSize), verify_(verify), wantLatency_(wantLatency),
+      cache_(cache)
+{}
+
+CellExecution
+CellRunner::run(std::size_t flat) const
+{
+    return run(flat, Hooks{});
+}
+
+CellExecution
+CellRunner::run(std::size_t flat, const Hooks &extra) const
+{
+    CellExecution out;
+    const SweepCell cell = spec_.cell(flat);
+    const Counter instrs = spec_.instructionCount();
+    // What the cell actually executes (warmup included) — the record
+    // count a shared recording must cover to replace generation.
+    const Counter executed =
+        instrs + spec_.warmupCount().value_or(defaultWarmup(instrs));
+    const unsigned maxAttempts = 1 + retry_.maxRetries;
+
+    unsigned attempts = 0;
+    while (true) {
+        ++attempts;
+        try {
+            if (extra.onAttempt)
+                extra.onAttempt();
+            RunHooks hooks;
+            std::unique_ptr<JsonlEventWriter> events;
+            if (!obs_.traceEvents.empty()) {
+                events = std::make_unique<JsonlEventWriter>(
+                    cellEventPath(obs_.traceEvents, flat,
+                                  spec_.numCells()));
+                hooks.sink = events.get();
+            }
+            std::unique_ptr<IntervalSampler> sampler;
+            if (obs_.interval) {
+                sampler =
+                    std::make_unique<IntervalSampler>(obs_.interval);
+                hooks.sampler = sampler.get();
+            }
+            hooks.progress = extra.progress;
+            if (wantLatency_) {
+                out.latency = std::make_unique<LatencyCollector>();
+                hooks.latency = out.latency.get();
+            }
+            // Fault streams are keyed by (cell, attempt): the same
+            // run is deterministic, yet a retried attempt rolls
+            // fresh faults and can succeed — transient semantics.
+            std::unique_ptr<FaultySink> faultySink;
+            if (faults_.writeFail > 0) {
+                faultySink = std::make_unique<FaultySink>(
+                    hooks.sink, faults_,
+                    faultStream(faults_.seed, flat, attempts - 1) ^ 1);
+                hooks.sink = faultySink.get();
+            }
+            if (faults_.any()) {
+                EventSink *obsSink = events.get();
+                std::uint64_t stream =
+                    faultStream(faults_.seed, flat, attempts - 1);
+                const FaultSpec &fs = faults_;
+                hooks.wrapTrace =
+                    [fs, stream, obsSink](
+                        std::unique_ptr<TraceSource> inner) {
+                        return std::make_unique<FaultyTraceSource>(
+                            std::move(inner), fs, stream, obsSink);
+                    };
+            }
+            hooks.cancel = extra.cancel;
+            hooks.batch = batchSize_;
+            std::shared_ptr<const RecordedTrace> replayed;
+            if (cache_) {
+                // Replay the shared recording when it fits; the
+                // cursor carries the workload's own name so
+                // Results are indistinguishable from a generated
+                // run. Fault wrapping (wrapTrace) still applies on
+                // top of whatever source this returns.
+                TraceCache *cache = cache_;
+                hooks.makeTrace = [cache, &cell, executed,
+                                   &replayed]() -> NamedTraceSource {
+                    auto recorded = cache->acquire(
+                        cell.workload, cell.config.seed, executed);
+                    if (recorded) {
+                        std::string name = recorded->name();
+                        replayed = recorded;
+                        return {std::make_unique<ReplayCursor>(
+                                    std::move(recorded)),
+                                std::move(name)};
+                    }
+                    auto gen =
+                        makeWorkload(cell.workload, cell.config.seed);
+                    std::string name = gen->name();
+                    return {std::move(gen), std::move(name)};
+                };
+            }
+
+            if (verify_) {
+                // A broken law throws Internal out of runOnce and
+                // lands in the cell's failure outcome below. The
+                // latency collector (when attached) is audited
+                // against the same Results.
+                InvariantChecker checker(cell.config);
+                const LatencyCollector *lat = hooks.latency;
+                hooks.audit = [checker, lat](const Results &res) {
+                    checker.checkAll(res, nullptr, nullptr, lat)
+                        .orThrow();
+                };
+            }
+
+            Results r = runOnce(cell.config, cell.workload, instrs,
+                                spec_.warmupCount(), hooks);
+
+            // The recording is shared by every cell that replays it:
+            // under --check, prove the simulator didn't scribble on
+            // the lent buffer (RecordedTrace framing) before another
+            // cell replays the damage.
+            if (verify_ && replayed)
+                replayed->verifyIntegrity().orThrow();
+
+            if (sampler)
+                out.summary = summarizeIntervals(sampler->intervals());
+            out.results = std::move(r);
+            out.outcome.ok = true;
+            out.outcome.attempts = attempts;
+            return out;
+        } catch (...) {
+            Error err = errorFromException(std::current_exception());
+            if (extra.classify)
+                extra.classify(err);
+            if (err.transient && attempts < maxAttempts) {
+                if (extra.onRetry)
+                    extra.onRetry();
+                if (retry_.backoffSeconds > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(
+                            retry_.backoffSeconds *
+                            double(1u << (attempts - 1))));
+                continue;
+            }
+            out.outcome.ok = false;
+            out.outcome.error = std::move(err);
+            out.outcome.attempts = attempts;
+            return out;
+        }
+    }
 }
 
 SweepResults
@@ -694,9 +729,20 @@ SweepRunner::run(const SweepSpec &spec) const
     std::vector<std::size_t> pending;
     {
         std::unordered_set<std::size_t> done;
+        bool repairNewline = false;
         if (resume_ && !journalPath_.empty()) {
-            auto loaded = loadJournal(journalPath_, spec).orThrow();
-            for (auto &[flat, r] : loaded) {
+            JournalLoad load =
+                loadSweepJournal(journalPath_, spec).orThrow();
+            if (load.torn) {
+                // The expected state after a kill mid-append: cut the
+                // tail at the last record boundary and carry on.
+                warn("sweep journal '", journalPath_,
+                     "': torn record at byte ", load.validBytes,
+                     "; truncating and resuming");
+                truncateFile(journalPath_, load.validBytes).orThrow();
+            }
+            repairNewline = load.repairNewline;
+            for (auto &[flat, r] : load.cells) {
                 if (!done.insert(flat).second)
                     continue;
                 results[flat] = std::move(r);
@@ -709,8 +755,8 @@ SweepRunner::run(const SweepSpec &spec) const
             // Append when resuming onto a journal we just loaded from;
             // start fresh (header line) otherwise.
             bool append = resume_ && !done.empty();
-            journal = std::make_unique<SweepJournal>(journalPath_, spec,
-                                                     append);
+            journal = std::make_unique<SweepJournal>(
+                journalPath_, spec, append, append && repairNewline);
         }
         for (std::size_t i = 0; i < n; ++i)
             if (!done.count(i))
@@ -751,10 +797,13 @@ SweepRunner::run(const SweepSpec &spec) const
     // scanner thread trips the cell's cancel token when it passes, and
     // the simulation loop turns that into a Canceled throw. Both
     // vectors are sized once — never reallocated — so workers and
-    // watchdog touch disjoint atomics without locks.
+    // watchdog touch disjoint atomics without locks. The same scanner
+    // fans the process-wide shutdown flag (base/signals.hh) out to
+    // every cell's token when graceful shutdown is armed.
     const bool watch = cellTimeoutSeconds_ > 0;
+    const bool cancelPoll = watch || graceful_;
     std::vector<std::atomic<std::int64_t>> deadlines(watch ? n : 0);
-    std::vector<std::atomic<bool>> cancels(watch ? n : 0);
+    std::vector<std::atomic<bool>> cancels(cancelPoll ? n : 0);
     std::atomic<bool> watchdogStop{false};
     std::thread watchdog;
     auto nowNs = [] {
@@ -762,16 +811,22 @@ SweepRunner::run(const SweepSpec &spec) const
                    std::chrono::steady_clock::now().time_since_epoch())
             .count();
     };
-    if (watch) {
+    if (cancelPoll) {
         watchdog = std::thread([&] {
             while (!watchdogStop.load(std::memory_order_acquire)) {
-                const std::int64_t now = nowNs();
-                for (std::size_t i = 0; i < n; ++i) {
-                    std::int64_t d =
-                        deadlines[i].load(std::memory_order_acquire);
-                    if (d != 0 && now > d)
+                if (graceful_ && shutdownRequested())
+                    for (std::size_t i = 0; i < n; ++i)
                         cancels[i].store(true,
                                          std::memory_order_release);
+                if (watch) {
+                    const std::int64_t now = nowNs();
+                    for (std::size_t i = 0; i < n; ++i) {
+                        std::int64_t d =
+                            deadlines[i].load(std::memory_order_acquire);
+                        if (d != 0 && now > d)
+                            cancels[i].store(true,
+                                             std::memory_order_release);
+                    }
                 }
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(5));
@@ -780,147 +835,72 @@ SweepRunner::run(const SweepSpec &spec) const
     }
 
     const auto sweepStart = std::chrono::steady_clock::now();
+    CellRunner cellRunner(spec, obs_, retry_, faults_, batchSize_,
+                          verify_, wantLatency, traceCache.get());
     auto runCell = [&](std::size_t i) {
-        const SweepCell cell = spec.cell(i);
-        const unsigned maxAttempts = 1 + retry_.maxRetries;
         const auto t0 = std::chrono::steady_clock::now();
         const unsigned worker = workerIndex();
         if (telemetry)
             telemetry->beginCell(worker, i);
 
-        unsigned attempts = 0;
-        while (true) {
-            ++attempts;
-            try {
-                RunHooks hooks;
-                std::unique_ptr<JsonlEventWriter> events;
-                if (!obs_.traceEvents.empty()) {
-                    events = std::make_unique<JsonlEventWriter>(
-                        cellEventPath(obs_.traceEvents, i, n));
-                    hooks.sink = events.get();
-                }
-                std::unique_ptr<IntervalSampler> sampler;
-                if (obs_.interval) {
-                    sampler =
-                        std::make_unique<IntervalSampler>(obs_.interval);
-                    hooks.sampler = sampler.get();
-                }
-                if (telemetry)
-                    hooks.progress = telemetry->progressCounter(worker);
-                if (wantLatency) {
-                    lats[i] = std::make_unique<LatencyCollector>();
-                    hooks.latency = lats[i].get();
-                }
-                // Fault streams are keyed by (cell, attempt): the same
-                // run is deterministic, yet a retried attempt rolls
-                // fresh faults and can succeed — transient semantics.
-                std::unique_ptr<FaultySink> faultySink;
-                if (faults_.writeFail > 0) {
-                    faultySink = std::make_unique<FaultySink>(
-                        hooks.sink, faults_,
-                        faultStream(faults_.seed, i, attempts - 1) ^ 1);
-                    hooks.sink = faultySink.get();
-                }
-                if (faults_.any()) {
-                    EventSink *obsSink = events.get();
-                    std::uint64_t stream =
-                        faultStream(faults_.seed, i, attempts - 1);
-                    const FaultSpec &fs = faults_;
-                    hooks.wrapTrace =
-                        [fs, stream, obsSink](
-                            std::unique_ptr<TraceSource> inner) {
-                            return std::make_unique<FaultyTraceSource>(
-                                std::move(inner), fs, stream, obsSink);
-                        };
-                }
-                if (watch) {
-                    cancels[i].store(false, std::memory_order_release);
-                    deadlines[i].store(
-                        nowNs() + static_cast<std::int64_t>(
-                                      cellTimeoutSeconds_ * 1e9),
-                        std::memory_order_release);
-                    hooks.cancel = &cancels[i];
-                }
-                hooks.batch = batchSize_;
-                if (traceCache) {
-                    // Replay the shared recording when it fits; the
-                    // cursor carries the workload's own name so
-                    // Results are indistinguishable from a generated
-                    // run. Fault wrapping (wrapTrace) still applies on
-                    // top of whatever source this returns.
-                    TraceCache *cache = traceCache.get();
-                    hooks.makeTrace =
-                        [cache, &cell, executed]() -> NamedTraceSource {
-                        auto recorded = cache->acquire(
-                            cell.workload, cell.config.seed, executed);
-                        if (recorded) {
-                            std::string name = recorded->name();
-                            return {std::make_unique<ReplayCursor>(
-                                        std::move(recorded)),
-                                    std::move(name)};
-                        }
-                        auto gen =
-                            makeWorkload(cell.workload, cell.config.seed);
-                        std::string name = gen->name();
-                        return {std::move(gen), std::move(name)};
-                    };
-                }
-
-                if (verify_) {
-                    // A broken law throws Internal out of runOnce and
-                    // lands in the cell's failure outcome below. The
-                    // latency collector (when attached) is audited
-                    // against the same Results.
-                    InvariantChecker checker(cell.config);
-                    const LatencyCollector *lat = hooks.latency;
-                    hooks.audit = [checker, lat](const Results &res) {
-                        checker.checkAll(res, nullptr, nullptr, lat)
-                            .orThrow();
-                    };
-                }
-
-                Results r = runOnce(cell.config, cell.workload, instrs,
-                                    spec.warmupCount(), hooks);
-
-                if (watch)
-                    deadlines[i].store(0, std::memory_order_release);
-                if (sampler)
-                    summaries[i] =
-                        summarizeIntervals(sampler->intervals());
-                results[i] = std::move(r);
-                outcomes[i].ok = true;
-                outcomes[i].attempts = attempts;
-                if (journal)
-                    journal->record(i, results[i]);
-                break;
-            } catch (...) {
-                if (watch)
-                    deadlines[i].store(0, std::memory_order_release);
-                Error err = errorFromException(std::current_exception());
-                if (watch &&
-                    cancels[i].load(std::memory_order_acquire)) {
-                    err = makeError(
-                        ErrorCode::Timeout,
-                        "cell " + std::to_string(i), "cell ", i,
-                        " exceeded its ", cellTimeoutSeconds_,
-                        "s wall-clock budget and was canceled");
-                }
-                if (err.transient && attempts < maxAttempts) {
-                    if (telemetry)
-                        telemetry->noteRetry(worker);
-                    if (retry_.backoffSeconds > 0)
-                        std::this_thread::sleep_for(
-                            std::chrono::duration<double>(
-                                retry_.backoffSeconds *
-                                double(1u << (attempts - 1))));
-                    continue;
-                }
-                outcomes[i].ok = false;
-                outcomes[i].error = std::move(err);
-                outcomes[i].attempts = attempts;
-                break;
+        CellExecution exec;
+        if (graceful_ && shutdownRequested()) {
+            // Drain: cells that never started are marked Canceled so
+            // the journal keeps only finished work and a --resume
+            // picks them up where the signal cut the sweep short.
+            exec.outcome.ok = false;
+            exec.outcome.attempts = 0;
+            exec.outcome.error = makeError(
+                ErrorCode::Canceled, "cell " + std::to_string(i),
+                "shutdown requested before cell ", i, " started");
+        } else {
+            CellRunner::Hooks extra;
+            if (telemetry) {
+                extra.progress = telemetry->progressCounter(worker);
+                extra.onRetry = [&, worker] {
+                    telemetry->noteRetry(worker);
+                };
             }
+            if (cancelPoll) {
+                extra.cancel = &cancels[i];
+                extra.onAttempt = [&, i] {
+                    cancels[i].store(false, std::memory_order_release);
+                    if (watch)
+                        deadlines[i].store(
+                            nowNs() + static_cast<std::int64_t>(
+                                          cellTimeoutSeconds_ * 1e9),
+                            std::memory_order_release);
+                };
+                extra.classify = [&, i](Error &err) {
+                    if (watch)
+                        deadlines[i].store(0, std::memory_order_release);
+                    // A shutdown-tripped token keeps its Canceled
+                    // error; only the watchdog's own trip becomes a
+                    // Timeout.
+                    if (graceful_ && shutdownRequested())
+                        return;
+                    if (watch &&
+                        cancels[i].load(std::memory_order_acquire))
+                        err = makeError(
+                            ErrorCode::Timeout,
+                            "cell " + std::to_string(i), "cell ", i,
+                            " exceeded its ", cellTimeoutSeconds_,
+                            "s wall-clock budget and was canceled");
+                };
+            }
+            exec = cellRunner.run(i, extra);
+            if (watch)
+                deadlines[i].store(0, std::memory_order_release);
         }
+
+        if (obs_.interval)
+            summaries[i] = exec.summary;
+        if (wantLatency)
+            lats[i] = std::move(exec.latency);
+        results[i] = std::move(exec.results);
+        outcomes[i] = std::move(exec.outcome);
+        if (outcomes[i].ok && journal)
+            journal->record(i, results[i]);
 
         if (telemetry)
             telemetry->endCell(worker, outcomes[i].ok);
@@ -945,13 +925,13 @@ SweepRunner::run(const SweepSpec &spec) const
     } catch (...) {
         // Journal I/O failure or similar infrastructure error: stop
         // the watchdog before letting it propagate.
-        if (watch) {
+        if (cancelPoll) {
             watchdogStop.store(true, std::memory_order_release);
             watchdog.join();
         }
         throw;
     }
-    if (watch) {
+    if (cancelPoll) {
         watchdogStop.store(true, std::memory_order_release);
         watchdog.join();
     }

@@ -27,9 +27,11 @@
 #ifndef VMSIM_CORE_SWEEP_HH
 #define VMSIM_CORE_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -41,6 +43,8 @@
 #include "core/sim_config.hh"
 #include "core/simulator.hh"
 #include "fault/fault.hh"
+#include "obs/interval.hh"
+#include "obs/latency.hh"
 
 namespace vmsim
 {
@@ -159,6 +163,12 @@ struct ObsOptions
  *                      invariant checker (failures mark the cell)
  *   --fuzz=N           run N differential-fuzz cases (seeded from
  *                      --seed) before the sweep; failures are fatal
+ *   --shard-dir=D      run as one worker of a crash-tolerant sharded
+ *                      sweep coordinated through directory D
+ *                      (docs/robustness.md)
+ *   --shard-owner=ID   this worker's shard identity (default: pid)
+ *   --lease-seconds=S  reclaim another worker's claimed cell after its
+ *                      lease has been silent for S seconds
  * Unknown arguments are fatal() so typos don't silently run the
  * wrong experiment.
  */
@@ -182,6 +192,9 @@ struct BenchOptions
     std::size_t traceCacheMb = 256; ///< trace-cache budget; 0 = off
     bool check = false;        ///< audit every cell's Results
     unsigned fuzz = 0;         ///< differential-fuzz cases; 0 = off
+    std::string shardDir;      ///< sharded-sweep directory; empty = off
+    std::string shardOwner;    ///< shard worker id; empty = "pid<pid>"
+    double leaseSeconds = 30.0; ///< stale shard leases expire after this
     unsigned cores = 1;        ///< simulated cores (1 = legacy machine)
     Counter coreQuantum = 0;   ///< scheduler slot; 0 = SimConfig default
     bool sharedL2Tlb = true;   ///< one shared L2 TLB vs per-core slices
@@ -551,6 +564,91 @@ class SweepResults
     std::vector<CellOutcome> outcomes_; ///< empty = every cell ok
 };
 
+class TraceCache; // trace/recorded.hh
+
+/** Everything one executed cell produced, beyond its journal entry. */
+struct CellExecution
+{
+    Results results;         ///< valid when outcome.ok
+    CellOutcome outcome;
+    IntervalSummary summary; ///< filled when interval sampling is on
+    std::unique_ptr<LatencyCollector> latency; ///< when requested
+};
+
+/**
+ * Executes single sweep cells with the runner's full policy stack —
+ * fault injection, transient-failure retries, trace-fetch batching,
+ * the shared recorded-trace cache, and the invariant audit — outside
+ * the thread-pool machinery. SweepRunner's pool workers and the
+ * sharded worker processes (core/shard.hh) both run cells through
+ * this one path, so a cell's Results are byte-identical no matter
+ * which execution strategy — in-process pool, N crash-prone worker
+ * processes, or a resume after either — actually ran it.
+ *
+ * Holds references to the spec, observability options, and trace
+ * cache; all must outlive the runner.
+ */
+class CellRunner
+{
+  public:
+    /**
+     * Per-call extensions for the caller's own machinery (watchdog,
+     * telemetry, graceful shutdown). All optional.
+     */
+    struct Hooks
+    {
+        /** Polled by the simulation loop; true cancels the cell. */
+        const std::atomic<bool> *cancel = nullptr;
+
+        /** Instruction-progress counter (live telemetry). */
+        std::atomic<std::uint64_t> *progress = nullptr;
+
+        /** Runs at the start of every attempt (arm a watchdog). */
+        std::function<void()> onAttempt;
+
+        /** Runs before each retry of a transient failure. */
+        std::function<void()> onRetry;
+
+        /**
+         * Rewrites a failure before the retry decision — the watchdog
+         * turns a Canceled from its own cancel token into a Timeout
+         * here. A classification that clears Error::transient
+         * suppresses the retry.
+         */
+        std::function<void(Error &)> classify;
+    };
+
+    /**
+     * @param cache shared recorded-trace cache; nullptr = every cell
+     *        generates its own trace.
+     * @param wantLatency attach a per-cell LatencyCollector (stats
+     *        dumps and the invariant audit consume it).
+     */
+    CellRunner(const SweepSpec &spec, const ObsOptions &obs,
+               RetryPolicy retry, const FaultSpec &faults,
+               std::size_t batchSize, bool verify, bool wantLatency,
+               TraceCache *cache);
+
+    /**
+     * Run cell @p flat to a terminal outcome: success (retries
+     * exhausted transient failures), or a structured failure in
+     * CellExecution::outcome. Never throws for cell-level failures;
+     * only infrastructure errors (an unwritable event log) propagate.
+     */
+    CellExecution run(std::size_t flat) const;
+    CellExecution run(std::size_t flat, const Hooks &extra) const;
+
+  private:
+    const SweepSpec &spec_;
+    const ObsOptions &obs_;
+    RetryPolicy retry_;
+    const FaultSpec &faults_;
+    std::size_t batchSize_;
+    bool verify_;
+    bool wantLatency_;
+    TraceCache *cache_;
+};
+
 /**
  * Executes a SweepSpec's cells on a worker pool and collects the
  * grid-ordered SweepResults. Cells are fully independent (each builds
@@ -676,6 +774,22 @@ class SweepRunner
     }
 
     /**
+     * Honor SIGINT/SIGTERM (base/signals.hh) as a cooperative drain:
+     * once a shutdown signal arrives, in-flight cells are canceled at
+     * the next poll boundary, not-yet-started cells are marked
+     * Canceled without running, and run() returns normally with the
+     * journal flushed — the caller exits kExitInterrupted and the
+     * sweep resumes with --resume. The caller must have installed the
+     * handler (installShutdownHandler()).
+     */
+    SweepRunner &
+    gracefulShutdown(bool on)
+    {
+        graceful_ = on;
+        return *this;
+    }
+
+    /**
      * Run every cell of @p spec. Cell failures land in the outcomes
      * table, never propagate out of run(); only infrastructure errors
      * (an unwritable journal, a resume-fingerprint mismatch) throw.
@@ -705,6 +819,7 @@ class SweepRunner
     std::size_t batchSize_ = 0;     ///< 0 = Simulator default
     std::size_t traceCacheMb_ = 256; ///< 0 = cache disabled
     bool verify_ = false;           ///< audit each cell's Results
+    bool graceful_ = false;         ///< drain on SIGINT/SIGTERM
 };
 
 /**

@@ -100,6 +100,56 @@ FaultSpec::toString() const
     return oss.str();
 }
 
+Expected<CrashPlan>
+CrashPlan::parse(const std::string &text)
+{
+    CrashPlan plan;
+    std::istringstream iss(text);
+    std::string item;
+    while (std::getline(iss, item, ',')) {
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return makeError(ErrorCode::InvalidArgument, "crash-plan",
+                             "crash plan item '", item,
+                             "' is not key=value");
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        char *end = nullptr;
+        long long num = std::strtoll(val.c_str(), &end, 10);
+        if (end == val.c_str() || *end != '\0')
+            return makeError(ErrorCode::InvalidArgument, "crash-plan",
+                             "crash plan value '", val, "' for '", key,
+                             "' is not an integer");
+        if (key == "after")
+            plan.afterAppends = num;
+        else if (key == "torn")
+            plan.tornTail = num != 0;
+        else if (key == "throw")
+            plan.throwInstead = num != 0;
+        else
+            return makeError(ErrorCode::InvalidArgument, "crash-plan",
+                             "unknown crash plan key '", key,
+                             "' (expected after/torn/throw)");
+    }
+    return plan;
+}
+
+std::string
+CrashPlan::toString() const
+{
+    if (!armed())
+        return "";
+    std::ostringstream oss;
+    oss << "after=" << afterAppends;
+    if (tornTail)
+        oss << ",torn=1";
+    if (throwInstead)
+        oss << ",throw=1";
+    return oss.str();
+}
+
 std::uint64_t
 faultStream(std::uint64_t seed, std::uint64_t cell, std::uint64_t attempt)
 {

@@ -145,6 +145,37 @@ class FaultySink : public EventSink
 std::uint64_t faultStream(std::uint64_t seed, std::uint64_t cell,
                           std::uint64_t attempt);
 
+/**
+ * A deterministic process-crash schedule for shard workers: die (or,
+ * for in-process tests, abandon the worker loop) immediately after the
+ * Nth append to the shard journal, optionally leaving a torn final
+ * record — the adversarial states the crash-recovery machinery must
+ * survive (docs/robustness.md).
+ *
+ * Grammar: "after=N[,torn=1][,throw=1]"
+ *   after=N   crash after the worker's Nth journal append (0 = before
+ *             the first); absent/negative disables the plan
+ *   torn=1    write roughly half of append N+1's bytes first, so the
+ *             journal tail is torn exactly as a kill mid-write leaves
+ *             it
+ *   throw=1   throw ShardCrashError instead of raise(SIGKILL) — lets
+ *             single-process tests simulate a dead worker (its leases
+ *             go stale) without losing the test process
+ */
+struct CrashPlan
+{
+    std::int64_t afterAppends = -1; ///< -1 = never crash
+    bool tornTail = false;          ///< leave a half-written record
+    bool throwInstead = false;      ///< throw instead of SIGKILL
+
+    bool armed() const { return afterAppends >= 0; }
+
+    static Expected<CrashPlan> parse(const std::string &text);
+
+    /** Round-trip back to the grammar ("" when disarmed). */
+    std::string toString() const;
+};
+
 } // namespace vmsim
 
 #endif // VMSIM_FAULT_FAULT_HH

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "base/fsio.hh"
 #include "base/logging.hh"
 
 namespace vmsim
@@ -310,20 +311,13 @@ SweepTelemetry::emit(TelemetrySnapshot &snap)
         jsonl_.flush();
     }
     if (!opts_.metricsPath.empty()) {
-        // Write-to-temp + rename so a concurrent scraper never reads a
-        // torn exposition.
-        const std::string tmp = opts_.metricsPath + ".tmp";
-        {
-            std::ofstream os(tmp, std::ios::trunc);
-            if (!os) {
-                warn("telemetry: cannot write metrics file '", tmp, "'");
-                return;
-            }
-            os << snap.toPrometheus();
-        }
-        if (std::rename(tmp.c_str(), opts_.metricsPath.c_str()) != 0)
-            warn("telemetry: rename to '", opts_.metricsPath,
-                 "' failed");
+        // Atomic replace so a concurrent scraper never reads a torn
+        // exposition; not durable — a heartbeat is not worth an fsync.
+        Status st = atomicWriteFile(opts_.metricsPath,
+                                    snap.toPrometheus(),
+                                    /*durable=*/false);
+        if (!st.ok())
+            warn("telemetry: ", st.error().message);
     }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "base/crc.hh"
 #include "base/logging.hh"
 #include "trace/synthetic/workloads.hh"
 
@@ -12,7 +13,66 @@ namespace vmsim
 RecordedTrace::RecordedTrace(std::vector<TraceRecord> records,
                              std::string name)
     : records_(std::move(records)), name_(std::move(name))
-{}
+{
+    frame();
+}
+
+void
+RecordedTrace::frame()
+{
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const auto op = static_cast<unsigned>(records_[i].op);
+        if (op > 2)
+            throw VmsimError(makeError(
+                ErrorCode::ParseError, name_, "recorded trace '", name_,
+                "' record ", i, ": op=", op));
+    }
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(records_.data());
+    const std::size_t chunkBytes =
+        kCrcChunkRecords * sizeof(TraceRecord);
+    const std::size_t totalBytes = records_.size() * sizeof(TraceRecord);
+    chunkCrcs_.reserve((records_.size() + kCrcChunkRecords - 1) /
+                       kCrcChunkRecords);
+    for (std::size_t off = 0; off < totalBytes; off += chunkBytes)
+        chunkCrcs_.push_back(
+            crc32(bytes + off, std::min(chunkBytes, totalBytes - off)));
+    checksum_ = crc32(bytes, totalBytes);
+}
+
+Status
+RecordedTrace::verifyIntegrity() const
+{
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(records_.data());
+    const std::size_t chunkBytes =
+        kCrcChunkRecords * sizeof(TraceRecord);
+    const std::size_t totalBytes = records_.size() * sizeof(TraceRecord);
+    for (std::size_t c = 0; c < chunkCrcs_.size(); ++c) {
+        const std::size_t off = c * chunkBytes;
+        if (crc32(bytes + off, std::min(chunkBytes, totalBytes - off)) ==
+            chunkCrcs_[c])
+            continue;
+        const std::size_t lo = c * kCrcChunkRecords;
+        const std::size_t hi =
+            std::min(lo + kCrcChunkRecords, records_.size());
+        // If the damage flipped an op out of range, name the exact
+        // record; otherwise the chunk range is the best we can do.
+        for (std::size_t i = lo; i < hi; ++i) {
+            const auto op = static_cast<unsigned>(records_[i].op);
+            if (op > 2)
+                return makeError(ErrorCode::ParseError, name_,
+                                 "recorded trace '", name_,
+                                 "' corrupted: record ", i, " has op=",
+                                 op);
+        }
+        return makeError(ErrorCode::ParseError, name_,
+                         "recorded trace '", name_,
+                         "' corrupted: checksum mismatch in records [",
+                         lo, ", ", hi, ")");
+    }
+    return Status();
+}
 
 RecordedTrace
 RecordedTrace::record(TraceSource &source, Counter max_records,

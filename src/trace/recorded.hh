@@ -18,6 +18,7 @@
 #define VMSIM_TRACE_RECORDED_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -25,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/error.hh"
 #include "base/types.hh"
 #include "trace/trace.hh"
 
@@ -35,17 +37,34 @@ namespace vmsim
  * An immutable, fully in-memory trace. Safe to share across threads:
  * after construction nothing mutates, so any number of ReplayCursors
  * can read the same buffer concurrently.
+ *
+ * Construction *frames* the buffer: every record's op is validated
+ * (an out-of-range op throws ParseError naming the exact record, the
+ * same contract as TraceFileReader — corruption is caught where it
+ * enters, not silently replayed into wrong results), and CRC32s are
+ * computed over fixed-size record chunks. verifyIntegrity() recomputes
+ * them on demand; the sweep's --check mode runs it after every cell so
+ * a stray write through a lent batch pointer (ReplayCursor::lendBatch
+ * hands out the shared buffer) is detected, not replayed into every
+ * later cell that shares the recording.
  */
 class RecordedTrace
 {
   public:
-    /** Wrap an already-materialized record buffer. */
+    /** Records per CRC chunk (16 KiB of CRC per ~47 MiB of trace). */
+    static constexpr std::size_t kCrcChunkRecords = 4096;
+
+    /**
+     * Wrap an already-materialized record buffer. Throws VmsimError
+     * (ParseError) if any record carries an invalid op.
+     */
     explicit RecordedTrace(std::vector<TraceRecord> records,
                            std::string name = "recorded");
 
     /**
      * Pull up to @p max_records from @p source into a new recording
      * (fewer if the source runs dry). Uses the source's batch path.
+     * Throws ParseError, with the exact record index, on an invalid op.
      */
     static RecordedTrace record(TraceSource &source, Counter max_records,
                                 std::string name = "recorded");
@@ -59,12 +78,27 @@ class RecordedTrace
     const TraceRecord &at(std::size_t i) const { return records_[i]; }
     const std::vector<TraceRecord> &records() const { return records_; }
 
+    /** CRC32 over the whole record buffer, fixed at construction. */
+    std::uint32_t checksum() const { return checksum_; }
+
+    /**
+     * Recompute the chunk CRCs and compare against the values framed
+     * at construction. On mismatch, reports the narrowest record range
+     * the chunking can name — and the exact record when the damage
+     * also produced an invalid op.
+     */
+    Status verifyIntegrity() const;
+
     /** Display name of the recorded workload ("gcc-like", ...). */
     const std::string &name() const { return name_; }
 
   private:
+    void frame();
+
     std::vector<TraceRecord> records_;
     std::string name_;
+    std::vector<std::uint32_t> chunkCrcs_;
+    std::uint32_t checksum_ = 0;
 };
 
 /**

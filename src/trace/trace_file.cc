@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "base/crc.hh"
+#include "base/fsio.hh"
 #include "base/logging.hh"
 
 namespace vmsim
@@ -11,8 +13,11 @@ namespace
 {
 
 constexpr char kMagic[4] = {'V', 'M', 'T', '1'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersion = 2;
 constexpr std::size_t kIoBufRecords = 4096;
+// Bytes of a v2 record covered by its trailing CRC32.
+constexpr std::size_t kTracePayloadBytes = 9;
 
 void
 putU32(unsigned char *p, std::uint32_t v)
@@ -48,24 +53,25 @@ getU64(const unsigned char *p)
 
 } // anonymous namespace
 
-TraceFileWriter::TraceFileWriter(const std::string &path)
+TraceFileWriter::TraceFileWriter(const std::string &path, bool durable)
 {
-    init(path).orThrow();
+    init(path, durable).orThrow();
 }
 
 Expected<std::unique_ptr<TraceFileWriter>>
-TraceFileWriter::open(const std::string &path)
+TraceFileWriter::open(const std::string &path, bool durable)
 {
     std::unique_ptr<TraceFileWriter> w(new TraceFileWriter());
-    if (Status s = w->init(path); !s.ok())
+    if (Status s = w->init(path, durable); !s.ok())
         return s.error();
     return w;
 }
 
 Status
-TraceFileWriter::init(const std::string &path)
+TraceFileWriter::init(const std::string &path, bool durable)
 {
     path_ = path;
+    durable_ = durable;
     file_ = std::fopen(path.c_str(), "wb");
     if (!file_)
         return errnoError(path, "cannot open trace file for writing");
@@ -110,6 +116,8 @@ TraceFileWriter::write(const TraceRecord &rec)
     putU32(packed, rec.pc);
     putU32(packed + 4, rec.daddr);
     packed[8] = static_cast<unsigned char>(rec.op);
+    putU32(packed + kTracePayloadBytes,
+           crc32(packed, kTracePayloadBytes));
     buf_.insert(buf_.end(), packed, packed + sizeof(packed));
     ++count_;
     if (buf_.size() >= kIoBufRecords * kTraceRecordBytes)
@@ -142,6 +150,8 @@ TraceFileWriter::close()
     std::size_t n = std::fwrite(count_bytes, 1, sizeof(count_bytes), file_);
     if (n != sizeof(count_bytes))
         throw VmsimError(errnoError(path_, "cannot patch trace header"));
+    if (durable_)
+        fsyncStream(file_, path_).orThrow();
     rc = std::fclose(file_);
     file_ = nullptr;
     if (rc != 0)
@@ -185,11 +195,14 @@ TraceFileReader::init(const std::string &path)
     if (std::memcmp(header, kMagic, 4) != 0)
         return fail(makeError(ErrorCode::ParseError, path,
                               "bad trace magic (not a VMT1 file)"));
-    std::uint32_t version = getU32(header + 4);
-    if (version != kVersion)
+    version_ = getU32(header + 4);
+    if (version_ != kVersionV1 && version_ != kVersion)
         return fail(makeError(ErrorCode::Unsupported, path,
-                              "unsupported trace version ", version,
-                              " (expected ", kVersion, ")"));
+                              "unsupported trace version ", version_,
+                              " (expected ", kVersionV1, " or ",
+                              kVersion, ")"));
+    recordSize_ =
+        version_ == kVersionV1 ? kTraceRecordBytesV1 : kTraceRecordBytes;
     total_ = getU64(header + 8);
 
     // Cross-check the header's promise against the actual file size:
@@ -202,7 +215,7 @@ TraceFileReader::init(const std::string &path)
         return fail(errnoError(path, "cannot tell trace file size"));
     std::uint64_t actual = static_cast<std::uint64_t>(end);
     std::uint64_t expected =
-        kTraceHeaderBytes + total_ * std::uint64_t{kTraceRecordBytes};
+        kTraceHeaderBytes + total_ * std::uint64_t{recordSize_};
     if (actual != expected) {
         ErrorCode code = actual < expected ? ErrorCode::Truncated
                                            : ErrorCode::ParseError;
@@ -215,7 +228,7 @@ TraceFileReader::init(const std::string &path)
     if (std::fseek(file_, kTraceHeaderBytes, SEEK_SET) != 0)
         return fail(errnoError(path, "cannot seek past trace header"));
 
-    buf_.resize(kIoBufRecords * kTraceRecordBytes);
+    buf_.resize(kIoBufRecords * recordSize_);
     return Status();
 }
 
@@ -230,10 +243,30 @@ TraceFileReader::fillBuffer()
 {
     bufLen_ = std::fread(buf_.data(), 1, buf_.size(), file_);
     bufPos_ = 0;
-    if (bufLen_ % kTraceRecordBytes != 0)
+    if (bufLen_ % recordSize_ != 0)
         throw VmsimError(makeError(ErrorCode::Truncated, path_,
                                    "trace file truncated mid-record"));
     return bufLen_ > 0;
+}
+
+void
+TraceFileReader::throwCorrupt(std::size_t committed, const char *what,
+                              unsigned detail)
+{
+    // Commit the good prefix so the error message names the exact
+    // record, and recordsRead() reflects every record actually decoded
+    // — identical behavior on the scalar and batch paths.
+    bufPos_ += committed * recordSize_;
+    read_ += committed;
+    std::string field(what);
+    if (field == "op")
+        throw VmsimError(makeError(ErrorCode::ParseError, path_,
+                                   "corrupt trace record ", read_,
+                                   ": op=", detail));
+    throw VmsimError(makeError(ErrorCode::ParseError, path_,
+                               "corrupt trace record ", read_,
+                               ": checksum mismatch (stored ",
+                               crc32Hex(detail), ")"));
 }
 
 bool
@@ -244,15 +277,18 @@ TraceFileReader::next(TraceRecord &rec)
     if (bufPos_ >= bufLen_ && !fillBuffer())
         return false;
     const unsigned char *p = buf_.data() + bufPos_;
+    if (version_ >= kVersion) {
+        std::uint32_t stored = getU32(p + kTracePayloadBytes);
+        if (crc32(p, kTracePayloadBytes) != stored)
+            throwCorrupt(0, "crc", stored);
+    }
     rec.pc = getU32(p);
     rec.daddr = getU32(p + 4);
     unsigned char op = p[8];
     if (op > 2)
-        throw VmsimError(makeError(ErrorCode::ParseError, path_,
-                                   "corrupt trace record ", read_,
-                                   ": op=", unsigned{op}));
+        throwCorrupt(0, "op", op);
     rec.op = static_cast<MemOp>(op);
-    bufPos_ += kTraceRecordBytes;
+    bufPos_ += recordSize_;
     ++read_;
     return true;
 }
@@ -269,7 +305,7 @@ TraceFileReader::nextBatch(TraceRecord *out, std::size_t n)
         // Decode a run of records directly from the I/O buffer: bounded
         // by the caller's remaining space, the buffered bytes, and the
         // header's record count.
-        std::size_t avail = (bufLen_ - bufPos_) / kTraceRecordBytes;
+        std::size_t avail = (bufLen_ - bufPos_) / recordSize_;
         std::size_t want = n - done;
         if (want > avail)
             want = avail;
@@ -277,23 +313,21 @@ TraceFileReader::nextBatch(TraceRecord *out, std::size_t n)
         if (Counter{want} > left)
             want = static_cast<std::size_t>(left);
         const unsigned char *p = buf_.data() + bufPos_;
-        for (std::size_t i = 0; i < want; ++i, p += kTraceRecordBytes) {
-            unsigned char op = p[8];
-            if (op > 2) {
-                // Commit the good prefix so the error message names the
-                // exact record, matching the scalar path.
-                bufPos_ += i * kTraceRecordBytes;
-                read_ += i;
-                throw VmsimError(makeError(ErrorCode::ParseError, path_,
-                                           "corrupt trace record ", read_,
-                                           ": op=", unsigned{op}));
+        for (std::size_t i = 0; i < want; ++i, p += recordSize_) {
+            if (version_ >= kVersion) {
+                std::uint32_t stored = getU32(p + kTracePayloadBytes);
+                if (crc32(p, kTracePayloadBytes) != stored)
+                    throwCorrupt(i, "crc", stored);
             }
+            unsigned char op = p[8];
+            if (op > 2)
+                throwCorrupt(i, "op", op);
             TraceRecord &rec = out[done + i];
             rec.pc = getU32(p);
             rec.daddr = getU32(p + 4);
             rec.op = static_cast<MemOp>(op);
         }
-        bufPos_ += want * kTraceRecordBytes;
+        bufPos_ += want * recordSize_;
         read_ += want;
         done += want;
     }

@@ -3,13 +3,21 @@
  * Binary trace file format, writer, and reader.
  *
  * Format "VMT1": a 16-byte header (magic, version, record count)
- * followed by packed 9-byte records:
+ * followed by packed records:
  *
  *     offset  size  field
  *     0       4     magic "VMT1"
- *     4       4     version (little-endian u32, currently 1)
+ *     4       4     version (little-endian u32, currently 2)
  *     8       8     record count (little-endian u64)
- *     16      9*n   records: pc (u32 LE), daddr (u32 LE), op (u8)
+ *     16      13*n  records: pc (u32 LE), daddr (u32 LE), op (u8),
+ *                   crc32 (u32 LE over the preceding 9 bytes)
+ *
+ * Version 2 appends a per-record CRC32 (IEEE, base/crc.hh) so a
+ * flipped bit anywhere in a record — not just an out-of-range op —
+ * is detected with the exact record index instead of silently
+ * replayed into wrong simulation results. Version-1 files (9-byte
+ * records, no CRC) are still read for interchange compatibility;
+ * the writer always emits version 2.
  *
  * This is the interchange point for real traces: a Pin or Valgrind
  * tool that emits (pc, address, load/store) tuples in this format can
@@ -30,12 +38,19 @@
 namespace vmsim
 {
 
-/** Streaming writer for "VMT1" trace files. */
+/** Streaming writer for "VMT1" trace files (always version 2). */
 class TraceFileWriter
 {
   public:
-    /** Open @p path for writing; throws VmsimError on failure. */
-    explicit TraceFileWriter(const std::string &path);
+    /**
+     * Open @p path for writing; throws VmsimError on failure.
+     * @p durable selects fsync-before-close, so a trace that close()
+     * reported as written survives power loss. Off by default: traces
+     * are bulk artifacts, and callers that checkpoint them (the shard
+     * workers) opt in explicitly.
+     */
+    explicit TraceFileWriter(const std::string &path,
+                             bool durable = false);
     ~TraceFileWriter();
 
     TraceFileWriter(const TraceFileWriter &) = delete;
@@ -43,7 +58,7 @@ class TraceFileWriter
 
     /** Non-throwing open, for callers that isolate failures. */
     static Expected<std::unique_ptr<TraceFileWriter>>
-    open(const std::string &path);
+    open(const std::string &path, bool durable = false);
 
     /** Append one record; throws VmsimError on write failure. */
     void write(const TraceRecord &rec);
@@ -56,12 +71,13 @@ class TraceFileWriter
   private:
     TraceFileWriter() = default;
 
-    Status init(const std::string &path);
+    Status init(const std::string &path, bool durable);
     void flushBuffer();
 
     std::FILE *file_ = nullptr;
     std::string path_;
     Counter count_ = 0;
+    bool durable_ = false;
     std::vector<unsigned char> buf_;
 };
 
@@ -100,6 +116,9 @@ class TraceFileReader : public TraceSource
     /** Records consumed so far. */
     Counter recordsRead() const { return read_; }
 
+    /** Format version of the open file (1 or 2). */
+    std::uint32_t version() const { return version_; }
+
     /** Rewind to the first record. */
     void rewind();
 
@@ -108,18 +127,26 @@ class TraceFileReader : public TraceSource
 
     Status init(const std::string &path);
     bool fillBuffer();
+    [[noreturn]] void throwCorrupt(std::size_t committed,
+                                   const char *what,
+                                   unsigned detail);
 
     std::FILE *file_ = nullptr;
     std::string path_;
     Counter total_ = 0;
     Counter read_ = 0;
+    std::uint32_t version_ = 0;
+    std::size_t recordSize_ = 0;
     std::vector<unsigned char> buf_;
     std::size_t bufPos_ = 0;
     std::size_t bufLen_ = 0;
 };
 
-/** Size in bytes of one packed record. */
-constexpr std::size_t kTraceRecordBytes = 9;
+/** Size in bytes of one packed version-2 record (pc, daddr, op, crc). */
+constexpr std::size_t kTraceRecordBytes = 13;
+
+/** Size in bytes of one packed version-1 record (no CRC). */
+constexpr std::size_t kTraceRecordBytesV1 = 9;
 
 /** Size in bytes of the file header. */
 constexpr std::size_t kTraceHeaderBytes = 16;

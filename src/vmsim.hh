@@ -16,21 +16,28 @@
 #define VMSIM_VMSIM_HH
 
 #include "base/bitfield.hh"
+#include "base/crc.hh"
 #include "base/error.hh"
+#include "base/fsio.hh"
 #include "base/intmath.hh"
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "base/random.hh"
+#include "base/signals.hh"
 #include "base/stats.hh"
+#include "base/subprocess.hh"
 #include "base/table.hh"
 #include "base/thread_pool.hh"
 #include "base/types.hh"
 #include "base/units.hh"
+#include "check/crash_fuzz.hh"
 #include "check/diff.hh"
 #include "check/invariants.hh"
 #include "core/factory.hh"
 #include "fault/fault.hh"
+#include "core/journal.hh"
 #include "core/results.hh"
+#include "core/shard.hh"
 #include "core/sim_config.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"

@@ -189,23 +189,58 @@ TEST(SweepResume, ToleratesAKillMidLine)
     EXPECT_EQ(csvOf(resumed), cleanCsv);
 }
 
-TEST(SweepResume, SkipsUndecodableJournalLines)
+TEST(SweepResume, MidFileCorruptionIsRejected)
 {
+    // A bad line *followed by more records* is real corruption, not a
+    // torn tail — resume must refuse rather than silently re-run the
+    // damaged interior cells.
+    SweepSpec spec = smallSpec();
+    TempFile journal;
+    SweepRunner(2).journal(journal.path()).run(spec);
+    auto lines = readLines(journal.path());
+    ASSERT_GT(lines.size(), 3u);
+    lines[2] = "{\"cell\": not json";
+    writeLines(journal.path(), lines);
+
+    setQuiet(true);
+    try {
+        SweepRunner(2).journal(journal.path()).resume().run(spec);
+        FAIL() << "mid-file journal corruption was accepted";
+    } catch (const VmsimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::ParseError);
+        EXPECT_NE(e.error().message.find("corrupt mid-file"),
+                  std::string::npos);
+    }
+    setQuiet(false);
+}
+
+TEST(SweepResume, CorruptTailRecordIsTruncatedWithWarning)
+{
+    // Flip one payload byte in the *final* record: the CRC frame makes
+    // the damage detectable, and because nothing follows it, resume
+    // truncates to the last good record and re-runs just that cell.
     SweepSpec spec = smallSpec();
     std::string cleanCsv = csvOf(SweepRunner(2).run(spec));
 
     TempFile journal;
     SweepRunner(2).journal(journal.path()).run(spec);
     auto lines = readLines(journal.path());
-    ASSERT_GT(lines.size(), 3u);
-    lines[2] = "{\"cell\": not json";
-    lines[3] = "";
+    ASSERT_GT(lines.size(), 2u);
+    std::string &last = lines.back();
+    ASSERT_NE(last.find("\"crc\""), std::string::npos);
+    last[last.size() / 2] ^= 0x01;
     writeLines(journal.path(), lines);
 
     SweepResults resumed =
         SweepRunner(2).journal(journal.path()).resume().run(spec);
     ASSERT_TRUE(resumed.allOk());
     EXPECT_EQ(csvOf(resumed), cleanCsv);
+
+    std::size_t fromJournal = 0;
+    for (std::size_t i = 0; i < resumed.size(); ++i)
+        if (resumed.outcomeAt(i).fromJournal)
+            ++fromJournal;
+    EXPECT_EQ(fromJournal, spec.numCells() - 1);
 }
 
 TEST(SweepResume, FingerprintMismatchIsRejected)

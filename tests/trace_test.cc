@@ -199,10 +199,11 @@ TEST(TraceFile, CorruptOpByteIsFatal)
         w.write(TraceRecord{4, 0, MemOp::None});
         w.close();
     }
-    // Corrupt the op byte (last byte of the record).
+    // Corrupt the op byte (offset 8 within the record). The CRC check
+    // fires first and still names record 0.
     {
         std::FILE *f = std::fopen(tf.path().c_str(), "rb+");
-        std::fseek(f, kTraceHeaderBytes + kTraceRecordBytes - 1, SEEK_SET);
+        std::fseek(f, kTraceHeaderBytes + 8, SEEK_SET);
         std::fputc(0x7f, f);
         std::fclose(f);
     }
@@ -212,11 +213,84 @@ TEST(TraceFile, CorruptOpByteIsFatal)
     setQuiet(false);
 }
 
+TEST(TraceFile, CorruptPayloadByteIsDetectedByCrc)
+{
+    // Pre-CRC, a flipped bit in pc/daddr replayed silently into wrong
+    // results; version 2 catches it with the exact record index.
+    setQuiet(true);
+    TempFile tf;
+    {
+        TraceFileWriter w(tf.path());
+        for (int i = 0; i < 3; ++i)
+            w.write(TraceRecord{static_cast<std::uint32_t>(4 * i), 96,
+                                MemOp::Load});
+        w.close();
+    }
+    // Flip a bit in record 1's daddr field (offset 4 in the record).
+    {
+        std::FILE *f = std::fopen(tf.path().c_str(), "rb+");
+        long off =
+            static_cast<long>(kTraceHeaderBytes + kTraceRecordBytes + 4);
+        std::fseek(f, off, SEEK_SET);
+        int b = std::fgetc(f);
+        std::fseek(f, off, SEEK_SET);
+        std::fputc(b ^ 0x10, f);
+        std::fclose(f);
+    }
+    TraceFileReader r(tf.path());
+    TraceRecord rec;
+    ASSERT_TRUE(r.next(rec)); // record 0 is intact
+    try {
+        r.next(rec);
+        FAIL() << "corrupt payload byte was not detected";
+    } catch (const VmsimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::ParseError);
+        EXPECT_NE(e.error().message.find("record 1"), std::string::npos)
+            << e.error().message;
+        EXPECT_NE(e.error().message.find("checksum"), std::string::npos)
+            << e.error().message;
+    }
+    EXPECT_EQ(r.recordsRead(), 1u);
+    setQuiet(false);
+}
+
+TEST(TraceFile, VersionOneFilesAreStillReadable)
+{
+    // Hand-build a v1 file (9-byte records, no CRC): old traces stay
+    // valid interchange.
+    TempFile tf;
+    {
+        std::FILE *f = std::fopen(tf.path().c_str(), "wb");
+        unsigned char header[kTraceHeaderBytes] = {'V', 'M', 'T', '1',
+                                                   1,   0,   0,   0,
+                                                   2,   0,   0,   0};
+        std::fwrite(header, 1, sizeof(header), f);
+        const unsigned char recs[2][kTraceRecordBytesV1] = {
+            {4, 0, 0, 0, 96, 0, 0, 0, 1},
+            {8, 0, 0, 0, 100, 0, 0, 0, 2},
+        };
+        std::fwrite(recs, 1, sizeof(recs), f);
+        std::fclose(f);
+    }
+    TraceFileReader r(tf.path());
+    EXPECT_EQ(r.version(), 1u);
+    EXPECT_EQ(r.recordCount(), 2u);
+    TraceRecord rec;
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec.pc, 4u);
+    EXPECT_EQ(rec.daddr, 96u);
+    EXPECT_EQ(rec.op, MemOp::Load);
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec.op, MemOp::Store);
+    EXPECT_FALSE(r.next(rec));
+}
+
 TEST(TraceFile, RecordSizeIsStable)
 {
     // The on-disk format is an interchange contract; its sizes are
     // frozen by the header comment in trace_file.hh.
-    EXPECT_EQ(kTraceRecordBytes, 9u);
+    EXPECT_EQ(kTraceRecordBytes, 13u);
+    EXPECT_EQ(kTraceRecordBytesV1, 9u);
     EXPECT_EQ(kTraceHeaderBytes, 16u);
 }
 
@@ -276,10 +350,15 @@ TEST(TraceFile, TrailingGarbageIsRejected)
         EXPECT_EQ(e.code(), ErrorCode::ParseError);
         // The diagnostic must name the file and both byte counts.
         EXPECT_NE(e.error().message.find(tf.path()), std::string::npos);
-        EXPECT_NE(e.error().message.find("25"), std::string::npos)
-            << e.error().message; // expected: 16 + 1*9
-        EXPECT_NE(e.error().message.find("34"), std::string::npos)
-            << e.error().message; // actual: 25 + 9 trailing
+        const std::string expectedBytes =
+            std::to_string(kTraceHeaderBytes + kTraceRecordBytes);
+        const std::string actualBytes =
+            std::to_string(kTraceHeaderBytes + 2 * kTraceRecordBytes);
+        EXPECT_NE(e.error().message.find(expectedBytes),
+                  std::string::npos)
+            << e.error().message;
+        EXPECT_NE(e.error().message.find(actualBytes), std::string::npos)
+            << e.error().message;
     }
     setQuiet(false);
 }
