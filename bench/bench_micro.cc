@@ -23,10 +23,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "base/flat_hash.hh"
 
 #include "vmsim.hh"
 
@@ -91,6 +95,113 @@ BM_HashedWalk(benchmark::State &state)
     }
 }
 BENCHMARK(BM_HashedWalk);
+
+// ---- hot-path layout before/after: the FA TLB key->slot index as it
+// was (node-based unordered_map) vs as it is (open-addressed
+// FlatMap64), probing a resident working set the size of a 128-entry
+// TLB. Same keys, same access pattern; only the layout differs.
+
+constexpr unsigned kIndexEntries = 128;
+
+std::uint64_t
+indexKey(unsigned i)
+{
+    // (asid << 48) | vpn composites, like the TLB feeds the index.
+    return (static_cast<std::uint64_t>(i & 3) << 48) | (i * 7919u);
+}
+
+void
+BM_IndexProbeUnorderedMap(benchmark::State &state)
+{
+    std::unordered_map<std::uint64_t, unsigned> index;
+    for (unsigned i = 0; i < kIndexEntries; ++i)
+        index.emplace(indexKey(i), i);
+    unsigned i = 0;
+    for (auto _ : state) {
+        auto it = index.find(indexKey(i));
+        benchmark::DoNotOptimize(it->second);
+        i = (i + 1) % kIndexEntries;
+    }
+}
+BENCHMARK(BM_IndexProbeUnorderedMap);
+
+void
+BM_IndexProbeFlatMap64(benchmark::State &state)
+{
+    FlatMap64<unsigned> index(kIndexEntries);
+    for (unsigned i = 0; i < kIndexEntries; ++i)
+        index.insertNew(indexKey(i), i);
+    unsigned i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(index.find(indexKey(i)));
+        i = (i + 1) % kIndexEntries;
+    }
+}
+BENCHMARK(BM_IndexProbeFlatMap64);
+
+// ---- hashed-PT chain layout before/after: heap-allocated linked
+// nodes (one pointer chase per hop) vs the flat arena (an index hop
+// inside one contiguous vector), walking 2-deep chains like the
+// paper's 1.25-average-chain table produces.
+
+struct HeapChainNode
+{
+    Vpn vpn;
+    Addr cacheAddr;
+    std::unique_ptr<HeapChainNode> next;
+};
+
+void
+BM_ChainWalkHeapNodes(benchmark::State &state)
+{
+    constexpr unsigned kBuckets = 1024;
+    std::vector<std::unique_ptr<HeapChainNode>> heads(kBuckets);
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        auto tail = std::make_unique<HeapChainNode>(
+            HeapChainNode{b + kBuckets, 0x2000, nullptr});
+        heads[b] = std::make_unique<HeapChainNode>(
+            HeapChainNode{b, 0x1000, std::move(tail)});
+    }
+    Vpn v = 0;
+    for (auto _ : state) {
+        Vpn want = (v++ * 13) % (2 * kBuckets);
+        const HeapChainNode *n = heads[want % kBuckets].get();
+        while (n != nullptr && n->vpn != want)
+            n = n->next.get();
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_ChainWalkHeapNodes);
+
+void
+BM_ChainWalkFlatArena(benchmark::State &state)
+{
+    constexpr unsigned kBuckets = 1024;
+    constexpr std::uint32_t kNil = 0xffffffffu;
+    struct ArenaNode
+    {
+        Vpn vpn;
+        Addr cacheAddr;
+        std::uint32_t next;
+    };
+    std::vector<ArenaNode> arena;
+    std::vector<std::uint32_t> heads(kBuckets, kNil);
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        arena.push_back({b, 0x1000, static_cast<std::uint32_t>(
+                                        arena.size() + 1)});
+        arena.push_back({b + kBuckets, 0x2000, kNil});
+        heads[b] = static_cast<std::uint32_t>(arena.size() - 2);
+    }
+    Vpn v = 0;
+    for (auto _ : state) {
+        Vpn want = (v++ * 13) % (2 * kBuckets);
+        std::uint32_t n = heads[want % kBuckets];
+        while (n != kNil && arena[n].vpn != want)
+            n = arena[n].next;
+        benchmark::DoNotOptimize(n);
+    }
+}
+BENCHMARK(BM_ChainWalkFlatArena);
 
 void
 BM_WorkloadNext(benchmark::State &state)
@@ -209,12 +320,38 @@ pipelineInstrsPerSec(Counter instrs, std::size_t batch,
 }
 
 /**
+ * Extract the numeric value of @p field from the JSON file at
+ * @p path. The artifact format is our own flat report (no nesting
+ * tricks), so a string scan is enough — base/json.hh only writes.
+ * @return the value, or 0 if the file or field is missing.
+ */
+double
+readJsonNumber(const std::string &path, const std::string &field)
+{
+    std::ifstream is(path);
+    if (!is.is_open())
+        return 0.0;
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string text = ss.str();
+    const std::string needle = "\"" + field + "\":";
+    std::size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+/**
  * The end-to-end pipeline comparison behind the sweep speedup: the
  * same 300K-instruction Ultrix cell sourced three ways. Written to
- * @p path and summarized on stderr.
+ * @p path and summarized on stderr. A non-empty @p baseline_path
+ * names a committed earlier pipeline artifact; its batched-replay
+ * throughput is echoed into the report with the gain over it, so CI
+ * can diff the two as numbers.
  */
 void
-writePipelineReport(const std::string &path)
+writePipelineReport(const std::string &path,
+                    const std::string &baseline_path)
 {
     const Counter instrs = 1'000'000;
     // Record once, like a sweep's first cell does for all the others.
@@ -254,6 +391,25 @@ writePipelineReport(const std::string &path)
     out.set("batch", Json(static_cast<double>(Simulator::kDefaultBatch)));
     out.set("modes", std::move(modes));
     out.set("speedup", std::move(speedup));
+    if (!baseline_path.empty()) {
+        const double base_replay =
+            readJsonNumber(baseline_path, "batched_replay_ips");
+        Json baseline = Json::object();
+        baseline.set("path", Json(baseline_path));
+        baseline.set("batched_replay_ips", Json(base_replay));
+        baseline.set("batched_replay_gain",
+                     Json(base_replay > 0 ? batchedReplay / base_replay
+                                          : 0.0));
+        out.set("baseline", std::move(baseline));
+        if (base_replay > 0)
+            std::cerr << "pipeline: baseline batched-replay "
+                      << static_cast<long>(base_replay / 1000)
+                      << "K instrs/s, gain "
+                      << batchedReplay / base_replay << "x\n";
+        else
+            std::cerr << "bench_micro: baseline " << baseline_path
+                      << " unreadable or missing batched_replay_ips\n";
+    }
 
     std::ofstream os(path, std::ios::out | std::ios::trunc);
     if (!os.is_open()) {
@@ -357,6 +513,7 @@ main(int argc, char **argv)
     // google-benchmark sees (and rejects) them.
     std::string pipeline_path = "BENCH_pipeline.json";
     std::string multicore_path = "BENCH_multicore.json";
+    std::string baseline_path;
     std::vector<char *> args;
     args.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -364,6 +521,8 @@ main(int argc, char **argv)
             pipeline_path = argv[i] + 16;
         else if (std::strncmp(argv[i], "--multicore-json=", 17) == 0)
             multicore_path = argv[i] + 17;
+        else if (std::strncmp(argv[i], "--baseline-json=", 16) == 0)
+            baseline_path = argv[i] + 16;
         else
             args.push_back(argv[i]);
     }
@@ -371,7 +530,7 @@ main(int argc, char **argv)
     benchmark::Initialize(&bench_argc, args.data());
     if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
         return 1;
-    writePipelineReport(pipeline_path);
+    writePipelineReport(pipeline_path, baseline_path);
     writeMulticoreReport(multicore_path);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();

@@ -32,7 +32,7 @@ coldMiss(SystemKind kind)
     cfg.l1 = CacheParams{32_KiB, 32};
     cfg.l2 = CacheParams{1_MiB, 64};
     System sys(cfg);
-    sys.vm().dataRef(0x10000000, false);
+    sys.vm().dataRef(Access{0x10000000, 0, false});
     const VmStats &s = sys.vm().vmStats();
     return Observed{s.uhandlerInstrs, s.khandlerInstrs, s.rhandlerInstrs,
                     s.pteLoads,       s.interrupts,     s.hwWalkCycles};

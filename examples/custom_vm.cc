@@ -50,10 +50,6 @@ class TwoLevelHashedVm : public VmSystem
         walkBuf_.reserve(16);
     }
 
-    using VmSystem::dataRef;
-    using VmSystem::instRef;
-    using VmSystem::refBlock;
-
     void
     instRef(const Access &a) override
     {

@@ -1,9 +1,11 @@
 #!/bin/sh
 # The full local gate: the tier-1 build + unit-test suite, a smoke run
-# of every bench binary, the batched-pipeline determinism check, then
-# the three sanitizer builds (ASan, TSan, UBSan). Run this before
-# merging anything that touches src/. Each stage uses its own build
-# directory, so incremental reruns are cheap.
+# of every bench binary, the batched-pipeline determinism check, the
+# invariant/fuzz campaigns, the golden replay manifest, the hot-path
+# kernel lint + perf smoke, then the three sanitizer builds (ASan,
+# TSan, UBSan). Run this before merging anything that touches src/.
+# Each stage uses its own build directory, so incremental reruns are
+# cheap.
 #
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 set -eu
@@ -77,6 +79,9 @@ for sys in ULTRIX MACH INTEL PA-RISC NOTLB BASE HW-INVERTED HW-MIPS SPUR; do
 done
 # Seeded fuzz campaign: scalar/batched/observed/cached legs must agree
 # on every counter, and the report must be byte-stable across reruns.
+# Tuples draw TLB geometry (tlbEntries in {32, 64}) alongside ASID and
+# L2-TLB settings, so the flat probe index's fill/evict/tombstone
+# paths are fuzzed on every gate run.
 build/examples/vmsim_cli --fuzz=200 --seed=12345 \
     --fuzz-report="$SMOKE_DIR/fuzz_a.json" > /dev/null
 build/examples/vmsim_cli --fuzz=200 --seed=12345 \
@@ -180,6 +185,81 @@ build/examples/vmsim_cli --crash-fuzz=50 --seed=12345 \
     --shard-dir="$SMOKE_DIR/crash_fuzz" \
     > "$SMOKE_DIR/crash_fuzz.json"
 test -s "$SMOKE_DIR/crash_fuzz.json"
+
+echo "== golden replay manifest =="
+# Counters, event streams and interval series for all nine
+# organizations at 1/2/4 cores must stay byte-identical to the
+# committed manifest (docs: DESIGN.md "Hot-path data layout"). Any
+# hot-path "optimization" that moves a single counter fails here.
+scripts/golden_replay.sh build > "$SMOKE_DIR/golden_now.txt"
+cmp tests/golden/replay_sha256.txt "$SMOKE_DIR/golden_now.txt"
+
+echo "== kernel lint =="
+# The devirtualized per-record kernels live between LINT-KERNEL-BEGIN
+# and LINT-KERNEL-END markers. Virtual dispatch or node-based hash
+# probes reappearing inside them is a silent hot-path regression: the
+# code still passes every equivalence test, just slower. Fail instead.
+for hot_hdr in src/os/vm_system.hh src/os/tlb_vm.hh; do
+    test -f "$hot_hdr"
+    grep -q "LINT-KERNEL-BEGIN" "$hot_hdr"
+    region=$(awk '/LINT-KERNEL-BEGIN/,/LINT-KERNEL-END/' "$hot_hdr")
+    if printf '%s\n' "$region" | grep -nE 'virtual|unordered_map'; then
+        echo "kernel lint: virtual dispatch or unordered_map inside" \
+             "a LINT-KERNEL region of $hot_hdr" >&2
+        exit 1
+    fi
+    if printf '%s\n' "$region" | grep -nE '\.(instRef|dataRef)\('; then
+        echo "kernel lint: per-record virtual instRef/dataRef call" \
+             "inside a LINT-KERNEL region of $hot_hdr (use the" \
+             "monomorphized instRefK/dataRefK kernels)" >&2
+        exit 1
+    fi
+done
+# The flat data-layout files must never regrow a node-based map
+# (matching real uses — instantiations and includes — not prose in
+# comments that explains what the flat layout replaced).
+for hot_src in src/tlb/tlb.hh src/tlb/tlb.cc src/mem/phys_mem.hh \
+               src/mem/phys_mem.cc src/pt/intel_page_table.hh \
+               src/pt/intel_page_table.cc src/pt/hashed_page_table.hh \
+               src/pt/hashed_page_table.cc src/base/flat_hash.hh; do
+    if grep -nE 'unordered_map[[:space:]]*<|include[[:space:]]*<unordered_map>' \
+            "$hot_src"; then
+        echo "kernel lint: unordered_map in hot file $hot_src" >&2
+        exit 1
+    fi
+done
+
+echo "== perf smoke =="
+# The batched replay path must beat the scalar generate path within
+# the same run (load-invariant), and must stay inside a tolerance
+# band of the committed PR8 baseline. The band is wide (0.8x) so a
+# loaded CI box does not flake, but a real devirtualization or layout
+# regression — which costs integer factors, not percents — fails.
+build/bench/bench_micro --benchmark_filter='^$' \
+    --pipeline-json="$SMOKE_DIR/perf_pipeline.json" \
+    --multicore-json="$SMOKE_DIR/perf_multicore.json" \
+    --baseline-json=bench/baselines/BENCH_pipeline_pr8.json \
+    2> /dev/null
+python3 - "$SMOKE_DIR/perf_pipeline.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+modes = report["modes"]
+scalar = modes["scalar_generate_ips"]
+replay = modes["batched_replay_ips"]
+assert replay >= scalar, (
+    f"batched replay ({replay:.0f} instrs/s) slower than scalar "
+    f"generate ({scalar:.0f} instrs/s)")
+baseline = report["baseline"]
+assert baseline["batched_replay_ips"] > 0, "unreadable baseline"
+gain = baseline["batched_replay_gain"]
+assert gain >= 0.8, (
+    f"batched replay regressed to {gain:.2f}x of the committed "
+    f"baseline {baseline['path']}")
+print(f"perf smoke ok: batched replay {replay / scalar:.2f}x scalar, "
+      f"{gain:.2f}x committed baseline")
+EOF
 
 echo "== sanitizers =="
 scripts/check_asan.sh

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Byte-identity manifest for the replay hot path (docs/checking.md,
+# DESIGN.md "Hot-path data layout").  Runs every organization at cores
+# {1,2,4} under a fixed adversarial config (context switches, ASID
+# tagging, L2 TLB, interval sampling, latency collection) and prints a
+# sha256 line per (org, cores) covering the summary JSON, the stats
+# dump (counters + interval series + latency histograms), and the full
+# event stream.  ci.sh cmp's the output against the committed
+# tests/golden/replay_sha256.txt: any refactor that changes a single
+# output byte — one counter, one event, one interval sample — fails
+# the gate.  Regenerate the golden (only when an *intentional*
+# behavior change lands) with:
+#     scripts/golden_replay.sh > tests/golden/replay_sha256.txt
+#
+# Usage: scripts/golden_replay.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+CLI="$BUILD/examples/vmsim_cli"
+[ -x "$CLI" ] || { echo "golden_replay: $CLI not built" >&2; exit 1; }
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+sum() { sha256sum "$1" | cut -d' ' -f1; }
+
+for sys in ULTRIX MACH INTEL PA-RISC NOTLB BASE HW-INVERTED HW-MIPS SPUR; do
+    for cores in 1 2 4; do
+        "$CLI" --system="$sys" --cores="$cores" \
+            --instructions=10000 --warmup=2000 --interval=2500 \
+            --ctx-switch=997 --asid-bits=6 --l2-tlb=64 --json \
+            --stats-json="$TMP/stats.json" \
+            --trace-events="$TMP/events.jsonl" \
+            > "$TMP/summary.json"
+        printf '%s cores=%s summary=%s stats=%s events=%s\n' \
+            "$sys" "$cores" \
+            "$(sum "$TMP/summary.json")" \
+            "$(sum "$TMP/stats.json")" \
+            "$(sum "$TMP/events.jsonl")"
+    done
+done

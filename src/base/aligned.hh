@@ -1,0 +1,46 @@
+#ifndef VMSIM_BASE_ALIGNED_HH
+#define VMSIM_BASE_ALIGNED_HH
+
+// Cache-line-aligned vector storage for the structure-of-arrays hot
+// structures (DESIGN.md "Hot-path data layout").  The TLB's packed key
+// / stamp / valid arrays each start on their own 64-byte line so a
+// linear probe touches the minimum number of lines and the arrays
+// never false-share a line with unrelated members.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace vmsim {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <class T>
+struct CacheAlignedAlloc {
+    using value_type = T;
+
+    CacheAlignedAlloc() = default;
+    template <class U>
+    CacheAlignedAlloc(const CacheAlignedAlloc<U> &) {}
+
+    T *allocate(std::size_t n) {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{kCacheLineBytes}));
+    }
+
+    void deallocate(T *p, std::size_t) {
+        ::operator delete(p, std::align_val_t{kCacheLineBytes});
+    }
+
+    template <class U>
+    bool operator==(const CacheAlignedAlloc<U> &) const { return true; }
+    template <class U>
+    bool operator!=(const CacheAlignedAlloc<U> &) const { return false; }
+};
+
+template <class T>
+using AlignedVec = std::vector<T, CacheAlignedAlloc<T>>;
+
+} // namespace vmsim
+
+#endif // VMSIM_BASE_ALIGNED_HH

@@ -55,6 +55,8 @@ FuzzTuple::toConfig() const
     cfg.l2.sizeBytes = l2Size;
     cfg.l2.lineSize = l2Line;
     cfg.tlbAsidBits = asidBits;
+    if (tlbEntries)
+        cfg.tlbEntries = tlbEntries;
     cfg.l2TlbEntries = l2TlbEntries;
     cfg.ctxSwitchInterval = ctxSwitch;
     cfg.seed = seed;
@@ -77,6 +79,7 @@ FuzzTuple::toJson() const
     j.set("warmup", warmup);
     j.set("ctxSwitch", ctxSwitch);
     j.set("asidBits", asidBits);
+    j.set("tlbEntries", tlbEntries);
     j.set("l2TlbEntries", l2TlbEntries);
     j.set("l1", static_cast<std::uint64_t>(l1Size));
     j.set("l1Line", l1Line);
@@ -97,7 +100,8 @@ FuzzTuple::toString() const
     oss << "case " << index << ": " << kindName(kind) << "/" << workload
         << " seed=" << seed << " instrs=" << instrs << " warmup="
         << warmup << " ctx=" << ctxSwitch << " asid=" << asidBits
-        << " l2tlb=" << l2TlbEntries << " batch=" << batch
+        << " tlb=" << tlbEntries << " l2tlb=" << l2TlbEntries
+        << " batch=" << batch
         << (faults ? " faults" : "");
     if (cores > 1)
         oss << " cores=" << cores << " quantum=" << coreQuantum
@@ -176,6 +180,10 @@ DiffRunner::generate(std::uint64_t index) const
     t.ctxSwitch = kCtx[rng.uniform(std::size(kCtx))];
     static constexpr unsigned kAsid[] = {0, 0, 6};
     t.asidBits = kAsid[rng.uniform(std::size(kAsid))];
+    // Small TLBs keep the flat FA index under fill/evict/tombstone
+    // pressure; 0 leaves each kind's default geometry.
+    static constexpr unsigned kTlb[] = {0, 0, 32, 64};
+    t.tlbEntries = kTlb[rng.uniform(std::size(kTlb))];
     static constexpr unsigned kL2Tlb[] = {0, 0, 256};
     t.l2TlbEntries = kL2Tlb[rng.uniform(std::size(kL2Tlb))];
     static constexpr std::size_t kL1Sizes[] = {8192, 16384, 32768};
@@ -355,6 +363,11 @@ DiffRunner::minimize(FuzzTuple t) const
     if (t.asidBits) {
         FuzzTuple c = t;
         c.asidBits = 0;
+        tryApply(c);
+    }
+    if (t.tlbEntries) {
+        FuzzTuple c = t;
+        c.tlbEntries = 0;
         tryApply(c);
     }
     if (t.l2TlbEntries) {

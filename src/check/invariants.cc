@@ -585,6 +585,7 @@ checkLiveTlb(const VmSystem &vm, Counter instrs, CheckReport &rep)
     // hold on the sums across cores (which, on one core, are the
     // single TLB's own counters).
     Counter iprobes = 0, imisses = 0, dmisses = 0;
+    std::string why;
     for (CoreId c = 0; c < vm.cores(); ++c) {
         const Tlb *itlb = vm.itlb(c);
         const Tlb *dtlb = vm.dtlb(c);
@@ -593,6 +594,16 @@ checkLiveTlb(const VmSystem &vm, Counter instrs, CheckReport &rep)
         iprobes += itlb->accesses();
         imisses += itlb->misses();
         dmisses += dtlb->misses();
+        // The fully-associative flat probe index must agree with the
+        // slot arrays after any mix of fills, invalidates (tombstones)
+        // and context-switch evictions.
+        rep.check(itlb->auditIndex(&why), "tlb.index-audit",
+                  "core ", c, " I-TLB index inconsistent: ", why);
+        rep.check(dtlb->auditIndex(&why), "tlb.index-audit",
+                  "core ", c, " D-TLB index inconsistent: ", why);
+        if (const Tlb *l2 = vm.l2tlb(c))
+            rep.check(l2->auditIndex(&why), "tlb.index-audit",
+                      "core ", c, " L2 TLB index inconsistent: ", why);
     }
     rep.check(iprobes == instrs, "tlb.itlb-probes",
               "I-TLBs saw ", iprobes, " probes for ", instrs,

@@ -49,6 +49,7 @@ Simulator::runScalar(Counter max_instrs)
     // The paper's fundamental algorithm: translate + fetch every
     // instruction; translate + access data for loads/stores. All TLB
     // probing and page-table walking happens inside the VmSystem.
+    Access a;
     while (n < max_instrs && trace.next(rec)) {
         // Cooperative cancellation and progress publication: one
         // relaxed access every 2K instructions is noise next to the
@@ -71,9 +72,14 @@ Simulator::runScalar(Counter max_instrs)
             sinceSwitch_ = 0;
             vm_.contextSwitch();
         }
-        vm_.instRef(rec.pc);
-        if (rec.isMemOp())
-            vm_.dataRef(rec.daddr, rec.isStore());
+        a.addr = rec.pc;
+        a.store = false;
+        vm_.instRef(a);
+        if (rec.isMemOp()) {
+            a.addr = rec.daddr;
+            a.store = rec.isStore();
+            vm_.dataRef(a);
+        }
         ++n;
     }
     executed_ += n;
@@ -134,6 +140,7 @@ Simulator::runBatched(Counter max_instrs)
             // Observed runs replicate the scalar per-instruction
             // ordering — tick before switch at coinciding boundaries —
             // so event streams and interval samples stay bit-identical.
+            Access a;
             for (std::size_t i = 0; i < got; ++i) {
                 vm_.setCurrentInstr(executed_ + n + i);
                 if (sampler_)
@@ -144,9 +151,14 @@ Simulator::runBatched(Counter max_instrs)
                     vm_.contextSwitch();
                 }
                 const TraceRecord &rec = recs[i];
-                vm_.instRef(rec.pc);
-                if (rec.isMemOp())
-                    vm_.dataRef(rec.daddr, rec.isStore());
+                a.addr = rec.pc;
+                a.store = false;
+                vm_.instRef(a);
+                if (rec.isMemOp()) {
+                    a.addr = rec.daddr;
+                    a.store = rec.isStore();
+                    vm_.dataRef(a);
+                }
             }
         } else {
             if (due) {
@@ -159,8 +171,12 @@ Simulator::runBatched(Counter max_instrs)
                 sinceSwitch_ += got;
             }
             // One virtual dispatch per block; the organization's
-            // devirtualized refBlock() inlines its own handlers.
-            vm_.refBlock(recs, got);
+            // devirtualized refBlock() selects the observed or bare
+            // monomorphized kernel and inlines its own handlers.
+            AccessBlock blk;
+            blk.recs = recs;
+            blk.n = got;
+            vm_.refBlock(blk);
         }
         n += got;
     }

@@ -37,9 +37,8 @@ PhysMem::reserveRegion(std::uint64_t bytes, std::uint64_t align)
 Pfn
 PhysMem::frameOf(Vpn vpn)
 {
-    auto it = map_.find(vpn);
-    if (it != map_.end())
-        return it->second;
+    if (const Pfn *p = map_.find(vpn))
+        return *p;
     Pfn pfn = frameBase_ + nextFrame_++;
     if (!overcommitted_ && map_.size() + 1 > numFrames_) {
         overcommitted_ = true;
@@ -47,7 +46,7 @@ PhysMem::frameOf(Vpn vpn)
              " pages touched but only ", numFrames_,
              " frames exist; continuing without eviction");
     }
-    map_.emplace(vpn, pfn);
+    map_.insertNew(vpn, pfn);
     return pfn;
 }
 

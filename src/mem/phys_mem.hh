@@ -17,8 +17,8 @@
 #define VMSIM_MEM_PHYS_MEM_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "base/flat_hash.hh"
 #include "base/types.hh"
 
 namespace vmsim
@@ -49,7 +49,7 @@ class PhysMem
     Pfn frameOf(Vpn vpn);
 
     /** True if @p vpn has been touched (has a frame). */
-    bool isMapped(Vpn vpn) const { return map_.find(vpn) != map_.end(); }
+    bool isMapped(Vpn vpn) const { return map_.find(vpn) != nullptr; }
 
     /** Physical base address of the frame backing @p vpn. */
     Addr frameAddrOf(Vpn vpn) { return frameOf(vpn) << pageBits_; }
@@ -75,7 +75,12 @@ class PhysMem
     Pfn nextFrame_ = 0;         ///< next frame for first-touch alloc
     std::uint64_t numFrames_ = 0;
     bool overcommitted_ = false;
-    std::unordered_map<Vpn, Pfn> map_;
+    /**
+     * First-touch vpn->frame table: open-addressed with incremental
+     * rehash, so a frameOf on the miss path never pays a
+     * stop-the-world rehash mid-replay.
+     */
+    FlatMap64<Pfn> map_;
 };
 
 } // namespace vmsim

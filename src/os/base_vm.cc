@@ -8,18 +8,6 @@ BaseVm::BaseVm(MemSystem &mem)
 {}
 
 void
-BaseVm::instRef(const Access &a)
-{
-    userInstFetch(a.addr);
-}
-
-void
-BaseVm::dataRef(const Access &a)
-{
-    userDataAccess(a.addr, a.store);
-}
-
-void
 BaseVm::refBlock(const AccessBlock &blk)
 {
     refBlockFor(*this, blk);

@@ -25,13 +25,24 @@ class BaseVm : public VmSystem
   public:
     explicit BaseVm(MemSystem &mem);
 
-    using VmSystem::dataRef;
-    using VmSystem::instRef;
-    using VmSystem::refBlock;
-
-    void instRef(const Access &a) override;
-    void dataRef(const Access &a) override;
+    void instRef(const Access &a) override { instRefK<true>(a); }
+    void dataRef(const Access &a) override { dataRefK<true>(a); }
     void refBlock(const AccessBlock &blk) override;
+
+    /** Monomorphized kernels: the whole reference is the cache probe. */
+    template <bool kObs>
+    void
+    instRefK(const Access &a)
+    {
+        userInstFetchT<kObs>(a.addr);
+    }
+
+    template <bool kObs>
+    void
+    dataRefK(const Access &a)
+    {
+        userDataAccessT<kObs>(a.addr, a.store);
+    }
 };
 
 } // namespace vmsim

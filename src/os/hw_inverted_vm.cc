@@ -9,39 +9,11 @@ HwInvertedVm::HwInvertedVm(MemSystem &mem, PhysMem &phys_mem,
                            const HandlerCosts &costs, unsigned page_bits,
                            std::uint64_t seed, unsigned hpt_ratio,
                            unsigned cores)
-    : VmSystem("HW-INVERTED", mem, cores),
-      pt_(phys_mem, hpt_ratio, page_bits),
-      tlbs_(this->cores(), itlb_params, dtlb_params, seed ^ 0x39,
-            seed ^ 0x4A),
-      costs_(costs)
+    : TlbVm("HW-INVERTED", mem, cores, itlb_params, dtlb_params,
+            seed ^ 0x39, seed ^ 0x4A, page_bits),
+      pt_(phys_mem, hpt_ratio, page_bits), costs_(costs)
 {
     walkBuf_.reserve(16);
-}
-
-void
-HwInvertedVm::instRef(const Access &a)
-{
-    const Addr pc = a.addr;
-    Tlb &itlb = tlbs_.itlb(a.core);
-    if (!itlb.lookup(pt_.vpnOf(pc))) {
-        noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
-        walk(pc, a.core, itlb);
-        endMissService();
-    }
-    userInstFetch(pc);
-}
-
-void
-HwInvertedVm::dataRef(const Access &a)
-{
-    const Addr addr = a.addr;
-    Tlb &dtlb = tlbs_.dtlb(a.core);
-    if (!dtlb.lookup(pt_.vpnOf(addr))) {
-        noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
-        walk(addr, a.core, dtlb);
-        endMissService();
-    }
-    userDataAccess(addr, a.store);
 }
 
 void
@@ -63,12 +35,6 @@ HwInvertedVm::walk(Addr vaddr, CoreId core, Tlb &target)
 
     l2TlbFill(v, core);
     target.insert(v);
-}
-
-void
-HwInvertedVm::refBlock(const AccessBlock &blk)
-{
-    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

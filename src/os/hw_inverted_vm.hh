@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "mem/phys_mem.hh"
-#include "os/vm_system.hh"
+#include "os/tlb_vm.hh"
 #include "pt/hashed_page_table.hh"
 #include "tlb/tlb.hh"
 
@@ -28,7 +28,7 @@ namespace vmsim
 {
 
 /** Interpolated design: HW-managed TLB + hashed inverted page table. */
-class HwInvertedVm : public VmSystem
+class HwInvertedVm : public TlbVm<HwInvertedVm>
 {
   public:
     HwInvertedVm(MemSystem &mem, PhysMem &phys_mem,
@@ -38,30 +38,14 @@ class HwInvertedVm : public VmSystem
                  unsigned page_bits = 12, std::uint64_t seed = 1,
                  unsigned hpt_ratio = 2, unsigned cores = 1);
 
-    using VmSystem::contextSwitch;
-    using VmSystem::dataRef;
-    using VmSystem::dtlb;
-    using VmSystem::instRef;
-    using VmSystem::itlb;
-    using VmSystem::refBlock;
-
-    void instRef(const Access &a) override;
-    void dataRef(const Access &a) override;
-    void refBlock(const AccessBlock &blk) override;
-
-    const Tlb *itlb(CoreId core) const override { return &tlbs_.itlb(core); }
-    const Tlb *dtlb(CoreId core) const override { return &tlbs_.dtlb(core); }
-
-    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
-    void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
-
     const HashedPageTable &pageTable() const { return pt_; }
 
   private:
+    friend class TlbVm<HwInvertedVm>;
+
     void walk(Addr vaddr, CoreId core, Tlb &target);
 
     HashedPageTable pt_;
-    CoreTlbs tlbs_;
     HandlerCosts costs_;
     std::vector<Addr> walkBuf_;
 };

@@ -18,7 +18,7 @@
 #define VMSIM_OS_HW_MIPS_VM_HH
 
 #include "mem/phys_mem.hh"
-#include "os/vm_system.hh"
+#include "os/tlb_vm.hh"
 #include "pt/ultrix_page_table.hh"
 #include "tlb/tlb.hh"
 
@@ -26,7 +26,7 @@ namespace vmsim
 {
 
 /** Interpolated design: HW-managed TLB + MIPS-style linear table. */
-class HwMipsVm : public VmSystem
+class HwMipsVm : public TlbVm<HwMipsVm>
 {
   public:
     HwMipsVm(MemSystem &mem, PhysMem &phys_mem,
@@ -35,33 +35,17 @@ class HwMipsVm : public VmSystem
              unsigned page_bits = 12, std::uint64_t seed = 1,
              unsigned cores = 1);
 
-    using VmSystem::contextSwitch;
-    using VmSystem::dataRef;
-    using VmSystem::dtlb;
-    using VmSystem::instRef;
-    using VmSystem::itlb;
-    using VmSystem::refBlock;
-
-    void instRef(const Access &a) override;
-    void dataRef(const Access &a) override;
-    void refBlock(const AccessBlock &blk) override;
-
-    const Tlb *itlb(CoreId core) const override { return &tlbs_.itlb(core); }
-    const Tlb *dtlb(CoreId core) const override { return &tlbs_.dtlb(core); }
-
-    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
-    void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
-
     const UltrixPageTable &pageTable() const { return pt_; }
 
     /** Extra FSM cycles for the nested root-level access. */
     static constexpr unsigned kNestedWalkCycles = 4;
 
   private:
+    friend class TlbVm<HwMipsVm>;
+
     void walk(Addr vaddr, CoreId core, Tlb &target);
 
     UltrixPageTable pt_;
-    CoreTlbs tlbs_;
     HandlerCosts costs_;
 };
 

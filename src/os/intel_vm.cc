@@ -7,40 +7,13 @@ IntelVm::IntelVm(MemSystem &mem, PhysMem &phys_mem,
                  const TlbParams &itlb_params,
                  const TlbParams &dtlb_params, const HandlerCosts &costs,
                  unsigned page_bits, std::uint64_t seed, unsigned cores)
-    : VmSystem("INTEL", mem, cores), pt_(phys_mem, page_bits),
-      tlbs_(this->cores(), itlb_params, dtlb_params, seed ^ 0xE5,
-            seed ^ 0xF6),
-      costs_(costs)
+    : TlbVm("INTEL", mem, cores, itlb_params, dtlb_params, seed ^ 0xE5,
+            seed ^ 0xF6, page_bits),
+      pt_(phys_mem, page_bits), costs_(costs)
 {
     fatalIf(itlb_params.protectedSlots != 0 ||
                 dtlb_params.protectedSlots != 0,
             "INTEL TLBs are unpartitioned (no protected slots)");
-}
-
-void
-IntelVm::instRef(const Access &a)
-{
-    const Addr pc = a.addr;
-    Tlb &itlb = tlbs_.itlb(a.core);
-    if (!itlb.lookup(pt_.vpnOf(pc))) {
-        noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
-        walk(pc, a.core, itlb);
-        endMissService();
-    }
-    userInstFetch(pc);
-}
-
-void
-IntelVm::dataRef(const Access &a)
-{
-    const Addr addr = a.addr;
-    Tlb &dtlb = tlbs_.dtlb(a.core);
-    if (!dtlb.lookup(pt_.vpnOf(addr))) {
-        noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
-        walk(addr, a.core, dtlb);
-        endMissService();
-    }
-    userDataAccess(addr, a.store);
 }
 
 void
@@ -60,12 +33,6 @@ IntelVm::walk(Addr vaddr, CoreId core, Tlb &target)
 
     l2TlbFill(v, core);
     target.insert(v);
-}
-
-void
-IntelVm::refBlock(const AccessBlock &blk)
-{
-    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

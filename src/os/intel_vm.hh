@@ -17,7 +17,7 @@
 #define VMSIM_OS_INTEL_VM_HH
 
 #include "mem/phys_mem.hh"
-#include "os/vm_system.hh"
+#include "os/tlb_vm.hh"
 #include "pt/intel_page_table.hh"
 #include "tlb/tlb.hh"
 
@@ -25,7 +25,7 @@ namespace vmsim
 {
 
 /** The INTEL simulation: HW-managed TLB, 2-tier top-down table. */
-class IntelVm : public VmSystem
+class IntelVm : public TlbVm<IntelVm>
 {
   public:
     IntelVm(MemSystem &mem, PhysMem &phys_mem,
@@ -34,30 +34,14 @@ class IntelVm : public VmSystem
             unsigned page_bits = 12, std::uint64_t seed = 1,
             unsigned cores = 1);
 
-    using VmSystem::contextSwitch;
-    using VmSystem::dataRef;
-    using VmSystem::dtlb;
-    using VmSystem::instRef;
-    using VmSystem::itlb;
-    using VmSystem::refBlock;
-
-    void instRef(const Access &a) override;
-    void dataRef(const Access &a) override;
-    void refBlock(const AccessBlock &blk) override;
-
-    const Tlb *itlb(CoreId core) const override { return &tlbs_.itlb(core); }
-    const Tlb *dtlb(CoreId core) const override { return &tlbs_.dtlb(core); }
-
-    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
-    void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
-
     const IntelPageTable &pageTable() const { return pt_; }
 
   private:
+    friend class TlbVm<IntelVm>;
+
     void walk(Addr vaddr, CoreId core, Tlb &target);
 
     IntelPageTable pt_;
-    CoreTlbs tlbs_;
     HandlerCosts costs_;
 };
 

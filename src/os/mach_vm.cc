@@ -7,37 +7,10 @@ MachVm::MachVm(MemSystem &mem, PhysMem &phys_mem,
                const TlbParams &itlb_params, const TlbParams &dtlb_params,
                const HandlerCosts &costs, unsigned page_bits,
                std::uint64_t seed, unsigned cores)
-    : VmSystem("MACH", mem, cores), pt_(phys_mem, page_bits),
-      tlbs_(this->cores(), itlb_params, dtlb_params, seed ^ 0xC3,
-            seed ^ 0xD4),
-      costs_(costs)
+    : TlbVm("MACH", mem, cores, itlb_params, dtlb_params, seed ^ 0xC3,
+            seed ^ 0xD4, page_bits),
+      pt_(phys_mem, page_bits), costs_(costs)
 {
-}
-
-void
-MachVm::instRef(const Access &a)
-{
-    const Addr pc = a.addr;
-    Tlb &itlb = tlbs_.itlb(a.core);
-    if (!itlb.lookup(pt_.vpnOf(pc))) {
-        noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
-        walk(pc, a.core, itlb);
-        endMissService();
-    }
-    userInstFetch(pc);
-}
-
-void
-MachVm::dataRef(const Access &a)
-{
-    const Addr addr = a.addr;
-    Tlb &dtlb = tlbs_.dtlb(a.core);
-    if (!dtlb.lookup(pt_.vpnOf(addr))) {
-        noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
-        walk(addr, a.core, dtlb);
-        endMissService();
-    }
-    userDataAccess(addr, a.store);
 }
 
 void
@@ -89,12 +62,6 @@ MachVm::walk(Addr vaddr, CoreId core, Tlb &target)
     pteFetch(upte, kHierPteSize, AccessClass::PteUser, v);
     l2TlbFill(v, core);
     target.insert(v);
-}
-
-void
-MachVm::refBlock(const AccessBlock &blk)
-{
-    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

@@ -17,7 +17,7 @@
 #define VMSIM_OS_MACH_VM_HH
 
 #include "mem/phys_mem.hh"
-#include "os/vm_system.hh"
+#include "os/tlb_vm.hh"
 #include "pt/mach_page_table.hh"
 #include "tlb/tlb.hh"
 
@@ -25,7 +25,7 @@ namespace vmsim
 {
 
 /** The MACH simulation: SW-managed TLB, 3-tier bottom-up table. */
-class MachVm : public VmSystem
+class MachVm : public TlbVm<MachVm>
 {
   public:
     /** Parameters as for UltrixVm; MACH root costs come from @p costs
@@ -48,26 +48,11 @@ class MachVm : public VmSystem
         return c;
     }
 
-    using VmSystem::contextSwitch;
-    using VmSystem::dataRef;
-    using VmSystem::dtlb;
-    using VmSystem::instRef;
-    using VmSystem::itlb;
-    using VmSystem::refBlock;
-
-    void instRef(const Access &a) override;
-    void dataRef(const Access &a) override;
-    void refBlock(const AccessBlock &blk) override;
-
-    const Tlb *itlb(CoreId core) const override { return &tlbs_.itlb(core); }
-    const Tlb *dtlb(CoreId core) const override { return &tlbs_.dtlb(core); }
-
-    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
-    void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
-
     const MachPageTable &pageTable() const { return pt_; }
 
   private:
+    friend class TlbVm<MachVm>;
+
     void walk(Addr vaddr, CoreId core, Tlb &target);
 
     /**
@@ -86,7 +71,6 @@ class MachVm : public VmSystem
     }
 
     MachPageTable pt_;
-    CoreTlbs tlbs_;
     HandlerCosts costs_;
 };
 

@@ -9,22 +9,6 @@ NotlbVm::NotlbVm(MemSystem &mem, PhysMem &phys_mem,
 {}
 
 void
-NotlbVm::instRef(const Access &a)
-{
-    MemLevel lvl = userInstFetch(a.addr);
-    if (lvl == MemLevel::Memory)
-        missHandler(a.addr);
-}
-
-void
-NotlbVm::dataRef(const Access &a)
-{
-    MemLevel lvl = userDataAccess(a.addr, a.store);
-    if (lvl == MemLevel::Memory)
-        missHandler(a.addr);
-}
-
-void
 NotlbVm::missHandler(Addr vaddr)
 {
     Vpn v = pt_.vpnOf(vaddr);

@@ -30,13 +30,29 @@ class NotlbVm : public VmSystem
             const HandlerCosts &costs = HandlerCosts{},
             unsigned page_bits = 12);
 
-    using VmSystem::dataRef;
-    using VmSystem::instRef;
-    using VmSystem::refBlock;
-
-    void instRef(const Access &a) override;
-    void dataRef(const Access &a) override;
+    void instRef(const Access &a) override { instRefK<true>(a); }
+    void dataRef(const Access &a) override { dataRefK<true>(a); }
     void refBlock(const AccessBlock &blk) override;
+
+    /**
+     * Monomorphized kernels for the batched loop: the handler runs
+     * only on an L2 miss, so the hot path is the bare cache probe.
+     */
+    template <bool kObs>
+    void
+    instRefK(const Access &a)
+    {
+        if (userInstFetchT<kObs>(a.addr) == MemLevel::Memory)
+            missHandler(a.addr);
+    }
+
+    template <bool kObs>
+    void
+    dataRefK(const Access &a)
+    {
+        if (userDataAccessT<kObs>(a.addr, a.store) == MemLevel::Memory)
+            missHandler(a.addr);
+    }
 
     const DisjunctPageTable &pageTable() const { return pt_; }
 

@@ -8,41 +8,14 @@ PariscVm::PariscVm(MemSystem &mem, PhysMem &phys_mem,
                    const TlbParams &dtlb_params, const HandlerCosts &costs,
                    unsigned page_bits, std::uint64_t seed,
                    unsigned hpt_ratio, unsigned cores)
-    : VmSystem("PA-RISC", mem, cores), pt_(phys_mem, hpt_ratio, page_bits),
-      tlbs_(this->cores(), itlb_params, dtlb_params, seed ^ 0x17,
-            seed ^ 0x28),
-      costs_(costs)
+    : TlbVm("PA-RISC", mem, cores, itlb_params, dtlb_params, seed ^ 0x17,
+            seed ^ 0x28, page_bits),
+      pt_(phys_mem, hpt_ratio, page_bits), costs_(costs)
 {
     fatalIf(itlb_params.protectedSlots != 0 ||
                 dtlb_params.protectedSlots != 0,
             "PA-RISC TLBs are unpartitioned (no protected slots)");
     walkBuf_.reserve(16);
-}
-
-void
-PariscVm::instRef(const Access &a)
-{
-    const Addr pc = a.addr;
-    Tlb &itlb = tlbs_.itlb(a.core);
-    if (!itlb.lookup(pt_.vpnOf(pc))) {
-        noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
-        walk(pc, a.core, itlb);
-        endMissService();
-    }
-    userInstFetch(pc);
-}
-
-void
-PariscVm::dataRef(const Access &a)
-{
-    const Addr addr = a.addr;
-    Tlb &dtlb = tlbs_.dtlb(a.core);
-    if (!dtlb.lookup(pt_.vpnOf(addr))) {
-        noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
-        walk(addr, a.core, dtlb);
-        endMissService();
-    }
-    userDataAccess(addr, a.store);
 }
 
 void
@@ -68,12 +41,6 @@ PariscVm::walk(Addr vaddr, CoreId core, Tlb &target)
 
     l2TlbFill(v, core);
     target.insert(v);
-}
-
-void
-PariscVm::refBlock(const AccessBlock &blk)
-{
-    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

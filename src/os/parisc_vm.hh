@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "mem/phys_mem.hh"
-#include "os/vm_system.hh"
+#include "os/tlb_vm.hh"
 #include "pt/hashed_page_table.hh"
 #include "tlb/tlb.hh"
 
@@ -25,7 +25,7 @@ namespace vmsim
 {
 
 /** The PA-RISC simulation: SW-managed TLB, hashed inverted table. */
-class PariscVm : public VmSystem
+class PariscVm : public TlbVm<PariscVm>
 {
   public:
     /**
@@ -47,30 +47,14 @@ class PariscVm : public VmSystem
         return c;
     }
 
-    using VmSystem::contextSwitch;
-    using VmSystem::dataRef;
-    using VmSystem::dtlb;
-    using VmSystem::instRef;
-    using VmSystem::itlb;
-    using VmSystem::refBlock;
-
-    void instRef(const Access &a) override;
-    void dataRef(const Access &a) override;
-    void refBlock(const AccessBlock &blk) override;
-
-    const Tlb *itlb(CoreId core) const override { return &tlbs_.itlb(core); }
-    const Tlb *dtlb(CoreId core) const override { return &tlbs_.dtlb(core); }
-
-    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
-    void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
-
     const HashedPageTable &pageTable() const { return pt_; }
 
   private:
+    friend class TlbVm<PariscVm>;
+
     void walk(Addr vaddr, CoreId core, Tlb &target);
 
     HashedPageTable pt_;
-    CoreTlbs tlbs_;
     HandlerCosts costs_;
     std::vector<Addr> walkBuf_; ///< reused chain-walk scratch
 };

@@ -9,22 +9,6 @@ SpurVm::SpurVm(MemSystem &mem, PhysMem &phys_mem,
 {}
 
 void
-SpurVm::instRef(const Access &a)
-{
-    MemLevel lvl = userInstFetch(a.addr);
-    if (lvl == MemLevel::Memory)
-        hwMissWalk(a.addr);
-}
-
-void
-SpurVm::dataRef(const Access &a)
-{
-    MemLevel lvl = userDataAccess(a.addr, a.store);
-    if (lvl == MemLevel::Memory)
-        hwMissWalk(a.addr);
-}
-
-void
 SpurVm::hwMissWalk(Addr vaddr)
 {
     Vpn v = pt_.vpnOf(vaddr);

@@ -7,37 +7,10 @@ UltrixVm::UltrixVm(MemSystem &mem, PhysMem &phys_mem,
                    const TlbParams &itlb_params,
                    const TlbParams &dtlb_params, const HandlerCosts &costs,
                    unsigned page_bits, std::uint64_t seed, unsigned cores)
-    : VmSystem("ULTRIX", mem, cores), pt_(phys_mem, page_bits),
-      tlbs_(this->cores(), itlb_params, dtlb_params, seed ^ 0xA1,
-            seed ^ 0xB2),
-      costs_(costs)
+    : TlbVm("ULTRIX", mem, cores, itlb_params, dtlb_params, seed ^ 0xA1,
+            seed ^ 0xB2, page_bits),
+      pt_(phys_mem, page_bits), costs_(costs)
 {
-}
-
-void
-UltrixVm::instRef(const Access &a)
-{
-    const Addr pc = a.addr;
-    Tlb &itlb = tlbs_.itlb(a.core);
-    if (!itlb.lookup(pt_.vpnOf(pc))) {
-        noteItlbMiss(pc, pt_.vpnOf(pc), a.core);
-        walk(pc, a.core, itlb);
-        endMissService();
-    }
-    userInstFetch(pc);
-}
-
-void
-UltrixVm::dataRef(const Access &a)
-{
-    const Addr addr = a.addr;
-    Tlb &dtlb = tlbs_.dtlb(a.core);
-    if (!dtlb.lookup(pt_.vpnOf(addr))) {
-        noteDtlbMiss(addr, pt_.vpnOf(addr), a.core);
-        walk(addr, a.core, dtlb);
-        endMissService();
-    }
-    userDataAccess(addr, a.store);
 }
 
 void
@@ -70,12 +43,6 @@ UltrixVm::walk(Addr vaddr, CoreId core, Tlb &target)
     pteFetch(upte, kHierPteSize, AccessClass::PteUser, v);
     l2TlbFill(v, core);
     target.insert(v);
-}
-
-void
-UltrixVm::refBlock(const AccessBlock &blk)
-{
-    refBlockFor(*this, blk);
 }
 
 } // namespace vmsim

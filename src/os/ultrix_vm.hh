@@ -21,7 +21,7 @@
 #define VMSIM_OS_ULTRIX_VM_HH
 
 #include "mem/phys_mem.hh"
-#include "os/vm_system.hh"
+#include "os/tlb_vm.hh"
 #include "pt/ultrix_page_table.hh"
 #include "tlb/tlb.hh"
 
@@ -29,7 +29,7 @@ namespace vmsim
 {
 
 /** The ULTRIX simulation: SW-managed TLB, 2-tier bottom-up table. */
-class UltrixVm : public VmSystem
+class UltrixVm : public TlbVm<UltrixVm>
 {
   public:
     /**
@@ -48,26 +48,11 @@ class UltrixVm : public VmSystem
              unsigned page_bits = 12, std::uint64_t seed = 1,
              unsigned cores = 1);
 
-    using VmSystem::contextSwitch;
-    using VmSystem::dataRef;
-    using VmSystem::dtlb;
-    using VmSystem::instRef;
-    using VmSystem::itlb;
-    using VmSystem::refBlock;
-
-    void instRef(const Access &a) override;
-    void dataRef(const Access &a) override;
-    void refBlock(const AccessBlock &blk) override;
-
-    const Tlb *itlb(CoreId core) const override { return &tlbs_.itlb(core); }
-    const Tlb *dtlb(CoreId core) const override { return &tlbs_.dtlb(core); }
-
-    /** Flush (untagged) or partially evict (ASID-tagged) the TLBs. */
-    void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
-
     const UltrixPageTable &pageTable() const { return pt_; }
 
   private:
+    friend class TlbVm<UltrixVm>;
+
     /** Software TLB refill for @p vaddr on @p core; inserts into @p target. */
     void walk(Addr vaddr, CoreId core, Tlb &target);
 
@@ -87,7 +72,6 @@ class UltrixVm : public VmSystem
     }
 
     UltrixPageTable pt_;
-    CoreTlbs tlbs_;
     HandlerCosts costs_;
 };
 

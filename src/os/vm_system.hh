@@ -214,11 +214,10 @@ class CoreTlbs
  * is shared (passed in) so that handler and PTE traffic pollutes the
  * same caches the application uses.
  *
- * The primary entry points take core-indexed Access records. The bare
- * single-address overloads (instRef(Addr), dataRef(Addr, bool),
- * refBlock(recs, n), contextSwitch()) are deprecated compatibility
- * wrappers that forward to the Access path as core 0; new callers
- * should construct Access/AccessBlock values directly.
+ * The entry points take core-indexed Access records; single-core
+ * callers construct them with core 0. Only the no-argument
+ * contextSwitch()/itlb()/dtlb() conveniences remain as core-0
+ * shorthands.
  */
 class VmSystem
 {
@@ -275,17 +274,9 @@ class VmSystem
      */
     virtual void contextSwitch(CoreId core) { noteContextSwitch(core); }
 
-    /** @name Deprecated single-core entry points
-     *  Thin wrappers over the core-indexed Access path (core 0) kept
-     *  for single-core callers and tests; do not add new callers that
-     *  construct raw address pairs. @{ */
-    void instRef(Addr pc) { instRef(Access{pc, 0, false}); }
-    void dataRef(Addr addr, bool store) { dataRef(Access{addr, 0, store}); }
-    void
-    refBlock(const TraceRecord *recs, std::size_t n)
-    {
-        refBlock(AccessBlock{recs, n, 0});
-    }
+    /** @name Core-0 conveniences
+     *  Shorthands over the core-indexed accessors for single-core
+     *  callers and the invariant checker. @{ */
     void contextSwitch() { contextSwitch(CoreId{0}); }
     const Tlb *itlb() const { return itlb(CoreId{0}); }
     const Tlb *dtlb() const { return dtlb(CoreId{0}); }
@@ -320,6 +311,17 @@ class VmSystem
     void attachEventSink(EventSink *sink) { sink_ = sink; }
     EventSink *eventSink() const { return sink_; }
     bool tracing() const { return sink_ != nullptr; }
+
+    /**
+     * True while any observer (event sink or latency collector) is
+     * attached. The batched kernels instantiate twice per
+     * organization: an observed body (kObs = true, all per-reference
+     * observer tests live) and a bare body (kObs = false) that elides
+     * them wholesale — legal because observers attach only between
+     * runs, never mid-batch, so a false reading holds for the whole
+     * block.
+     */
+    bool observedRefs() const { return sink_ != nullptr || lat_ != nullptr; }
 
     /**
      * Attach a latency collector (not owned; nullptr detaches). While
@@ -499,25 +501,42 @@ class VmSystem
     /**
      * Fetch one user instruction through the I-side hierarchy,
      * reporting an L2Miss event if it goes all the way to memory.
+     * The kObs = false instantiation compiles the sink test out of
+     * the per-reference path; see observedRefs() for why that is
+     * counter-identical.
      */
+    template <bool kObs = true>
     MemLevel
-    userInstFetch(Addr pc)
+    userInstFetchT(Addr pc)
     {
         MemLevel lvl = mem_.instFetch(pc, AccessClass::User);
-        if (sink_ && lvl == MemLevel::Memory)
-            doEmit(EventKind::L2Miss, EventLevel::User, pc, 0, 0);
+        if constexpr (kObs) {
+            if (sink_ && lvl == MemLevel::Memory)
+                doEmit(EventKind::L2Miss, EventLevel::User, pc, 0, 0);
+        }
         return lvl;
     }
 
-    /** The data-side twin of userInstFetch() (level field = 1). */
+    MemLevel userInstFetch(Addr pc) { return userInstFetchT<true>(pc); }
+
+    /** The data-side twin of userInstFetchT() (level field = 1). */
+    template <bool kObs = true>
     MemLevel
-    userDataAccess(Addr addr, bool store)
+    userDataAccessT(Addr addr, bool store)
     {
         MemLevel lvl =
             mem_.dataAccess(addr, kDataBytes, store, AccessClass::User);
-        if (sink_ && lvl == MemLevel::Memory)
-            doEmit(EventKind::L2Miss, EventLevel::Kernel, addr, 0, 0);
+        if constexpr (kObs) {
+            if (sink_ && lvl == MemLevel::Memory)
+                doEmit(EventKind::L2Miss, EventLevel::Kernel, addr, 0, 0);
+        }
         return lvl;
+    }
+
+    MemLevel
+    userDataAccess(Addr addr, bool store)
+    {
+        return userDataAccessT<true>(addr, store);
     }
 
     /**
@@ -674,15 +693,21 @@ class VmSystem
 };
 
 /**
- * Devirtualized block-reference loop: @p VM is the concrete
- * organization, so the qualified VM::instRef / VM::dataRef calls are
- * non-virtual and inline into the loop. Each organization's
- * refBlock() override is a one-line call to this helper from its own
- * translation unit, where the reference handlers are visible.
+ * Devirtualized block-reference loop for organizations whose per-core
+ * state needs no hoisting (BASE, NOTLB, SPUR — the TLB-per-core
+ * organizations use TlbVm's batched loop instead, which additionally
+ * hoists the core's TLB pair). @p VM is the concrete organization, so
+ * the instRefK / dataRefK calls are non-virtual and inline into the
+ * loop; @p kObs selects the observed or bare kernel body.
+ *
+ * The LINT-KERNEL markers fence the per-record dispatch region that
+ * scripts/ci.sh greps: no virtual call, no raw instRef/dataRef
+ * dispatch, and no std::unordered_map probe may reappear inside it.
  */
-template <class VM>
+// LINT-KERNEL-BEGIN (vm_system)
+template <bool kObs, class VM>
 inline void
-refBlockFor(VM &vm, const AccessBlock &blk)
+refBlockKernel(VM &vm, const AccessBlock &blk)
 {
     Access a;
     a.core = blk.core;
@@ -690,13 +715,30 @@ refBlockFor(VM &vm, const AccessBlock &blk)
         const TraceRecord &r = blk.recs[i];
         a.addr = r.pc;
         a.store = false;
-        vm.VM::instRef(a);
+        vm.template instRefK<kObs>(a);
         if (r.isMemOp()) {
             a.addr = r.daddr;
             a.store = r.isStore();
-            vm.VM::dataRef(a);
+            vm.template dataRefK<kObs>(a);
         }
     }
+}
+// LINT-KERNEL-END (vm_system)
+
+/**
+ * Per-batch prologue: test the observers once, then run the whole
+ * block through the matching monomorphized kernel. Each organization's
+ * refBlock() override is a one-line call to this helper from its own
+ * translation unit, where the reference kernels are visible.
+ */
+template <class VM>
+inline void
+refBlockFor(VM &vm, const AccessBlock &blk)
+{
+    if (vm.observedRefs())
+        refBlockKernel<true>(vm, blk);
+    else
+        refBlockKernel<false>(vm, blk);
 }
 
 } // namespace vmsim

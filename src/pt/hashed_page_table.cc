@@ -21,7 +21,9 @@ HashedPageTable::HashedPageTable(PhysMem &phys_mem, unsigned ratio,
     crtCapacity_ = frames;
     crtPhysBase_ =
         phys_mem.reserveRegion(crtCapacity_ * kHashedPteSize, pageSize());
-    buckets_.resize(numBuckets_);
+    heads_.assign(numBuckets_, kNil);
+    tails_.assign(numBuckets_, kNil);
+    arena_.reserve(frames);
 }
 
 std::uint64_t
@@ -49,14 +51,13 @@ unsigned
 HashedPageTable::walk(Vpn v, std::vector<Addr> &out)
 {
     std::uint64_t bucket = hashOf(v);
-    auto &chain = buckets_[bucket];
 
     // First touch: allocate the frame and append the entry to the
     // chain tail (main-table slot if the bucket is empty, else a CRT
-    // slot).
+    // slot). The chain is a link walk through the flat arena.
     bool present = false;
-    for (const auto &node : chain) {
-        if (node.vpn == v) {
+    for (std::uint32_t n = heads_[bucket]; n != kNil; n = arena_[n].next) {
+        if (arena_[n].vpn == v) {
             present = true;
             break;
         }
@@ -64,7 +65,7 @@ HashedPageTable::walk(Vpn v, std::vector<Addr> &out)
     if (!present) {
         physMem_.frameOf(v);
         Addr entry_addr;
-        if (chain.empty()) {
+        if (heads_[bucket] == kNil) {
             entry_addr =
                 physToCacheAddr(hptPhysBase_ + bucket * kHashedPteSize);
         } else {
@@ -77,15 +78,21 @@ HashedPageTable::walk(Vpn v, std::vector<Addr> &out)
                                          crtNext_ * kHashedPteSize);
             ++crtNext_;
         }
-        chain.push_back(Node{v, entry_addr});
+        std::uint32_t idx = static_cast<std::uint32_t>(arena_.size());
+        arena_.push_back(Node{v, entry_addr, kNil});
+        if (heads_[bucket] == kNil)
+            heads_[bucket] = idx;
+        else
+            arena_[tails_[bucket]].next = idx;
+        tails_[bucket] = idx;
         ++entryCount_;
     }
 
     unsigned depth = 0;
-    for (const auto &node : chain) {
+    for (std::uint32_t n = heads_[bucket]; n != kNil; n = arena_[n].next) {
         ++depth;
-        out.push_back(node.cacheAddr);
-        if (node.vpn == v)
+        out.push_back(arena_[n].cacheAddr);
+        if (arena_[n].vpn == v)
             break;
     }
     searchDepth_.sample(depth);
@@ -96,14 +103,11 @@ double
 HashedPageTable::avgChainLength() const
 {
     std::uint64_t nonempty = 0;
-    std::uint64_t total = 0;
-    for (const auto &chain : buckets_) {
-        if (!chain.empty()) {
+    for (std::uint32_t head : heads_)
+        if (head != kNil)
             ++nonempty;
-            total += chain.size();
-        }
-    }
-    return nonempty ? static_cast<double>(total) /
+    // Every arena node belongs to exactly one chain.
+    return nonempty ? static_cast<double>(arena_.size()) /
                           static_cast<double>(nonempty)
                     : 0.0;
 }

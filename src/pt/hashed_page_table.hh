@@ -84,11 +84,20 @@ class HashedPageTable : public PageTableBase
     const Distribution &searchDepth() const { return searchDepth_; }
 
   private:
+    /**
+     * Chain node in the flat arena. Chains are singly linked through
+     * arena indices (next), not pointers: one contiguous allocation
+     * for the whole table, and a chain walk is an index hop inside it
+     * instead of a heap pointer chase per bucket.
+     */
     struct Node
     {
         Vpn vpn;
         Addr cacheAddr; ///< physical-window address of this entry
+        std::uint32_t next; ///< arena index of next node, or kNil
     };
+
+    static constexpr std::uint32_t kNil = 0xffffffffu;
 
     PhysMem &physMem_;
     std::uint64_t numBuckets_;
@@ -98,7 +107,9 @@ class HashedPageTable : public PageTableBase
     std::uint64_t crtNext_ = 0;
     std::uint64_t entryCount_ = 0;
     bool crtOverflowWarned_ = false;
-    std::vector<std::vector<Node>> buckets_;
+    std::vector<Node> arena_;          ///< all chain nodes, flat
+    std::vector<std::uint32_t> heads_; ///< bucket -> first node
+    std::vector<std::uint32_t> tails_; ///< bucket -> last node
     Distribution searchDepth_;
 };
 

@@ -26,10 +26,9 @@ Addr
 IntelPageTable::leafEntryAddr(Vpn v)
 {
     std::uint64_t segment = v / ptesPerPage();
-    auto it = ptePages_.find(segment);
     Addr page_phys;
-    if (it != ptePages_.end()) {
-        page_phys = it->second;
+    if (const Addr *p = ptePages_.find(segment)) {
+        page_phys = *p;
     } else {
         // First touch of this 4 MB segment: allocate a frame for its
         // PTE page. Allocation order follows the workload's footprint
@@ -37,7 +36,7 @@ IntelPageTable::leafEntryAddr(Vpn v)
         // the "not necessarily contiguous" property of Figure 3.
         page_phys = physMem_.frameOf(kTableKeyBase + segment)
                     << pageBits();
-        ptePages_.emplace(segment, page_phys);
+        ptePages_.insertNew(segment, page_phys);
     }
     return physToCacheAddr(page_phys +
                            (v % ptesPerPage()) * kHierPteSize);

@@ -20,8 +20,7 @@
 #ifndef VMSIM_PT_INTEL_PAGE_TABLE_HH
 #define VMSIM_PT_INTEL_PAGE_TABLE_HH
 
-#include <unordered_map>
-
+#include "base/flat_hash.hh"
 #include "mem/phys_mem.hh"
 #include "pt/page_table.hh"
 
@@ -74,7 +73,8 @@ class IntelPageTable : public PageTableBase
 
     PhysMem &physMem_;
     Addr pdPhysBase_;
-    std::unordered_map<std::uint64_t, Addr> ptePages_; ///< segment->phys
+    /** segment->phys PTE-page base, open-addressed (hot on walks). */
+    FlatMap64<Addr> ptePages_;
 };
 
 } // namespace vmsim

@@ -48,82 +48,28 @@ Tlb::Tlb(const TlbParams &params, std::uint64_t seed)
                 "set-associative TLB needs a power-of-two set count");
     }
     asidMask_ = mask(params_.asidBits);
-    slots_.assign(params_.entries, Slot{});
+    curTag_ = 0;
+    keys_.assign(params_.entries, 0);
+    valid_.assign(params_.entries, 0);
+    stamps_.assign(params_.entries, 0);
     if (params_.fullyAssociative())
-        index_.reserve(params_.entries * 2);
-}
-
-void
-Tlb::setRange(Vpn vpn, unsigned &lo, unsigned &hi) const
-{
-    unsigned set = static_cast<unsigned>(vpn & (numSets_ - 1));
-    lo = set * params_.assoc;
-    hi = lo + params_.assoc;
-}
-
-unsigned
-Tlb::findSlot(Vpn vpn) const
-{
-    if (params_.fullyAssociative()) {
-        auto it = index_.find(keyOf(vpn, tagAsid()));
-        if (it == index_.end() && params_.tagged())
-            it = index_.find(keyOf(vpn, kGlobalAsid));
-        return it != index_.end() ? it->second : params_.entries;
-    }
-    unsigned lo, hi;
-    setRange(vpn, lo, hi);
-    std::uint64_t key = keyOf(vpn, tagAsid());
-    std::uint64_t gkey = keyOf(vpn, kGlobalAsid);
-    for (unsigned s = lo; s < hi; ++s)
-        if (slots_[s].valid &&
-            (slots_[s].key == key ||
-             (params_.tagged() && slots_[s].key == gkey)))
-            return s;
-    return params_.entries;
-}
-
-bool
-Tlb::lookup(Vpn vpn)
-{
-    if (lifeHist_ || reuseHist_)
-        ++probes_;
-    unsigned s = findSlot(vpn);
-    if (s == params_.entries) {
-        ++misses_;
-        return false;
-    }
-    ++hits_;
-    if (reuseHist_) {
-        reuseHist_->sample(
-            static_cast<double>(probes_ - lastProbe_[s]));
-        lastProbe_[s] = probes_;
-    }
-    if (params_.repl == TlbRepl::LRU)
-        slots_[s].stamp = ++stamp_;
-    return true;
-}
-
-bool
-Tlb::contains(Vpn vpn) const
-{
-    return findSlot(vpn) != params_.entries;
+        index_.reserve(params_.entries);
 }
 
 void
 Tlb::insertInRegion(std::uint64_t key, unsigned lo, unsigned hi)
 {
-    // Refresh if already resident (fully-assoc: map probe; set-assoc:
-    // scan the region).
+    // Refresh if already resident (fully-assoc: index probe;
+    // set-assoc: scan the region's packed keys).
     if (params_.fullyAssociative()) {
-        auto it = index_.find(key);
-        if (it != index_.end()) {
-            slots_[it->second].stamp = ++stamp_;
+        if (const unsigned *p = index_.find(key)) {
+            stamps_[*p] = ++stamp_;
             return;
         }
     } else {
         for (unsigned s = lo; s < hi; ++s) {
-            if (slots_[s].valid && slots_[s].key == key) {
-                slots_[s].stamp = ++stamp_;
+            if (valid_[s] && keys_[s] == key) {
+                stamps_[s] = ++stamp_;
                 return;
             }
         }
@@ -132,7 +78,7 @@ Tlb::insertInRegion(std::uint64_t key, unsigned lo, unsigned hi)
     // Prefer an invalid slot in the region.
     unsigned victim = hi;
     for (unsigned s = lo; s < hi; ++s) {
-        if (!slots_[s].valid) {
+        if (!valid_[s]) {
             victim = s;
             break;
         }
@@ -146,18 +92,20 @@ Tlb::insertInRegion(std::uint64_t key, unsigned lo, unsigned hi)
           case TlbRepl::FIFO:
             victim = lo;
             for (unsigned s = lo + 1; s < hi; ++s)
-                if (slots_[s].stamp < slots_[victim].stamp)
+                if (stamps_[s] < stamps_[victim])
                     victim = s;
             break;
         }
         noteEvict(victim);
         if (params_.fullyAssociative())
-            index_.erase(slots_[victim].key);
+            index_.erase(keys_[victim]);
     }
-    slots_[victim] = Slot{key, true, ++stamp_};
+    keys_[victim] = key;
+    valid_[victim] = 1;
+    stamps_[victim] = ++stamp_;
     noteFill(victim);
     if (params_.fullyAssociative())
-        index_[key] = victim;
+        index_.insertNew(key, victim); // absent: refresh probe missed
 }
 
 void
@@ -168,7 +116,7 @@ Tlb::insert(Vpn vpn)
     // that entry, not create a duplicate under the current ASID.
     unsigned resident = findSlot(vpn);
     if (resident != params_.entries) {
-        slots_[resident].stamp = ++stamp_;
+        stamps_[resident] = ++stamp_;
         return;
     }
     std::uint64_t key = keyOf(vpn, tagAsid());
@@ -195,10 +143,9 @@ void
 Tlb::invalidateAll()
 {
     if (lifeHist_)
-        for (unsigned s = 0; s < slots_.size(); ++s)
+        for (unsigned s = 0; s < params_.entries; ++s)
             noteEvict(s);
-    for (auto &s : slots_)
-        s.valid = false;
+    std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
     index_.clear();
 }
 
@@ -207,17 +154,19 @@ Tlb::invalidate(Vpn vpn)
 {
     // Mirror lookup()'s dual-key rule: dropping a VPN must also drop
     // a global/protected entry, or the mapping keeps hitting after
-    // invalidation.
+    // invalidation. Under the flat index both erases must land even
+    // when the first one tombstones a slot on the second key's probe
+    // chain — tests/layout_test.cc pins this down.
     std::uint64_t keys[2] = {keyOf(vpn, tagAsid()),
                              keyOf(vpn, kGlobalAsid)};
     unsigned nkeys = params_.tagged() ? 2 : 1;
     if (params_.fullyAssociative()) {
         for (unsigned k = 0; k < nkeys; ++k) {
-            auto it = index_.find(keys[k]);
-            if (it != index_.end()) {
-                noteEvict(it->second);
-                slots_[it->second].valid = false;
-                index_.erase(it);
+            if (const unsigned *p = index_.find(keys[k])) {
+                unsigned s = *p;
+                noteEvict(s);
+                valid_[s] = 0;
+                index_.erase(keys[k]);
             }
         }
         return;
@@ -226,9 +175,9 @@ Tlb::invalidate(Vpn vpn)
     setRange(vpn, lo, hi);
     for (unsigned s = lo; s < hi; ++s)
         for (unsigned k = 0; k < nkeys; ++k)
-            if (slots_[s].valid && slots_[s].key == keys[k]) {
+            if (valid_[s] && keys_[s] == keys[k]) {
                 noteEvict(s);
-                slots_[s].valid = false;
+                valid_[s] = 0;
             }
 }
 
@@ -239,11 +188,11 @@ Tlb::invalidateAsid(Asid asid)
                             ? (asid & asidMask_)
                             : std::uint64_t{0};
     for (unsigned s = params_.protectedSlots; s < params_.entries; ++s) {
-        if (slots_[s].valid && (slots_[s].key >> 48) == tag) {
+        if (valid_[s] && (keys_[s] >> 48) == tag) {
             noteEvict(s);
             if (params_.fullyAssociative())
-                index_.erase(slots_[s].key);
-            slots_[s].valid = false;
+                index_.erase(keys_[s]);
+            valid_[s] = 0;
         }
     }
 }
@@ -257,11 +206,11 @@ Tlb::evictRandom(unsigned n)
     // Bounded sampling: up to 4n draws to find n valid victims.
     for (unsigned tries = 0; tries < 4 * n && evicted < n; ++tries) {
         unsigned s = lo + static_cast<unsigned>(rng_.uniform(span));
-        if (slots_[s].valid) {
+        if (valid_[s]) {
             noteEvict(s);
             if (params_.fullyAssociative())
-                index_.erase(slots_[s].key);
-            slots_[s].valid = false;
+                index_.erase(keys_[s]);
+            valid_[s] = 0;
             ++evicted;
         }
     }
@@ -272,12 +221,20 @@ void
 Tlb::setCurrentAsid(Asid asid)
 {
     curAsid_ = asid;
+    curTag_ = params_.tagged() ? (curAsid_ & asidMask_) : 0;
+}
+
+void
+Tlb::sampleReuse(unsigned s)
+{
+    reuseHist_->sample(static_cast<double>(probes_ - lastProbe_[s]));
+    lastProbe_[s] = probes_;
 }
 
 void
 Tlb::noteEvict(unsigned s)
 {
-    if (lifeHist_ && slots_[s].valid)
+    if (lifeHist_ && valid_[s])
         lifeHist_->sample(static_cast<double>(probes_ - fillProbe_[s]));
 }
 
@@ -289,8 +246,8 @@ Tlb::attachResidency(Histogram *lifetime, Histogram *reuse)
     probes_ = 0;
     if (lifeHist_ || reuseHist_) {
         // Entries already resident count as filled "now".
-        fillProbe_.assign(slots_.size(), 0);
-        lastProbe_.assign(slots_.size(), 0);
+        fillProbe_.assign(params_.entries, 0);
+        lastProbe_.assign(params_.entries, 0);
     } else {
         fillProbe_.clear();
         lastProbe_.clear();
@@ -310,10 +267,58 @@ unsigned
 Tlb::validEntries() const
 {
     unsigned n = 0;
-    for (const auto &s : slots_)
-        if (s.valid)
+    for (unsigned s = 0; s < params_.entries; ++s)
+        if (valid_[s])
             ++n;
     return n;
+}
+
+bool
+Tlb::auditIndex(std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why += msg;
+        return false;
+    };
+    if (!params_.fullyAssociative())
+        return true; // no index to audit
+    unsigned live = validEntries();
+    if (index_.size() != live)
+        return fail("index size " + std::to_string(index_.size()) +
+                    " != valid entries " + std::to_string(live));
+    // Every index entry points at a valid slot holding that key.
+    bool ok = true;
+    std::string detail;
+    index_.forEach([&](std::uint64_t key, unsigned s) {
+        if (s >= params_.entries) {
+            ok = false;
+            detail += "index entry out of range; ";
+        } else if (!valid_[s]) {
+            ok = false;
+            detail += "index entry points at invalid slot " +
+                      std::to_string(s) + "; ";
+        } else if (keys_[s] != key) {
+            ok = false;
+            detail += "index key mismatch at slot " +
+                      std::to_string(s) + "; ";
+        }
+    });
+    if (!ok)
+        return fail(detail);
+    // Every valid slot is findable under its own key.
+    for (unsigned s = 0; s < params_.entries; ++s) {
+        if (!valid_[s])
+            continue;
+        const unsigned *p = index_.find(keys_[s]);
+        if (p == nullptr)
+            return fail("valid slot " + std::to_string(s) +
+                        " missing from index");
+        if (*p != s)
+            return fail("index maps slot " + std::to_string(s) +
+                        "'s key to slot " + std::to_string(*p));
+    }
+    return true;
 }
 
 } // namespace vmsim

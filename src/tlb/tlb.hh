@@ -23,6 +23,14 @@
  *    so context switches (setCurrentAsid) need no flush. Protected
  *    entries are global, matching MIPS's G-bit kernel mappings.
  *
+ * Data layout (DESIGN.md "Hot-path data layout"): entries are stored
+ * structure-of-arrays — packed keys, validity bytes, and replacement
+ * stamps in separate cache-line-aligned vectors — so the
+ * set-associative dual-key ASID probe is a linear scan over packed
+ * keys and a replacement-stamp update touches only the stamp line.
+ * The fully-associative key->slot index is an open-addressed flat
+ * probe table (FlatMap64) instead of a node-based unordered_map.
+ *
  * evictRandom() supports the multiprogramming model where competing
  * processes displace a fraction of a process's entries between its
  * quanta.
@@ -33,9 +41,10 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "base/aligned.hh"
+#include "base/flat_hash.hh"
 #include "base/random.hh"
 #include "base/types.hh"
 
@@ -88,8 +97,9 @@ struct TlbParams
 
 /**
  * TLB with protected-slot partition, optional set associativity and
- * optional ASID tagging. lookup() is the hot path: O(1) via a
- * key->slot map when fully associative, a short set scan otherwise.
+ * optional ASID tagging. lookup() is the hot path: an open-addressed
+ * probe over the flat key->slot index when fully associative, a
+ * linear scan over the set's packed keys otherwise.
  */
 class Tlb
 {
@@ -99,11 +109,40 @@ class Tlb
     /**
      * Probe for @p vpn under the current ASID and record a hit or
      * miss. Hits refresh LRU state. @return true on hit.
+     *
+     * The kObs=false instantiation omits the residency-histogram
+     * bookkeeping entirely; it is only legal while no histograms are
+     * attached (attachResidency unattached), where the two
+     * instantiations are byte-identical in effect.
      */
-    bool lookup(Vpn vpn);
+    template <bool kObs>
+    bool
+    lookupT(Vpn vpn)
+    {
+        if constexpr (kObs) {
+            if (lifeHist_ || reuseHist_)
+                ++probes_;
+        }
+        unsigned s = findSlot(vpn);
+        if (s == params_.entries) {
+            ++misses_;
+            return false;
+        }
+        ++hits_;
+        if constexpr (kObs) {
+            if (reuseHist_)
+                sampleReuse(s);
+        }
+        if (params_.repl == TlbRepl::LRU)
+            stamps_[s] = ++stamp_;
+        return true;
+    }
+
+    /** Fully-observed probe (safe whether or not histograms attach). */
+    bool lookup(Vpn vpn) { return lookupT<true>(vpn); }
 
     /** Probe without touching statistics or LRU state. */
-    bool contains(Vpn vpn) const;
+    bool contains(Vpn vpn) const { return findSlot(vpn) != params_.entries; }
 
     /**
      * Insert a mapping for @p vpn (tagged with the current ASID if
@@ -152,6 +191,18 @@ class Tlb
     void resetStats() { hits_ = misses_ = 0; }
 
     /**
+     * Audit the flat key->slot index against the slot arrays (the
+     * ground truth): every valid slot must be findable under its own
+     * key, every index entry must point at a valid slot holding that
+     * key, and the live-entry counts must agree. Trivially true for
+     * set-associative TLBs (no index). Used by checkLiveTlb and the
+     * layout tests to prove invalidate/evict tombstone accounting
+     * never leaves the probe array inconsistent. @return true if
+     * consistent; on failure appends a reason to @p why if non-null.
+     */
+    bool auditIndex(std::string *why = nullptr) const;
+
+    /**
      * Attach residency histograms (not owned; nullptr detaches both):
      * @p lifetime receives each evicted entry's residency and
      * @p reuse each hit's distance since the entry was last touched,
@@ -179,19 +230,8 @@ class Tlb
         return (asid << 48) | vpn;
     }
 
-    /** ASID used for normal-entry keys right now. */
-    std::uint64_t
-    tagAsid() const
-    {
-        return params_.tagged() ? curAsid_ & asidMask_ : 0;
-    }
-
-    struct Slot
-    {
-        std::uint64_t key = 0;
-        bool valid = false;
-        std::uint64_t stamp = 0; ///< LRU: last touch; FIFO: fill time
-    };
+    /** ASID used for normal-entry keys right now (cached curTag_). */
+    std::uint64_t tagAsid() const { return curTag_; }
 
     /** Insert @p key into slot region [lo, hi). */
     void insertInRegion(std::uint64_t key, unsigned lo, unsigned hi);
@@ -200,12 +240,42 @@ class Tlb
      * The slot holding @p vpn under the current ASID *or* the global
      * tag, or params_.entries if absent (no stats). The single probe
      * shared by lookup/contains/insert/invalidate so every path sees
-     * the same dual-key residency rule.
+     * the same dual-key residency rule. Fully associative: one or two
+     * open-addressed probes of the flat index. Set associative: a
+     * linear scan over the set's packed keys.
      */
-    unsigned findSlot(Vpn vpn) const;
+    unsigned
+    findSlot(Vpn vpn) const
+    {
+        if (params_.fullyAssociative()) {
+            const unsigned *p = index_.find(keyOf(vpn, curTag_));
+            if (p == nullptr && params_.tagged())
+                p = index_.find(keyOf(vpn, kGlobalAsid));
+            return p != nullptr ? *p : params_.entries;
+        }
+        unsigned lo, hi;
+        setRange(vpn, lo, hi);
+        std::uint64_t key = keyOf(vpn, curTag_);
+        std::uint64_t gkey = keyOf(vpn, kGlobalAsid);
+        for (unsigned s = lo; s < hi; ++s)
+            if (valid_[s] &&
+                (keys_[s] == key ||
+                 (params_.tagged() && keys_[s] == gkey)))
+                return s;
+        return params_.entries;
+    }
 
     /** Set-associative region bounds for @p vpn. */
-    void setRange(Vpn vpn, unsigned &lo, unsigned &hi) const;
+    void
+    setRange(Vpn vpn, unsigned &lo, unsigned &hi) const
+    {
+        unsigned set = static_cast<unsigned>(vpn & (numSets_ - 1));
+        lo = set * params_.assoc;
+        hi = lo + params_.assoc;
+    }
+
+    /** Sample slot @p s's reuse distance (reuseHist_ attached). */
+    void sampleReuse(unsigned s);
 
     /** Sample slot @p s's lifetime into lifeHist_ if it is valid. */
     void noteEvict(unsigned s);
@@ -223,8 +293,18 @@ class Tlb
     TlbParams params_;
     std::uint64_t asidMask_ = 0;
     Asid curAsid_ = 0;
-    std::vector<Slot> slots_;
-    std::unordered_map<std::uint64_t, unsigned> index_; ///< FA: key->slot
+    std::uint64_t curTag_ = 0; ///< cached tagAsid() for the hot probe
+
+    /**
+     * Entry storage, structure-of-arrays: packed keys, validity
+     * bytes, and replacement stamps in separate cache-line-aligned
+     * vectors (slot s spans all three at index s).
+     */
+    AlignedVec<std::uint64_t> keys_;
+    AlignedVec<std::uint8_t> valid_;
+    AlignedVec<std::uint64_t> stamps_; ///< LRU: last touch; FIFO: fill
+
+    FlatMap64<unsigned> index_; ///< FA: key->slot, open-addressed
     Random rng_;
     std::uint64_t stamp_ = 0;
     unsigned numSets_ = 1; ///< set-associative only

@@ -83,7 +83,7 @@ TEST(Factory, HandlerCostOverride)
     cfg.overrideHandlerCosts = true;
     cfg.handlerCosts.userInstrs = 33;
     System sys(cfg);
-    sys.vm().dataRef(0x10000000, false);
+    sys.vm().dataRef(Access{0x10000000, 0, false});
     EXPECT_EQ(sys.vm().vmStats().uhandlerInstrs, 33u);
 }
 

@@ -230,8 +230,8 @@ TEST(Multicore, DeprecatedScalarWrappersStillWork)
 {
     System sys(baseConfig());
     VmSystem &vm = sys.vm();
-    vm.instRef(Addr{0x1000});
-    vm.dataRef(Addr{0x2000}, true);
+    vm.instRef(Access{Addr{0x1000}});
+    vm.dataRef(Access{Addr{0x2000}, 0, true});
     vm.contextSwitch();
     EXPECT_EQ(vm.vmStats().ctxSwitches, 1u);
     EXPECT_EQ(vm.mem().stats().instOf(AccessClass::User).accesses, 1u);
