@@ -38,6 +38,12 @@ applyMulticore(SimConfig &cfg, const BenchOptions &opts)
     if (opts.coreQuantum)
         cfg.coreQuantum = opts.coreQuantum;
     cfg.sharedL2Tlb = opts.sharedL2Tlb;
+    // --phys-mb / --reclaim ride the same shared-options path so every
+    // bench can run under memory pressure; a no-op when unset.
+    if (opts.physMb) {
+        cfg.physFrames = opts.physFramesFor(cfg.pageBits);
+        cfg.reclaimPolicy = opts.reclaim;
+    }
 }
 
 /** Paper defaults: 128x2 TLB, 16 protected slots, 4 KB pages, 8 MB. */

@@ -30,6 +30,10 @@
  *                         instead of flushing)          [0]
  *   --l2-tlb=N            unified L2 TLB entries        [0 = none]
  *   --unified-l2          share one L2 of 2x capacity
+ *   --phys-mb=N           physical-frame budget in MiB; the VM
+ *                         system evicts under pressure  [unlimited]
+ *   --reclaim=P           frame reclaim policy:
+ *                         fifo|lru|clock                [fifo]
  *   --json                emit machine-readable JSON
  *
  * Multicore (see docs/multicore.md):
@@ -126,10 +130,24 @@ namespace
 
 using namespace vmsim;
 
+/**
+ * The value of "--flag=N" as a strict unsigned decimal: garbage,
+ * trailing characters, and overflow are fatal instead of silently
+ * parsing as 0 or a truncated prefix.
+ */
 std::uint64_t
 numArg(const char *arg, const char *prefix)
 {
-    return std::strtoull(arg + std::strlen(prefix), nullptr, 10);
+    std::string flag(prefix, std::strlen(prefix) - 1); // drop '='
+    return parseU64(arg + std::strlen(prefix), flag).orThrow();
+}
+
+/** The value of "--flag=X" as a strict finite double. */
+double
+floatArg(const char *arg, const char *prefix)
+{
+    std::string flag(prefix, std::strlen(prefix) - 1);
+    return parseF64(arg + std::strlen(prefix), flag).orThrow();
 }
 
 bool
@@ -328,6 +346,7 @@ runCli(int argc, char **argv)
     unsigned max_restarts = 8;
     CrashPlan crash_plan;
     std::size_t crash_fuzz = 0;
+    std::uint64_t phys_mb = 0;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -389,6 +408,14 @@ runCli(int argc, char **argv)
         else if (matches(arg, "--l2-tlb="))
             cfg.l2TlbEntries = static_cast<unsigned>(
                 numArg(arg, "--l2-tlb="));
+        else if (matches(arg, "--phys-mb=")) {
+            phys_mb = numArg(arg, "--phys-mb=");
+            fatalIf(phys_mb == 0,
+                    "--phys-mb must be positive (omit the flag for "
+                    "unlimited frames)");
+        } else if (matches(arg, "--reclaim="))
+            cfg.reclaimPolicy =
+                parseReclaimPolicy(arg + 10).orThrow();
         else if (matches(arg, "--asid-bits="))
             cfg.tlbAsidBits = static_cast<unsigned>(
                 numArg(arg, "--asid-bits="));
@@ -407,7 +434,7 @@ runCli(int argc, char **argv)
         else if (std::strcmp(arg, "--progress") == 0)
             progress_seconds = 2.0;
         else if (matches(arg, "--progress=")) {
-            progress_seconds = std::strtod(arg + 11, nullptr);
+            progress_seconds = floatArg(arg, "--progress=");
             fatalIf(progress_seconds <= 0,
                     "--progress period must be positive seconds");
         } else if (matches(arg, "--progress-out="))
@@ -432,7 +459,7 @@ runCli(int argc, char **argv)
         else if (matches(arg, "--shard-owner="))
             shard_owner = arg + 14;
         else if (matches(arg, "--lease-seconds=")) {
-            lease_seconds = std::strtod(arg + 16, nullptr);
+            lease_seconds = floatArg(arg, "--lease-seconds=");
             fatalIf(lease_seconds <= 0,
                     "--lease-seconds must be positive");
         } else if (matches(arg, "--seeds=")) {
@@ -455,7 +482,7 @@ runCli(int argc, char **argv)
             fatalIf(sweep_systems.empty(),
                     "--sweep-systems needs at least one system");
         } else if (matches(arg, "--heartbeat=")) {
-            heartbeat_seconds = std::strtod(arg + 12, nullptr);
+            heartbeat_seconds = floatArg(arg, "--heartbeat=");
             fatalIf(heartbeat_seconds <= 0,
                     "--heartbeat period must be positive seconds");
         } else if (std::strcmp(arg, "--shard-merge") == 0)
@@ -476,6 +503,10 @@ runCli(int argc, char **argv)
             fatal("unknown argument '", arg,
                   "' (see the header of examples/vmsim_cli.cc)");
     }
+    // Resolved after the loop so --phys-mb composes with --page-bits
+    // in either flag order.
+    if (phys_mb)
+        cfg.physFrames = (phys_mb << 20) >> cfg.pageBits;
     // Fuzz mode replaces the simulation entirely: run the seeded
     // differential campaign and report. The JSON artifact is
     // byte-stable for a given seed (CI compares two runs with cmp).

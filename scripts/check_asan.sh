@@ -16,7 +16,7 @@ cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=address \
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target base_test obs_test simulator_test error_test fault_test \
     sweep_resume_test shard_test batch_test check_test check_fuzz \
-    multicore_test vmsim_cli
+    multicore_test pressure_test vmsim_cli
 
 "$BUILD_DIR"/tests/base_test
 "$BUILD_DIR"/tests/obs_test
@@ -38,6 +38,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 # Per-core TLB/cursor arrays and the shootdown broadcast walk across
 # cores — exactly where an off-by-one core index would scribble.
 "$BUILD_DIR"/tests/multicore_test
+# FramePool recycles slots and frames through free lists while the
+# eviction path walks TLBs and page tables — lifetime-bug territory.
+"$BUILD_DIR"/tests/pressure_test
 
 # Smoke test: a fully-instrumented CLI run whose Chrome trace must be
 # valid JSON (python3 json.tool is the arbiter when available).

@@ -14,7 +14,8 @@ cmake -B "$BUILD_DIR" -S . -DVMSIM_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target thread_pool_test sweep_test fault_test sweep_resume_test \
-    batch_test check_fuzz multicore_test obs_test bench_mcpi_sweep
+    batch_test check_fuzz multicore_test obs_test pressure_test \
+    bench_mcpi_sweep
 
 "$BUILD_DIR"/tests/thread_pool_test
 "$BUILD_DIR"/tests/sweep_test
@@ -33,6 +34,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 # share one VmSystem per worker, so TSan proves the sharing stops at
 # the cell boundary.
 "$BUILD_DIR"/tests/multicore_test
+# Budgeted cells evict and shoot down across simulated cores inside
+# parallel workers; the equivalence legs also share the TraceCache.
+"$BUILD_DIR"/tests/pressure_test
 # obs_test spins up the SweepTelemetry emitter thread against the
 # per-worker atomic progress slots.
 "$BUILD_DIR"/tests/obs_test

@@ -37,6 +37,12 @@ for bench in build/bench/bench_*; do
         test -s "$SMOKE_DIR/BENCH_pipeline.json"
         test -s "$SMOKE_DIR/BENCH_multicore.json"
         ;;
+    bench_pressure)
+        "$bench" --instructions=5000 --warmup=1000 --jobs=2 --csv \
+            --pressure-json="$SMOKE_DIR/BENCH_pressure.json" \
+            > "$SMOKE_DIR/$name.csv"
+        test -s "$SMOKE_DIR/BENCH_pressure.json"
+        ;;
     *)
         "$bench" --instructions=5000 --warmup=1000 --jobs=2 --csv \
             > "$SMOKE_DIR/$name.csv"
@@ -90,6 +96,49 @@ cmp "$SMOKE_DIR/fuzz_a.json" "$SMOKE_DIR/fuzz_b.json"
 # Multicore leg: every tuple pinned to four cores so the shootdown
 # books and per-core conservation laws get fuzzed on every gate run.
 build/examples/vmsim_cli --fuzz=50 --seed=12345 --cores=4 > /dev/null
+
+echo "== memory pressure =="
+# Every organization must satisfy the pressure laws (docs/pressure.md)
+# — majorFaults + reusedFrames == pagesTouched chief among them —
+# under a tight frame budget, with all three reclaim policies covered.
+i=0
+for sys in ULTRIX MACH INTEL PA-RISC NOTLB BASE HW-INVERTED HW-MIPS SPUR; do
+    case $((i % 3)) in
+    0) pol=fifo ;;
+    1) pol=lru ;;
+    *) pol=clock ;;
+    esac
+    build/examples/vmsim_cli --system="$sys" --instructions=200000 \
+        --warmup=20000 --phys-mb=1 --reclaim="$pol" --check \
+        > "$SMOKE_DIR/pressure_$sys.txt"
+    i=$((i + 1))
+done
+# The budget genuinely bites: the summary must carry the pfCPI line
+# (printed only when major-fault cycles were charged), and the run
+# must have re-faulted evicted pages, not just demand-loaded them.
+grep -q "pfCPI" "$SMOKE_DIR/pressure_ULTRIX.txt"
+grep "pfCPI" "$SMOKE_DIR/pressure_ULTRIX.txt" |
+    grep -qv " 0 writebacks" || {
+        echo "pressure: no writebacks under --phys-mb=1" >&2
+        exit 1
+    }
+# Budget-off identity: a binary carrying the pressure code, even with
+# a --reclaim preference set, must reproduce the no-flag CSV exactly
+# when no --phys-mb budget is given.
+build/bench/bench_fig6_vmcpi_gcc --csv --instructions=20000 \
+    --warmup=5000 --jobs=2 --reclaim=lru \
+    > "$SMOKE_DIR/fig6_noflag_pressure.csv"
+cmp "$SMOKE_DIR/fig6_cached.csv" "$SMOKE_DIR/fig6_noflag_pressure.csv"
+# Budgeted runs keep the scalar/batched/parallel bit-identity promise.
+build/bench/bench_pressure --csv --instructions=20000 --warmup=5000 \
+    --jobs=2 --pressure-json="$SMOKE_DIR/pressure_parallel.json" \
+    > "$SMOKE_DIR/pressure_parallel.csv"
+build/bench/bench_pressure --csv --instructions=20000 --warmup=5000 \
+    --jobs=1 --batch=1 --trace-cache-mb=0 \
+    --pressure-json="$SMOKE_DIR/pressure_scalar.json" \
+    > "$SMOKE_DIR/pressure_scalar.csv"
+cmp "$SMOKE_DIR/pressure_parallel.csv" "$SMOKE_DIR/pressure_scalar.csv"
+cmp "$SMOKE_DIR/pressure_parallel.json" "$SMOKE_DIR/pressure_scalar.json"
 
 echo "== sweep telemetry =="
 # A telemetry-enabled sweep must produce a valid Prometheus exposition
@@ -219,7 +268,8 @@ done
 # (matching real uses — instantiations and includes — not prose in
 # comments that explains what the flat layout replaced).
 for hot_src in src/tlb/tlb.hh src/tlb/tlb.cc src/mem/phys_mem.hh \
-               src/mem/phys_mem.cc src/pt/intel_page_table.hh \
+               src/mem/phys_mem.cc src/mem/frame_pool.hh \
+               src/mem/frame_pool.cc src/pt/intel_page_table.hh \
                src/pt/intel_page_table.cc src/pt/hashed_page_table.hh \
                src/pt/hashed_page_table.cc src/base/flat_hash.hh; do
     if grep -nE 'unordered_map[[:space:]]*<|include[[:space:]]*<unordered_map>' \

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Strict numeric parsing for command-line flags.
+ *
+ * The CLI layers used to call strtoull(arg, nullptr, 10) directly,
+ * which silently yields 0 for garbage ("--seeds=abc"), stops at the
+ * first non-digit ("--instructions=2e6" parses as 2), and saturates
+ * on overflow without any report. These helpers reject every such
+ * input: the whole string must be a decimal number that fits the
+ * target type, or an InvalidArgument Error comes back naming the flag.
+ */
+
+#ifndef VMSIM_BASE_PARSE_HH
+#define VMSIM_BASE_PARSE_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "base/error.hh"
+
+namespace vmsim
+{
+
+/**
+ * Parse @p s as an unsigned decimal integer. The entire string must
+ * be consumed: empty strings, leading signs, trailing garbage, and
+ * values that overflow std::uint64_t are all InvalidArgument errors.
+ * @p what names the flag being parsed and becomes the error context.
+ */
+inline Expected<std::uint64_t>
+parseU64(const char *s, const std::string &what)
+{
+    auto bad = [&](const char *why) {
+        return makeError(ErrorCode::InvalidArgument, what, what,
+                         " expects an unsigned decimal number, got '",
+                         s, "' (", why, ")");
+    };
+    if (s == nullptr || *s == '\0')
+        return bad("empty value");
+    // strtoull accepts "-1" (wrapping it) and leading whitespace;
+    // require a bare digit up front so neither slips through.
+    if (*s < '0' || *s > '9')
+        return bad("must start with a digit");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno == ERANGE)
+        return bad("out of range");
+    if (end == nullptr || *end != '\0')
+        return bad("trailing characters");
+    return static_cast<std::uint64_t>(v);
+}
+
+/** parseU64 narrowed to 32 bits; overflow is InvalidArgument. */
+inline Expected<std::uint32_t>
+parseU32(const char *s, const std::string &what)
+{
+    Expected<std::uint64_t> v = parseU64(s, what);
+    if (!v.ok())
+        return v.error();
+    if (v.value() > std::numeric_limits<std::uint32_t>::max())
+        return makeError(ErrorCode::InvalidArgument, what, what,
+                         " expects a 32-bit unsigned number, got '", s,
+                         "' (out of range)");
+    return static_cast<std::uint32_t>(v.value());
+}
+
+/**
+ * Parse @p s as a finite decimal floating-point number, consuming the
+ * entire string. Inf/NaN spellings and trailing garbage are rejected.
+ */
+inline Expected<double>
+parseF64(const char *s, const std::string &what)
+{
+    auto bad = [&](const char *why) {
+        return makeError(ErrorCode::InvalidArgument, what, what,
+                         " expects a decimal number, got '", s, "' (",
+                         why, ")");
+    };
+    if (s == nullptr || *s == '\0')
+        return bad("empty value");
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (errno == ERANGE)
+        return bad("out of range");
+    if (end == s || end == nullptr || *end != '\0')
+        return bad("trailing characters");
+    if (!(v == v) || v > std::numeric_limits<double>::max() ||
+        v < -std::numeric_limits<double>::max())
+        return bad("not a finite number");
+    return v;
+}
+
+} // namespace vmsim
+
+#endif // VMSIM_BASE_PARSE_HH

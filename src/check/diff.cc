@@ -64,6 +64,8 @@ FuzzTuple::toConfig() const
     if (coreQuantum)
         cfg.coreQuantum = coreQuantum;
     cfg.sharedL2Tlb = sharedL2Tlb;
+    cfg.physFrames = physFrames;
+    cfg.reclaimPolicy = reclaim;
     return cfg;
 }
 
@@ -90,6 +92,8 @@ FuzzTuple::toJson() const
     j.set("cores", cores);
     j.set("coreQuantum", coreQuantum);
     j.set("sharedL2Tlb", sharedL2Tlb);
+    j.set("physFrames", physFrames);
+    j.set("reclaim", reclaimPolicyName(reclaim));
     return j;
 }
 
@@ -106,6 +110,9 @@ FuzzTuple::toString() const
     if (cores > 1)
         oss << " cores=" << cores << " quantum=" << coreQuantum
             << (sharedL2Tlb ? " shared-l2tlb" : " private-l2tlb");
+    if (physFrames)
+        oss << " frames=" << physFrames << " reclaim="
+            << reclaimPolicyName(reclaim);
     return oss.str();
 }
 
@@ -204,6 +211,13 @@ DiffRunner::generate(std::uint64_t index) const
     static constexpr Counter kQuantum[] = {500, 2000, 8192};
     t.coreQuantum = kQuantum[rng.uniform(std::size(kQuantum))];
     t.sharedL2Tlb = rng.chance(0.5);
+    // Frame budgets tight enough to force steady-state eviction on
+    // every workload; 0 leaves pressure off (the paper's default).
+    static constexpr std::uint64_t kFrames[] = {0, 0, 96, 384};
+    t.physFrames = kFrames[rng.uniform(std::size(kFrames))];
+    static constexpr ReclaimPolicy kPolicies[] = {
+        ReclaimPolicy::Fifo, ReclaimPolicy::Lru, ReclaimPolicy::Clock};
+    t.reclaim = kPolicies[rng.uniform(std::size(kPolicies))];
     return t;
 }
 
@@ -348,6 +362,11 @@ DiffRunner::minimize(FuzzTuple t) const
     if (t.faults) {
         FuzzTuple c = t;
         c.faults = false;
+        tryApply(c);
+    }
+    if (t.physFrames) {
+        FuzzTuple c = t;
+        c.physFrames = 0;
         tryApply(c);
     }
     if (t.cores > 1) {

@@ -52,6 +52,8 @@ struct FuzzTuple
     unsigned cores = 1;       ///< simulated cores (1 = legacy loop)
     Counter coreQuantum = 0;  ///< scheduler slot length (0 = default)
     bool sharedL2Tlb = true;  ///< share one L2 TLB across cores
+    std::uint64_t physFrames = 0; ///< frame budget (0 = unlimited)
+    ReclaimPolicy reclaim = ReclaimPolicy::Fifo;
 
     SimConfig toConfig() const;
     Json toJson() const;

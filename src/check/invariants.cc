@@ -44,6 +44,12 @@ constexpr VmFieldDef kVmFieldDefs[] = {
     {"shootdownsSent", &VmStats::shootdownsSent},
     {"shootdownsRecv", &VmStats::shootdownsRecv},
     {"shootdownCycles", &VmStats::shootdownCycles},
+    {"pagesTouched", &VmStats::pagesTouched},
+    {"majorFaults", &VmStats::majorFaults},
+    {"reusedFrames", &VmStats::reusedFrames},
+    {"evictions", &VmStats::evictions},
+    {"writebacks", &VmStats::writebacks},
+    {"faultCycles", &VmStats::faultCycles},
 };
 
 /** CoreStats counters by name, for the per-core conservation laws. */
@@ -62,6 +68,7 @@ constexpr CoreFieldDef kCoreFieldDefs[] = {
      &VmStats::shootdownsSent},
     {"shootdownsRecv", &CoreStats::shootdownsRecv,
      &VmStats::shootdownsRecv},
+    {"majorFaults", &CoreStats::majorFaults, &VmStats::majorFaults},
 };
 
 /** |a - b| within a relative epsilon (both derived from the same
@@ -231,9 +238,31 @@ InvariantChecker::check(const Results &r, CheckReport &rep) const
     rep.check(near(sdcpi, r.shootdownCpi()), "cpi.shootdown",
               "raw-counter shootdown CPI ", sdcpi, " != ",
               r.shootdownCpi());
-    rep.check(near(1.0 + mcpi + vmcpi + icpi + sdcpi, r.totalCpi()),
+    const double fcpi = double(vm.faultCycles) / dn;
+    rep.check(near(fcpi, r.faultCpi()), "cpi.fault",
+              "raw-counter fault CPI ", fcpi, " != ", r.faultCpi());
+    rep.check(near(1.0 + mcpi + vmcpi + icpi + sdcpi + fcpi,
+                   r.totalCpi()),
               "cpi.total", "raw-counter total CPI ",
-              1.0 + mcpi + vmcpi + icpi + sdcpi, " != ", r.totalCpi());
+              1.0 + mcpi + vmcpi + icpi + sdcpi + fcpi, " != ",
+              r.totalCpi());
+
+    // --- memory-pressure conservation ---------------------------------
+    rep.check(vm.majorFaults + vm.reusedFrames == vm.pagesTouched,
+              "pressure.conservation", "majorFaults (", vm.majorFaults,
+              ") + reusedFrames (", vm.reusedFrames,
+              ") != pagesTouched (", vm.pagesTouched, ")");
+    rep.check(vm.writebacks <= vm.evictions, "pressure.writebacks",
+              "dirty writebacks (", vm.writebacks,
+              ") exceed evictions (", vm.evictions, ")");
+    rep.check(vm.evictions <= vm.pagesTouched, "pressure.evictions",
+              "evictions (", vm.evictions, ") exceed pages touched (",
+              vm.pagesTouched, ")");
+    if (config_.physFrames == 0)
+        rep.check(vm.pagesTouched == 0 && vm.faultCycles == 0,
+                  "pressure.disabled", "no frame budget configured but "
+                  "the run touched ", vm.pagesTouched,
+                  " pages and spent ", vm.faultCycles, " fault cycles");
 
     // --- multicore conservation ---------------------------------------
     if (!vm.perCore.empty()) {
@@ -322,6 +351,10 @@ InvariantChecker::checkEvents(const Results &r,
           "L2TlbHit");
     match(EventKind::Shootdown, vm.shootdownsRecv, "events.shootdown",
           "Shootdown");
+    match(EventKind::MajorFault, vm.majorFaults, "events.major-fault",
+          "MajorFault");
+    match(EventKind::Eviction, vm.evictions, "events.eviction",
+          "Eviction");
 
     const Counter calls =
         vm.uhandlerCalls + vm.khandlerCalls + vm.rhandlerCalls;
@@ -453,6 +486,11 @@ InvariantChecker::checkLatency(const Results &r,
               "shootdown histogram holds ", sdSamples,
               " samples but the run counted ", vm.shootdownsRecv,
               " received shootdowns");
+    const Counter faultSamples = lat.mergedFault().count();
+    rep.check(faultSamples == vm.majorFaults, "latency.faults",
+              "fault histogram holds ", faultSamples,
+              " samples but the run counted ", vm.majorFaults,
+              " major faults");
     // Per-core slices must sum to the merges they were folded into.
     Counter perCore = 0;
     for (unsigned c = 0; c < lat.cores(); ++c)
@@ -532,14 +570,17 @@ diffResults(const Results &a, const Results &b,
                           ca.dtlbMisses == cb.dtlbMisses &&
                           ca.ctxSwitches == cb.ctxSwitches &&
                           ca.shootdownsSent == cb.shootdownsSent &&
-                          ca.shootdownsRecv == cb.shootdownsRecv,
+                          ca.shootdownsRecv == cb.shootdownsRecv &&
+                          ca.majorFaults == cb.majorFaults,
                       "diff.core-counter", "core ", c, ": ", label_a,
                       "=(", ca.instrs, ", ", ca.itlbMisses, ", ",
                       ca.dtlbMisses, ", ", ca.ctxSwitches, ", ",
-                      ca.shootdownsSent, ", ", ca.shootdownsRecv, ") ",
+                      ca.shootdownsSent, ", ", ca.shootdownsRecv, ", ",
+                      ca.majorFaults, ") ",
                       label_b, "=(", cb.instrs, ", ", cb.itlbMisses,
                       ", ", cb.dtlbMisses, ", ", cb.ctxSwitches, ", ",
-                      cb.shootdownsSent, ", ", cb.shootdownsRecv, ")");
+                      cb.shootdownsSent, ", ", cb.shootdownsRecv, ", ",
+                      cb.majorFaults, ")");
         }
     }
     for (unsigned c = 0; c < kNumAccessClasses; ++c) {

@@ -98,6 +98,12 @@ Results::shootdownCpi() const
     return perInstr(vm_.shootdownCycles);
 }
 
+double
+Results::faultCpi() const
+{
+    return perInstr(vm_.faultCycles);
+}
+
 Json
 Results::toJson() const
 {
@@ -119,6 +125,16 @@ Results::toJson() const
     events.set("shootdowns_sent", vm_.shootdownsSent);
     events.set("shootdowns_recv", vm_.shootdownsRecv);
     events.set("shootdown_cycles", vm_.shootdownCycles);
+    // Pressure counters only appear under a frame budget, so the
+    // no-budget JSON stays byte-identical to the pre-pressure format.
+    if (vm_.pagesTouched != 0) {
+        events.set("pages_touched", vm_.pagesTouched);
+        events.set("major_faults", vm_.majorFaults);
+        events.set("reused_frames", vm_.reusedFrames);
+        events.set("evictions", vm_.evictions);
+        events.set("writebacks", vm_.writebacks);
+        events.set("fault_cycles", vm_.faultCycles);
+    }
     j.set("events", std::move(events));
 
     if (vm_.perCore.size() > 1) {
@@ -131,11 +147,15 @@ Results::toJson() const
             cj.set("ctx_switches", cs.ctxSwitches);
             cj.set("shootdowns_sent", cs.shootdownsSent);
             cj.set("shootdowns_recv", cs.shootdownsRecv);
+            if (vm_.pagesTouched != 0)
+                cj.set("major_faults", cs.majorFaults);
             cores_j.push(std::move(cj));
         }
         j.set("per_core", std::move(cores_j));
         j.set("shootdown_cpi", shootdownCpi());
     }
+    if (vm_.pagesTouched != 0)
+        j.set("fault_cpi", faultCpi());
 
     McpiBreakdown m = mcpiBreakdown();
     Json mcpi_j = Json::object();
@@ -197,14 +217,16 @@ countersFromJson(const Json &j, ClassCounters &c)
     return Status();
 }
 
-/** The 17 scalar VmStats counters, in declaration order. */
+/** The 23 scalar VmStats counters, in declaration order. */
 constexpr const char *kVmFields[] = {
     "uhandler_calls",  "khandler_calls",  "rhandler_calls",
     "uhandler_instrs", "khandler_instrs", "rhandler_instrs",
     "hw_walks",        "hw_walk_cycles",  "interrupts",
     "pte_loads",       "ctx_switches",    "l2tlb_hits",
     "itlb_misses",     "dtlb_misses",     "shootdowns_sent",
-    "shootdowns_recv", "shootdown_cycles",
+    "shootdowns_recv", "shootdown_cycles", "pages_touched",
+    "major_faults",    "reused_frames",   "evictions",
+    "writebacks",      "fault_cycles",
 };
 
 Counter *
@@ -216,7 +238,9 @@ vmField(VmStats &vm, std::size_t i)
         &vm.hwWalks,        &vm.hwWalkCycles,   &vm.interrupts,
         &vm.pteLoads,       &vm.ctxSwitches,    &vm.l2TlbHits,
         &vm.itlbMisses,     &vm.dtlbMisses,     &vm.shootdownsSent,
-        &vm.shootdownsRecv, &vm.shootdownCycles,
+        &vm.shootdownsRecv, &vm.shootdownCycles, &vm.pagesTouched,
+        &vm.majorFaults,    &vm.reusedFrames,   &vm.evictions,
+        &vm.writebacks,     &vm.faultCycles,
     };
     return fields[i];
 }
@@ -232,17 +256,18 @@ coreStatsToJson(const CoreStats &cs)
     j.push(cs.ctxSwitches);
     j.push(cs.shootdownsSent);
     j.push(cs.shootdownsRecv);
+    j.push(cs.majorFaults);
     return j;
 }
 
 Status
 coreStatsFromJson(const Json &j, CoreStats &cs)
 {
-    if (!j.isArray() || j.size() != 6)
+    if (!j.isArray() || j.size() != 7)
         return Status(makeError(ErrorCode::ParseError, "results",
-                                "per-core counters must be a 6-element "
+                                "per-core counters must be a 7-element "
                                 "array"));
-    for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t i = 0; i < 7; ++i)
         if (!j.at(i).isNumber())
             return Status(makeError(ErrorCode::ParseError, "results",
                                     "per-core counter ", i,
@@ -253,6 +278,7 @@ coreStatsFromJson(const Json &j, CoreStats &cs)
     cs.ctxSwitches = j.at(3).asUint();
     cs.shootdownsSent = j.at(4).asUint();
     cs.shootdownsRecv = j.at(5).asUint();
+    cs.majorFaults = j.at(6).asUint();
     return Status();
 }
 
@@ -380,6 +406,10 @@ Results::printSummary(std::ostream &os) const
         os << "  sdCPI  = " << shootdownCpi() << "  ("
            << vm_.shootdownsRecv << " shootdowns received, "
            << vm_.shootdownCycles << " cycles)\n";
+    if (vm_.faultCycles > 0)
+        os << "  pfCPI  = " << faultCpi() << "  (" << vm_.majorFaults
+           << " major faults, " << vm_.writebacks << " writebacks, "
+           << vm_.faultCycles << " cycles)\n";
     os << "  CPI    = " << totalCpi() << '\n';
     os.flags(flags);
 }

@@ -117,11 +117,19 @@ class Results
      */
     double shootdownCpi() const;
 
+    /**
+     * Major-fault overhead per user instruction (page-read plus dirty
+     * writeback cycles under a frame budget). Exactly zero when no
+     * budget is configured, so every pre-pressure metric is unchanged.
+     */
+    double faultCpi() const;
+
     /** Total CPI on the 1-CPI core. */
     double
     totalCpi() const
     {
-        return 1.0 + mcpi() + vmcpi() + interruptCpi() + shootdownCpi();
+        return 1.0 + mcpi() + vmcpi() + interruptCpi() + shootdownCpi() +
+               faultCpi();
     }
 
     /**

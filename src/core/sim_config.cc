@@ -135,6 +135,15 @@ SimConfig::validate() const
     if (cores > 1 && coreQuantum == 0)
         return bad("coreQuantum",
                    "coreQuantum must be nonzero when cores > 1");
+    if (physFrames == 1)
+        return bad("physFrames",
+                   "physFrames must be 0 (unlimited) or >= 2 so an "
+                   "eviction always has a victim besides the faulting "
+                   "page");
+    if (physFrames != 0 && faultReadCycles == 0)
+        return bad("faultReadCycles",
+                   "faultReadCycles must be nonzero under a frame "
+                   "budget");
     return Status();
 }
 
@@ -154,6 +163,11 @@ SimConfig::toString() const
         if (l2TlbEntries > 0)
             oss << (sharedL2Tlb ? " l2tlb=shared" : " l2tlb=private");
     }
+    // Same byte-identity rule for the pressure knobs: silent with no
+    // frame budget configured.
+    if (physFrames != 0)
+        oss << " frames=" << physFrames << " reclaim="
+            << reclaimPolicyName(reclaimPolicy);
     return oss.str();
 }
 

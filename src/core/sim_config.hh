@@ -28,6 +28,7 @@
 #include "base/types.hh"
 #include "base/units.hh"
 #include "mem/cache.hh"
+#include "mem/frame_pool.hh"
 #include "os/vm_system.hh"
 #include "tlb/tlb.hh"
 
@@ -138,6 +139,27 @@ struct SimConfig
     unsigned pageBits = 12;               ///< 4 KB pages
     std::uint64_t physMemBytes = 8_MiB;   ///< paper's PA-RISC assumption
     unsigned hptRatio = 2;                ///< HPT entries per frame
+
+    /**
+     * Memory-pressure frame budget (docs/pressure.md): the maximum
+     * number of simultaneously-resident pageable pages. 0 (the paper's
+     * assumption, and the default) = unlimited — no pool, no evictions,
+     * byte-identical to the historical behavior. Nonzero caps
+     * residency: a page touch past the budget evicts a victim chosen
+     * by reclaimPolicy, invalidates its translations, and charges the
+     * fault costs below. Independent of physMemBytes, which continues
+     * to govern table sizing.
+     */
+    std::uint64_t physFrames = 0;
+
+    /** Victim selection under a nonzero physFrames budget. */
+    ReclaimPolicy reclaimPolicy = ReclaimPolicy::Fifo;
+
+    /** Cycles charged per major fault (victim selection + read). */
+    Cycles faultReadCycles = 2000;
+
+    /** Extra cycles when the evicted victim was dirty (writeback). */
+    Cycles faultWritebackCycles = 1000;
 
     /** Handler lengths; defaulted per system by the factory. */
     bool overrideHandlerCosts = false;

@@ -344,6 +344,14 @@ System::System(const SimConfig &config)
     mem_ = std::make_unique<MemSystem>(config_.l1, config_.l2,
                                        config_.seed, config_.unifiedL2);
     vm_ = makeVmSystem(config_, *mem_, *physMem_);
+    // Arm the frame budget only after the organization has made its
+    // page-table reservations, so the pool governs demand paging alone.
+    if (config_.physFrames != 0) {
+        physMem_->setBudget(config_.physFrames, config_.reclaimPolicy);
+        vm_->enablePressure(*physMem_, config_.faultReadCycles,
+                            config_.faultWritebackCycles,
+                            config_.pageBits);
+    }
 }
 
 System::~System() = default;

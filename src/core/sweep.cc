@@ -17,6 +17,7 @@
 #include "base/fsio.hh"
 #include "base/json.hh"
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "base/signals.hh"
 #include "base/stats.hh"
 #include "check/invariants.hh"
@@ -70,6 +71,24 @@ paperInterruptCosts()
     return {10, 50, 200};
 }
 
+namespace
+{
+
+/** Comma-separated strict-u64 list ("8,16,32") for axis flags. */
+std::vector<std::uint64_t>
+parseU64List(const char *s, const std::string &what)
+{
+    std::vector<std::uint64_t> vals;
+    std::string item;
+    std::istringstream iss(s);
+    fatalIf(*s == '\0', what, " needs a comma-separated list");
+    while (std::getline(iss, item, ','))
+        vals.push_back(parseU64(item.c_str(), what).orThrow());
+    return vals;
+}
+
+} // anonymous namespace
+
 BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
@@ -82,20 +101,18 @@ BenchOptions::parse(int argc, char **argv)
             opts.csv = true;
         } else if (std::strncmp(arg, "--instructions=", 15) == 0) {
             opts.instructions =
-                std::strtoull(arg + 15, nullptr, 10);
+                parseU64(arg + 15, "--instructions").orThrow();
             fatalIf(opts.instructions == 0,
                     "--instructions must be positive");
         } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
-            opts.warmup = std::strtoull(arg + 9, nullptr, 10);
+            opts.warmup = parseU64(arg + 9, "--warmup").orThrow();
         } else if (std::strncmp(arg, "--seed=", 7) == 0) {
-            opts.seed = std::strtoull(arg + 7, nullptr, 10);
+            opts.seed = parseU64(arg + 7, "--seed").orThrow();
         } else if (std::strncmp(arg, "--seeds=", 8) == 0) {
-            opts.seeds = static_cast<unsigned>(
-                std::strtoul(arg + 8, nullptr, 10));
+            opts.seeds = parseU32(arg + 8, "--seeds").orThrow();
             fatalIf(opts.seeds == 0, "--seeds must be positive");
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            opts.jobs = static_cast<unsigned>(
-                std::strtoul(arg + 7, nullptr, 10));
+            opts.jobs = parseU32(arg + 7, "--jobs").orThrow();
         } else if (std::strncmp(arg, "--trace-events=", 15) == 0) {
             opts.obs.traceEvents = arg + 15;
             fatalIf(opts.obs.traceEvents.empty(),
@@ -109,13 +126,15 @@ BenchOptions::parse(int argc, char **argv)
             fatalIf(opts.obs.statsJson.empty(),
                     "--stats-json needs a file path");
         } else if (std::strncmp(arg, "--interval=", 11) == 0) {
-            opts.obs.interval = std::strtoull(arg + 11, nullptr, 10);
+            opts.obs.interval =
+                parseU64(arg + 11, "--interval").orThrow();
             fatalIf(opts.obs.interval == 0,
                     "--interval must be positive");
         } else if (std::strcmp(arg, "--progress") == 0) {
             opts.obs.progressSeconds = 2.0;
         } else if (std::strncmp(arg, "--progress=", 11) == 0) {
-            opts.obs.progressSeconds = std::strtod(arg + 11, nullptr);
+            opts.obs.progressSeconds =
+                parseF64(arg + 11, "--progress").orThrow();
             fatalIf(opts.obs.progressSeconds <= 0,
                     "--progress period must be positive seconds");
         } else if (std::strncmp(arg, "--progress-out=", 15) == 0) {
@@ -127,14 +146,15 @@ BenchOptions::parse(int argc, char **argv)
             fatalIf(opts.obs.metricsOut.empty(),
                     "--metrics-out needs a file path");
         } else if (std::strncmp(arg, "--retries=", 10) == 0) {
-            opts.retries = static_cast<unsigned>(
-                std::strtoul(arg + 10, nullptr, 10));
+            opts.retries = parseU32(arg + 10, "--retries").orThrow();
         } else if (std::strncmp(arg, "--retry-backoff=", 16) == 0) {
-            opts.retryBackoff = std::strtod(arg + 16, nullptr);
+            opts.retryBackoff =
+                parseF64(arg + 16, "--retry-backoff").orThrow();
             fatalIf(opts.retryBackoff < 0,
                     "--retry-backoff must be >= 0");
         } else if (std::strncmp(arg, "--cell-timeout=", 15) == 0) {
-            opts.cellTimeout = std::strtod(arg + 15, nullptr);
+            opts.cellTimeout =
+                parseF64(arg + 15, "--cell-timeout").orThrow();
             fatalIf(opts.cellTimeout < 0,
                     "--cell-timeout must be >= 0");
         } else if (std::strncmp(arg, "--journal=", 10) == 0) {
@@ -145,26 +165,35 @@ BenchOptions::parse(int argc, char **argv)
         } else if (std::strncmp(arg, "--inject-faults=", 16) == 0) {
             opts.faults = FaultSpec::parse(arg + 16).orThrow();
         } else if (std::strncmp(arg, "--batch=", 8) == 0) {
-            opts.batch = std::strtoull(arg + 8, nullptr, 10);
+            opts.batch = parseU64(arg + 8, "--batch").orThrow();
             fatalIf(opts.batch == 0,
                     "--batch must be positive (1 = scalar loop)");
         } else if (std::strncmp(arg, "--trace-cache-mb=", 17) == 0) {
-            opts.traceCacheMb = std::strtoull(arg + 17, nullptr, 10);
+            opts.traceCacheMb =
+                parseU64(arg + 17, "--trace-cache-mb").orThrow();
         } else if (std::strncmp(arg, "--cores=", 8) == 0) {
-            opts.cores = static_cast<unsigned>(
-                std::strtoul(arg + 8, nullptr, 10));
+            opts.cores = parseU32(arg + 8, "--cores").orThrow();
             fatalIf(opts.cores == 0, "--cores must be positive");
         } else if (std::strncmp(arg, "--core-quantum=", 15) == 0) {
-            opts.coreQuantum = std::strtoull(arg + 15, nullptr, 10);
+            opts.coreQuantum =
+                parseU64(arg + 15, "--core-quantum").orThrow();
             fatalIf(opts.coreQuantum == 0,
                     "--core-quantum must be positive");
         } else if (std::strcmp(arg, "--private-l2tlb") == 0) {
             opts.sharedL2Tlb = false;
+        } else if (std::strncmp(arg, "--phys-mb=", 10) == 0) {
+            opts.physMb = parseU64(arg + 10, "--phys-mb").orThrow();
+            fatalIf(opts.physMb == 0,
+                    "--phys-mb must be positive (omit the flag for "
+                    "unlimited frames)");
+        } else if (std::strncmp(arg, "--phys-mb-list=", 15) == 0) {
+            opts.physMbList = parseU64List(arg + 15, "--phys-mb-list");
+        } else if (std::strncmp(arg, "--reclaim=", 10) == 0) {
+            opts.reclaim = parseReclaimPolicy(arg + 10).orThrow();
         } else if (std::strcmp(arg, "--check") == 0) {
             opts.check = true;
         } else if (std::strncmp(arg, "--fuzz=", 7) == 0) {
-            opts.fuzz = static_cast<unsigned>(
-                std::strtoul(arg + 7, nullptr, 10));
+            opts.fuzz = parseU32(arg + 7, "--fuzz").orThrow();
             fatalIf(opts.fuzz == 0, "--fuzz must be positive");
         } else if (std::strncmp(arg, "--shard-dir=", 12) == 0) {
             opts.shardDir = arg + 12;
@@ -175,7 +204,8 @@ BenchOptions::parse(int argc, char **argv)
             fatalIf(opts.shardOwner.empty(),
                     "--shard-owner needs an identifier");
         } else if (std::strncmp(arg, "--lease-seconds=", 16) == 0) {
-            opts.leaseSeconds = std::strtod(arg + 16, nullptr);
+            opts.leaseSeconds =
+                parseF64(arg + 16, "--lease-seconds").orThrow();
             fatalIf(opts.leaseSeconds <= 0,
                     "--lease-seconds must be positive");
         } else {
@@ -188,7 +218,8 @@ BenchOptions::parse(int argc, char **argv)
                   "--cell-timeout=S, --journal=F, --resume, "
                   "--inject-faults=SPEC, --batch=N, "
                   "--trace-cache-mb=N, --cores=N, --core-quantum=N, "
-                  "--private-l2tlb, --check, --fuzz=N, --shard-dir=D, "
+                  "--private-l2tlb, --phys-mb=N, --phys-mb-list=A,B, "
+                  "--reclaim=P, --check, --fuzz=N, --shard-dir=D, "
                   "--shard-owner=ID, --lease-seconds=S)");
         }
     }

@@ -159,6 +159,12 @@ struct ObsOptions
  *                      (default: SimConfig's 50,000)
  *   --private-l2tlb    give each core a private L2 TLB slice instead
  *                      of the default single shared L2 TLB
+ *   --phys-mb=N        cap physical memory at N MiB of frames; the
+ *                      VM system evicts and takes major faults under
+ *                      pressure (default: unlimited, the paper model)
+ *   --phys-mb-list=A,B sweep axis of --phys-mb values (benches that
+ *                      sweep pressure, e.g. bench_pressure)
+ *   --reclaim=P        frame reclaim policy: fifo, lru, or clock
  *   --check            audit every cell's Results with the
  *                      invariant checker (failures mark the cell)
  *   --fuzz=N           run N differential-fuzz cases (seeded from
@@ -198,6 +204,16 @@ struct BenchOptions
     unsigned cores = 1;        ///< simulated cores (1 = legacy machine)
     Counter coreQuantum = 0;   ///< scheduler slot; 0 = SimConfig default
     bool sharedL2Tlb = true;   ///< one shared L2 TLB vs per-core slices
+    std::uint64_t physMb = 0;  ///< frame-budget MiB; 0 = unlimited
+    std::vector<std::uint64_t> physMbList; ///< --phys-mb-list axis
+    ReclaimPolicy reclaim = ReclaimPolicy::Fifo;
+
+    /** The --phys-mb budget in frames for @p page_bits pages. */
+    std::uint64_t
+    physFramesFor(unsigned page_bits) const
+    {
+        return (physMb << 20) >> page_bits;
+    }
 
     /**
      * The effective warmup length: --warmup=N or the project-wide

@@ -27,9 +27,11 @@ PhysMem::reserveRegion(std::uint64_t bytes, std::uint64_t align)
     reserveCursor_ = base + bytes;
     // Frames begin after all reservations, page-aligned.
     Pfn first_frame = divCeil(reserveCursor_, pageSize());
-    numFrames_ = (sizeBytes_ >> pageBits_) > first_frame
-                     ? (sizeBytes_ >> pageBits_) - first_frame
-                     : 0;
+    fatalIf((sizeBytes_ >> pageBits_) <= first_frame,
+            "page-table reservations consumed all of physical memory (",
+            reserveCursor_, " of ", sizeBytes_,
+            " bytes reserved, no usable frames remain)");
+    numFrames_ = (sizeBytes_ >> pageBits_) - first_frame;
     frameBase_ = first_frame;
     return base;
 }
@@ -39,7 +41,20 @@ PhysMem::frameOf(Vpn vpn)
 {
     if (const Pfn *p = map_.find(vpn))
         return *p;
-    Pfn pfn = frameBase_ + nextFrame_++;
+    Pfn pfn;
+    if (pool_ && !freeFrames_.empty()) {
+        pfn = freeFrames_.back();
+        freeFrames_.pop_back();
+    } else {
+        pfn = frameBase_ + nextFrame_++;
+    }
+    // Under a budget, an allocation for a page the pool is not
+    // tracking is a wired page-table page: it holds its frame forever,
+    // so the pool permanently loses one frame of capacity.
+    if (pool_ && !pool_->resident(vpn)) {
+        ++wired_;
+        pool_->shrinkCapacity();
+    }
     if (!overcommitted_ && map_.size() + 1 > numFrames_) {
         overcommitted_ = true;
         warn("physical memory overcommitted: ", map_.size() + 1,
@@ -48,6 +63,37 @@ PhysMem::frameOf(Vpn vpn)
     }
     map_.insertNew(vpn, pfn);
     return pfn;
+}
+
+Addr
+PhysMem::frameAddrOf(Vpn vpn) const
+{
+    const Pfn *p = map_.find(vpn);
+    panicIf(!p, "frameAddrOf of unmapped page ", vpn,
+            " (use frameAddrAlloc for first-touch allocation)");
+    return *p << pageBits_;
+}
+
+void
+PhysMem::setBudget(std::uint64_t frames, ReclaimPolicy policy)
+{
+    panicIf(pool_ != nullptr, "frame budget already configured");
+    panicIf(!map_.empty(), "setBudget after frame allocation began");
+    pool_ = std::make_unique<FramePool>(frames, policy);
+}
+
+FramePool::Victim
+PhysMem::evictPage(Vpn exclude)
+{
+    FramePool::Victim victim = pool_->evict(exclude);
+    // Organizations whose tables concretely assigned the page a frame
+    // (the hashed/inverted tables) recycle it; the others never mapped
+    // the page here, so there is nothing to free.
+    if (const Pfn *p = map_.find(victim.vpn)) {
+        freeFrames_.push_back(*p);
+        map_.erase(victim.vpn);
+    }
+    return victim;
 }
 
 } // namespace vmsim

@@ -33,6 +33,10 @@ eventKindName(EventKind kind)
         return "shootdown";
       case EventKind::FaultInjected:
         return "fault_injected";
+      case EventKind::MajorFault:
+        return "major_fault";
+      case EventKind::Eviction:
+        return "eviction";
     }
     panic("unknown EventKind ", static_cast<unsigned>(kind));
 }

@@ -42,9 +42,11 @@ enum class EventKind : std::uint8_t
     L2Miss,       ///< user reference missed the L2 cache (went to memory)
     Shootdown,    ///< inter-core TLB shootdown delivered (vpn = receiver)
     FaultInjected, ///< FaultInjector fired (level = FaultKind)
+    MajorFault,   ///< frame-budget miss: page not resident (cycles = cost)
+    Eviction,     ///< victim page reclaimed (cycles = writeback cost)
 };
 
-constexpr unsigned kNumEventKinds = 12;
+constexpr unsigned kNumEventKinds = 14;
 
 /** Stable lowercase identifier ("itlb_miss", "pte_fetch", ...). */
 const char *eventKindName(EventKind kind);

@@ -51,6 +51,12 @@ diffVm(const VmStats &cur, const VmStats &prev)
     d.shootdownsSent = cur.shootdownsSent - prev.shootdownsSent;
     d.shootdownsRecv = cur.shootdownsRecv - prev.shootdownsRecv;
     d.shootdownCycles = cur.shootdownCycles - prev.shootdownCycles;
+    d.pagesTouched = cur.pagesTouched - prev.pagesTouched;
+    d.majorFaults = cur.majorFaults - prev.majorFaults;
+    d.reusedFrames = cur.reusedFrames - prev.reusedFrames;
+    d.evictions = cur.evictions - prev.evictions;
+    d.writebacks = cur.writebacks - prev.writebacks;
+    d.faultCycles = cur.faultCycles - prev.faultCycles;
     if (cur.perCore.size() == prev.perCore.size()) {
         d.perCore.resize(cur.perCore.size());
         for (std::size_t c = 0; c < cur.perCore.size(); ++c) {
@@ -63,6 +69,7 @@ diffVm(const VmStats &cur, const VmStats &prev)
             dc.ctxSwitches = cc.ctxSwitches - pc.ctxSwitches;
             dc.shootdownsSent = cc.shootdownsSent - pc.shootdownsSent;
             dc.shootdownsRecv = cc.shootdownsRecv - pc.shootdownsRecv;
+            dc.majorFaults = cc.majorFaults - pc.majorFaults;
         }
     }
     return d;

@@ -15,6 +15,7 @@ LatencyCollector::configure(unsigned cores, const LatencyCosts &costs)
     missService_.assign(cores_, cycleHistogram());
     hwWalk_.assign(cores_, cycleHistogram());
     shootdown_.assign(cores_, cycleHistogram());
+    fault_.assign(cores_, cycleHistogram());
     itlbLifetime_.assign(cores_, residencyHistogram());
     itlbReuse_.assign(cores_, residencyHistogram());
     dtlbLifetime_.assign(cores_, residencyHistogram());
@@ -24,8 +25,9 @@ LatencyCollector::configure(unsigned cores, const LatencyCosts &costs)
 void
 LatencyCollector::reset()
 {
-    for (auto *v : {&missService_, &hwWalk_, &shootdown_, &itlbLifetime_,
-                    &itlbReuse_, &dtlbLifetime_, &dtlbReuse_})
+    for (auto *v : {&missService_, &hwWalk_, &shootdown_, &fault_,
+                    &itlbLifetime_, &itlbReuse_, &dtlbLifetime_,
+                    &dtlbReuse_})
         for (Histogram &h : *v)
             h.reset();
 }
@@ -59,6 +61,12 @@ exportLatency(const LatencyCollector &lat, StatsRegistry &registry)
     put(registry, "latency.miss_service", lat.mergedMissService());
     put(registry, "latency.hw_walk", lat.mergedHwWalk());
     put(registry, "latency.shootdown", lat.mergedShootdown());
+    // The fault family exists only when a frame budget produced major
+    // faults: registering an always-empty histogram would perturb every
+    // budget-less stats dump (the golden manifests hash those).
+    const bool faults = lat.mergedFault().count() > 0;
+    if (faults)
+        put(registry, "latency.fault", lat.mergedFault());
     put(registry, "tlb.itlb_lifetime", lat.mergedItlbLifetime());
     put(registry, "tlb.itlb_reuse", lat.mergedItlbReuse());
     put(registry, "tlb.dtlb_lifetime", lat.mergedDtlbLifetime());
@@ -70,6 +78,8 @@ exportLatency(const LatencyCollector &lat, StatsRegistry &registry)
         put(registry, "latency.miss_service" + tag, lat.missService(c));
         put(registry, "latency.hw_walk" + tag, lat.hwWalk(c));
         put(registry, "latency.shootdown" + tag, lat.shootdown(c));
+        if (faults)
+            put(registry, "latency.fault" + tag, lat.fault(c));
         put(registry, "tlb.itlb_lifetime" + tag, lat.itlbLifetime(c));
         put(registry, "tlb.itlb_reuse" + tag, lat.itlbReuse(c));
         put(registry, "tlb.dtlb_lifetime" + tag, lat.dtlbLifetime(c));

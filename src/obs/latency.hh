@@ -10,6 +10,8 @@
  *    whatever the organization's mechanism charges);
  *  - hardware walk: cycles per FSM walk (INTEL / HW-* / SPUR);
  *  - shootdown: cycles charged per received invalidate IPI;
+ *  - fault: cycles charged per frame-budget major fault (read plus
+ *    any victim writebacks; empty unless a budget is configured);
  *  - TLB residency: entry lifetime (insert to evict) and hit reuse
  *    distance, both in lookup probes of the owning TLB.
  *
@@ -82,6 +84,7 @@ class LatencyCollector
     Histogram &missService(unsigned core) { return missService_[core]; }
     Histogram &hwWalk(unsigned core) { return hwWalk_[core]; }
     Histogram &shootdown(unsigned core) { return shootdown_[core]; }
+    Histogram &fault(unsigned core) { return fault_[core]; }
     Histogram &itlbLifetime(unsigned core) { return itlbLifetime_[core]; }
     Histogram &itlbReuse(unsigned core) { return itlbReuse_[core]; }
     Histogram &dtlbLifetime(unsigned core) { return dtlbLifetime_[core]; }
@@ -96,6 +99,7 @@ class LatencyCollector
     {
         return shootdown_[core];
     }
+    const Histogram &fault(unsigned core) const { return fault_[core]; }
     const Histogram &itlbLifetime(unsigned core) const
     {
         return itlbLifetime_[core];
@@ -118,6 +122,7 @@ class LatencyCollector
     Histogram mergedMissService() const { return mergeAll(missService_); }
     Histogram mergedHwWalk() const { return mergeAll(hwWalk_); }
     Histogram mergedShootdown() const { return mergeAll(shootdown_); }
+    Histogram mergedFault() const { return mergeAll(fault_); }
     Histogram mergedItlbLifetime() const { return mergeAll(itlbLifetime_); }
     Histogram mergedItlbReuse() const { return mergeAll(itlbReuse_); }
     Histogram mergedDtlbLifetime() const { return mergeAll(dtlbLifetime_); }
@@ -132,6 +137,7 @@ class LatencyCollector
     std::vector<Histogram> missService_;
     std::vector<Histogram> hwWalk_;
     std::vector<Histogram> shootdown_;
+    std::vector<Histogram> fault_;
     std::vector<Histogram> itlbLifetime_;
     std::vector<Histogram> itlbReuse_;
     std::vector<Histogram> dtlbLifetime_;

@@ -24,6 +24,9 @@ HwInvertedVm::walk(Addr vaddr, CoreId core, Tlb &target)
     if (l2TlbLookup(v, target, core))
         return;
 
+    // Touch before the chain walk (see PariscVm::walk).
+    touchPage(v, core);
+
     walkBuf_.clear();
     unsigned depth = pt_.walk(v, walkBuf_);
 

@@ -45,6 +45,9 @@ class HwInvertedVm : public TlbVm<HwInvertedVm>
 
     void walk(Addr vaddr, CoreId core, Tlb &target);
 
+    /** Eviction unlinks the victim's entry from its hash chain. */
+    void invalidatePte(Vpn v) override { pt_.remove(v); }
+
     HashedPageTable pt_;
     HandlerCosts costs_;
     std::vector<Addr> walkBuf_;

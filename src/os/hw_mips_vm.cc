@@ -21,6 +21,8 @@ HwMipsVm::walk(Addr vaddr, CoreId core, Tlb &target)
     if (l2TlbLookup(v, target, core))
         return;
 
+    touchPage(v, core);
+
     beginHwWalk(v, costs_.hwWalkCycles, core);
 
     Addr upte = pt_.uptEntryAddr(v);

@@ -24,6 +24,8 @@ IntelVm::walk(Addr vaddr, CoreId core, Tlb &target)
     if (l2TlbLookup(v, target, core))
         return;
 
+    touchPage(v, core);
+
     // Hardware state machine: no interrupt, no instruction fetches,
     // 7 cycles of sequential work, two physical cacheable PTE loads.
     beginHwWalk(v, costs_.hwWalkCycles, core);

@@ -21,6 +21,8 @@ MachVm::walk(Addr vaddr, CoreId core, Tlb &target)
     if (l2TlbLookup(v, target, core))
         return;
 
+    touchPage(v, core);
+
     // User-level miss: dedicated vector, 10 instructions.
     takeInterrupt();
     fetchHandler(EventLevel::User, kUserHandlerBase, costs_.userInstrs, v);

@@ -13,6 +13,10 @@ NotlbVm::missHandler(Addr vaddr)
 {
     Vpn v = pt_.vpnOf(vaddr);
 
+    // NOTLB is built single-instance even under a multicore schedule,
+    // so every touch lands on slice 0.
+    touchPage(v, 0);
+
     // Every L2 miss interrupts the processor: 10-instruction handler
     // performs the translation and fill.
     takeInterrupt();

@@ -52,6 +52,7 @@ class NotlbVm : public VmSystem
     {
         if (userDataAccessT<kObs>(a.addr, a.store) == MemLevel::Memory)
             missHandler(a.addr);
+        notePressureStore(a.addr, a.store);
     }
 
     const DisjunctPageTable &pageTable() const { return pt_; }

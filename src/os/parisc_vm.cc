@@ -26,6 +26,11 @@ PariscVm::walk(Addr vaddr, CoreId core, Tlb &target)
     if (l2TlbLookup(v, target, core))
         return;
 
+    // Touch before the chain walk: a major fault admits the page, so
+    // pt_.walk's first-touch frameOf sees it pool-resident and draws
+    // from the recycled-frame free list rather than wiring a frame.
+    touchPage(v, core);
+
     // Single handler: interrupt, 20 instructions, then the chain walk.
     takeInterrupt();
     fetchHandler(EventLevel::User, kUserHandlerBase, costs_.userInstrs, v);

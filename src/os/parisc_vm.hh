@@ -54,6 +54,9 @@ class PariscVm : public TlbVm<PariscVm>
 
     void walk(Addr vaddr, CoreId core, Tlb &target);
 
+    /** Eviction unlinks the victim's entry from its hash chain. */
+    void invalidatePte(Vpn v) override { pt_.remove(v); }
+
     HashedPageTable pt_;
     HandlerCosts costs_;
     std::vector<Addr> walkBuf_; ///< reused chain-walk scratch

@@ -13,6 +13,9 @@ SpurVm::hwMissWalk(Addr vaddr)
 {
     Vpn v = pt_.vpnOf(vaddr);
 
+    // Single-instance organization: every touch lands on slice 0.
+    touchPage(v, 0);
+
     beginHwWalk(v, costs_.hwWalkCycles);
 
     MemLevel pte_lvl = pteFetch(pt_.uptEntryAddr(v), kHierPteSize,

@@ -52,6 +52,7 @@ class SpurVm : public VmSystem
     {
         if (userDataAccessT<kObs>(a.addr, a.store) == MemLevel::Memory)
             hwMissWalk(a.addr);
+        notePressureStore(a.addr, a.store);
     }
 
     const DisjunctPageTable &pageTable() const { return pt_; }

@@ -91,6 +91,7 @@ class TlbVm : public VmSystem
             endMissService();
         }
         userDataAccessT<kObs>(addr, a.store);
+        notePressureStore(addr, a.store);
     }
 
     void
@@ -128,6 +129,20 @@ class TlbVm : public VmSystem
     void contextSwitch(CoreId core) override { switchTlbs(core, tlbs_); }
 
   protected:
+    /**
+     * Frame-budget eviction of @p v: drop its translation from every
+     * core's I/D TLB pair (targeted tombstones, not random evictions —
+     * the invalidated VPN is known exactly).
+     */
+    void
+    invalidateTranslation(Vpn v) override
+    {
+        for (CoreId c = 0; c < cores(); ++c) {
+            tlbs_.itlb(c).invalidate(v);
+            tlbs_.dtlb(c).invalidate(v);
+        }
+    }
+
     CoreTlbs tlbs_;      ///< per-core first-level I/D TLB pairs
     unsigned pageBits_;  ///< log2 page size (VPN = addr >> pageBits_)
 

@@ -147,6 +147,89 @@ VmSystem::shootdownBroadcast(CoreId from, CoreTlbs &tlbs)
 }
 
 void
+VmSystem::enablePressure(PhysMem &pm, Cycles read_cycles,
+                         Cycles writeback_cycles, unsigned page_bits)
+{
+    panicIf(!pm.budgeted(),
+            "enablePressure requires a PhysMem frame budget");
+    pressure_ = &pm;
+    pressurePageBits_ = page_bits;
+    faultReadCycles_ = read_cycles;
+    faultWritebackCycles_ = writeback_cycles;
+}
+
+void
+VmSystem::touchPageSlow(Vpn v, CoreId core)
+{
+    ++stats_.pagesTouched;
+    if (pressure_->pageResident(v)) {
+        ++stats_.reusedFrames;
+        pressure_->notePageUse(v);
+        // Wired page-table growth may have shrunk the budget below the
+        // current residency; reclaim the overage here (protecting the
+        // page being touched) so residency <= capacity always holds at
+        // audit time.
+        while (pressure_->overBudget())
+            evictVictim(v, core);
+        return;
+    }
+    ++stats_.majorFaults;
+    ++stats_.perCore[coreSlot(core)].majorFaults;
+    Cycles cost = faultReadCycles_;
+    while (pressure_->mustEvictForAdmit())
+        cost += evictVictim(v, core);
+    pressure_->admitPage(v);
+    stats_.faultCycles += cost;
+    if (lat_) {
+        svcAcc_ += cost;
+        lat_->fault(coreSlot(core)).sample(static_cast<double>(cost));
+    }
+    emitEvent(EventKind::MajorFault, EventLevel::User, 0, v, cost);
+}
+
+Cycles
+VmSystem::evictVictim(Vpn exclude, CoreId core)
+{
+    FramePool::Victim victim = pressure_->evictPage(exclude);
+    ++stats_.evictions;
+    Cycles wb = 0;
+    if (victim.dirty) {
+        ++stats_.writebacks;
+        wb = faultWritebackCycles_;
+    }
+    // The victim must not stay reachable through any translation
+    // structure: first-level TLBs on every core (the organization's
+    // override), every L2 TLB slice, then its page-table entry.
+    invalidateTranslation(victim.vpn);
+    for (auto &l2 : l2Tlbs_)
+        l2->invalidate(victim.vpn);
+    invalidatePte(victim.vpn);
+    if (cores_ > 1)
+        evictionShootdown(core);
+    emitEvent(EventKind::Eviction, EventLevel::User, 0, victim.vpn, wb);
+    return wb;
+}
+
+void
+VmSystem::evictionShootdown(CoreId from)
+{
+    from = coreSlot(from);
+    ++stats_.shootdownsSent;
+    ++stats_.perCore[from].shootdownsSent;
+    const Cycles perRecv = shootdownIpiCycles_ + shootdownHandlerCycles_;
+    for (CoreId c = 0; c < cores_; ++c) {
+        if (c == from)
+            continue;
+        ++stats_.shootdownsRecv;
+        ++stats_.perCore[c].shootdownsRecv;
+        stats_.shootdownCycles += perRecv;
+        if (lat_)
+            lat_->shootdown(c).sample(static_cast<double>(perRecv));
+        emitEvent(EventKind::Shootdown, EventLevel::User, 0, c, perRecv);
+    }
+}
+
+void
 VmSystem::doEmit(EventKind kind, EventLevel level, Addr vaddr, Vpn vpn,
                  Cycles cycles)
 {

@@ -48,6 +48,7 @@
 
 #include "base/types.hh"
 #include "mem/mem_system.hh"
+#include "mem/phys_mem.hh"
 #include "obs/event.hh"
 #include "obs/latency.hh"
 #include "tlb/tlb.hh"
@@ -128,6 +129,7 @@ struct CoreStats
     Counter ctxSwitches = 0;    ///< address-space switches on this core
     Counter shootdownsSent = 0; ///< shootdown broadcasts initiated here
     Counter shootdownsRecv = 0; ///< shootdown IPIs received here
+    Counter majorFaults = 0;    ///< frame-budget major faults taken here
 };
 
 /**
@@ -157,6 +159,18 @@ struct VmStats
     Counter shootdownsSent = 0;   ///< inter-core invalidate broadcasts
     Counter shootdownsRecv = 0;   ///< shootdown IPIs delivered
     Counter shootdownCycles = 0;  ///< IPI + handler cycles they cost
+
+    /** @name Memory-pressure counters (docs/pressure.md)
+     *  All zero unless a frame budget is configured. By construction
+     *  majorFaults + reusedFrames == pagesTouched — a conservation law
+     *  the InvariantChecker audits. @{ */
+    Counter pagesTouched = 0;  ///< page touches at refill completion
+    Counter majorFaults = 0;   ///< touches that found the page evicted
+    Counter reusedFrames = 0;  ///< touches that found the page resident
+    Counter evictions = 0;     ///< victim pages reclaimed
+    Counter writebacks = 0;    ///< evicted victims that were dirty
+    Counter faultCycles = 0;   ///< fault service cycles charged
+    /** @} */
 
     /**
      * Per-core counter slices; one entry per simulated core (always
@@ -395,6 +409,24 @@ class VmSystem
         return l2Tlbs_.empty() ? nullptr : l2Tlbs_.front().get();
     }
 
+    /**
+     * Enable memory-pressure accounting against @p pm's frame budget
+     * (which must already be configured via PhysMem::setBudget). Every
+     * refill path then reports its page touch through touchPage():
+     * a touch of a resident page is a frame reuse; a touch of a
+     * non-resident page is a major fault costing @p read_cycles (plus
+     * @p writeback_cycles per dirty victim evicted to make room), with
+     * the victim's TLB entries and PTE invalidated on every core —
+     * broadcast as a shootdown when cores() > 1. Call before
+     * simulating; with no call, every path below is byte-identical to
+     * the budget-less simulator.
+     */
+    void enablePressure(PhysMem &pm, Cycles read_cycles,
+                        Cycles writeback_cycles, unsigned page_bits);
+
+    /** True while frame-budget accounting is active. */
+    bool pressureOn() const { return pressure_ != nullptr; }
+
     /** Core @p core's L2 TLB slice, or nullptr if none is attached. */
     const Tlb *l2tlb(CoreId core) const { return l2SlotFor(core); }
 
@@ -622,6 +654,49 @@ class VmSystem
     }
 
     /**
+     * Record the page touch behind a refill of @p v on @p core: the
+     * organizations call this at the top of their refill mechanism
+     * (after any L2-TLB early-out, whose hit proves residency — an
+     * eviction invalidates every TLB level). A single predictable
+     * branch with no budget configured.
+     */
+    void
+    touchPage(Vpn v, CoreId core)
+    {
+        if (pressure_)
+            touchPageSlow(v, core);
+    }
+
+    /**
+     * Mark a store's page dirty under a frame budget so its eventual
+     * eviction charges a writeback. Sits on the per-reference data
+     * path: one predictable branch with no budget configured, and a
+     * no-op for pages the pool is not tracking.
+     */
+    void
+    notePressureStore(Addr addr, bool store)
+    {
+        if (pressure_ && store)
+            pressure_->markPageDirty(addr >> pressurePageBits_);
+    }
+
+    /**
+     * Drop every first-level TLB entry translating @p v, on every
+     * core (an evicted page must not stay reachable through any TLB).
+     * Default no-op for the TLB-less organizations; the base eviction
+     * driver clears the L2 TLB slices itself.
+     */
+    virtual void invalidateTranslation(Vpn v) { (void)v; }
+
+    /**
+     * Remove @p v's page-table entry on eviction. Default no-op: most
+     * organizations compute PTE addresses from reserved regions and
+     * keep no per-page state; the hashed/inverted tables override this
+     * to unlink the entry from its collision chain.
+     */
+    virtual void invalidatePte(Vpn v) { (void)v; }
+
+    /**
      * Probe the optional L2 TLB (core @p core's slice when private)
      * for @p v at the top of a walk. On a hit, charges the probe
      * cycles, installs @p v into @p target, and returns true — the
@@ -670,6 +745,26 @@ class VmSystem
     /** Deliver one invalidate broadcast from @p from to every peer. */
     void shootdownBroadcast(CoreId from, CoreTlbs &tlbs);
 
+    /** Out-of-line body of touchPage(); pressure_ is non-null here. */
+    void touchPageSlow(Vpn v, CoreId core);
+
+    /**
+     * Evict one victim (never @p exclude) and apply the side effects:
+     * invalidate its translations and PTE, broadcast the eviction
+     * shootdown on a multicore. Returns the writeback cycles charged
+     * (zero for a clean victim).
+     */
+    Cycles evictVictim(Vpn exclude, CoreId core);
+
+    /**
+     * Shootdown accounting for one eviction broadcast: same fanout,
+     * cycle, event and latency bookkeeping as the context-switch
+     * broadcast, but the receivers' invalidation work is the targeted
+     * invalidateTranslation() the caller already performed, so no
+     * random entries are evicted.
+     */
+    void evictionShootdown(CoreId from);
+
     unsigned cores_ = 1;
     unsigned ctxSwitchEvictions_ = 16;
     std::vector<std::unique_ptr<Tlb>> l2Tlbs_; ///< 1 slot, or 1/core
@@ -679,6 +774,13 @@ class VmSystem
     unsigned shootdownEvictions_ = 8;
     EventSink *sink_ = nullptr;
     Counter curInstr_ = 0;
+
+    /** @name Memory-pressure state (inert while pressure_ is null). @{ */
+    PhysMem *pressure_ = nullptr; ///< budgeted frame pool owner
+    unsigned pressurePageBits_ = 12;
+    Cycles faultReadCycles_ = 0;
+    Cycles faultWritebackCycles_ = 0;
+    /** @} */
 
     /** @name Latency-episode bookkeeping (inert while lat_ is null). @{ */
     LatencyCollector *lat_ = nullptr;

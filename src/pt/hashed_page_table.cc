@@ -99,6 +99,28 @@ HashedPageTable::walk(Vpn v, std::vector<Addr> &out)
     return depth;
 }
 
+bool
+HashedPageTable::remove(Vpn v)
+{
+    std::uint64_t bucket = hashOf(v);
+    std::uint32_t prev = kNil;
+    for (std::uint32_t n = heads_[bucket]; n != kNil;
+         prev = n, n = arena_[n].next) {
+        if (arena_[n].vpn != v)
+            continue;
+        if (prev == kNil)
+            heads_[bucket] = arena_[n].next;
+        else
+            arena_[prev].next = arena_[n].next;
+        if (tails_[bucket] == n)
+            tails_[bucket] = prev;
+        arena_[n].next = kNil;
+        --entryCount_;
+        return true;
+    }
+    return false;
+}
+
 double
 HashedPageTable::avgChainLength() const
 {
@@ -106,8 +128,9 @@ HashedPageTable::avgChainLength() const
     for (std::uint32_t head : heads_)
         if (head != kNil)
             ++nonempty;
-    // Every arena node belongs to exactly one chain.
-    return nonempty ? static_cast<double>(arena_.size()) /
+    // Every live entry belongs to exactly one chain (remove() detaches
+    // arena nodes, so arena_.size() would overcount under a budget).
+    return nonempty ? static_cast<double>(entryCount_) /
                           static_cast<double>(nonempty)
                     : 0.0;
 }

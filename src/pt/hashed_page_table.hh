@@ -68,6 +68,16 @@ class HashedPageTable : public PageTableBase
      */
     unsigned walk(Vpn v, std::vector<Addr> &out);
 
+    /**
+     * Unlink @p v's entry from its collision chain (page evicted
+     * under a frame budget); returns true if an entry was removed.
+     * The arena node and any CRT slot the entry occupied are not
+     * recycled — entries are address bookkeeping, so a re-inserted
+     * page simply takes a fresh node (and CRT slot when its bucket is
+     * occupied), exactly as a real kernel would relink the chain.
+     */
+    bool remove(Vpn v);
+
     /** Entries currently in the table (mapped pages). */
     std::uint64_t entryCount() const { return entryCount_; }
 

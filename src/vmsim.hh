@@ -22,6 +22,7 @@
 #include "base/intmath.hh"
 #include "base/json.hh"
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "base/random.hh"
 #include "base/signals.hh"
 #include "base/stats.hh"

@@ -188,7 +188,7 @@ TEST(ObsEvent, KindNamesAreStableAndDistinct)
     for (unsigned k = 0; k < kNumEventKinds; ++k)
         names.push_back(eventKindName(static_cast<EventKind>(k)));
     EXPECT_EQ(names.front(), "itlb_miss");
-    EXPECT_EQ(names.back(), "fault_injected");
+    EXPECT_EQ(names.back(), "eviction");
     std::sort(names.begin(), names.end());
     EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
 }

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Tests for the memory-pressure subsystem: FramePool victim order
+ * under FIFO/LRU/CLOCK, dirty-bit writeback accounting, PhysMem frame
+ * recycling and wired-page capacity shrinkage, the zero-usable-frames
+ * and frameAddrOf-allocation bugfix regressions, strict CLI numeric
+ * parsing, and end-to-end budgeted runs: invariant audits for all nine
+ * organizations, scalar/batched/cached/multicore equivalence under a
+ * tight budget, and the no-budget identity guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/parse.hh"
+#include "base/units.hh"
+#include "check/diff.hh"
+#include "check/invariants.hh"
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "mem/frame_pool.hh"
+#include "mem/phys_mem.hh"
+
+namespace vmsim
+{
+namespace
+{
+
+// -------------------------------------------------------------- FramePool
+
+TEST(FramePool, FifoEvictsInArrivalOrder)
+{
+    FramePool pool(4, ReclaimPolicy::Fifo);
+    for (Vpn v = 1; v <= 4; ++v)
+        pool.insert(v);
+    // Touches are irrelevant to FIFO: 1 still goes first.
+    pool.touch(1);
+    pool.touch(2);
+    EXPECT_EQ(pool.evict(99).vpn, 1u);
+    EXPECT_EQ(pool.evict(99).vpn, 2u);
+    EXPECT_EQ(pool.evict(99).vpn, 3u);
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(FramePool, LruEvictsLeastRecentlyTouched)
+{
+    FramePool pool(3, ReclaimPolicy::Lru);
+    pool.insert(1);
+    pool.insert(2);
+    pool.insert(3);
+    pool.touch(1); // order is now 2, 3, 1
+    EXPECT_EQ(pool.evict(99).vpn, 2u);
+    pool.touch(3); // order is now 1, 3
+    EXPECT_EQ(pool.evict(99).vpn, 1u);
+    EXPECT_EQ(pool.evict(99).vpn, 3u);
+}
+
+TEST(FramePool, ClockGivesTouchedPagesASecondChance)
+{
+    FramePool pool(3, ReclaimPolicy::Clock);
+    pool.insert(1);
+    pool.insert(2);
+    pool.insert(3);
+    // All three start referenced; the first sweep clears every bit and
+    // the second finds 1 (oldest) unreferenced.
+    EXPECT_EQ(pool.evict(99).vpn, 1u);
+    // 3's reference bit is set again, so 2 goes before it.
+    pool.touch(3);
+    EXPECT_EQ(pool.evict(99).vpn, 2u);
+    EXPECT_EQ(pool.evict(99).vpn, 3u);
+}
+
+TEST(FramePool, EvictNeverReturnsTheProtectedPage)
+{
+    for (ReclaimPolicy p : {ReclaimPolicy::Fifo, ReclaimPolicy::Lru,
+                            ReclaimPolicy::Clock}) {
+        FramePool pool(2, p);
+        pool.insert(10);
+        pool.insert(11);
+        // 10 is the natural victim under every policy; excluding it
+        // must pick 11 instead.
+        EXPECT_EQ(pool.evict(10).vpn, 11u) << reclaimPolicyName(p);
+    }
+}
+
+TEST(FramePool, DirtyBitTravelsWithTheVictim)
+{
+    FramePool pool(3, ReclaimPolicy::Fifo);
+    pool.insert(1);
+    pool.insert(2);
+    pool.markDirty(1);
+    pool.markDirty(42); // not resident: must be a no-op
+    FramePool::Victim v1 = pool.evict(99);
+    EXPECT_EQ(v1.vpn, 1u);
+    EXPECT_TRUE(v1.dirty);
+    FramePool::Victim v2 = pool.evict(99);
+    EXPECT_EQ(v2.vpn, 2u);
+    EXPECT_FALSE(v2.dirty);
+    // Re-admission starts clean even though the slot is recycled.
+    pool.insert(1);
+    EXPECT_FALSE(pool.evict(99).dirty);
+}
+
+TEST(FramePool, TinyBudgetsAreRejected)
+{
+    setQuiet(true);
+    EXPECT_THROW(FramePool(0, ReclaimPolicy::Fifo), FatalError);
+    EXPECT_THROW(FramePool(1, ReclaimPolicy::Lru), FatalError);
+    FramePool pool(2, ReclaimPolicy::Fifo);
+    // Wired pages may never consume the whole budget.
+    EXPECT_THROW(pool.shrinkCapacity(), FatalError);
+    setQuiet(false);
+}
+
+TEST(FramePool, PolicyNamesRoundTrip)
+{
+    for (ReclaimPolicy p : {ReclaimPolicy::Fifo, ReclaimPolicy::Lru,
+                            ReclaimPolicy::Clock})
+        EXPECT_EQ(parseReclaimPolicy(reclaimPolicyName(p)).value(), p);
+    EXPECT_FALSE(parseReclaimPolicy("mru").ok());
+    EXPECT_FALSE(parseReclaimPolicy("").ok());
+}
+
+// ---------------------------------------------------- PhysMem under budget
+
+TEST(PhysMemBudget, EvictedFramesAreRecycled)
+{
+    PhysMem pm(8_MiB, 12);
+    pm.setBudget(4, ReclaimPolicy::Fifo);
+    pm.admitPage(1);
+    Pfn f1 = pm.frameOf(1);
+    pm.admitPage(2);
+    pm.frameOf(2);
+    FramePool::Victim v = pm.evictPage(2);
+    EXPECT_EQ(v.vpn, 1u);
+    EXPECT_FALSE(pm.isMapped(1));
+    // The next admitted page reuses the evicted page's frame.
+    pm.admitPage(3);
+    EXPECT_EQ(pm.frameOf(3), f1);
+    EXPECT_EQ(pm.wiredFrames(), 0u);
+}
+
+TEST(PhysMemBudget, NonResidentAllocationIsWiredAndShrinksCapacity)
+{
+    PhysMem pm(8_MiB, 12);
+    pm.setBudget(4, ReclaimPolicy::Lru);
+    ASSERT_EQ(pm.framePool()->capacity(), 4u);
+    pm.frameOf(1000); // a page-table page, never admitted to the pool
+    EXPECT_EQ(pm.wiredFrames(), 1u);
+    EXPECT_EQ(pm.framePool()->capacity(), 3u);
+}
+
+TEST(PhysMemBudget, SetBudgetIsOneShotAndPreAllocation)
+{
+    setQuiet(true);
+    PhysMem pm(8_MiB, 12);
+    pm.setBudget(8, ReclaimPolicy::Fifo);
+    EXPECT_THROW(pm.setBudget(8, ReclaimPolicy::Fifo), PanicError);
+    PhysMem late(8_MiB, 12);
+    late.frameOf(1);
+    EXPECT_THROW(late.setBudget(8, ReclaimPolicy::Fifo), PanicError);
+    setQuiet(false);
+}
+
+// ------------------------------------------------------ bugfix regressions
+
+TEST(PhysMemRegression, FrameAddrOfIsAReadOnlyQuery)
+{
+    setQuiet(true);
+    PhysMem pm(8_MiB, 12);
+    // The old frameAddrOf allocated on query; now it must refuse.
+    EXPECT_THROW(pm.frameAddrOf(42), PanicError);
+    EXPECT_EQ(pm.framesUsed(), 0u);
+    Addr a = pm.frameAddrAlloc(42);
+    EXPECT_EQ(pm.frameAddrOf(42), a);
+    EXPECT_EQ(pm.framesUsed(), 1u);
+    setQuiet(false);
+}
+
+TEST(PhysMemRegression, ReservationConsumingAllFramesIsFatal)
+{
+    setQuiet(true);
+    PhysMem pm(16_KiB, 12); // 4 frames
+    // The old code left numFrames_ == 0 and then handed out frames
+    // past sizeBytes_; now the reservation itself must be fatal.
+    EXPECT_THROW(pm.reserveRegion(16_KiB, 4096), FatalError);
+    PhysMem pm2(16_KiB, 12);
+    EXPECT_THROW(pm2.reserveRegion(13_KiB, 4096), FatalError);
+    // Leaving at least one usable frame is still fine.
+    PhysMem pm3(16_KiB, 12);
+    pm3.reserveRegion(12_KiB, 4096);
+    EXPECT_EQ(pm3.numFrames(), 1u);
+    setQuiet(false);
+}
+
+TEST(PhysMemRegression, UnbudgetedOvercommitStillWarnsAndContinues)
+{
+    setQuiet(true);
+    PhysMem pm(1_MiB, 12); // 256 frames
+    for (Vpn v = 0; v < 300; ++v)
+        pm.frameOf(v);
+    EXPECT_TRUE(pm.overcommitted());
+    EXPECT_EQ(pm.framesUsed(), 300u);
+    EXPECT_EQ(pm.frameOf(299), pm.frameOf(299));
+    setQuiet(false);
+}
+
+TEST(SimConfigRegression, BudgetOfOneFrameIsRejected)
+{
+    SimConfig cfg;
+    cfg.physFrames = 1;
+    EXPECT_FALSE(cfg.validate().ok());
+    cfg.physFrames = 2;
+    EXPECT_TRUE(cfg.validate().ok());
+    cfg.faultReadCycles = 0;
+    EXPECT_FALSE(cfg.validate().ok());
+}
+
+// ------------------------------------------------------ strict CLI parsing
+
+TEST(StrictParse, AcceptsPlainDecimals)
+{
+    EXPECT_EQ(parseU64("0", "--x").value(), 0u);
+    EXPECT_EQ(parseU64("2000000", "--x").value(), 2000000u);
+    EXPECT_EQ(parseU32("4096", "--x").value(), 4096u);
+    EXPECT_DOUBLE_EQ(parseF64("2.5", "--x").value(), 2.5);
+}
+
+TEST(StrictParse, RejectsGarbageThatStrtoullAccepted)
+{
+    // Each of these used to silently become 0, 2, or a wrapped huge
+    // value under the old strtoull(arg, nullptr, 10) parsing.
+    for (const char *s : {"", "abc", "2e6", "1.5", "12x", " 7", "-1",
+                          "+3", "0x10", "99999999999999999999999"}) {
+        Expected<std::uint64_t> v = parseU64(s, "--flag");
+        EXPECT_FALSE(v.ok()) << "'" << s << "'";
+        if (!v.ok())
+            EXPECT_EQ(v.error().code, ErrorCode::InvalidArgument);
+    }
+    EXPECT_FALSE(parseU32("4294967296", "--x").ok()); // 2^32
+    EXPECT_TRUE(parseU32("4294967295", "--x").ok());
+    for (const char *s : {"", "fast", "1.5x", "nan", "inf"})
+        EXPECT_FALSE(parseF64(s, "--x").ok()) << "'" << s << "'";
+}
+
+TEST(StrictParse, BenchOptionsRejectMalformedNumericFlags)
+{
+    setQuiet(true);
+    auto parse = [](std::vector<std::string> words) {
+        std::vector<char *> argv;
+        static std::string prog = "bench";
+        argv.push_back(prog.data());
+        for (std::string &w : words)
+            argv.push_back(w.data());
+        return BenchOptions::parse(static_cast<int>(argv.size()),
+                                   argv.data());
+    };
+    EXPECT_THROW(parse({"--instructions=2e6"}), VmsimError);
+    EXPECT_THROW(parse({"--batch=abc"}), VmsimError);
+    EXPECT_THROW(parse({"--seeds=-1"}), VmsimError);
+    EXPECT_THROW(parse({"--phys-mb=0"}), FatalError);
+    EXPECT_THROW(parse({"--phys-mb=four"}), VmsimError);
+    EXPECT_THROW(parse({"--phys-mb-list=4,x"}), VmsimError);
+    EXPECT_THROW(parse({"--reclaim=mru"}), VmsimError);
+    BenchOptions ok =
+        parse({"--instructions=5000", "--phys-mb=8", "--reclaim=clock",
+               "--phys-mb-list=4,8,16"});
+    EXPECT_EQ(ok.instructions, 5000u);
+    EXPECT_EQ(ok.physMb, 8u);
+    EXPECT_EQ(ok.reclaim, ReclaimPolicy::Clock);
+    EXPECT_EQ(ok.physMbList, (std::vector<std::uint64_t>{4, 8, 16}));
+    EXPECT_EQ(ok.physFramesFor(12), (8u << 20) >> 12);
+    setQuiet(false);
+}
+
+// ------------------------------------------------------------- end to end
+
+SimConfig
+pressureCfg(SystemKind kind)
+{
+    SimConfig c;
+    c.kind = kind;
+    c.l1 = CacheParams{16_KiB, 32};
+    c.l2 = CacheParams{1_MiB, 64};
+    return c;
+}
+
+constexpr SystemKind kAllKinds[] = {
+    SystemKind::Ultrix, SystemKind::Mach,       SystemKind::Intel,
+    SystemKind::Parisc, SystemKind::Notlb,      SystemKind::Base,
+    SystemKind::HwInverted, SystemKind::HwMips, SystemKind::Spur,
+};
+
+TEST(PressureRun, UnbudgetedRunsCarryNoPressureState)
+{
+    SimConfig c = pressureCfg(SystemKind::Ultrix);
+    Results r = runOnce(c, "gcc", 20000, 5000);
+    EXPECT_EQ(r.vmStats().pagesTouched, 0u);
+    EXPECT_EQ(r.vmStats().majorFaults, 0u);
+    EXPECT_EQ(r.vmStats().evictions, 0u);
+    EXPECT_DOUBLE_EQ(r.faultCpi(), 0.0);
+    // The no-budget JSON must not even mention the pressure keys —
+    // that is what keeps the golden artifacts byte-identical.
+    const std::string json = r.toJson().dump();
+    EXPECT_EQ(json.find("major_faults"), std::string::npos);
+    EXPECT_EQ(json.find("fault_cpi"), std::string::npos);
+    const std::string summary = [&] {
+        std::ostringstream os;
+        r.printSummary(os);
+        return os.str();
+    }();
+    EXPECT_EQ(summary.find("pfCPI"), std::string::npos);
+}
+
+TEST(PressureRun, AllNineOrganizationsPassTheAuditUnderBudget)
+{
+    const ReclaimPolicy policies[] = {
+        ReclaimPolicy::Fifo, ReclaimPolicy::Lru, ReclaimPolicy::Clock};
+    unsigned i = 0;
+    for (SystemKind kind : kAllKinds) {
+        SimConfig c = pressureCfg(kind);
+        c.physFrames = 96;
+        c.reclaimPolicy = policies[i++ % 3];
+        Results r = runOnce(c, "gcc", 20000, 5000);
+        CheckReport rep = InvariantChecker(c).check(r);
+        EXPECT_TRUE(rep.ok()) << kindName(kind) << ": "
+                              << rep.toString();
+        const VmStats &vm = r.vmStats();
+        EXPECT_EQ(vm.majorFaults + vm.reusedFrames, vm.pagesTouched)
+            << kindName(kind);
+        if (kind == SystemKind::Base) {
+            // BASE models a machine with no VM at all; it stays
+            // pressure-free so bench_total_overhead's MCPI_vm −
+            // MCPI_base subtraction isolates VM cost, not paging.
+            EXPECT_EQ(vm.pagesTouched, 0u);
+            EXPECT_DOUBLE_EQ(r.faultCpi(), 0.0);
+            continue;
+        }
+        EXPECT_GT(vm.pagesTouched, 0u) << kindName(kind);
+        EXPECT_GT(vm.majorFaults, 0u) << kindName(kind);
+        EXPECT_GT(r.faultCpi(), 0.0) << kindName(kind);
+    }
+}
+
+TEST(PressureRun, TightBudgetForcesEvictionsAndWritebacks)
+{
+    SimConfig c = pressureCfg(SystemKind::Ultrix);
+    c.physFrames = 96;
+    Results r = runOnce(c, "gcc", 25000, 5000);
+    const VmStats &vm = r.vmStats();
+    EXPECT_GT(vm.evictions, 0u);
+    EXPECT_GT(vm.writebacks, 0u);
+    EXPECT_LE(vm.writebacks, vm.evictions);
+    // Evicted pages fault back in: more major faults than distinct
+    // pages would explain.
+    EXPECT_GT(vm.majorFaults, 96u);
+}
+
+TEST(PressureRun, CountersSurviveTheJournalRoundTrip)
+{
+    SimConfig c = pressureCfg(SystemKind::Mach);
+    c.physFrames = 96;
+    c.cores = 2;
+    c.ctxSwitchInterval = 997;
+    Results r = runOnce(c, "gcc", 20000, 5000);
+    ASSERT_GT(r.vmStats().majorFaults, 0u);
+    Results back =
+        Results::deserialize(r.serialize(), r.costs()).orThrow();
+    EXPECT_EQ(r.serialize().dump(), back.serialize().dump());
+    EXPECT_DOUBLE_EQ(r.totalCpi(), back.totalCpi());
+}
+
+TEST(PressureEquivalence, AllLegsAgreeUnderEveryPolicy)
+{
+    DiffRunner runner;
+    unsigned index = 0;
+    for (ReclaimPolicy p : {ReclaimPolicy::Fifo, ReclaimPolicy::Lru,
+                            ReclaimPolicy::Clock}) {
+        FuzzTuple t = runner.generate(index++);
+        t.faults = false;
+        t.physFrames = 96;
+        t.reclaim = p;
+        CheckReport rep = runner.runCase(t);
+        EXPECT_TRUE(rep.ok())
+            << t.toString() << ": " << rep.toString();
+    }
+}
+
+TEST(PressureEquivalence, MulticoreLegsAgreeUnderBudget)
+{
+    DiffRunner runner;
+    FuzzTuple t = runner.generate(7);
+    t.faults = false;
+    t.physFrames = 96;
+    t.reclaim = ReclaimPolicy::Lru;
+    t.cores = 2;
+    CheckReport rep = runner.runCase(t);
+    EXPECT_TRUE(rep.ok()) << t.toString() << ": " << rep.toString();
+}
+
+} // anonymous namespace
+} // namespace vmsim
